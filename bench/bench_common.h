@@ -1,0 +1,37 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "measurement/presets.h"
+#include "subspace/diagnoser.h"
+
+namespace netdiag::bench {
+
+// The paper's per-dataset anomaly size cutoffs (Section 6.2): anomalies
+// larger than these "stand out to the left of the knee".
+inline constexpr double k_sprint_cutoff_bytes = 2.0e7;
+inline constexpr double k_abilene_cutoff_bytes = 8.0e7;
+
+inline double cutoff_for(const dataset& ds) {
+    return ds.name == "Abilene" ? k_abilene_cutoff_bytes : k_sprint_cutoff_bytes;
+}
+
+// The paper's injection sizes (Section 6.3).
+inline constexpr double k_sprint_large_injection = 3.0e7;
+inline constexpr double k_sprint_small_injection = 1.5e7;
+inline constexpr double k_abilene_large_injection = 1.2e8;
+inline constexpr double k_abilene_small_injection = 5.0e7;
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+    std::printf("=============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("=============================================================\n\n");
+}
+
+}  // namespace netdiag::bench

@@ -1,0 +1,72 @@
+// Figure 10: the same link data separated into model + residual three
+// ways -- subspace (spatial), Fourier filtering (temporal) and EWMA
+// (temporal) -- comparing how sharply each isolates anomalies.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/link_residual.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+// Separability: the ratio of the smallest residual at a true-anomaly bin
+// to the 99th percentile of residuals at normal bins. Above 1 means a
+// threshold exists with full detection and ~1% false alarms.
+double separability(const netdiag::vec& residual_norms,
+                    const std::vector<netdiag::anomaly_event>& truths, double cutoff) {
+    using namespace netdiag;
+    std::vector<double> normal;
+    double min_anomalous = std::numeric_limits<double>::infinity();
+    std::vector<bool> is_truth(residual_norms.size(), false);
+    for (const anomaly_event& ev : truths) {
+        if (std::abs(ev.amplitude_bytes) >= cutoff) is_truth[ev.t] = true;
+    }
+    for (std::size_t t = 0; t < residual_norms.size(); ++t) {
+        if (is_truth[t]) {
+            min_anomalous = std::min(min_anomalous, residual_norms[t]);
+        } else {
+            normal.push_back(residual_norms[t]);
+        }
+    }
+    return min_anomalous / quantile(normal, 0.99);
+}
+
+}  // namespace
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Figure 10: subspace vs Fourier vs EWMA residuals on link data",
+                        "Lakhina et al., Figure 10 (Section 7.3)");
+
+    const dataset ds = make_sprint1_dataset();
+    const double cutoff = bench::cutoff_for(ds);
+
+    const subspace_model model = subspace_model::fit(ds.link_loads);
+    const vec subspace_resid = model.spe_series(ds.link_loads);
+
+    fourier_config fourier_cfg;
+    fourier_cfg.bin_seconds = ds.bin_seconds;
+    const vec fourier_resid =
+        residual_norm_series(fourier_link_residuals(ds.link_loads, fourier_cfg));
+    const vec ewma_resid = residual_norm_series(ewma_link_residuals(ds.link_loads, {}));
+
+    struct entry {
+        const char* name;
+        const vec* series;
+    };
+    for (const entry& e : {entry{"Subspace residual", &subspace_resid},
+                           entry{"Fourier residual", &fourier_resid},
+                           entry{"EWMA residual", &ewma_resid}}) {
+        std::printf("--- %s ---\n%s", e.name, ascii_timeseries(*e.series, 72, 7).c_str());
+        std::printf("separability (min anomaly residual / p99 normal residual): %.2f\n\n",
+                    separability(*e.series, ds.injected, cutoff));
+    }
+
+    std::printf("Paper's observation: with the subspace method a threshold exists that\n"
+                "catches every anomaly with almost no false alarms (separability > 1);\n"
+                "temporal filtering leaves periodic structure in the residual, so no\n"
+                "such threshold exists (separability < 1).\n");
+    return 0;
+}

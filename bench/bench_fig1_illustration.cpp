@@ -1,0 +1,60 @@
+// Figure 1: an OD flow anomaly and the link traffic that carries it.
+//
+// The paper's example: a spike in OD flow b->i of the Sprint network rides
+// links b-c, c-d, d-f and f-i, where it is dwarfed by each link's own
+// traffic. This bench regenerates the picture from the synthetic Sprint-1
+// dataset and shows that the diagnosis nevertheless succeeds.
+#include "bench_common.h"
+
+#include "linalg/vector_ops.h"
+#include "stats/descriptive.h"
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Figure 1: anomaly at the OD flow level vs. link traffic",
+                        "Lakhina et al., Figure 1 (Section 2.1)");
+
+    dataset ds = make_sprint1_dataset();
+    const auto b = *ds.topo.find_pop("b");
+    const auto i = *ds.topo.find_pop("i");
+    const std::size_t flow = ds.routing.flow_index(b, i);
+    const auto path = shortest_path_links(ds.topo, b, i);
+
+    // Inject the illustrative spike mid-week, mirroring the paper's example.
+    const std::size_t spike_t = 500;
+    const double spike_bytes = 3.5e7;
+    for (std::size_t t = 0; t < ds.bin_count(); ++t) {
+        if (t == spike_t) ds.od_flows(flow, t) += spike_bytes;
+    }
+    for (std::size_t link_id : path) ds.link_loads(spike_t, link_id) += spike_bytes;
+
+    std::printf("OD flow %s-%s (spike of %.2g bytes injected at bin %zu):\n",
+                ds.topo.pop_name(b).c_str(), ds.topo.pop_name(i).c_str(), spike_bytes,
+                spike_t);
+    std::printf("%s\n", ascii_timeseries(ds.od_flows.row(flow), 72, 8).c_str());
+
+    for (std::size_t link_id : path) {
+        const link& l = ds.topo.link_at(link_id);
+        const vec series = ds.link_loads.column(link_id);
+        std::printf("Link %s-%s (mean %.3g bytes/bin; spike is %.1f%% of the mean):\n",
+                    ds.topo.pop_name(l.src).c_str(), ds.topo.pop_name(l.dst).c_str(),
+                    mean(series), 100.0 * spike_bytes / mean(series));
+        std::printf("%s\n", ascii_timeseries(series, 72, 6).c_str());
+    }
+
+    // And yet the three-step diagnosis finds it from link data alone.
+    const volume_anomaly_diagnoser diagnoser(ds.link_loads, ds.routing.a, 0.999);
+    const diagnosis d = diagnoser.diagnose(ds.link_loads.row(spike_t));
+    std::printf("Diagnosis at bin %zu: anomalous=%s", spike_t, d.anomalous ? "yes" : "no");
+    if (d.flow) {
+        const od_pair pair = ds.routing.pairs[*d.flow];
+        std::printf(", identified flow %s-%s (%s), estimated size %.3g bytes (true %.3g)",
+                    ds.topo.pop_name(pair.origin).c_str(),
+                    ds.topo.pop_name(pair.destination).c_str(),
+                    *d.flow == flow ? "correct" : "WRONG", d.estimated_bytes, spike_bytes);
+    }
+    std::printf("\n\nPaper's observation: the OD-level spike is pronounced, the per-link\n"
+                "spikes are barely visible, and mean link levels vary widely -- yet the\n"
+                "subspace method diagnoses the event from link data only.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 2: topologies of the networks studied.
+#include "bench_common.h"
+
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace {
+
+void print_topology(const netdiag::topology& topo) {
+    using namespace netdiag;
+    std::printf("--- %s: %zu PoPs, %zu links (%zu inter-PoP directed + %zu intra-PoP)\n",
+                topo.name().c_str(), topo.pop_count(), topo.link_count(),
+                topo.link_count() - topo.pop_count(), topo.pop_count());
+    std::printf("PoPs:");
+    for (std::size_t p = 0; p < topo.pop_count(); ++p) {
+        std::printf(" %s", topo.pop_name(p).c_str());
+    }
+    std::printf("\nEdges (bidirectional):\n  ");
+    std::size_t printed = 0;
+    for (const link& l : topo.links()) {
+        if (l.intra || l.src > l.dst) continue;
+        std::printf("%s-%s ", topo.pop_name(l.src).c_str(), topo.pop_name(l.dst).c_str());
+        if (++printed % 8 == 0) std::printf("\n  ");
+    }
+    const routing_result routing = build_routing(topo);
+    double total_hops = 0.0;
+    std::size_t inter = 0;
+    for (std::size_t j = 0; j < routing.flow_count(); ++j) {
+        if (routing.pairs[j].origin == routing.pairs[j].destination) continue;
+        double hops = 0.0;
+        for (std::size_t i = 0; i < routing.a.rows(); ++i) hops += routing.a(i, j);
+        total_hops += hops;
+        ++inter;
+    }
+    std::printf("\nOD flows: %zu; mean shortest-path length %.2f links\n\n",
+                routing.flow_count(), total_hops / static_cast<double>(inter));
+}
+
+}  // namespace
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Figure 2: Topology of networks studied",
+                        "Lakhina et al., Figure 2 (Section 3)");
+    print_topology(make_abilene());
+    print_topology(make_sprint_europe());
+    std::printf("Abilene uses the real 2004 PoP names; Sprint-Europe PoPs are labeled\n"
+                "a..m as in the paper's Figure 2 (exact adjacency unpublished; see\n"
+                "DESIGN.md for the substitution).\n");
+    return 0;
+}

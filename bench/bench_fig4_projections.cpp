@@ -1,0 +1,42 @@
+// Figure 4: projections of Sprint-1 link data on selected principal
+// components -- periodic, deterministic patterns on the leading axes
+// (normal subspace) versus spike-dominated patterns deeper in (anomalous
+// subspace).
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "stats/rolling.h"
+#include "subspace/pca.h"
+#include "subspace/separation.h"
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Figure 4: normal vs anomalous principal-component projections",
+                        "Lakhina et al., Figure 4 (Section 4.3)");
+
+    const dataset ds = make_sprint1_dataset();
+    const pca_model pca = fit_pca(ds.link_loads);
+    const std::size_t rank = separate_normal_rank(pca, {});
+    std::printf("3-sigma separation assigns the first %zu axes to the normal subspace.\n\n",
+                rank);
+
+    const std::size_t axes[] = {0, 1, rank + 1, rank + 3};
+    for (std::size_t idx : axes) {
+        const vec u = pca.projections.column(idx);
+        const double sd = sample_stddev(u);
+        const double m = mean(u);
+        double worst = 0.0;
+        for (double v : u) worst = std::max(worst, std::abs(v - m));
+        const bool normal = idx < rank;
+        std::printf("u%zu (%s subspace): max |deviation| = %.2f sigma, daily autocorr = %.2f\n",
+                    idx + 1, normal ? "normal" : "anomalous", worst / sd,
+                    autocorrelation(u, 144));
+        std::printf("%s\n", ascii_timeseries(u, 72, 6).c_str());
+    }
+    std::printf("Paper's observation: u1, u2 show clean diurnal periodicity (normal);\n"
+                "later projections are dominated by isolated spikes (anomalous). The\n"
+                "3-sigma rule cuts the axes exactly at that transition.\n");
+    return 0;
+}

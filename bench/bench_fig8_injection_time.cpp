@@ -1,0 +1,36 @@
+// Figure 8: detection rate of large injections as a function of the time
+// of day at which the spike is inserted (Sprint-1). The method should be
+// insensitive to the underlying nonstationarity.
+#include "bench_common.h"
+
+#include "eval/injection.h"
+#include "stats/descriptive.h"
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Figure 8: detection rate over time of day, large injections (Sprint-1)",
+                        "Lakhina et al., Figure 8 (Section 6.3)");
+
+    const dataset ds = make_sprint1_dataset();
+    const volume_anomaly_diagnoser diagnoser(ds.link_loads, ds.routing.a, 0.999);
+
+    injection_config cfg;
+    cfg.spike_bytes = bench::k_sprint_large_injection;
+    cfg.t_begin = 288;  // a full weekday
+    cfg.t_end = 288 + 144;
+    const injection_summary s = run_injection_experiment(ds, diagnoser, cfg);
+
+    std::printf("Detection rate per 10-minute bin over 24 hours (rates over OD flows):\n");
+    std::printf("%s\n", ascii_timeseries(s.detection_rate_by_time, 72, 8).c_str());
+
+    text_table table({"Statistic", "Value"});
+    table.add_row({"mean", format_fixed(mean(s.detection_rate_by_time), 3)});
+    table.add_row({"min", format_fixed(min_value(s.detection_rate_by_time), 3)});
+    table.add_row({"max", format_fixed(max_value(s.detection_rate_by_time), 3)});
+    table.add_row({"stddev", format_fixed(sample_stddev(s.detection_rate_by_time), 3)});
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("Paper's observation: the detection rate is fairly constant across the\n"
+                "day -- diagnosis is not affected by traffic nonstationarity.\n");
+    return 0;
+}

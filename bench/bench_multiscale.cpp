@@ -1,0 +1,62 @@
+// Extension bench (Section 7.3): multiscale subspace analysis.
+//
+// Applies PCA per wavelet band and compares what each timescale sees:
+// single-bin spikes live in the fine bands; a sustained (2-hour) shift,
+// nearly invisible to single-scale SPE tuned on 10-minute structure,
+// stands out at coarser scales.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subspace/multiscale.h"
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Extension: multiscale subspace analysis (wavelet x PCA)",
+                        "Section 7.3's proposed multi-timescale generalization [23]");
+
+    dataset ds = make_sprint1_dataset();
+
+    // Add a sustained anomaly: +1.2e7 bytes/bin on one flow for 12 bins
+    // (2 hours) -- each bin is below the single-bin detectability knee.
+    const std::size_t slow_flow = ds.routing.flow_index(2, 9);
+    const std::size_t slow_begin = 560, slow_end = 572;
+    for (std::size_t t = slow_begin; t < slow_end; ++t) {
+        for (std::size_t i = 0; i < ds.link_count(); ++i) {
+            ds.link_loads(t, i) += 1.2e7 * ds.routing.a(i, slow_flow);
+        }
+    }
+
+    const multiscale_result result = multiscale_subspace_analysis(ds.link_loads, {});
+
+    text_table table({"Band", "Timescale", "delta^2", "Flags", "Hits sustained event"});
+    for (const scale_band_result& band : result.bands) {
+        const std::size_t scale_bins = std::size_t{1} << (band.level + 1);
+        std::size_t hits = 0;
+        for (std::size_t t : band.flagged_bins) {
+            if (t + 4 >= slow_begin && t < slow_end + 4) ++hits;
+        }
+        table.add_row({std::to_string(band.level),
+                       std::to_string(scale_bins * 10) + " min",
+                       format_scientific(band.threshold, 2),
+                       std::to_string(band.flagged_bins.size()),
+                       hits > 0 ? "yes (" + std::to_string(hits) + " bins)" : "no"});
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    // Contrast: the plain single-scale detector on the same data.
+    const subspace_model single = subspace_model::fit(ds.link_loads);
+    const vec spe = single.spe_series(ds.link_loads);
+    const double threshold = single.q_threshold(0.999);
+    std::size_t single_hits = 0;
+    for (std::size_t t = slow_begin; t < slow_end; ++t) {
+        if (spe[t] > threshold) ++single_hits;
+    }
+    std::printf("single-scale SPE flags %zu of the %zu sustained-event bins\n\n",
+                single_hits, slow_end - slow_begin);
+    std::printf("Reading: fine bands mirror the single-scale detector on spikes, and\n"
+                "the coarse bands recover slow events -- 'detection of anomalies at\n"
+                "all timescales', as Section 7.3 anticipates.\n");
+    return 0;
+}

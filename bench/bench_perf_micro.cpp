@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark): the computational claims of
+// Section 7.1 -- a full PCA of a week of link data is cheap (the paper
+// quotes under two seconds for 1008 x 49 in 2004), per-measurement
+// detection and identification are trivial, and incremental SVD updates
+// avoid the periodic recomputation entirely.
+#include <benchmark/benchmark.h>
+
+#include "eval/injection.h"
+#include "linalg/svd.h"
+#include "linalg/svd_update.h"
+#include "measurement/presets.h"
+#include "subspace/diagnoser.h"
+
+namespace {
+
+using namespace netdiag;
+
+const dataset& sprint1() {
+    static const dataset ds = make_sprint1_dataset();
+    return ds;
+}
+
+const volume_anomaly_diagnoser& sprint1_diagnoser() {
+    static const volume_anomaly_diagnoser diag(sprint1().link_loads, sprint1().routing.a,
+                                               0.999);
+    return diag;
+}
+
+void bm_svd_week_of_links(benchmark::State& state) {
+    const matrix& y = sprint1().link_loads;  // 1008 x 49, the paper's shape
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(svd(y));
+    }
+}
+BENCHMARK(bm_svd_week_of_links)->Unit(benchmark::kMillisecond);
+
+void bm_fit_pca(benchmark::State& state) {
+    const matrix& y = sprint1().link_loads;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fit_pca(y));
+    }
+}
+BENCHMARK(bm_fit_pca)->Unit(benchmark::kMillisecond);
+
+void bm_fit_full_diagnoser(benchmark::State& state) {
+    const dataset& ds = sprint1();
+    for (auto _ : state) {
+        volume_anomaly_diagnoser diag(ds.link_loads, ds.routing.a, 0.999);
+        benchmark::DoNotOptimize(&diag);
+    }
+}
+BENCHMARK(bm_fit_full_diagnoser)->Unit(benchmark::kMillisecond);
+
+void bm_spe_single_measurement(benchmark::State& state) {
+    const auto& diag = sprint1_diagnoser();
+    const auto row = sprint1().link_loads.row(500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(diag.model().spe(row));
+    }
+}
+BENCHMARK(bm_spe_single_measurement);
+
+void bm_diagnose_single_measurement(benchmark::State& state) {
+    const auto& diag = sprint1_diagnoser();
+    // An anomalous measurement, so identification actually runs.
+    vec y(sprint1().link_loads.row(500).begin(), sprint1().link_loads.row(500).end());
+    axpy(1e8, sprint1().routing.a.column(40), y);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(diag.diagnose(y));
+    }
+}
+BENCHMARK(bm_diagnose_single_measurement);
+
+void bm_incremental_svd_row_update(benchmark::State& state) {
+    const matrix& y = sprint1().link_loads;
+    right_svd base = right_svd_of(y);
+    const vec row(y.row(100).begin(), y.row(100).end());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(append_row(base, row, 10));
+    }
+}
+BENCHMARK(bm_incremental_svd_row_update);
+
+void bm_injection_sweep_one_hour(benchmark::State& state) {
+    const dataset& ds = sprint1();
+    const auto& diag = sprint1_diagnoser();
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 300;
+    cfg.t_end = 306;  // 169 flows x 6 timesteps per iteration
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_injection_experiment(ds, diag, cfg));
+    }
+}
+BENCHMARK(bm_injection_sweep_one_hour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

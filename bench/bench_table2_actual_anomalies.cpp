@@ -1,0 +1,68 @@
+// Table 2: results from actual volume anomalies diagnosed, at the 99.9%
+// confidence level. Rows: (validation method) x (dataset); columns:
+// detection, false alarms, identification, quantification error.
+#include "bench_common.h"
+
+#include <cmath>
+
+namespace {
+
+struct row_result {
+    netdiag::diagnosis_scorecard card;
+    double cutoff = 0.0;
+};
+
+row_result run_row(const netdiag::dataset& ds,
+                   const netdiag::volume_anomaly_diagnoser& diagnoser,
+                   netdiag::truth_method method) {
+    using namespace netdiag;
+    ground_truth_config cfg;
+    cfg.method = method;
+    cfg.cutoff_bytes = bench::cutoff_for(ds);
+    cfg.bin_seconds = ds.bin_seconds;
+    const ground_truth gt = extract_ground_truth(ds.od_flows, cfg);
+    const auto diagnoses = diagnoser.diagnose_all(ds.link_loads);
+    return {score_diagnoses(diagnoses, gt.significant), *cfg.cutoff_bytes};
+}
+
+}  // namespace
+
+int main() {
+    using namespace netdiag;
+    bench::print_header("Table 2: results from actual volume anomalies (99.9% confidence)",
+                        "Lakhina et al., Table 2 (Section 6.2)");
+
+    text_table table({"Validation", "Dataset", "Anomaly Size", "Detection", "False Alarm",
+                      "Identification", "Quantification"});
+
+    const dataset sets[] = {make_sprint1_dataset(), make_sprint2_dataset(),
+                            make_abilene_dataset()};
+    const volume_anomaly_diagnoser diagnosers[] = {
+        volume_anomaly_diagnoser(sets[0].link_loads, sets[0].routing.a, 0.999),
+        volume_anomaly_diagnoser(sets[1].link_loads, sets[1].routing.a, 0.999),
+        volume_anomaly_diagnoser(sets[2].link_loads, sets[2].routing.a, 0.999)};
+
+    for (truth_method method : {truth_method::fourier, truth_method::ewma}) {
+        for (std::size_t k = 0; k < 3; ++k) {
+            const row_result r = run_row(sets[k], diagnosers[k], method);
+            table.add_row(
+                {method == truth_method::fourier ? "Fourier" : "EWMA", sets[k].name,
+                 format_scientific(r.cutoff, 1),
+                 format_ratio(r.card.detected_count, r.card.truth_count),
+                 format_ratio(r.card.false_alarm_count, r.card.normal_bin_count),
+                 format_ratio(r.card.identified_count, r.card.detected_count),
+                 std::isnan(r.card.quantification_error)
+                     ? std::string("-")
+                     : format_percent(r.card.quantification_error, 1)});
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "Paper reports (same layout): Fourier Sprint-1 9/9, 1/999, 9/9, 15.6%%;\n"
+        "Fourier Sprint-2 7/11, 0/997, 6/7, 21.0%%; Fourier Abilene 5/6, 10/1002,\n"
+        "3/5, 33.0%%; EWMA rows similar with smaller truth sets. The shape to\n"
+        "match: high detection above the knee, false alarms well under 1%%,\n"
+        "identification of nearly every detected anomaly, and quantification\n"
+        "errors around 15-35%%.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Online backbone monitoring -- the deployment Section 7.1 envisions.
+//
+// A NOC bootstraps the subspace model from three days of history, then
+// streams live 10-minute measurements through it. The model refits daily
+// from a sliding window; every alarm is reported with the responsible OD
+// flow so that fine-grained flow collection can be triggered on just the
+// implicated routers.
+#include <cstdio>
+
+#include "linalg/vector_ops.h"
+#include "measurement/presets.h"
+#include "subspace/online.h"
+
+int main() {
+    using namespace netdiag;
+
+    const dataset ds = make_abilene_dataset();
+    const std::size_t bootstrap_bins = 432;  // three days
+
+    matrix bootstrap(bootstrap_bins, ds.link_count());
+    for (std::size_t t = 0; t < bootstrap_bins; ++t) {
+        bootstrap.set_row(t, ds.link_loads.row(t));
+    }
+
+    streaming_config cfg;
+    cfg.window = 432;
+    cfg.refit_interval = 144;  // refit once per day
+    cfg.confidence = 0.999;
+    streaming_diagnoser monitor(bootstrap, ds.routing.a, cfg);
+
+    std::printf("monitoring %s: %zu links, model rank %zu, refit daily\n\n",
+                ds.name.c_str(), ds.link_count(), monitor.current().model().normal_rank());
+
+    // Live operation: stream the rest of the week. Two incidents are
+    // spliced into the feed -- a traffic surge and an outage-style drop.
+    const std::size_t surge_t = 600, drop_t = 830;
+    const std::size_t surge_flow = ds.routing.flow_index(*ds.topo.find_pop("chin"),
+                                                         *ds.topo.find_pop("losa"));
+    const std::size_t drop_flow = ds.routing.flow_index(*ds.topo.find_pop("nycm"),
+                                                        *ds.topo.find_pop("sttl"));
+
+    for (std::size_t t = bootstrap_bins; t < ds.bin_count(); ++t) {
+        vec y(ds.link_loads.row(t).begin(), ds.link_loads.row(t).end());
+        if (t == surge_t) axpy(2.5e8, ds.routing.a.column(surge_flow), y);
+        if (t == drop_t) axpy(-2.0e8, ds.routing.a.column(drop_flow), y);
+
+        const diagnosis d = monitor.push(y);
+        if (!d.anomalous) continue;
+
+        const std::size_t minutes = (t % 144) * 10;
+        std::printf("[day %zu %02zu:%02zu] ALARM  SPE=%.2e (threshold %.2e)", t / 144,
+                    minutes / 60, minutes % 60, d.spe, d.threshold);
+        if (d.flow) {
+            const od_pair pair = ds.routing.pairs[*d.flow];
+            std::printf("  flow %s->%s  %+.2e bytes", ds.topo.pop_name(pair.origin).c_str(),
+                        ds.topo.pop_name(pair.destination).c_str(), d.estimated_bytes);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nprocessed %zu measurements, %zu alarms, %zu daily refits\n",
+                monitor.processed(), monitor.alarm_count(), monitor.refit_count());
+    std::printf("expected: alarms at the spliced surge (day 4 04:00, chin->losa, +2.5e8)\n"
+                "and drop (day 5 18:20, nycm->sttl, -2.0e8); possibly a few alarms at\n"
+                "the dataset's own injected anomalies.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Routing-change drill: a link failure as a network-wide anomaly.
+//
+// When an IGP link fails, every OD flow crossing it moves to its backup
+// path at once. Seen from link counts this is a coordinated multi-flow
+// anomaly (Section 7.2's motivating case). The drill fails one Abilene
+// link, replays the same OD traffic over the post-failure routing, and
+// shows what the monitor -- trained on the healthy network -- reports.
+#include <cstdio>
+
+#include "measurement/dataset.h"
+#include "measurement/link_loads.h"
+#include "subspace/diagnoser.h"
+#include "subspace/multiflow.h"
+#include "topology/builders.h"
+
+int main() {
+    using namespace netdiag;
+
+    dataset_config cfg;
+    cfg.name = "drill";
+    cfg.gravity.total_mean_bytes_per_bin = 2e9;
+    cfg.gravity.seed = 11;
+    cfg.traffic.bins = 432;
+    cfg.traffic.anomaly_count = 0;
+    cfg.traffic.seed = 55;
+    const dataset ds = build_dataset(make_abilene(), cfg);
+    const volume_anomaly_diagnoser monitor(ds.link_loads, ds.routing.a, 0.999);
+    const subspace_model& model = monitor.model();
+
+    // Fail kscy-hstn; rebuild routing on the degraded topology.
+    const auto a = *ds.topo.find_pop("kscy");
+    const auto b = *ds.topo.find_pop("hstn");
+    const topology failed = remove_edge_copy(ds.topo, a, b);
+    const routing_result failed_routing = build_routing(failed);
+
+    std::size_t moved = 0;
+    for (std::size_t o = 0; o < ds.topo.pop_count(); ++o) {
+        for (std::size_t d = 0; d < ds.topo.pop_count(); ++d) {
+            if (o == d) continue;
+            if (shortest_path_links(ds.topo, o, d) != shortest_path_links(failed, o, d)) {
+                ++moved;
+            }
+        }
+    }
+    std::printf("failing link %s-%s reroutes %zu of %zu OD flows\n\n",
+                ds.topo.pop_name(a).c_str(), ds.topo.pop_name(b).c_str(), moved,
+                ds.routing.flow_count());
+
+    // Replay one measurement interval of identical OD traffic over the
+    // post-failure network, mapped back onto the monitor's link id space.
+    const std::size_t t_probe = 250;
+    const vec flows = ds.od_flows.column(t_probe);
+    const vec failed_loads = link_loads_at(failed_routing.a, flows);
+    vec y(ds.link_count(), 0.0);
+    std::size_t src_idx = 0;
+    for (std::size_t id = 0; id < ds.link_count(); ++id) {
+        const link& l = ds.topo.link_at(id);
+        const bool removed =
+            !l.intra && ((l.src == a && l.dst == b) || (l.src == b && l.dst == a));
+        y[id] = removed ? 0.0 : failed_loads[src_idx++];
+    }
+
+    const diagnosis d = monitor.diagnose(y);
+    std::printf("monitor on the healthy model: SPE = %.3g vs threshold %.3g -> %s\n",
+                d.spe, d.threshold, d.anomalous ? "ALARM" : "quiet");
+
+    // Multi-flow view: which flows does the residual implicate?
+    const multi_flow_result found = identify_multi_flow_greedy(
+        model, ds.routing.a, y, model.q_threshold(0.999), 8);
+    std::printf("\ngreedy multi-flow attribution (%zu flows):\n", found.flows.size());
+    std::size_t through_failed = 0;
+    for (std::size_t k = 0; k < found.flows.size(); ++k) {
+        const od_pair pair = ds.routing.pairs[found.flows[k]];
+        const auto old_path = shortest_path_links(ds.topo, pair.origin, pair.destination);
+        bool crossed = false;
+        for (std::size_t id : old_path) {
+            const link& l = ds.topo.link_at(id);
+            if ((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) crossed = true;
+        }
+        if (crossed) ++through_failed;
+        std::printf("  flow %s->%s (intensity %+.2e)%s\n",
+                    ds.topo.pop_name(pair.origin).c_str(),
+                    ds.topo.pop_name(pair.destination).c_str(), found.intensities[k],
+                    crossed ? "  <- used the failed link" : "");
+    }
+    std::printf(
+        "\n%zu of %zu implicated flows previously crossed the failed link.\n"
+        "Diagnostic signature of a routing change: SPE hundreds of times over\n"
+        "threshold with attribution smeared over many flows of both signs --\n"
+        "unlike a volume anomaly, which one flow explains almost entirely.\n",
+        through_failed, found.flows.size());
+    return 0;
+}

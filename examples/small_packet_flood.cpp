@@ -1,0 +1,66 @@
+// Applying the subspace method to a second link metric (Section 7.2).
+//
+// A small-packet flood (DDoS-style: huge packet rate, tiny packets) barely
+// moves byte counts but multiplies packet counts. Running the *same*
+// subspace machinery on packet-count link measurements catches what the
+// byte-count monitor misses -- the paper's point that the method applies
+// to any link metric for which the l2 norm is meaningful.
+#include <cstdio>
+
+#include "measurement/link_loads.h"
+#include "measurement/presets.h"
+#include "subspace/diagnoser.h"
+#include "traffic/packet_model.h"
+
+int main() {
+    using namespace netdiag;
+
+    dataset ds = make_sprint1_dataset();
+    matrix byte_flows = ds.od_flows;
+    matrix packet_flows = packets_from_bytes(byte_flows, {});
+
+    // The attack: a hundred thousand 60-byte packets per bin on flow
+    // e -> j for 30 minutes -- 6e6 bytes/bin, below the byte-metric
+    // detectability knee.
+    flood_event flood;
+    flood.flow = ds.routing.flow_index(*ds.topo.find_pop("e"), *ds.topo.find_pop("j"));
+    flood.t_begin = 720;
+    flood.t_end = 723;
+    flood.packets_per_bin = 1e5;
+    flood.bytes_per_packet = 60.0;
+    inject_small_packet_flood(byte_flows, packet_flows, flood);
+    std::printf("flood on flow e->j, bins %zu-%zu: %.0f packets/bin of %.0f bytes\n"
+                "(adds %.2g bytes/bin -- tiny next to the flow's normal traffic)\n\n",
+                flood.t_begin, flood.t_end - 1, flood.packets_per_bin,
+                flood.bytes_per_packet, flood.packets_per_bin * flood.bytes_per_packet);
+
+    // Two monitors over the same network, one per metric.
+    const matrix byte_links = link_loads_from_flows(ds.routing.a, byte_flows);
+    const matrix packet_links = link_loads_from_flows(ds.routing.a, packet_flows);
+    const volume_anomaly_diagnoser byte_monitor(ds.link_loads, ds.routing.a, 0.999);
+    const volume_anomaly_diagnoser packet_monitor(
+        link_loads_from_flows(ds.routing.a, packets_from_bytes(ds.od_flows, {})),
+        ds.routing.a, 0.999);
+
+    for (std::size_t t = flood.t_begin; t < flood.t_end; ++t) {
+        const diagnosis bytes_d = byte_monitor.diagnose(byte_links.row(t));
+        const diagnosis packets_d = packet_monitor.diagnose(packet_links.row(t));
+        std::printf("bin %zu:\n", t);
+        std::printf("  byte monitor:   SPE/threshold = %6.2f  -> %s\n",
+                    bytes_d.spe / bytes_d.threshold, bytes_d.anomalous ? "ALARM" : "quiet");
+        std::printf("  packet monitor: SPE/threshold = %6.2f  -> %s",
+                    packets_d.spe / packets_d.threshold,
+                    packets_d.anomalous ? "ALARM" : "quiet");
+        if (packets_d.anomalous && packets_d.flow) {
+            const od_pair pair = ds.routing.pairs[*packets_d.flow];
+            std::printf("  flow %s->%s (%s)", ds.topo.pop_name(pair.origin).c_str(),
+                        ds.topo.pop_name(pair.destination).c_str(),
+                        *packets_d.flow == flood.flow ? "correct" : "wrong");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nthe byte monitor stays quiet while the packet monitor names the\n"
+                "flooded flow -- the same subspace code, a different link metric.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "baselines/ewma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+void ewma_config::validate() const {
+    if (!(alpha >= 0.0 && alpha <= 1.0)) {
+        throw std::invalid_argument("ewma_config: alpha outside [0, 1]");
+    }
+}
+
+vec ewma_forecast(std::span<const double> series, const ewma_config& cfg) {
+    cfg.validate();
+    if (series.empty()) throw std::invalid_argument("ewma_forecast: empty series");
+    vec forecast(series.size());
+    forecast[0] = series[0];
+    for (std::size_t t = 1; t < series.size(); ++t) {
+        forecast[t] = cfg.alpha * series[t - 1] + (1.0 - cfg.alpha) * forecast[t - 1];
+    }
+    return forecast;
+}
+
+vec ewma_residual_sizes(std::span<const double> series, const ewma_config& cfg) {
+    const vec forecast = ewma_forecast(series, cfg);
+    vec out(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) out[t] = std::abs(series[t] - forecast[t]);
+    return out;
+}
+
+vec ewma_anomaly_sizes(std::span<const double> series, const ewma_config& cfg) {
+    const vec forward = ewma_residual_sizes(series, cfg);
+
+    vec reversed(series.rbegin(), series.rend());
+    const vec backward_rev = ewma_residual_sizes(reversed, cfg);
+
+    vec out(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) {
+        out[t] = std::min(forward[t], backward_rev[series.size() - 1 - t]);
+    }
+    return out;
+}
+
+}  // namespace netdiag

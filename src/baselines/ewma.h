@@ -1,0 +1,33 @@
+// Exponentially weighted moving average forecasting (Section 6.2).
+//
+// EWMA predicts z^_{t+1} = alpha z_t + (1 - alpha) z^_t; the anomaly size
+// at t is |z_t - z^_t|. Following the paper's footnote 4, sizes are
+// computed in both time directions and the minimum is reported, which
+// stops the bin *after* a spike from being flagged as a second spike.
+#pragma once
+
+#include <span>
+
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+struct ewma_config {
+    double alpha = 0.25;  // the paper's grid search landed in [0.2, 0.3]
+
+    // Throws std::invalid_argument for alpha outside [0, 1].
+    void validate() const;
+};
+
+// One-step-ahead forecasts, same length as the input; the first forecast
+// equals the first observation (zero residual at t = 0).
+// Throws std::invalid_argument on empty input.
+vec ewma_forecast(std::span<const double> series, const ewma_config& cfg = {});
+
+// |z_t - z^_t| per bin using the forward forecast only.
+vec ewma_residual_sizes(std::span<const double> series, const ewma_config& cfg = {});
+
+// Bidirectional anomaly sizes: min of forward and backward residuals.
+vec ewma_anomaly_sizes(std::span<const double> series, const ewma_config& cfg = {});
+
+}  // namespace netdiag

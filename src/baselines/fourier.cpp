@@ -1,0 +1,54 @@
+#include "baselines/fourier.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+
+namespace netdiag {
+
+void fourier_config::validate() const {
+    if (periods_hours.empty()) throw std::invalid_argument("fourier_config: no periods");
+    for (double p : periods_hours) {
+        if (p <= 0.0) throw std::invalid_argument("fourier_config: non-positive period");
+    }
+    if (bin_seconds <= 0.0) throw std::invalid_argument("fourier_config: non-positive bin size");
+}
+
+vec fourier_fit(std::span<const double> series, const fourier_config& cfg) {
+    cfg.validate();
+    const std::size_t t = series.size();
+    const std::size_t k = cfg.periods_hours.size();
+    if (t < 2 * k + 1) {
+        throw std::invalid_argument("fourier_fit: series shorter than basis dimension");
+    }
+
+    // Design matrix: [1 | sin(2 pi t/P_j) | cos(2 pi t/P_j) ...].
+    matrix design(t, 1 + 2 * k, 0.0);
+    const double hours_per_bin = cfg.bin_seconds / 3600.0;
+    for (std::size_t r = 0; r < t; ++r) {
+        const double hours = static_cast<double>(r) * hours_per_bin;
+        design(r, 0) = 1.0;
+        for (std::size_t j = 0; j < k; ++j) {
+            const double w = 2.0 * std::numbers::pi * hours / cfg.periods_hours[j];
+            design(r, 1 + 2 * j) = std::sin(w);
+            design(r, 2 + 2 * j) = std::cos(w);
+        }
+    }
+
+    const vec coeffs = least_squares(design, series);
+    vec fitted(t, 0.0);
+    for (std::size_t r = 0; r < t; ++r) fitted[r] = dot(design.row(r), coeffs);
+    return fitted;
+}
+
+vec fourier_anomaly_sizes(std::span<const double> series, const fourier_config& cfg) {
+    const vec fitted = fourier_fit(series, cfg);
+    vec out(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) out[i] = std::abs(series[i] - fitted[i]);
+    return out;
+}
+
+}  // namespace netdiag

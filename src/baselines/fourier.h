@@ -1,0 +1,32 @@
+// Fourier-basis timeseries modeling (Section 6.2).
+//
+// The paper approximates each OD flow as a weighted sum of eight Fourier
+// basis functions with periods 7d, 5d, 3d, 24h, 12h, 6h, 3h and 1.5h;
+// the anomaly size at a bin is the distance between the series and its
+// Fourier approximation. The fit is ordinary least squares over a design
+// matrix of [1, sin, cos] columns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+struct fourier_config {
+    std::vector<double> periods_hours = {168.0, 120.0, 72.0, 24.0, 12.0, 6.0, 3.0, 1.5};
+    double bin_seconds = 600.0;
+
+    // Throws std::invalid_argument on empty periods or non-positive values.
+    void validate() const;
+};
+
+// Fitted (modeled) series, same length as the input. Needs at least
+// 2 * periods + 1 samples; throws std::invalid_argument otherwise.
+vec fourier_fit(std::span<const double> series, const fourier_config& cfg = {});
+
+// |z_t - z^_t| per bin.
+vec fourier_anomaly_sizes(std::span<const double> series, const fourier_config& cfg = {});
+
+}  // namespace netdiag

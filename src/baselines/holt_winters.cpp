@@ -1,0 +1,72 @@
+#include "baselines/holt_winters.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+void holt_winters_config::validate() const {
+    for (double f : {alpha, beta, gamma}) {
+        if (!(f >= 0.0 && f <= 1.0)) {
+            throw std::invalid_argument("holt_winters_config: smoothing factor outside [0, 1]");
+        }
+    }
+    if (season_length == 0) {
+        throw std::invalid_argument("holt_winters_config: season_length must be positive");
+    }
+}
+
+vec holt_winters_forecast(std::span<const double> series, const holt_winters_config& cfg) {
+    cfg.validate();
+    const std::size_t s = cfg.season_length;
+    if (series.size() < 2 * s) {
+        throw std::invalid_argument("holt_winters_forecast: need at least two seasons of data");
+    }
+
+    // Initialize from the first two seasons.
+    double mean1 = 0.0, mean2 = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+        mean1 += series[i];
+        mean2 += series[s + i];
+    }
+    mean1 /= static_cast<double>(s);
+    mean2 /= static_cast<double>(s);
+
+    double level = mean1;
+    double trend = (mean2 - mean1) / static_cast<double>(s);
+    vec seasonal(s);
+    for (std::size_t i = 0; i < s; ++i) seasonal[i] = series[i] - mean1;
+
+    vec forecast(series.size());
+    // Warm-up: echo the observations for the initialization window.
+    for (std::size_t t = 0; t < 2 * s; ++t) forecast[t] = series[t];
+
+    // Run the recursions over the initialization window to settle state...
+    for (std::size_t t = s; t < 2 * s; ++t) {
+        const double season = seasonal[t % s];
+        const double prev_level = level;
+        level = cfg.alpha * (series[t] - season) + (1.0 - cfg.alpha) * (level + trend);
+        trend = cfg.beta * (level - prev_level) + (1.0 - cfg.beta) * trend;
+        seasonal[t % s] = cfg.gamma * (series[t] - level) + (1.0 - cfg.gamma) * season;
+    }
+    // ...then forecast one step ahead for the rest of the series.
+    for (std::size_t t = 2 * s; t < series.size(); ++t) {
+        forecast[t] = level + trend + seasonal[t % s];
+        const double season = seasonal[t % s];
+        const double prev_level = level;
+        level = cfg.alpha * (series[t] - season) + (1.0 - cfg.alpha) * (level + trend);
+        trend = cfg.beta * (level - prev_level) + (1.0 - cfg.beta) * trend;
+        seasonal[t % s] = cfg.gamma * (series[t] - level) + (1.0 - cfg.gamma) * season;
+    }
+    return forecast;
+}
+
+vec holt_winters_anomaly_sizes(std::span<const double> series,
+                               const holt_winters_config& cfg) {
+    const vec forecast = holt_winters_forecast(series, cfg);
+    vec out(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) out[t] = std::abs(series[t] - forecast[t]);
+    return out;
+}
+
+}  // namespace netdiag

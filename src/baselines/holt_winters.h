@@ -1,0 +1,33 @@
+// Additive Holt-Winters forecasting, the other classical temporal baseline
+// the paper cites ([5, 19]). Level + trend + additive daily seasonality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+struct holt_winters_config {
+    double alpha = 0.3;            // level smoothing
+    double beta = 0.05;            // trend smoothing
+    double gamma = 0.2;            // seasonal smoothing
+    std::size_t season_length = 144;  // one day of 10-minute bins
+
+    // Throws std::invalid_argument for smoothing factors outside [0, 1] or
+    // zero season length.
+    void validate() const;
+};
+
+// One-step-ahead forecasts. Initialization uses the first two seasons, so
+// the series must span at least 2 * season_length samples
+// (std::invalid_argument otherwise). Forecasts for the first two seasons
+// repeat the observations (zero residual warm-up).
+vec holt_winters_forecast(std::span<const double> series, const holt_winters_config& cfg = {});
+
+// |z_t - z^_t| per bin.
+vec holt_winters_anomaly_sizes(std::span<const double> series,
+                               const holt_winters_config& cfg = {});
+
+}  // namespace netdiag

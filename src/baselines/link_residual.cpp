@@ -1,0 +1,33 @@
+#include "baselines/link_residual.h"
+
+namespace netdiag {
+
+matrix ewma_link_residuals(const matrix& y, const ewma_config& cfg) {
+    matrix out(y.rows(), y.cols());
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+        const vec column = y.column(c);
+        const vec forecast = ewma_forecast(column, cfg);
+        for (std::size_t r = 0; r < y.rows(); ++r) out(r, c) = column[r] - forecast[r];
+    }
+    return out;
+}
+
+matrix fourier_link_residuals(const matrix& y, const fourier_config& cfg) {
+    matrix out(y.rows(), y.cols());
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+        const vec column = y.column(c);
+        const vec fitted = fourier_fit(column, cfg);
+        for (std::size_t r = 0; r < y.rows(); ++r) out(r, c) = column[r] - fitted[r];
+    }
+    return out;
+}
+
+vec residual_norm_series(const matrix& residuals) {
+    vec out(residuals.rows(), 0.0);
+    for (std::size_t r = 0; r < residuals.rows(); ++r) {
+        out[r] = norm_squared(residuals.row(r));
+    }
+    return out;
+}
+
+}  // namespace netdiag

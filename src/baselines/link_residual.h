@@ -1,0 +1,25 @@
+// Link-level temporal baselines (Section 7.3, Figure 10).
+//
+// To compare spatial (subspace) separation against purely temporal
+// methods, each link timeseries is modeled independently with EWMA or
+// Fourier filtering; the per-timestep residual vector across links then
+// plays the role of y~, and its squared norm is directly comparable to
+// the subspace SPE series.
+#pragma once
+
+#include "baselines/ewma.h"
+#include "baselines/fourier.h"
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+// Residual matrix: y - per-column EWMA forecast (t x m).
+matrix ewma_link_residuals(const matrix& y, const ewma_config& cfg = {});
+
+// Residual matrix: y - per-column Fourier fit (t x m).
+matrix fourier_link_residuals(const matrix& y, const fourier_config& cfg = {});
+
+// Squared norm of each residual row: one value per timestep.
+vec residual_norm_series(const matrix& residuals);
+
+}  // namespace netdiag

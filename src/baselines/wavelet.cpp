@@ -1,0 +1,96 @@
+#include "baselines/wavelet.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Reflection-pads a series to `target` length (target < 2 * size always
+// holds here because target is the next power of two).
+vec reflect_pad(std::span<const double> series, std::size_t target) {
+    const std::size_t n = series.size();
+    vec out(series.begin(), series.end());
+    out.reserve(target);
+    for (std::size_t k = n; k < target; ++k) {
+        out.push_back(series[2 * n - 2 - k]);  // mirror about the last sample
+    }
+    return out;
+}
+
+}  // namespace
+
+vec haar_dwt(std::span<const double> series) {
+    if (!is_power_of_two(series.size())) {
+        throw std::invalid_argument("haar_dwt: length must be a power of two");
+    }
+    vec data(series.begin(), series.end());
+    vec scratch(data.size());
+    const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+
+    for (std::size_t len = data.size(); len > 1; len /= 2) {
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < half; ++i) {
+            scratch[i] = (data[2 * i] + data[2 * i + 1]) * inv_sqrt2;         // approximation
+            scratch[half + i] = (data[2 * i] - data[2 * i + 1]) * inv_sqrt2;  // detail
+        }
+        std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(len),
+                  data.begin());
+    }
+    return data;
+}
+
+vec haar_idwt(std::span<const double> coefficients) {
+    if (!is_power_of_two(coefficients.size())) {
+        throw std::invalid_argument("haar_idwt: length must be a power of two");
+    }
+    vec data(coefficients.begin(), coefficients.end());
+    vec scratch(data.size());
+    const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+
+    for (std::size_t len = 2; len <= data.size(); len *= 2) {
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < half; ++i) {
+            scratch[2 * i] = (data[i] + data[half + i]) * inv_sqrt2;
+            scratch[2 * i + 1] = (data[i] - data[half + i]) * inv_sqrt2;
+        }
+        std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(len),
+                  data.begin());
+    }
+    return data;
+}
+
+vec wavelet_smooth(std::span<const double> series, std::size_t coarse_levels) {
+    if (series.empty()) throw std::invalid_argument("wavelet_smooth: empty series");
+    const std::size_t padded = std::bit_ceil(series.size());
+    const vec padded_series = reflect_pad(series, padded);
+
+    vec coeffs = haar_dwt(padded_series);
+
+    // Coefficient layout after the full transform: index 0 is the overall
+    // approximation; detail level L (coarsest L = 0) occupies indices
+    // [2^L, 2^{L+1}).
+    const auto total_levels = static_cast<std::size_t>(std::bit_width(padded) - 1);
+    for (std::size_t level = coarse_levels; level < total_levels; ++level) {
+        const std::size_t begin = std::size_t{1} << level;
+        const std::size_t end = std::size_t{1} << (level + 1);
+        for (std::size_t i = begin; i < end; ++i) coeffs[i] = 0.0;
+    }
+
+    vec smooth_padded = haar_idwt(coeffs);
+    return {smooth_padded.begin(), smooth_padded.begin() + static_cast<std::ptrdiff_t>(series.size())};
+}
+
+vec wavelet_anomaly_sizes(std::span<const double> series, std::size_t coarse_levels) {
+    const vec smooth = wavelet_smooth(series, coarse_levels);
+    vec out(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) out[i] = std::abs(series[i] - smooth[i]);
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,31 @@
+// Haar wavelet multi-resolution analysis, in the spirit of the signal
+// analysis baseline of Barford et al. that the paper cites ([2]): model
+// the series mean with the coarse approximation, flag deviations in the
+// fine-scale residual.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+// Full Haar DWT of a power-of-two-length series: approximation coefficient
+// first, then detail coefficients coarse-to-fine. Throws
+// std::invalid_argument when the length is not a power of two.
+vec haar_dwt(std::span<const double> series);
+
+// Exact inverse of haar_dwt.
+vec haar_idwt(std::span<const double> coefficients);
+
+// Low-frequency model of a series of any length: keep the approximation
+// and the `coarse_levels` coarsest detail levels, zero the rest, invert.
+// Series are reflection-padded to the next power of two internally.
+// coarse_levels = 0 keeps only the overall mean.
+vec wavelet_smooth(std::span<const double> series, std::size_t coarse_levels);
+
+// |z_t - smooth(z)_t| per bin.
+vec wavelet_anomaly_sizes(std::span<const double> series, std::size_t coarse_levels);
+
+}  // namespace netdiag

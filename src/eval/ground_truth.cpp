@@ -1,0 +1,80 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/ewma.h"
+#include "baselines/fourier.h"
+
+namespace netdiag {
+
+double knee_cutoff(std::span<const double> sizes_descending) {
+    if (sizes_descending.size() < 3) return 0.0;
+    // Only search the upper half: the knee separates the few standout
+    // anomalies from the mass of near-equal residuals.
+    const std::size_t search_end = std::max<std::size_t>(2, sizes_descending.size() / 2);
+    double best_ratio = 1.0;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i + 1 < search_end; ++i) {
+        const double hi = sizes_descending[i];
+        const double lo = sizes_descending[i + 1];
+        if (lo <= 0.0) continue;
+        const double ratio = hi / lo;
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            best_idx = i;
+        }
+    }
+    if (best_ratio <= 1.2) return 0.0;  // no pronounced knee
+    // Cutoff halfway (geometric) across the gap.
+    return std::sqrt(sizes_descending[best_idx] * sizes_descending[best_idx + 1]);
+}
+
+ground_truth extract_ground_truth(const matrix& od_flows, const ground_truth_config& cfg) {
+    if (od_flows.empty()) throw std::invalid_argument("extract_ground_truth: empty flow matrix");
+    if (cfg.top_k == 0) throw std::invalid_argument("extract_ground_truth: top_k must be positive");
+
+    std::vector<true_anomaly> candidates;
+    candidates.reserve(od_flows.rows() * 4);
+
+    const fourier_config fourier_cfg{.periods_hours = {168.0, 120.0, 72.0, 24.0, 12.0, 6.0, 3.0, 1.5},
+                                     .bin_seconds = cfg.bin_seconds};
+    const ewma_config ewma_cfg{.alpha = cfg.ewma_alpha};
+
+    for (std::size_t flow = 0; flow < od_flows.rows(); ++flow) {
+        const auto series = od_flows.row(flow);
+        const vec sizes = cfg.method == truth_method::fourier
+                              ? fourier_anomaly_sizes(series, fourier_cfg)
+                              : ewma_anomaly_sizes(series, ewma_cfg);
+        for (std::size_t t = 0; t < sizes.size(); ++t) {
+            candidates.push_back({flow, t, sizes[t]});
+        }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const true_anomaly& a, const true_anomaly& b) {
+                  return a.size_bytes > b.size_bytes;
+              });
+    if (candidates.size() > cfg.top_k) candidates.resize(cfg.top_k);
+
+    ground_truth out;
+    out.ranked = std::move(candidates);
+
+    if (cfg.cutoff_bytes) {
+        out.cutoff_bytes = *cfg.cutoff_bytes;
+    } else {
+        vec sizes(out.ranked.size());
+        for (std::size_t i = 0; i < out.ranked.size(); ++i) sizes[i] = out.ranked[i].size_bytes;
+        out.cutoff_bytes = knee_cutoff(sizes);
+    }
+
+    for (const true_anomaly& a : out.ranked) {
+        if (a.size_bytes >= out.cutoff_bytes && out.cutoff_bytes > 0.0) {
+            out.significant.push_back(a);
+        }
+    }
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,52 @@
+// Ground-truth extraction from OD flow data (Section 6.2).
+//
+// Mirrors the paper's validation protocol: apply a temporal method (EWMA
+// or Fourier) to every OD flow timeseries, rank all (flow, bin) residuals
+// by size, and call the ones above a cutoff the "true" anomalies. The
+// paper picks the cutoff at the knee of the rank-ordered size plot;
+// extract_ground_truth accepts an explicit cutoff and also exposes a knee
+// finder for automatic use. Mis-identified candidates are deliberately
+// kept (the paper does not clean them, to avoid bias).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+enum class truth_method { fourier, ewma };
+
+struct true_anomaly {
+    std::size_t flow = 0;
+    std::size_t t = 0;
+    double size_bytes = 0.0;  // method's estimate of the anomaly size
+};
+
+struct ground_truth {
+    std::vector<true_anomaly> ranked;       // top candidates, size-descending
+    double cutoff_bytes = 0.0;              // size threshold actually used
+    std::vector<true_anomaly> significant;  // ranked entries above the cutoff
+};
+
+struct ground_truth_config {
+    truth_method method = truth_method::fourier;
+    std::size_t top_k = 40;                 // candidates kept (Figure 6 shows 40)
+    std::optional<double> cutoff_bytes;     // explicit cutoff; knee-based if absent
+    double bin_seconds = 600.0;             // forwarded to the Fourier basis
+    double ewma_alpha = 0.25;
+};
+
+// od_flows is flows x time. Throws std::invalid_argument on an empty
+// matrix or top_k == 0.
+ground_truth extract_ground_truth(const matrix& od_flows, const ground_truth_config& cfg = {});
+
+// Knee of a size-descending ranked list: the size just above the largest
+// *relative* gap between consecutive sizes in the upper half of the list.
+// Returns 0 for lists shorter than three entries (no meaningful knee).
+double knee_cutoff(std::span<const double> sizes_descending);
+
+}  // namespace netdiag

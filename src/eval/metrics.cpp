@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace netdiag {
+
+double diagnosis_scorecard::detection_rate() const {
+    return truth_count == 0 ? 0.0
+                            : static_cast<double>(detected_count) /
+                                  static_cast<double>(truth_count);
+}
+
+double diagnosis_scorecard::false_alarm_rate() const {
+    return normal_bin_count == 0 ? 0.0
+                                 : static_cast<double>(false_alarm_count) /
+                                       static_cast<double>(normal_bin_count);
+}
+
+double diagnosis_scorecard::identification_rate() const {
+    return detected_count == 0 ? 0.0
+                               : static_cast<double>(identified_count) /
+                                     static_cast<double>(detected_count);
+}
+
+diagnosis_scorecard score_diagnoses(const std::vector<diagnosis>& per_bin,
+                                    const std::vector<true_anomaly>& truths) {
+    // Bin -> truth anomalies at that bin (usually at most one).
+    std::map<std::size_t, std::vector<const true_anomaly*>> by_bin;
+    for (const true_anomaly& a : truths) {
+        if (a.t >= per_bin.size()) {
+            throw std::invalid_argument("score_diagnoses: truth bin outside diagnosis range");
+        }
+        by_bin[a.t].push_back(&a);
+    }
+
+    diagnosis_scorecard card;
+    card.truth_count = truths.size();
+    card.normal_bin_count = per_bin.size() - by_bin.size();
+
+    double error_sum = 0.0;
+    std::size_t error_count = 0;
+
+    for (std::size_t t = 0; t < per_bin.size(); ++t) {
+        const diagnosis& d = per_bin[t];
+        const auto it = by_bin.find(t);
+        if (it == by_bin.end()) {
+            if (d.anomalous) ++card.false_alarm_count;
+            continue;
+        }
+        if (!d.anomalous) continue;
+        // All truth anomalies at this bin count as detected by the single
+        // network-level alarm (the paper's accounting: bins are the unit).
+        card.detected_count += it->second.size();
+        for (const true_anomaly* a : it->second) {
+            if (d.flow && *d.flow == a->flow) {
+                ++card.identified_count;
+                if (a->size_bytes > 0.0) {
+                    error_sum += std::abs(std::abs(d.estimated_bytes) - a->size_bytes) /
+                                 a->size_bytes;
+                    ++error_count;
+                }
+            }
+        }
+    }
+
+    card.quantification_error =
+        error_count > 0 ? error_sum / static_cast<double>(error_count)
+                        : std::numeric_limits<double>::quiet_NaN();
+    return card;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,41 @@
+// Diagnosis scoring (Section 6.1).
+//
+//   detection rate       fraction of true anomalies detected
+//   false alarm rate     fraction of normal bins that trigger a detection
+//   identification rate  fraction of detected anomalies whose flow is
+//                        correctly named
+//   quantification error mean |estimate - truth| / truth over correctly
+//                        identified anomalies
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "subspace/diagnoser.h"
+
+namespace netdiag {
+
+struct diagnosis_scorecard {
+    std::size_t truth_count = 0;       // significant true anomalies
+    std::size_t detected_count = 0;    // of those, how many were flagged
+    std::size_t identified_count = 0;  // of detected, correct flow named
+    std::size_t false_alarm_count = 0; // flagged bins with no true anomaly
+    std::size_t normal_bin_count = 0;  // bins with no true anomaly
+    double quantification_error = 0.0; // mean abs relative error; NaN if none
+
+    double detection_rate() const;
+    double false_alarm_rate() const;
+    double identification_rate() const;
+};
+
+// Scores per-bin diagnoses (one entry per timestep, as produced by
+// volume_anomaly_diagnoser::diagnose_all) against the significant truth
+// set. A detection at bin t is true when some truth anomaly lives at t;
+// identification is correct when the named flow matches a truth anomaly
+// at that bin. Throws std::invalid_argument when truths reference bins
+// outside the diagnosis range.
+diagnosis_scorecard score_diagnoses(const std::vector<diagnosis>& per_bin,
+                                    const std::vector<true_anomaly>& truths);
+
+}  // namespace netdiag

@@ -1,0 +1,130 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace netdiag {
+
+text_table::text_table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("text_table::add_row: cell count mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::str() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+    auto emit_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << "+" << std::string(widths[c] + 2, '-');
+        }
+        out << "+\n";
+    };
+
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto& row : rows_) emit_row(row);
+    emit_rule();
+    return out.str();
+}
+
+std::string format_fixed(double v, int precision) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(precision);
+    out << v;
+    return out.str();
+}
+
+std::string format_scientific(double v, int precision) {
+    std::ostringstream out;
+    out.setf(std::ios::scientific);
+    out.precision(precision);
+    out << v;
+    return out.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+    return format_fixed(100.0 * fraction, precision) + "%";
+}
+
+std::string format_ratio(std::size_t num, std::size_t den) {
+    return std::to_string(num) + "/" + std::to_string(den);
+}
+
+std::string ascii_timeseries(std::span<const double> values, std::size_t width,
+                             std::size_t height, std::span<const double> markers) {
+    if (values.empty() || width == 0 || height == 0) return "";
+
+    // Downsample to at most `width` columns, keeping column maxima.
+    const std::size_t cols = std::min(width, values.size());
+    std::vector<double> col_max(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t begin = c * values.size() / cols;
+        const std::size_t end = std::max(begin + 1, (c + 1) * values.size() / cols);
+        double m = values[begin];
+        for (std::size_t i = begin; i < end && i < values.size(); ++i) m = std::max(m, values[i]);
+        col_max[c] = m;
+    }
+
+    double lo = *std::min_element(col_max.begin(), col_max.end());
+    double hi = *std::max_element(col_max.begin(), col_max.end());
+    for (double mk : markers) {
+        lo = std::min(lo, mk);
+        hi = std::max(hi, mk);
+    }
+    if (hi == lo) hi = lo + 1.0;
+
+    auto row_of = [&](double v) {
+        const double frac = (v - lo) / (hi - lo);
+        const auto r = static_cast<std::size_t>(frac * static_cast<double>(height - 1) + 0.5);
+        return std::min(r, height - 1);
+    };
+
+    std::vector<std::string> grid(height, std::string(cols, ' '));
+    for (double mk : markers) {
+        const std::size_t r = row_of(mk);
+        for (std::size_t c = 0; c < cols; ++c) grid[r][c] = '-';
+    }
+    for (std::size_t c = 0; c < cols; ++c) grid[row_of(col_max[c])][c] = '*';
+
+    std::ostringstream out;
+    out << format_scientific(hi, 2) << "\n";
+    for (std::size_t r = height; r-- > 0;) out << "  |" << grid[r] << "\n";
+    out << format_scientific(lo, 2) << "  +" << std::string(cols, '-') << "\n";
+    return out.str();
+}
+
+std::string ascii_histogram(const histogram& h, std::size_t max_bar_width) {
+    std::size_t max_count = 1;
+    for (std::size_t c : h.counts) max_count = std::max(max_count, c);
+
+    std::ostringstream out;
+    for (std::size_t i = 0; i < h.bin_count(); ++i) {
+        const double left = h.lo + static_cast<double>(i) * h.bin_width();
+        const std::size_t bar =
+            h.counts[i] * max_bar_width / max_count;
+        out << format_fixed(left, 2) << "-" << format_fixed(left + h.bin_width(), 2) << " | "
+            << std::string(bar, '#') << " " << h.counts[i] << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace netdiag

@@ -1,0 +1,47 @@
+// Plain-text rendering: aligned tables, sparkline-style timeseries and
+// histograms, used by the bench binaries to print the paper's tables and
+// figures on a terminal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace netdiag {
+
+// Column-aligned ASCII table.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> headers);
+
+    // Throws std::invalid_argument when the cell count differs from the
+    // header count.
+    void add_row(std::vector<std::string> cells);
+
+    std::string str() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed formatting helpers.
+std::string format_fixed(double v, int precision);
+std::string format_scientific(double v, int precision);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_ratio(std::size_t num, std::size_t den);
+
+// Downsampled line plot of a series, `height` text rows tall and at most
+// `width` columns wide; each column shows the max over its time range (so
+// single-bin spikes stay visible). Optional horizontal marker lines are
+// drawn at the given y values.
+std::string ascii_timeseries(std::span<const double> values, std::size_t width,
+                             std::size_t height, std::span<const double> markers = {});
+
+// Horizontal bar rendering of a histogram.
+std::string ascii_histogram(const histogram& h, std::size_t max_bar_width = 50);
+
+}  // namespace netdiag

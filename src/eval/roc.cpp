@@ -1,0 +1,76 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netdiag {
+
+std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
+                                   const std::vector<true_anomaly>& truths,
+                                   std::span<const double> confidences) {
+    if (confidences.empty()) throw std::invalid_argument("compute_roc: no confidence levels");
+    for (double c : confidences) {
+        if (!(c > 0.0 && c < 1.0)) {
+            throw std::invalid_argument("compute_roc: confidence outside (0, 1)");
+        }
+    }
+
+    const vec spe = model.spe_series(y);
+    std::vector<bool> is_truth_bin(spe.size(), false);
+    std::size_t truth_bins = 0;
+    for (const true_anomaly& a : truths) {
+        if (a.t >= spe.size()) {
+            throw std::invalid_argument("compute_roc: truth bin outside measurement range");
+        }
+        if (!is_truth_bin[a.t]) ++truth_bins;
+        is_truth_bin[a.t] = true;
+    }
+    const std::size_t normal_bins = spe.size() - truth_bins;
+
+    std::vector<roc_point> out;
+    out.reserve(confidences.size());
+    for (double confidence : confidences) {
+        roc_point p;
+        p.confidence = confidence;
+        p.threshold = model.q_threshold(confidence);
+        std::size_t detected = 0;
+        std::size_t false_alarms = 0;
+        for (std::size_t t = 0; t < spe.size(); ++t) {
+            if (spe[t] <= p.threshold) continue;
+            if (is_truth_bin[t]) {
+                ++detected;
+            } else {
+                ++false_alarms;
+            }
+        }
+        p.detection_rate =
+            truth_bins > 0 ? static_cast<double>(detected) / static_cast<double>(truth_bins)
+                           : 0.0;
+        p.false_alarm_rate = normal_bins > 0 ? static_cast<double>(false_alarms) /
+                                                   static_cast<double>(normal_bins)
+                                             : 0.0;
+        out.push_back(p);
+    }
+    return out;
+}
+
+double roc_auc(std::span<const roc_point> points) {
+    if (points.empty()) throw std::invalid_argument("roc_auc: no points");
+
+    // Collect (fa, det) pairs with the (0,0) and (1,1) anchors.
+    std::vector<std::pair<double, double>> curve;
+    curve.reserve(points.size() + 2);
+    curve.emplace_back(0.0, 0.0);
+    for (const roc_point& p : points) curve.emplace_back(p.false_alarm_rate, p.detection_rate);
+    curve.emplace_back(1.0, 1.0);
+    std::sort(curve.begin(), curve.end());
+
+    double auc = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double dx = curve[i].first - curve[i - 1].first;
+        auc += dx * 0.5 * (curve[i].second + curve[i - 1].second);
+    }
+    return auc;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,35 @@
+// ROC analysis: detection rate vs false alarm rate as the Q-statistic
+// confidence level sweeps. The paper evaluates two operating points
+// (99.5% in Figure 5, 99.9% in Tables 2-3); this traces the full curve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "subspace/model.h"
+
+namespace netdiag {
+
+struct roc_point {
+    double confidence = 0.0;       // 1 - alpha
+    double threshold = 0.0;        // delta^2_alpha
+    double detection_rate = 0.0;   // over the truth set
+    double false_alarm_rate = 0.0; // over normal bins
+};
+
+// One point per requested confidence, in the given order. y is the full
+// measurement matrix (time x links); truths the significant anomaly set.
+// Throws std::invalid_argument for empty confidences, values outside
+// (0, 1), or truths referencing bins beyond y's rows.
+std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
+                                   const std::vector<true_anomaly>& truths,
+                                   std::span<const double> confidences);
+
+// Area under the ROC curve via trapezoidal integration over the curve's
+// (false_alarm_rate, detection_rate) points, after sorting by false alarm
+// rate and anchoring at (0,0) and (1,1). A scalar summary of
+// separability: 1.0 = perfect. Throws std::invalid_argument when empty.
+double roc_auc(std::span<const roc_point> points);
+
+}  // namespace netdiag

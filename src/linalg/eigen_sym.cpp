@@ -1,0 +1,274 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/error.h"
+#include "linalg/ops.h"
+
+namespace netdiag {
+
+namespace {
+
+constexpr int k_max_ql_iterations = 50;
+constexpr int k_max_jacobi_sweeps = 100;
+
+void require_symmetric(const matrix& a, const char* who) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument(std::string(who) + ": matrix not square");
+    }
+    const double scale = std::max(1.0, frobenius_norm(a));
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = i + 1; j < a.cols(); ++j) {
+            if (std::abs(a(i, j) - a(j, i)) > 1e-10 * scale) {
+                throw std::invalid_argument(std::string(who) + ": matrix not symmetric");
+            }
+        }
+    }
+}
+
+// Householder reduction of the symmetric matrix held in v to tridiagonal
+// form; v is overwritten with the accumulated orthogonal transform, d gets
+// the diagonal and e the sub-diagonal. Classic tred2 recurrence.
+void tridiagonalize(matrix& v, std::vector<double>& d, std::vector<double>& e) {
+    const std::size_t n = v.rows();
+    for (std::size_t j = 0; j < n; ++j) d[j] = v(n - 1, j);
+
+    for (std::size_t i = n - 1; i > 0; --i) {
+        double scale = 0.0;
+        double h = 0.0;
+        for (std::size_t k = 0; k < i; ++k) scale += std::abs(d[k]);
+        if (scale == 0.0) {
+            e[i] = d[i - 1];
+            for (std::size_t j = 0; j < i; ++j) {
+                d[j] = v(i - 1, j);
+                v(i, j) = 0.0;
+                v(j, i) = 0.0;
+            }
+        } else {
+            for (std::size_t k = 0; k < i; ++k) {
+                d[k] /= scale;
+                h += d[k] * d[k];
+            }
+            double f = d[i - 1];
+            double g = std::sqrt(h);
+            if (f > 0.0) g = -g;
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for (std::size_t j = 0; j < i; ++j) e[j] = 0.0;
+
+            for (std::size_t j = 0; j < i; ++j) {
+                f = d[j];
+                v(j, i) = f;
+                g = e[j] + v(j, j) * f;
+                for (std::size_t k = j + 1; k < i; ++k) {
+                    g += v(k, j) * d[k];
+                    e[k] += v(k, j) * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for (std::size_t j = 0; j < i; ++j) {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            const double hh = f / (h + h);
+            for (std::size_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+            for (std::size_t j = 0; j < i; ++j) {
+                f = d[j];
+                g = e[j];
+                for (std::size_t k = j; k < i; ++k) v(k, j) -= f * e[k] + g * d[k];
+                d[j] = v(i - 1, j);
+                v(i, j) = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate the Householder transformations.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        v(n - 1, i) = v(i, i);
+        v(i, i) = 1.0;
+        const double h = d[i + 1];
+        if (h != 0.0) {
+            for (std::size_t k = 0; k <= i; ++k) d[k] = v(k, i + 1) / h;
+            for (std::size_t j = 0; j <= i; ++j) {
+                double g = 0.0;
+                for (std::size_t k = 0; k <= i; ++k) g += v(k, i + 1) * v(k, j);
+                for (std::size_t k = 0; k <= i; ++k) v(k, j) -= g * d[k];
+            }
+        }
+        for (std::size_t k = 0; k <= i; ++k) v(k, i + 1) = 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        d[j] = v(n - 1, j);
+        v(n - 1, j) = 0.0;
+    }
+    v(n - 1, n - 1) = 1.0;
+    e[0] = 0.0;
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e), accumulating the
+// rotations into v. Classic tql2 recurrence.
+void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e) {
+    const std::size_t n = v.rows();
+    for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+    e[n - 1] = 0.0;
+
+    double f = 0.0;
+    double tst1 = 0.0;
+    const double eps = std::numeric_limits<double>::epsilon();
+
+    for (std::size_t l = 0; l < n; ++l) {
+        tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+        std::size_t m = l;
+        while (m < n && std::abs(e[m]) > eps * tst1) ++m;
+
+        if (m > l) {
+            int iter = 0;
+            do {
+                if (++iter > k_max_ql_iterations) {
+                    throw numerical_error("sym_eigen: QL iteration did not converge");
+                }
+                double g = d[l];
+                double p = (d[l + 1] - g) / (2.0 * e[l]);
+                double r = std::hypot(p, 1.0);
+                if (p < 0.0) r = -r;
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                const double dl1 = d[l + 1];
+                double h = g - d[l];
+                for (std::size_t i = l + 2; i < n; ++i) d[i] -= h;
+                f += h;
+
+                p = d[m];
+                double c = 1.0;
+                double c2 = c;
+                double c3 = c;
+                const double el1 = e[l + 1];
+                double s = 0.0;
+                double s2 = 0.0;
+                for (std::size_t i = m; i-- > l;) {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    g = c * e[i];
+                    h = c * p;
+                    r = std::hypot(p, e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    for (std::size_t k = 0; k < n; ++k) {
+                        h = v(k, i + 1);
+                        v(k, i + 1) = s * v(k, i) + c * h;
+                        v(k, i) = c * v(k, i) - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+            } while (std::abs(e[l]) > eps * tst1);
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+}
+
+// Sort eigenpairs by descending eigenvalue, permuting eigenvector columns.
+sym_eigen_result sorted_descending(std::vector<double> d, const matrix& v) {
+    const std::size_t n = d.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return d[a] > d[b]; });
+
+    sym_eigen_result out;
+    out.eigenvalues.resize(n);
+    out.eigenvectors.assign(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        out.eigenvalues[j] = d[order[j]];
+        for (std::size_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, order[j]);
+    }
+    return out;
+}
+
+}  // namespace
+
+sym_eigen_result sym_eigen(const matrix& a) {
+    require_symmetric(a, "sym_eigen");
+    const std::size_t n = a.rows();
+    if (n == 0) return {};
+    if (n == 1) return {{a(0, 0)}, matrix::identity(1)};
+
+    matrix v = a;
+    std::vector<double> d(n, 0.0);
+    std::vector<double> e(n, 0.0);
+    tridiagonalize(v, d, e);
+    ql_iterate(v, d, e);
+    return sorted_descending(std::move(d), v);
+}
+
+sym_eigen_result sym_eigen_jacobi(const matrix& a) {
+    require_symmetric(a, "sym_eigen_jacobi");
+    const std::size_t n = a.rows();
+    if (n == 0) return {};
+
+    matrix w = a;
+    matrix v = matrix::identity(n);
+    const double total_scale = std::max(frobenius_norm(w), 1e-300);
+
+    for (int sweep = 0; sweep < k_max_jacobi_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) off += 2.0 * w(i, j) * w(i, j);
+        }
+        if (std::sqrt(off) <= 1e-14 * total_scale) {
+            std::vector<double> d(n);
+            for (std::size_t i = 0; i < n; ++i) d[i] = w(i, i);
+            return sorted_descending(std::move(d), v);
+        }
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = w(p, q);
+                if (std::abs(apq) <= 1e-300) continue;
+                const double theta = (w(q, q) - w(p, p)) / (2.0 * apq);
+                const double sign = theta >= 0.0 ? 1.0 : -1.0;
+                const double t = sign / (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                const double app = w(p, p);
+                const double aqq = w(q, q);
+                w(p, p) = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+                w(q, q) = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+                w(p, q) = 0.0;
+                w(q, p) = 0.0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (k == p || k == q) continue;
+                    const double akp = w(k, p);
+                    const double akq = w(k, q);
+                    w(k, p) = c * akp - s * akq;
+                    w(p, k) = w(k, p);
+                    w(k, q) = s * akp + c * akq;
+                    w(q, k) = w(k, q);
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    throw numerical_error("sym_eigen_jacobi: did not converge");
+}
+
+}  // namespace netdiag

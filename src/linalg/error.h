@@ -1,0 +1,16 @@
+// Error types shared by all netdiag libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netdiag {
+
+// Thrown when an iterative numerical routine fails to converge or when a
+// matrix is too ill-conditioned for the requested operation.
+class numerical_error : public std::runtime_error {
+public:
+    explicit numerical_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace netdiag

@@ -1,0 +1,101 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/error.h"
+
+namespace netdiag {
+
+namespace {
+
+struct lu_factorization {
+    matrix lu;                      // combined L (unit diagonal) and U
+    std::vector<std::size_t> perm;  // row permutation
+    int sign = 1;                   // permutation parity for determinant
+};
+
+lu_factorization factorize(const matrix& a) {
+    if (a.rows() != a.cols()) throw std::invalid_argument("lu: matrix not square");
+    const std::size_t n = a.rows();
+
+    lu_factorization f{a, std::vector<std::size_t>(n), 1};
+    std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+    matrix& lu = f.lu;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(lu(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu(i, k));
+            if (v > best) {
+                best = v;
+                pivot = i;
+            }
+        }
+        if (best == 0.0) throw numerical_error("lu: singular matrix");
+        if (pivot != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+            std::swap(f.perm[k], f.perm[pivot]);
+            f.sign = -f.sign;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            lu(i, k) /= lu(k, k);
+            const double lik = lu(i, k);
+            if (lik == 0.0) continue;
+            for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= lik * lu(k, j);
+        }
+    }
+    return f;
+}
+
+vec solve_factored(const lu_factorization& f, std::span<const double> b) {
+    const std::size_t n = f.lu.rows();
+    vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[f.perm[i]];
+    for (std::size_t i = 1; i < n; ++i) {
+        double s = x[i];
+        for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * x[j];
+        x[i] = s;
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        double s = x[i];
+        for (std::size_t j = i + 1; j < n; ++j) s -= f.lu(i, j) * x[j];
+        x[i] = s / f.lu(i, i);
+    }
+    return x;
+}
+
+}  // namespace
+
+vec solve(const matrix& a, std::span<const double> b) {
+    if (b.size() != a.rows()) throw std::invalid_argument("solve: rhs size mismatch");
+    return solve_factored(factorize(a), b);
+}
+
+matrix inverse(const matrix& a) {
+    const lu_factorization f = factorize(a);
+    const std::size_t n = a.rows();
+    matrix inv(n, n);
+    vec e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        std::fill(e.begin(), e.end(), 0.0);
+        e[j] = 1.0;
+        inv.set_column(j, solve_factored(f, e));
+    }
+    return inv;
+}
+
+double determinant(const matrix& a) {
+    try {
+        const lu_factorization f = factorize(a);
+        double det = f.sign;
+        for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+        return det;
+    } catch (const numerical_error&) {
+        return 0.0;  // exactly singular
+    }
+}
+
+}  // namespace netdiag

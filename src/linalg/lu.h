@@ -1,0 +1,21 @@
+// LU decomposition with partial pivoting: solve, inverse, determinant.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+// Solves a x = b for square a. Throws netdiag::numerical_error if a is
+// (numerically) singular, std::invalid_argument on shape mismatch.
+vec solve(const matrix& a, std::span<const double> b);
+
+// Matrix inverse. Same error contract as solve().
+matrix inverse(const matrix& a);
+
+// Determinant via the pivoted LU factors.
+double determinant(const matrix& a);
+
+}  // namespace netdiag

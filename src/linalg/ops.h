@@ -1,0 +1,44 @@
+// BLAS-2/3 style dense kernels: products, transposes, Gram matrices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+// C = A * B. Throws std::invalid_argument on inner-dimension mismatch.
+matrix multiply(const matrix& a, const matrix& b);
+
+// y = A * x. Throws std::invalid_argument on dimension mismatch.
+vec multiply(const matrix& a, std::span<const double> x);
+
+// y = A^T * x without materializing A^T.
+vec multiply_transposed(const matrix& a, std::span<const double> x);
+
+// A^T as a new matrix.
+matrix transpose(const matrix& a);
+
+// Gram matrix A^T * A (cols x cols), computed exploiting symmetry.
+matrix gram(const matrix& a);
+
+// Outer product a * b^T.
+matrix outer(std::span<const double> a, std::span<const double> b);
+
+// Sum of diagonal elements; requires a square matrix.
+double trace(const matrix& a);
+
+// Frobenius norm sqrt(sum a_ij^2).
+double frobenius_norm(const matrix& a);
+
+// Sample covariance of the columns of y: cov = Y_c^T Y_c / (rows - 1) where
+// Y_c is y with column means removed. Requires at least two rows.
+matrix column_covariance(const matrix& y);
+
+// Largest absolute off-diagonal element; requires a square matrix.
+// Useful for verifying orthogonality (M^T M ~ I) in tests.
+double max_off_diagonal(const matrix& a);
+
+}  // namespace netdiag

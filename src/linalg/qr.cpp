@@ -1,0 +1,115 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/error.h"
+
+namespace netdiag {
+
+namespace {
+
+// In-place Householder factorization: on return, the upper triangle of work
+// holds R and the lower part plus beta[] encode the reflectors.
+// Column k's reflector is v = [1, work(k+1,k), ..., work(t-1,k)].
+struct householder_factorization {
+    matrix work;
+    std::vector<double> beta;   // 2 / ||v||^2 per reflector (0 if skipped)
+    std::vector<double> rdiag;  // diagonal of R
+};
+
+householder_factorization factorize(const matrix& a) {
+    const std::size_t t = a.rows();
+    const std::size_t m = a.cols();
+    if (t < m) throw std::invalid_argument("qr: matrix must have rows >= cols");
+
+    householder_factorization f{a, std::vector<double>(m, 0.0), std::vector<double>(m, 0.0)};
+    matrix& w = f.work;
+
+    for (std::size_t k = 0; k < m; ++k) {
+        double nrm = 0.0;
+        for (std::size_t i = k; i < t; ++i) nrm = std::hypot(nrm, w(i, k));
+        if (nrm == 0.0) {
+            f.rdiag[k] = 0.0;
+            continue;
+        }
+        if (w(k, k) < 0.0) nrm = -nrm;
+        for (std::size_t i = k; i < t; ++i) w(i, k) /= nrm;
+        w(k, k) += 1.0;
+        f.beta[k] = 1.0;  // with this scaling, H = I - (v v^T)/v_k where v_k = w(k,k)
+
+        for (std::size_t j = k + 1; j < m; ++j) {
+            double s = 0.0;
+            for (std::size_t i = k; i < t; ++i) s += w(i, k) * w(i, j);
+            s = -s / w(k, k);
+            for (std::size_t i = k; i < t; ++i) w(i, j) += s * w(i, k);
+        }
+        f.rdiag[k] = -nrm;
+    }
+    return f;
+}
+
+// Apply the k-th stored reflector to vector b (in place).
+void apply_reflector(const householder_factorization& f, std::size_t k, std::span<double> b) {
+    if (f.beta[k] == 0.0) return;
+    const matrix& w = f.work;
+    const std::size_t t = w.rows();
+    double s = 0.0;
+    for (std::size_t i = k; i < t; ++i) s += w(i, k) * b[i];
+    s = -s / w(k, k);
+    for (std::size_t i = k; i < t; ++i) b[i] += s * w(i, k);
+}
+
+}  // namespace
+
+qr_result qr_decompose(const matrix& a) {
+    const householder_factorization f = factorize(a);
+    const std::size_t t = a.rows();
+    const std::size_t m = a.cols();
+
+    qr_result out;
+    out.r.assign(m, m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        out.r(i, i) = f.rdiag[i];
+        for (std::size_t j = i + 1; j < m; ++j) out.r(i, j) = f.work(i, j);
+    }
+
+    // Q = H_0 H_1 ... H_{m-1} applied to the first m identity columns.
+    out.q.assign(t, m, 0.0);
+    vec col(t, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+        std::fill(col.begin(), col.end(), 0.0);
+        col[j] = 1.0;
+        for (std::size_t k = m; k-- > 0;) apply_reflector(f, k, col);
+        out.q.set_column(j, col);
+    }
+    return out;
+}
+
+vec least_squares(const matrix& a, std::span<const double> b) {
+    if (b.size() != a.rows()) throw std::invalid_argument("least_squares: rhs size mismatch");
+    const householder_factorization f = factorize(a);
+    const std::size_t m = a.cols();
+
+    double rmax = 0.0;
+    for (double d : f.rdiag) rmax = std::max(rmax, std::abs(d));
+    for (double d : f.rdiag) {
+        if (std::abs(d) <= 1e-12 * std::max(rmax, 1e-300)) {
+            throw numerical_error("least_squares: rank-deficient matrix");
+        }
+    }
+
+    vec y(b.begin(), b.end());
+    for (std::size_t k = 0; k < m; ++k) apply_reflector(f, k, y);
+
+    // Back substitution on R x = (Q^T b)[0..m).
+    vec x(m, 0.0);
+    for (std::size_t i = m; i-- > 0;) {
+        double s = y[i];
+        for (std::size_t j = i + 1; j < m; ++j) s -= f.work(i, j) * x[j];
+        x[i] = s / f.rdiag[i];
+    }
+    return x;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,25 @@
+// Householder QR decomposition and linear least squares.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+struct qr_result {
+    matrix q;  // rows(a) x cols(a), orthonormal columns (thin Q)
+    matrix r;  // cols(a) x cols(a), upper triangular
+};
+
+// Thin QR of a matrix with rows >= cols. Throws std::invalid_argument when
+// the matrix is wider than tall.
+qr_result qr_decompose(const matrix& a);
+
+// Minimum-norm residual solution of min_x ||a x - b||_2 via Householder QR.
+// Requires rows(a) >= cols(a) and full column rank; throws
+// netdiag::numerical_error when a is (numerically) rank deficient.
+vec least_squares(const matrix& a, std::span<const double> b);
+
+}  // namespace netdiag

@@ -1,0 +1,149 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/error.h"
+#include "linalg/ops.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+namespace {
+
+constexpr int k_max_sweeps = 60;
+
+// One-sided Jacobi on a tall (or square) matrix: rows >= cols.
+// Orthogonalizes the columns of work in place, accumulating rotations in v.
+void jacobi_orthogonalize(matrix& work, matrix& v) {
+    const std::size_t t = work.rows();
+    const std::size_t m = work.cols();
+    const double eps = 1e-15;
+
+    for (int sweep = 0; sweep < k_max_sweeps; ++sweep) {
+        bool converged = true;
+        for (std::size_t p = 0; p < m; ++p) {
+            for (std::size_t q = p + 1; q < m; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (std::size_t r = 0; r < t; ++r) {
+                    const double wp = work(r, p);
+                    const double wq = work(r, q);
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                if (std::abs(gamma) <= eps * std::sqrt(alpha * beta) || gamma == 0.0) continue;
+                converged = false;
+
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double sign = zeta >= 0.0 ? 1.0 : -1.0;
+                const double tan = sign / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double cos = 1.0 / std::sqrt(1.0 + tan * tan);
+                const double sin = cos * tan;
+
+                for (std::size_t r = 0; r < t; ++r) {
+                    const double wp = work(r, p);
+                    const double wq = work(r, q);
+                    work(r, p) = cos * wp - sin * wq;
+                    work(r, q) = sin * wp + cos * wq;
+                }
+                for (std::size_t r = 0; r < m; ++r) {
+                    const double vp = v(r, p);
+                    const double vq = v(r, q);
+                    v(r, p) = cos * vp - sin * vq;
+                    v(r, q) = sin * vp + cos * vq;
+                }
+            }
+        }
+        if (converged) return;
+    }
+    throw numerical_error("svd: one-sided Jacobi did not converge");
+}
+
+// Replace any (near-)zero columns of u with unit vectors orthogonal to the
+// existing columns, so u always has a full orthonormal column set.
+void complete_orthonormal_columns(matrix& u, const std::vector<bool>& is_zero) {
+    const std::size_t t = u.rows();
+    const std::size_t k = u.cols();
+    for (std::size_t j = 0; j < k; ++j) {
+        if (!is_zero[j]) continue;
+        // Try coordinate vectors until one survives Gram-Schmidt.
+        for (std::size_t cand = 0; cand < t; ++cand) {
+            vec e(t, 0.0);
+            e[cand] = 1.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                if (c == j) continue;
+                const auto col = u.column(c);
+                axpy(-dot(e, col), col, e);
+            }
+            const double n = norm(e);
+            if (n > 1e-6) {
+                scale(e, 1.0 / n);
+                u.set_column(j, e);
+                break;
+            }
+        }
+    }
+}
+
+svd_result svd_tall(const matrix& a) {
+    const std::size_t t = a.rows();
+    const std::size_t m = a.cols();
+
+    matrix work = a;
+    matrix v = matrix::identity(m);
+    jacobi_orthogonalize(work, v);
+
+    // Singular values are the column norms of the rotated matrix.
+    std::vector<double> s(m);
+    std::vector<bool> zero_col(m, false);
+    matrix u(t, m, 0.0);
+    double smax = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+        double n2 = 0.0;
+        for (std::size_t r = 0; r < t; ++r) n2 += work(r, j) * work(r, j);
+        s[j] = std::sqrt(n2);
+        smax = std::max(smax, s[j]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        if (s[j] <= 1e-14 * std::max(smax, 1e-300)) {
+            s[j] = 0.0;
+            zero_col[j] = true;
+            continue;
+        }
+        for (std::size_t r = 0; r < t; ++r) u(r, j) = work(r, j) / s[j];
+    }
+
+    // Order by descending singular value.
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+
+    svd_result out;
+    out.s.resize(m);
+    out.u.assign(t, m);
+    out.v.assign(m, m);
+    std::vector<bool> zero_sorted(m, false);
+    for (std::size_t j = 0; j < m; ++j) {
+        out.s[j] = s[order[j]];
+        zero_sorted[j] = zero_col[order[j]];
+        for (std::size_t r = 0; r < t; ++r) out.u(r, j) = u(r, order[j]);
+        for (std::size_t r = 0; r < m; ++r) out.v(r, j) = v(r, order[j]);
+    }
+    complete_orthonormal_columns(out.u, zero_sorted);
+    return out;
+}
+
+}  // namespace
+
+svd_result svd(const matrix& a) {
+    if (a.empty()) return {};
+    if (a.rows() >= a.cols()) return svd_tall(a);
+    // Wide matrix: factor the transpose and swap the roles of u and v.
+    svd_result st = svd_tall(transpose(a));
+    return {std::move(st.v), std::move(st.s), std::move(st.u)};
+}
+
+}  // namespace netdiag

@@ -1,0 +1,40 @@
+#include "measurement/binning.h"
+
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+void require_divisible(std::size_t n, std::size_t factor, const char* who) {
+    if (factor == 0) throw std::invalid_argument(std::string(who) + ": factor must be positive");
+    if (n % factor != 0) {
+        throw std::invalid_argument(std::string(who) + ": length not divisible by factor");
+    }
+}
+
+}  // namespace
+
+matrix rebin_time_rows(const matrix& m, std::size_t factor) {
+    require_divisible(m.rows(), factor, "rebin_time_rows");
+    matrix out(m.rows() / factor, m.cols(), 0.0);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const auto src = m.row(r);
+        const auto dst = out.row(r / factor);
+        for (std::size_t c = 0; c < m.cols(); ++c) dst[c] += src[c];
+    }
+    return out;
+}
+
+matrix rebin_time_cols(const matrix& m, std::size_t factor) {
+    require_divisible(m.cols(), factor, "rebin_time_cols");
+    matrix out(m.rows(), m.cols() / factor, 0.0);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const auto src = m.row(r);
+        const auto dst = out.row(r);
+        for (std::size_t c = 0; c < m.cols(); ++c) dst[c / factor] += src[c];
+    }
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,19 @@
+// Time re-binning. The paper aggregates 1-minute (Abilene) and 5-minute
+// (Sprint) flow records into 10-minute bins to sidestep collection
+// synchronization issues (Section 3).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+// Sums groups of `factor` consecutive rows (time runs down the rows, as in
+// the link matrix Y). The row count must be divisible by factor; throws
+// std::invalid_argument otherwise.
+matrix rebin_time_rows(const matrix& m, std::size_t factor);
+
+// Sums groups of `factor` consecutive columns (time runs across the
+// columns, as in the OD flow matrix X). Same divisibility contract.
+matrix rebin_time_cols(const matrix& m, std::size_t factor);
+
+}  // namespace netdiag

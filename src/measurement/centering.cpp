@@ -1,0 +1,23 @@
+#include "measurement/centering.h"
+
+#include <stdexcept>
+
+namespace netdiag {
+
+centering_result center_columns(const matrix& y) {
+    if (y.empty()) throw std::invalid_argument("center_columns: empty matrix");
+    centering_result out{y, vec(y.cols(), 0.0)};
+    for (std::size_t r = 0; r < y.rows(); ++r) axpy(1.0, y.row(r), out.column_means);
+    scale(out.column_means, 1.0 / static_cast<double>(y.rows()));
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+        const auto row = out.centered.row(r);
+        for (std::size_t c = 0; c < y.cols(); ++c) row[c] -= out.column_means[c];
+    }
+    return out;
+}
+
+vec center_with(std::span<const double> y, std::span<const double> means) {
+    return subtract(y, means);
+}
+
+}  // namespace netdiag

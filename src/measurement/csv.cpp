@@ -1,0 +1,95 @@
+#include "measurement/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::stringstream ss(line);
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (!line.empty() && line.back() == ',') fields.emplace_back();
+    return fields;
+}
+
+bool parse_double(const std::string& s, double& out) {
+    const char* begin = s.data();
+    const char* end = begin + s.size();
+    while (begin != end && (*begin == ' ' || *begin == '\t')) ++begin;
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void write_matrix_csv(const std::string& path, const matrix& m,
+                      const std::vector<std::string>& header) {
+    if (!header.empty() && header.size() != m.cols()) {
+        throw std::invalid_argument("write_matrix_csv: header size mismatch");
+    }
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_matrix_csv: cannot open " + path);
+    out.precision(17);
+
+    if (!header.empty()) {
+        for (std::size_t c = 0; c < header.size(); ++c) {
+            out << header[c] << (c + 1 < header.size() ? "," : "\n");
+        }
+    }
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            out << m(r, c) << (c + 1 < m.cols() ? "," : "\n");
+        }
+    }
+    if (!out) throw std::runtime_error("write_matrix_csv: write failed for " + path);
+}
+
+csv_matrix read_matrix_csv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_matrix_csv: cannot open " + path);
+
+    csv_matrix out;
+    std::vector<std::vector<double>> rows;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const auto fields = split_fields(line);
+        std::vector<double> values(fields.size());
+        bool numeric = true;
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (!parse_double(fields[i], values[i])) {
+                numeric = false;
+                break;
+            }
+        }
+        if (!numeric) {
+            if (first) {
+                out.header = fields;
+                first = false;
+                continue;
+            }
+            throw std::invalid_argument("read_matrix_csv: non-numeric row in " + path);
+        }
+        first = false;
+        if (!rows.empty() && values.size() != rows.front().size()) {
+            throw std::invalid_argument("read_matrix_csv: ragged rows in " + path);
+        }
+        rows.push_back(std::move(values));
+    }
+
+    if (rows.empty()) return out;
+    out.values.assign(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out.values.set_row(r, rows[r]);
+    }
+    return out;
+}
+
+}  // namespace netdiag

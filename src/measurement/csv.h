@@ -1,0 +1,28 @@
+// CSV round-trip for matrices, so generated datasets and experiment output
+// can be persisted and re-analyzed outside the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+// Writes m as CSV. When header is non-empty it must have one entry per
+// column (std::invalid_argument otherwise). Throws std::runtime_error if
+// the file cannot be opened.
+void write_matrix_csv(const std::string& path, const matrix& m,
+                      const std::vector<std::string>& header = {});
+
+struct csv_matrix {
+    matrix values;
+    std::vector<std::string> header;  // empty when the file had none
+};
+
+// Reads a CSV written by write_matrix_csv. A first line containing any
+// non-numeric field is treated as a header. Throws std::runtime_error on
+// open failure and std::invalid_argument on ragged or non-numeric rows.
+csv_matrix read_matrix_csv(const std::string& path);
+
+}  // namespace netdiag

@@ -1,0 +1,46 @@
+#include "measurement/dataset.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "measurement/link_loads.h"
+
+namespace netdiag {
+
+dataset build_dataset(topology topo, const dataset_config& cfg) {
+    if (!topo.finalized()) throw std::invalid_argument("build_dataset: topology not finalized");
+
+    dataset ds;
+    ds.name = cfg.name;
+    ds.period_label = cfg.period_label;
+    ds.bin_seconds = cfg.traffic.bin_seconds;
+    ds.topo = std::move(topo);
+    ds.routing = build_routing(ds.topo);
+
+    const auto means = gravity_flow_means(ds.topo.pop_count(), cfg.gravity);
+    od_traffic generated = generate_od_traffic(means, cfg.traffic);
+    ds.injected = std::move(generated.anomalies);
+
+    switch (cfg.sampling) {
+        case sampling_kind::none:
+            ds.od_flows = std::move(generated.x);
+            break;
+        case sampling_kind::periodic:
+            ds.od_flows = sample_periodic(generated.x, cfg.sampler);
+            break;
+        case sampling_kind::random:
+            ds.od_flows = sample_random(generated.x, cfg.sampler);
+            break;
+    }
+
+    ds.link_loads = link_loads_from_flows(ds.routing.a, ds.od_flows);
+    return ds;
+}
+
+dataset_summary summarize(const dataset& ds) {
+    return {ds.name,       ds.topo.pop_count(),       ds.topo.link_count(),
+            ds.flow_count(), ds.bin_count(), ds.bin_seconds / 60.0,
+            ds.period_label};
+}
+
+}  // namespace netdiag

@@ -1,0 +1,67 @@
+// A complete study dataset: topology + routing + OD flows + link loads.
+//
+// This mirrors the paper's data pipeline (Section 3): OD flows are
+// collected (here: generated), optionally degraded by packet sampling, and
+// link counts are constructed from the sampled OD flows via the routing
+// matrix so that flow and link views are consistent (the method of [31]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "topology/routing.h"
+#include "topology/topology.h"
+#include "traffic/generator.h"
+#include "traffic/gravity.h"
+#include "traffic/sampling.h"
+
+namespace netdiag {
+
+enum class sampling_kind {
+    none,      // use true byte counts
+    periodic,  // NetFlow-style 1-in-N (Sprint)
+    random,    // Juniper-style random packet sampling (Abilene)
+};
+
+struct dataset_config {
+    std::string name;
+    std::string period_label;  // e.g. "Jul 07-Jul 13" (presentation only)
+    gravity_config gravity;
+    traffic_config traffic;
+    sampling_kind sampling = sampling_kind::none;
+    sampling_config sampler;  // used unless sampling == none
+};
+
+struct dataset {
+    std::string name;
+    std::string period_label;
+    topology topo;
+    routing_result routing;       // A and the OD pair order
+    matrix od_flows;              // flows x time, as measured (post sampling)
+    std::vector<anomaly_event> injected;  // ground truth anomalies
+    matrix link_loads;            // time x links, consistent with od_flows
+    double bin_seconds = 600.0;
+
+    std::size_t flow_count() const noexcept { return od_flows.rows(); }
+    std::size_t bin_count() const noexcept { return od_flows.cols(); }
+    std::size_t link_count() const noexcept { return link_loads.cols(); }
+};
+
+// Generates the dataset deterministically from the config.
+dataset build_dataset(topology topo, const dataset_config& cfg);
+
+// One-line Table 1 style summary.
+struct dataset_summary {
+    std::string name;
+    std::size_t pops = 0;
+    std::size_t links = 0;
+    std::size_t flows = 0;
+    std::size_t bins = 0;
+    double bin_minutes = 0.0;
+    std::string period_label;
+};
+
+dataset_summary summarize(const dataset& ds);
+
+}  // namespace netdiag

@@ -1,0 +1,38 @@
+#include "measurement/link_loads.h"
+
+#include <stdexcept>
+
+namespace netdiag {
+
+matrix link_loads_from_flows(const matrix& a, const matrix& x) {
+    if (a.cols() != x.rows()) {
+        throw std::invalid_argument("link_loads_from_flows: A columns must equal flow count");
+    }
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    const std::size_t t = x.cols();
+
+    matrix y(t, m, 0.0);
+    // Y(t, i) = sum_j A(i, j) X(j, t). Iterate over the sparse-ish A once
+    // per (i, j) with the time loop innermost for contiguous X rows.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (a(i, j) == 0.0) continue;
+            const double aij = a(i, j);
+            const auto xrow = x.row(j);
+            for (std::size_t ti = 0; ti < t; ++ti) y(ti, i) += aij * xrow[ti];
+        }
+    }
+    return y;
+}
+
+vec link_loads_at(const matrix& a, std::span<const double> flows) {
+    if (a.cols() != flows.size()) {
+        throw std::invalid_argument("link_loads_at: flow vector size mismatch");
+    }
+    vec y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), flows);
+    return y;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,19 @@
+// Link load synthesis: y = A x (Section 4.1).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+// Builds the link measurement matrix Y (time x links) from OD flow traffic
+// X (flows x time) and routing matrix A (links x flows): row t of Y is
+// A * X[:, t]. Throws std::invalid_argument on dimension mismatch.
+matrix link_loads_from_flows(const matrix& a, const matrix& x);
+
+// Link load vector for a single timestep's flow vector.
+vec link_loads_at(const matrix& a, std::span<const double> flows);
+
+}  // namespace netdiag

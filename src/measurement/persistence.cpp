@@ -1,0 +1,123 @@
+#include "measurement/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "measurement/csv.h"
+#include "measurement/link_loads.h"
+
+namespace netdiag {
+
+namespace {
+
+std::string path_in(const std::string& dir, const char* file) {
+    return (std::filesystem::path(dir) / file).string();
+}
+
+void write_meta(const dataset& ds, const std::string& dir) {
+    std::ofstream out(path_in(dir, "meta.txt"));
+    if (!out) throw std::runtime_error("save_dataset: cannot write meta.txt");
+    out << "name=" << ds.name << "\n";
+    out << "period=" << ds.period_label << "\n";
+    out << "bin_seconds=" << ds.bin_seconds << "\n";
+}
+
+void write_pops(const dataset& ds, const std::string& dir) {
+    std::ofstream out(path_in(dir, "pops.txt"));
+    if (!out) throw std::runtime_error("save_dataset: cannot write pops.txt");
+    for (std::size_t p = 0; p < ds.topo.pop_count(); ++p) out << ds.topo.pop_name(p) << "\n";
+}
+
+std::string read_meta_field(const std::string& dir, const std::string& key) {
+    std::ifstream in(path_in(dir, "meta.txt"));
+    if (!in) throw std::runtime_error("load_dataset: cannot read meta.txt");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(key + "=", 0) == 0) return line.substr(key.size() + 1);
+    }
+    throw std::runtime_error("load_dataset: meta.txt missing key " + key);
+}
+
+}  // namespace
+
+void save_dataset(const dataset& ds, const std::string& directory) {
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec) throw std::runtime_error("save_dataset: cannot create " + directory);
+
+    write_meta(ds, directory);
+    write_pops(ds, directory);
+
+    // Edges: one row per bidirectional edge, in creation order and with
+    // the original orientation (add_edge pushes the two directed links
+    // consecutively, so the even-id link of each pair is the original
+    // call). Preserving order keeps link ids -- and therefore the routing
+    // matrix row order -- identical after a round trip.
+    std::size_t edge_count = 0;
+    for (const link& l : ds.topo.links()) {
+        if (!l.intra && l.id % 2 == 0) ++edge_count;
+    }
+    matrix edges(edge_count, 3, 0.0);
+    std::size_t r = 0;
+    for (const link& l : ds.topo.links()) {
+        if (l.intra || l.id % 2 != 0) continue;
+        edges(r, 0) = static_cast<double>(l.src);
+        edges(r, 1) = static_cast<double>(l.dst);
+        edges(r, 2) = l.weight;
+        ++r;
+    }
+    write_matrix_csv(path_in(directory, "edges.csv"), edges, {"src", "dst", "weight"});
+    write_matrix_csv(path_in(directory, "od_flows.csv"), ds.od_flows);
+
+    matrix injected(ds.injected.size(), 3, 0.0);
+    for (std::size_t i = 0; i < ds.injected.size(); ++i) {
+        injected(i, 0) = static_cast<double>(ds.injected[i].flow);
+        injected(i, 1) = static_cast<double>(ds.injected[i].t);
+        injected(i, 2) = ds.injected[i].amplitude_bytes;
+    }
+    write_matrix_csv(path_in(directory, "injected.csv"), injected,
+                     {"flow", "t", "amplitude_bytes"});
+}
+
+dataset load_dataset(const std::string& directory) {
+    dataset ds;
+    ds.name = read_meta_field(directory, "name");
+    ds.period_label = read_meta_field(directory, "period");
+    ds.bin_seconds = std::stod(read_meta_field(directory, "bin_seconds"));
+
+    topology topo(ds.name);
+    {
+        std::ifstream in(path_in(directory, "pops.txt"));
+        if (!in) throw std::runtime_error("load_dataset: cannot read pops.txt");
+        std::string line;
+        while (std::getline(in, line)) {
+            if (!line.empty()) topo.add_pop(line);
+        }
+    }
+    const csv_matrix edges = read_matrix_csv(path_in(directory, "edges.csv"));
+    for (std::size_t r = 0; r < edges.values.rows(); ++r) {
+        topo.add_edge(static_cast<std::size_t>(edges.values(r, 0)),
+                      static_cast<std::size_t>(edges.values(r, 1)), edges.values(r, 2));
+    }
+    topo.finalize();
+    ds.topo = std::move(topo);
+    ds.routing = build_routing(ds.topo);
+
+    ds.od_flows = read_matrix_csv(path_in(directory, "od_flows.csv")).values;
+    if (ds.od_flows.rows() != ds.routing.flow_count()) {
+        throw std::runtime_error("load_dataset: flow matrix does not match topology");
+    }
+
+    const csv_matrix injected = read_matrix_csv(path_in(directory, "injected.csv"));
+    for (std::size_t r = 0; r < injected.values.rows(); ++r) {
+        ds.injected.push_back({static_cast<std::size_t>(injected.values(r, 0)),
+                               static_cast<std::size_t>(injected.values(r, 1)),
+                               injected.values(r, 2)});
+    }
+
+    ds.link_loads = link_loads_from_flows(ds.routing.a, ds.od_flows);
+    return ds;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,31 @@
+// Dataset persistence: save/load a complete study dataset to a directory
+// of CSV and key-value files, so generated datasets can be archived,
+// shared, and re-analyzed without regeneration.
+//
+// Layout inside the directory:
+//   meta.txt        name / period / bin_seconds
+//   pops.txt        one PoP name per line
+//   edges.csv       src,dst,weight (one row per bidirectional edge)
+//   od_flows.csv    flows x time byte counts
+//   injected.csv    flow,t,amplitude_bytes ground-truth anomalies
+//
+// The routing matrix and link loads are *recomputed* on load from the
+// topology and flows, which both keeps the archive small and guarantees
+// the y = Ax consistency invariant by construction.
+#pragma once
+
+#include <string>
+
+#include "measurement/dataset.h"
+
+namespace netdiag {
+
+// Creates the directory if needed. Throws std::runtime_error on I/O
+// failure.
+void save_dataset(const dataset& ds, const std::string& directory);
+
+// Rebuilds a dataset saved by save_dataset. Throws std::runtime_error on
+// missing/corrupt files.
+dataset load_dataset(const std::string& directory);
+
+}  // namespace netdiag

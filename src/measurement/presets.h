@@ -1,0 +1,23 @@
+// The three study datasets of Table 1, as deterministic synthetic
+// equivalents (see DESIGN.md for the substitution rationale):
+//
+//   Sprint-1  13 PoPs, 49 links, 10-min bins, one week  (periodic sampling)
+//   Sprint-2  same network, different week (different seed)
+//   Abilene   11 PoPs, 41 links, 10-min bins, one week  (1% random sampling)
+#pragma once
+
+#include "measurement/dataset.h"
+
+namespace netdiag {
+
+dataset make_sprint1_dataset();
+dataset make_sprint2_dataset();
+dataset make_abilene_dataset();
+
+// The configs behind the presets, exposed so tests and ablation benches can
+// perturb individual knobs.
+dataset_config sprint1_config();
+dataset_config sprint2_config();
+dataset_config abilene_config();
+
+}  // namespace netdiag

@@ -1,0 +1,88 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* who) {
+    if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+    require_nonempty(xs, "mean");
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+    if (xs.size() < 2) throw std::invalid_argument("sample_variance: need at least two samples");
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) { return std::sqrt(sample_variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+    require_nonempty(xs, "min_value");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+    require_nonempty(xs, "max_value");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+    require_nonempty(xs, "quantile");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0, 1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_absolute_relative_error(std::span<const double> estimates,
+                                    std::span<const double> truths) {
+    if (estimates.size() != truths.size()) {
+        throw std::invalid_argument("mean_absolute_relative_error: size mismatch");
+    }
+    require_nonempty(truths, "mean_absolute_relative_error");
+    double acc = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < truths.size(); ++i) {
+        if (truths[i] == 0.0) continue;
+        acc += std::abs(estimates[i] - truths[i]) / std::abs(truths[i]);
+        ++used;
+    }
+    if (used == 0) {
+        throw std::invalid_argument("mean_absolute_relative_error: all truth values are zero");
+    }
+    return acc / static_cast<double>(used);
+}
+
+std::vector<std::size_t> sigma_exceedances(std::span<const double> xs, double k_sigma) {
+    if (xs.size() < 2) return {};
+    const double m = mean(xs);
+    const double sd = sample_stddev(xs);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (std::abs(xs[i] - m) > k_sigma * sd) out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace netdiag

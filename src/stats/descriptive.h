@@ -1,0 +1,40 @@
+// Descriptive statistics over spans of doubles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netdiag {
+
+// Arithmetic mean. Throws std::invalid_argument on empty input.
+double mean(std::span<const double> xs);
+
+// Unbiased sample variance (divides by n-1). Throws std::invalid_argument
+// when fewer than two samples are given.
+double sample_variance(std::span<const double> xs);
+
+// sqrt(sample_variance).
+double sample_stddev(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+// Median (average of the two middle order statistics for even n).
+double median(std::span<const double> xs);
+
+// Linear-interpolation quantile, q in [0, 1]. Throws std::invalid_argument
+// for empty input or q outside [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+// Mean of |estimate - truth| / |truth| over all pairs; pairs with zero truth
+// are skipped. Throws std::invalid_argument on size mismatch or when every
+// truth value is zero.
+double mean_absolute_relative_error(std::span<const double> estimates,
+                                    std::span<const double> truths);
+
+// Indices i where |xs[i] - mean| > k_sigma * stddev. This is the primitive
+// behind the paper's 3-sigma subspace separation rule.
+std::vector<std::size_t> sigma_exceedances(std::span<const double> xs, double k_sigma);
+
+}  // namespace netdiag

@@ -1,0 +1,32 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace netdiag {
+
+double histogram::bin_center(std::size_t i) const {
+    if (i >= counts.size()) throw std::out_of_range("histogram::bin_center: bin out of range");
+    return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+std::size_t histogram::total() const {
+    return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+    if (bins == 0) throw std::invalid_argument("make_histogram: need at least one bin");
+    if (!(hi > lo)) throw std::invalid_argument("make_histogram: hi must exceed lo");
+
+    histogram h{lo, hi, std::vector<std::size_t>(bins, 0)};
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (double x : xs) {
+        auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+        idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+        ++h.counts[static_cast<std::size_t>(idx)];
+    }
+    return h;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,31 @@
+// Fixed-width histograms, used to render the paper's Figure 7 (detection
+// rate histograms over injected anomalies).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netdiag {
+
+struct histogram {
+    double lo = 0.0;                 // left edge of first bin
+    double hi = 1.0;                 // right edge of last bin
+    std::vector<std::size_t> counts; // one entry per bin
+
+    std::size_t bin_count() const noexcept { return counts.size(); }
+    double bin_width() const noexcept {
+        return (hi - lo) / static_cast<double>(counts.size());
+    }
+    // Center of bin i.
+    double bin_center(std::size_t i) const;
+    std::size_t total() const;
+};
+
+// Histogram of xs over [lo, hi] with bins equal-width bins. Values outside
+// the range are clamped into the closest edge bin (the paper's detection
+// rates live in [0, 1], so clamping only guards against rounding).
+// Throws std::invalid_argument for bins == 0 or hi <= lo.
+histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+}  // namespace netdiag

@@ -1,0 +1,21 @@
+// Standard normal distribution: density, CDF and inverse CDF.
+//
+// The inverse CDF supplies c_alpha, the 1-alpha standard-normal percentile
+// used by the Jackson-Mudholkar Q-statistic threshold (Section 5.1).
+#pragma once
+
+namespace netdiag {
+
+// Standard normal density at x.
+double normal_pdf(double x);
+
+// Standard normal CDF at x (via erfc; accurate in both tails).
+double normal_cdf(double x);
+
+// Inverse of normal_cdf: the p-quantile of N(0,1), p in (0, 1).
+// Implemented with Acklam's rational approximation refined by one Halley
+// step; absolute error below 1e-9 across the domain.
+// Throws std::invalid_argument when p is outside (0, 1).
+double normal_quantile(double p);
+
+}  // namespace netdiag

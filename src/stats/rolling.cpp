@@ -1,0 +1,44 @@
+#include "stats/rolling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+void running_stats::add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::mean() const {
+    if (n_ == 0) throw std::logic_error("running_stats::mean: no samples");
+    return mean_;
+}
+
+double running_stats::variance() const {
+    if (n_ < 2) throw std::logic_error("running_stats::variance: need at least two samples");
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+    if (lag >= xs.size()) throw std::invalid_argument("autocorrelation: lag too large");
+    double m = 0.0;
+    for (double x : xs) m += x;
+    m /= static_cast<double>(xs.size());
+
+    double denom = 0.0;
+    for (double x : xs) denom += (x - m) * (x - m);
+    if (denom == 0.0) throw std::invalid_argument("autocorrelation: constant series");
+
+    double num = 0.0;
+    for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+        num += (xs[i] - m) * (xs[i + lag] - m);
+    }
+    return num / denom;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,34 @@
+// Streaming moments (Welford) and autocorrelation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netdiag {
+
+// Numerically stable running mean/variance accumulator.
+class running_stats {
+public:
+    void add(double x);
+
+    std::size_t count() const noexcept { return n_; }
+    // Throws std::logic_error when no samples have been added.
+    double mean() const;
+    // Unbiased sample variance; throws std::logic_error with fewer than two
+    // samples.
+    double variance() const;
+    double stddev() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+// Sample autocorrelation of xs at the given lag (biased estimator, as is
+// standard for timeseries diagnostics). Throws std::invalid_argument when
+// lag >= xs.size() or the series is constant.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace netdiag

@@ -1,0 +1,42 @@
+#include "subspace/detectability.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netdiag {
+
+std::vector<flow_detectability> detectability_thresholds(const subspace_model& model,
+                                                         const matrix& a, double confidence) {
+    if (a.rows() != model.dimension()) {
+        throw std::invalid_argument("detectability_thresholds: routing matrix row mismatch");
+    }
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        throw std::invalid_argument("detectability_thresholds: confidence outside (0, 1)");
+    }
+
+    const double delta = std::sqrt(model.q_threshold(confidence));
+    std::vector<flow_detectability> out;
+    out.reserve(a.cols());
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+        vec column = a.column(j);
+        const double a_norm = norm(column);
+        flow_detectability d;
+        d.flow = j;
+        if (a_norm == 0.0) {
+            d.min_detectable_bytes = std::numeric_limits<double>::infinity();
+            out.push_back(d);
+            continue;
+        }
+        scale(column, 1.0 / a_norm);
+        d.residual_alignment = norm(model.project_direction_residual(column));
+        d.min_detectable_bytes =
+            d.residual_alignment > 0.0
+                ? 2.0 * delta / (d.residual_alignment * a_norm)
+                : std::numeric_limits<double>::infinity();
+        out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,30 @@
+// Detectability analysis (Section 5.4).
+//
+// An anomaly in flow i is guaranteed detectable at confidence alpha when
+// its byte size exceeds  2 delta_alpha / (||C~ theta_i|| * ||A_i||).
+// Flows whose direction is closely aligned with the normal subspace have
+// small ||C~ theta_i|| and therefore high thresholds -- large-variance
+// flows tend to be exactly those (the effect behind Figure 9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "subspace/model.h"
+
+namespace netdiag {
+
+struct flow_detectability {
+    std::size_t flow = 0;
+    double residual_alignment = 0.0;     // ||C~ theta_i|| in [0, 1]
+    double min_detectable_bytes = 0.0;   // +infinity when unidentifiable
+};
+
+// One entry per routing-matrix column, in flow order.
+// Throws std::invalid_argument when a's rows differ from the model
+// dimension or confidence is outside (0, 1).
+std::vector<flow_detectability> detectability_thresholds(const subspace_model& model,
+                                                         const matrix& a, double confidence);
+
+}  // namespace netdiag

@@ -1,0 +1,32 @@
+#include "subspace/detector.h"
+
+#include <stdexcept>
+
+namespace netdiag {
+
+spe_detector::spe_detector(const subspace_model& model, double confidence)
+    : model_(&model), confidence_(confidence) {
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        throw std::invalid_argument("spe_detector: confidence outside (0, 1)");
+    }
+    threshold_ = model.q_threshold(confidence);
+}
+
+detection_result spe_detector::test(std::span<const double> y) const {
+    const double spe = model_->spe(y);
+    return {spe > threshold_, spe, threshold_};
+}
+
+std::vector<detection_result> spe_detector::test_all(const matrix& y) const {
+    std::vector<detection_result> out;
+    out.reserve(y.rows());
+    for (std::size_t r = 0; r < y.rows(); ++r) out.push_back(test(y.row(r)));
+    return out;
+}
+
+detection_result spe_detector::test_residual(std::span<const double> residual) const {
+    const double spe = norm_squared(residual);
+    return {spe > threshold_, spe, threshold_};
+}
+
+}  // namespace netdiag

@@ -1,0 +1,43 @@
+#include "subspace/diagnoser.h"
+
+namespace netdiag {
+
+volume_anomaly_diagnoser::volume_anomaly_diagnoser(const matrix& y, const matrix& a,
+                                                   double confidence,
+                                                   const separation_config& sep)
+    : volume_anomaly_diagnoser(subspace_model::fit(y, sep), a, confidence) {}
+
+volume_anomaly_diagnoser::volume_anomaly_diagnoser(subspace_model model, const matrix& a,
+                                                   double confidence)
+    : model_(std::move(model)),
+      detector_(model_, confidence),
+      identifier_(model_, a),
+      quantifier_(a) {}
+
+diagnosis volume_anomaly_diagnoser::diagnose(std::span<const double> y) const {
+    return diagnose_residual(model_.residual(y));
+}
+
+diagnosis volume_anomaly_diagnoser::diagnose_residual(std::span<const double> residual) const {
+    const detection_result det = detector_.test_residual(residual);
+    diagnosis out;
+    out.anomalous = det.anomalous;
+    out.spe = det.spe;
+    out.threshold = det.threshold;
+    if (!det.anomalous) return out;
+
+    const identification_result id = identifier_.identify_residual(residual);
+    out.flow = id.flow;
+    out.magnitude = id.magnitude;
+    out.estimated_bytes = quantifier_.estimate_bytes(id.flow, id.magnitude);
+    return out;
+}
+
+std::vector<diagnosis> volume_anomaly_diagnoser::diagnose_all(const matrix& y) const {
+    std::vector<diagnosis> out;
+    out.reserve(y.rows());
+    for (std::size_t r = 0; r < y.rows(); ++r) out.push_back(diagnose(y.row(r)));
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,59 @@
+// The three-step diagnosis facade: detect -> identify -> quantify.
+//
+// This is the library's primary entry point, matching the paper's problem
+// definition (Section 2.2): given a new whole-network link measurement,
+// decide whether an anomaly is in progress, name the responsible OD flow,
+// and estimate its size in bytes.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "subspace/detector.h"
+#include "subspace/identification.h"
+#include "subspace/model.h"
+#include "subspace/quantification.h"
+
+namespace netdiag {
+
+struct diagnosis {
+    bool anomalous = false;
+    double spe = 0.0;
+    double threshold = 0.0;
+    // Populated only when anomalous.
+    std::optional<std::size_t> flow;
+    double magnitude = 0.0;        // f^ along theta_flow
+    double estimated_bytes = 0.0;  // signed byte estimate
+};
+
+class volume_anomaly_diagnoser {
+public:
+    // Fits the subspace model to historical link measurements y (t x m)
+    // and prepares identification/quantification from routing matrix a
+    // (m x flows). confidence is the 1-alpha detection level (paper: 0.999).
+    volume_anomaly_diagnoser(const matrix& y, const matrix& a, double confidence = 0.999,
+                             const separation_config& sep = {});
+
+    // Assembles from an existing model (ablations, online refits).
+    volume_anomaly_diagnoser(subspace_model model, const matrix& a, double confidence);
+
+    const subspace_model& model() const noexcept { return model_; }
+    const spe_detector& detector() const noexcept { return detector_; }
+    const flow_identifier& identifier() const noexcept { return identifier_; }
+
+    diagnosis diagnose(std::span<const double> y) const;
+    std::vector<diagnosis> diagnose_all(const matrix& y) const;
+
+    // Sweep-friendly variant taking a precomputed residual vector.
+    diagnosis diagnose_residual(std::span<const double> residual) const;
+
+private:
+    subspace_model model_;
+    spe_detector detector_;
+    flow_identifier identifier_;
+    quantifier quantifier_;
+};
+
+}  // namespace netdiag

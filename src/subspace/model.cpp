@@ -1,0 +1,67 @@
+#include "subspace/model.h"
+
+#include <stdexcept>
+
+#include "subspace/qstat.h"
+
+namespace netdiag {
+
+subspace_model::subspace_model(pca_model pca, std::size_t normal_rank)
+    : pca_(std::move(pca)), rank_(normal_rank) {
+    const std::size_t m = pca_.dimension();
+    if (rank_ > m) throw std::invalid_argument("subspace_model: normal rank exceeds dimension");
+
+    // C~ = I - P P^T where P holds the first rank_ principal axes.
+    c_tilde_ = matrix::identity(m);
+    for (std::size_t k = 0; k < rank_; ++k) {
+        const vec v = pca_.principal_axes.column(k);
+        for (std::size_t i = 0; i < m; ++i) {
+            const double vi = v[i];
+            if (vi == 0.0) continue;
+            for (std::size_t j = 0; j < m; ++j) c_tilde_(i, j) -= vi * v[j];
+        }
+    }
+}
+
+subspace_model subspace_model::fit(const matrix& y, const separation_config& sep) {
+    pca_model pca = fit_pca(y);
+    const std::size_t rank = separate_normal_rank(pca, sep);
+    return {std::move(pca), rank};
+}
+
+vec subspace_model::residual(std::span<const double> y) const {
+    if (y.size() != dimension()) throw std::invalid_argument("subspace_model: vector size mismatch");
+    const vec centered = subtract(y, pca_.column_means);
+    return project_direction_residual(centered);
+}
+
+vec subspace_model::modeled(std::span<const double> y) const {
+    if (y.size() != dimension()) throw std::invalid_argument("subspace_model: vector size mismatch");
+    const vec centered = subtract(y, pca_.column_means);
+    const vec resid = project_direction_residual(centered);
+    return subtract(centered, resid);
+}
+
+double subspace_model::spe(std::span<const double> y) const { return norm_squared(residual(y)); }
+
+vec subspace_model::project_direction_residual(std::span<const double> direction) const {
+    if (direction.size() != dimension()) {
+        throw std::invalid_argument("subspace_model: direction size mismatch");
+    }
+    vec out(dimension(), 0.0);
+    for (std::size_t i = 0; i < dimension(); ++i) out[i] = dot(c_tilde_.row(i), direction);
+    return out;
+}
+
+vec subspace_model::spe_series(const matrix& y) const {
+    if (y.cols() != dimension()) throw std::invalid_argument("spe_series: column count mismatch");
+    vec out(y.rows(), 0.0);
+    for (std::size_t r = 0; r < y.rows(); ++r) out[r] = spe(y.row(r));
+    return out;
+}
+
+double subspace_model::q_threshold(double confidence) const {
+    return q_statistic_threshold(pca_.axis_variance, rank_, confidence);
+}
+
+}  // namespace netdiag

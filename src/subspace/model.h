@@ -1,0 +1,57 @@
+// The fitted subspace model: normal subspace S, anomalous subspace S~, and
+// the projectors C = P P^T and C~ = I - P P^T of Section 5.1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "subspace/pca.h"
+#include "subspace/separation.h"
+
+namespace netdiag {
+
+class subspace_model {
+public:
+    // Fits PCA to raw link measurements y (t x m) and separates the
+    // subspaces with the given rule.
+    static subspace_model fit(const matrix& y, const separation_config& sep = {});
+
+    // Assembles a model from an existing PCA with an explicit normal rank
+    // (used by ablations and the online tracker). Throws
+    // std::invalid_argument when normal_rank exceeds the dimension.
+    subspace_model(pca_model pca, std::size_t normal_rank);
+
+    std::size_t dimension() const noexcept { return pca_.dimension(); }
+    std::size_t normal_rank() const noexcept { return rank_; }
+    const pca_model& pca() const noexcept { return pca_; }
+
+    // Residual projector C~ (m x m).
+    const matrix& residual_projector() const noexcept { return c_tilde_; }
+
+    // y is a raw measurement vector (one row of Y, uncentered).
+    // residual(y)  = C~ (y - mean)     -- the anomalous component y~
+    // modeled(y)   = C  (y - mean)     -- the normal component y^ (centered)
+    // spe(y)       = ||residual(y)||^2 -- the squared prediction error
+    vec residual(std::span<const double> y) const;
+    vec modeled(std::span<const double> y) const;
+    double spe(std::span<const double> y) const;
+
+    // C~ applied to a direction (no mean removal): used for anomaly
+    // direction vectors theta_i, which are displacements, not measurements.
+    vec project_direction_residual(std::span<const double> direction) const;
+
+    // SPE for every row of a measurement matrix.
+    vec spe_series(const matrix& y) const;
+
+    // Jackson-Mudholkar threshold delta^2_alpha at the given confidence.
+    double q_threshold(double confidence) const;
+
+private:
+    pca_model pca_;
+    std::size_t rank_ = 0;
+    matrix c_tilde_;  // I - P P^T
+};
+
+}  // namespace netdiag

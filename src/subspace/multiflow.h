@@ -1,0 +1,41 @@
+// Multi-flow anomaly identification (Section 7.2).
+//
+// When an anomaly spans several OD flows with different intensities, the
+// single direction theta_i becomes a matrix Theta whose columns are the
+// (normalized) routing columns of the participating flows, and the scalar
+// magnitude becomes an intensity vector f. The estimate stays the same
+// least-squares projection; Equation (1) is unchanged in form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "subspace/model.h"
+
+namespace netdiag {
+
+struct multi_flow_result {
+    std::vector<std::size_t> flows;   // participating flow indices
+    std::vector<double> intensities;  // fitted f, one per flow
+    double residual_spe = 0.0;        // SPE after removing the joint anomaly
+};
+
+// Fits intensities for a fixed hypothesis set of flows against measurement
+// y. Throws std::invalid_argument for an empty set, duplicate flows, or
+// flows whose joint residual directions are (numerically) linearly
+// dependent -- such hypotheses cannot be distinguished.
+multi_flow_result fit_multi_flow(const subspace_model& model, const matrix& a,
+                                 std::span<const std::size_t> flows,
+                                 std::span<const double> y);
+
+// Greedy multi-flow identification: repeatedly adds the single flow that
+// most reduces the residual SPE until the SPE falls below `target_spe` or
+// `max_flows` is reached. A practical search strategy for DDoS-style
+// anomalies where the participating set is unknown.
+multi_flow_result identify_multi_flow_greedy(const subspace_model& model, const matrix& a,
+                                             std::span<const double> y, double target_spe,
+                                             std::size_t max_flows);
+
+}  // namespace netdiag

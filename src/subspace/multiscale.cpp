@@ -1,0 +1,104 @@
+#include "subspace/multiscale.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/wavelet.h"
+#include "linalg/ops.h"
+#include "subspace/detector.h"
+
+namespace netdiag {
+
+void multiscale_config::validate() const {
+    if (levels == 0) throw std::invalid_argument("multiscale_config: levels must be positive");
+}
+
+std::vector<std::size_t> multiscale_result::any_scale_flags() const {
+    std::vector<std::size_t> out;
+    for (const scale_band_result& band : bands) {
+        out.insert(out.end(), band.flagged_bins.begin(), band.flagged_bins.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<matrix> wavelet_band_matrices(const matrix& y, std::size_t levels) {
+    if (y.rows() < 8) {
+        throw std::invalid_argument("wavelet_band_matrices: need at least 8 measurement rows");
+    }
+    const std::size_t t = y.rows();
+    const std::size_t m = y.cols();
+
+    // Total detail levels available in the (padded) Haar transform.
+    std::size_t max_levels = 0;
+    std::size_t padded = 1;
+    while (padded < t) {
+        padded *= 2;
+        ++max_levels;
+    }
+    const std::size_t usable = std::min(levels, max_levels);
+
+    // s_i = column smoothing that drops the (i + 1) finest detail levels.
+    // Then: band_0 = y - s_0 (finest), band_i = s_{i-1} - s_i, and the
+    // final coarse approximation is s_{usable-1}; everything telescopes
+    // back to y exactly.
+    std::vector<matrix> smooths;
+    smooths.reserve(usable);
+    for (std::size_t i = 0; i < usable; ++i) {
+        const std::size_t keep = max_levels - 1 - i;
+        matrix s(t, m, 0.0);
+        for (std::size_t c = 0; c < m; ++c) {
+            s.set_column(c, wavelet_smooth(y.column(c), keep));
+        }
+        smooths.push_back(std::move(s));
+    }
+
+    std::vector<matrix> bands;
+    bands.reserve(usable + 1);
+    matrix finest(t, m, 0.0);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        finest.data()[i] = y.data()[i] - smooths[0].data()[i];
+    }
+    bands.push_back(std::move(finest));
+    for (std::size_t i = 1; i < usable; ++i) {
+        matrix band(t, m, 0.0);
+        for (std::size_t k = 0; k < y.size(); ++k) {
+            band.data()[k] = smooths[i - 1].data()[k] - smooths[i].data()[k];
+        }
+        bands.push_back(std::move(band));
+    }
+    bands.push_back(smooths.back());  // coarse approximation last
+    return bands;
+}
+
+multiscale_result multiscale_subspace_analysis(const matrix& y, const multiscale_config& cfg) {
+    cfg.validate();
+    std::vector<matrix> bands = wavelet_band_matrices(y, cfg.levels);
+
+    // A band whose SPE is numerical dust relative to the input's energy
+    // carries no signal at that timescale; its (near-)zero threshold must
+    // not flag every bin.
+    const double fro = frobenius_norm(y);
+    const double spe_floor = 1e-15 * fro * fro / static_cast<double>(y.rows());
+
+    multiscale_result out;
+    // Analyze the detail bands (skip the trailing coarse approximation:
+    // it carries the diurnal mean itself, which is the normal pattern).
+    for (std::size_t level = 0; level + 1 < bands.size(); ++level) {
+        const matrix& band = bands[level];
+
+        scale_band_result r;
+        r.level = level;
+        const subspace_model model = subspace_model::fit(band, cfg.separation);
+        r.threshold = model.q_threshold(cfg.confidence);
+        r.spe = model.spe_series(band);
+        for (std::size_t t = 0; t < r.spe.size(); ++t) {
+            if (r.spe[t] > r.threshold && r.spe[t] > spe_floor) r.flagged_bins.push_back(t);
+        }
+        out.bands.push_back(std::move(r));
+    }
+    return out;
+}
+
+}  // namespace netdiag

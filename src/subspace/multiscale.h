@@ -1,0 +1,58 @@
+// Multiscale subspace analysis (Section 7.3's proposed extension).
+//
+// "It is possible to use the subspace method across multiple time scales
+// by applying PCA to the wavelet transform of measured data [23]. In
+// principle, such a method can allow the detection of anomalies at all
+// timescales."
+//
+// Each link timeseries is split into Haar wavelet bands (finest to
+// coarsest detail, plus the coarse approximation); a subspace model is
+// fitted per band and each band keeps its own Q-statistic threshold.
+// Single-bin spikes surface in the fine bands; sustained level shifts
+// surface in the coarse bands that plain single-scale SPE smears out.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "subspace/model.h"
+
+namespace netdiag {
+
+struct multiscale_config {
+    std::size_t levels = 4;       // number of detail bands (finest first)
+    double confidence = 0.999;
+    separation_config separation;
+
+    // Throws std::invalid_argument for zero levels.
+    void validate() const;
+};
+
+struct scale_band_result {
+    std::size_t level = 0;          // 0 = finest detail band
+    double threshold = 0.0;         // delta^2_alpha for this band
+    vec spe;                        // per-bin SPE within the band
+    std::vector<std::size_t> flagged_bins;
+};
+
+struct multiscale_result {
+    std::vector<scale_band_result> bands;  // levels entries, finest first
+
+    // Bins flagged in at least one band (sorted, deduplicated).
+    std::vector<std::size_t> any_scale_flags() const;
+};
+
+// Batch analysis of a measurement matrix y (time x links). Each band is
+// the difference between successive Haar smoothings of the link columns,
+// so the bands sum (with the final coarse approximation) back to y.
+// Throws std::invalid_argument when y has fewer than 8 rows.
+multiscale_result multiscale_subspace_analysis(const matrix& y,
+                                               const multiscale_config& cfg = {});
+
+// The wavelet band matrices themselves (levels + 1 entries: detail bands
+// finest-first, then the coarse approximation). Exposed for tests and for
+// callers wanting custom per-band processing.
+std::vector<matrix> wavelet_band_matrices(const matrix& y, std::size_t levels);
+
+}  // namespace netdiag

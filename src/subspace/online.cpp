@@ -1,0 +1,161 @@
+#include "subspace/online.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "measurement/centering.h"
+#include "subspace/qstat.h"
+
+namespace netdiag {
+
+namespace {
+
+matrix window_to_matrix(const std::deque<vec>& window) {
+    matrix y(window.size(), window.front().size());
+    for (std::size_t r = 0; r < window.size(); ++r) y.set_row(r, window[r]);
+    return y;
+}
+
+}  // namespace
+
+streaming_diagnoser::streaming_diagnoser(const matrix& bootstrap_y, const matrix& a,
+                                         streaming_config cfg)
+    : cfg_(cfg),
+      a_(a),
+      diagnoser_(bootstrap_y, a, cfg.confidence, cfg.separation) {
+    if (cfg_.window < 2) throw std::invalid_argument("streaming_diagnoser: window too small");
+    for (std::size_t r = 0; r < bootstrap_y.rows(); ++r) {
+        const auto row = bootstrap_y.row(r);
+        window_.emplace_back(row.begin(), row.end());
+        if (window_.size() > cfg_.window) window_.pop_front();
+    }
+}
+
+diagnosis streaming_diagnoser::push(std::span<const double> y) {
+    const diagnosis d = diagnoser_.diagnose(y);
+    ++processed_;
+    if (d.anomalous) ++alarms_;
+
+    window_.emplace_back(y.begin(), y.end());
+    if (window_.size() > cfg_.window) window_.pop_front();
+
+    if (cfg_.refit_interval > 0 && ++since_refit_ >= cfg_.refit_interval) {
+        refit();
+        since_refit_ = 0;
+    }
+    return d;
+}
+
+void streaming_diagnoser::refit() {
+    diagnoser_ =
+        volume_anomaly_diagnoser(window_to_matrix(window_), a_, cfg_.confidence, cfg_.separation);
+    ++refits_;
+}
+
+incremental_pca_tracker::incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank)
+    : max_rank_(max_rank) {
+    if (bootstrap_y.rows() < 2) {
+        throw std::invalid_argument("incremental_pca_tracker: need at least two bootstrap rows");
+    }
+    if (max_rank == 0) throw std::invalid_argument("incremental_pca_tracker: max_rank zero");
+
+    centering_result centered = center_columns(bootstrap_y);
+    mean_ = std::move(centered.column_means);
+    count_ = bootstrap_y.rows();
+
+    right_svd full = right_svd_of(centered.centered);
+    const std::size_t keep = std::min(max_rank_, full.s.size());
+    svd_.s.assign(full.s.begin(), full.s.begin() + static_cast<std::ptrdiff_t>(keep));
+    svd_.v.assign(full.v.rows(), keep, 0.0);
+    for (std::size_t j = 0; j < keep; ++j) svd_.v.set_column(j, full.v.column(j));
+}
+
+void incremental_pca_tracker::push(std::span<const double> y) {
+    if (y.size() != mean_.size()) {
+        throw std::invalid_argument("incremental_pca_tracker: measurement size mismatch");
+    }
+    // Center against the running mean, then fold the sample into it. The
+    // mean drifts slowly relative to the update stream, so treating it as
+    // quasi-static is the standard approximation for subspace tracking.
+    const vec centered = subtract(y, mean_);
+    svd_ = append_row(svd_, centered, max_rank_);
+    ++count_;
+    const double w = 1.0 / static_cast<double>(count_);
+    for (std::size_t i = 0; i < mean_.size(); ++i) mean_[i] += w * centered[i];
+}
+
+vec incremental_pca_tracker::axis_variance() const {
+    vec out(svd_.s.size(), 0.0);
+    if (count_ < 2) return out;
+    const double denom = static_cast<double>(count_ - 1);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = svd_.s[i] * svd_.s[i] / denom;
+    return out;
+}
+
+tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
+                                     double confidence, const separation_config& sep)
+    : tracker_(bootstrap_y,
+               std::max(max_rank, separate_normal_rank(fit_pca(bootstrap_y), sep) + 1)),
+      confidence_(confidence) {
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        throw std::invalid_argument("tracking_detector: confidence outside (0, 1)");
+    }
+    dimension_ = bootstrap_y.cols();
+    normal_rank_ = separate_normal_rank(fit_pca(bootstrap_y), sep);
+
+    centering_result centered = center_columns(bootstrap_y);
+    for (std::size_t r = 0; r < centered.centered.rows(); ++r) {
+        total_variance_sum_ += norm_squared(centered.centered.row(r));
+    }
+    refresh_threshold();
+}
+
+void tracking_detector::refresh_threshold() {
+    // Eigenvalue spectrum estimate: tracked values for the top axes, the
+    // untracked remainder spread evenly over the rest of the dimensions.
+    const vec tracked = tracker_.axis_variance();
+    const double denom = static_cast<double>(std::max<std::size_t>(tracker_.sample_count(), 2) - 1);
+    const double total = total_variance_sum_ / denom;
+    double tracked_sum = 0.0;
+    for (double v : tracked) tracked_sum += v;
+
+    vec spectrum(dimension_, 0.0);
+    for (std::size_t i = 0; i < tracked.size() && i < dimension_; ++i) spectrum[i] = tracked[i];
+    const std::size_t rest = dimension_ > tracked.size() ? dimension_ - tracked.size() : 0;
+    if (rest > 0) {
+        const double remainder = std::max(0.0, total - tracked_sum);
+        for (std::size_t i = tracked.size(); i < dimension_; ++i) {
+            spectrum[i] = remainder / static_cast<double>(rest);
+        }
+    }
+    threshold_ = q_statistic_threshold(spectrum, normal_rank_, confidence_);
+}
+
+detection_result tracking_detector::test(std::span<const double> y) const {
+    if (y.size() != dimension_) {
+        throw std::invalid_argument("tracking_detector: measurement size mismatch");
+    }
+    // SPE = ||centered||^2 - ||projection onto the normal axes||^2.
+    const vec centered = subtract(y, tracker_.running_mean());
+    double spe = norm_squared(centered);
+    for (std::size_t k = 0; k < normal_rank_ && k < tracker_.rank(); ++k) {
+        const double proj = dot(tracker_.axes().column(k), centered);
+        spe -= proj * proj;
+    }
+    spe = std::max(spe, 0.0);
+    return {spe > threshold_, spe, threshold_};
+}
+
+detection_result tracking_detector::push(std::span<const double> y) {
+    const detection_result result = test(y);
+    ++processed_;
+    if (result.anomalous) ++alarms_;
+
+    const vec centered = subtract(y, tracker_.running_mean());
+    total_variance_sum_ += norm_squared(centered);
+    tracker_.push(y);
+    refresh_threshold();
+    return result;
+}
+
+}  // namespace netdiag

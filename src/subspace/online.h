@@ -1,0 +1,130 @@
+// Online deployment of the subspace method (Section 7.1).
+//
+// The paper envisions the method as a first-level online monitor: the PCA
+// model is recomputed only occasionally (it is stable week to week), while
+// each arriving measurement is processed against the fixed projector.
+// Two strategies are provided:
+//  - streaming_diagnoser: keeps a sliding window and refits the full model
+//    every refit_interval measurements;
+//  - incremental_pca_tracker: maintains the principal axes with rank-1
+//    SVD row updates (the [12, 13, 24] family the paper cites), avoiding
+//    full recomputation entirely.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/svd_update.h"
+#include "linalg/vector_ops.h"
+#include "subspace/diagnoser.h"
+
+namespace netdiag {
+
+struct streaming_config {
+    std::size_t window = 1008;         // measurements kept for refits
+    std::size_t refit_interval = 144;  // refit every day of 10-min bins; 0 = never
+    double confidence = 0.999;
+    separation_config separation;
+};
+
+class streaming_diagnoser {
+public:
+    // bootstrap_y supplies the initial model and seeds the window.
+    // Throws std::invalid_argument when bootstrap has fewer than two rows
+    // or the routing matrix does not match its width.
+    streaming_diagnoser(const matrix& bootstrap_y, const matrix& a, streaming_config cfg = {});
+
+    // Processes one measurement: diagnoses it against the current model,
+    // appends it to the window, and refits when the interval elapses.
+    diagnosis push(std::span<const double> y);
+
+    std::size_t processed() const noexcept { return processed_; }
+    std::size_t alarm_count() const noexcept { return alarms_; }
+    std::size_t refit_count() const noexcept { return refits_; }
+    const volume_anomaly_diagnoser& current() const noexcept { return diagnoser_; }
+
+private:
+    void refit();
+
+    streaming_config cfg_;
+    matrix a_;
+    std::deque<vec> window_;
+    volume_anomaly_diagnoser diagnoser_;
+    std::size_t processed_ = 0;
+    std::size_t alarms_ = 0;
+    std::size_t refits_ = 0;
+    std::size_t since_refit_ = 0;
+};
+
+// Rank-1 principal-axis tracker. Maintains (approximately) the top
+// max_rank principal axes and variances of the growing measurement matrix
+// without ever recomputing a full decomposition.
+class incremental_pca_tracker {
+public:
+    // Throws std::invalid_argument when bootstrap has fewer than two rows
+    // or max_rank is zero.
+    incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank);
+
+    void push(std::span<const double> y);
+
+    std::size_t sample_count() const noexcept { return count_; }
+    std::size_t rank() const noexcept { return svd_.v.cols(); }
+    const matrix& axes() const noexcept { return svd_.v; }
+    const vec& running_mean() const noexcept { return mean_; }
+
+    // Variance captured per tracked axis: s_i^2 / (count - 1).
+    vec axis_variance() const;
+
+private:
+    right_svd svd_;
+    vec mean_;
+    std::size_t count_ = 0;
+    std::size_t max_rank_ = 0;
+};
+
+// Fully incremental online detector built on rank-1 SVD updates: the
+// model is *never* refit from scratch. The normal subspace is the first
+// `normal_rank` tracked axes (separated once, on the bootstrap data, by
+// the 3-sigma rule); SPE is computed against the tracked axes, and the
+// Q-statistic threshold uses the tracked residual eigenvalues plus the
+// untracked remainder variance spread uniformly over the remaining
+// dimensions -- a documented approximation, since the tracker keeps only
+// max_rank components.
+class tracking_detector {
+public:
+    // max_rank bounds the tracked spectrum; it is raised to the separation
+    // rank + 1 when smaller, so a tracked residual tail always exists.
+    // Throws std::invalid_argument on a degenerate bootstrap or a
+    // confidence outside (0, 1).
+    tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
+                      double confidence = 0.999, const separation_config& sep = {});
+
+    // Tests the measurement against the current model, then folds it into
+    // the tracked decomposition (every measurement refines the model).
+    detection_result push(std::span<const double> y);
+
+    // Test only, without updating the model.
+    detection_result test(std::span<const double> y) const;
+
+    std::size_t processed() const noexcept { return processed_; }
+    std::size_t alarm_count() const noexcept { return alarms_; }
+    std::size_t normal_rank() const noexcept { return normal_rank_; }
+    double threshold() const noexcept { return threshold_; }
+    const incremental_pca_tracker& tracker() const noexcept { return tracker_; }
+
+private:
+    void refresh_threshold();
+
+    incremental_pca_tracker tracker_;
+    double confidence_;
+    std::size_t normal_rank_ = 0;
+    std::size_t dimension_ = 0;
+    double threshold_ = 0.0;
+    double total_variance_sum_ = 0.0;  // running sum of ||y - mean||^2
+    std::size_t processed_ = 0;
+    std::size_t alarms_ = 0;
+};
+
+}  // namespace netdiag

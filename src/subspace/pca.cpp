@@ -1,0 +1,81 @@
+#include "subspace/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "measurement/centering.h"
+
+namespace netdiag {
+
+double pca_model::variance_fraction(std::size_t i) const {
+    if (i >= axis_variance.size()) {
+        throw std::out_of_range("pca_model::variance_fraction: axis out of range");
+    }
+    double total = 0.0;
+    for (double v : axis_variance) total += v;
+    return total > 0.0 ? axis_variance[i] / total : 0.0;
+}
+
+vec pca_model::variance_fractions() const {
+    vec out(axis_variance.size(), 0.0);
+    double total = 0.0;
+    for (double v : axis_variance) total += v;
+    if (total <= 0.0) return out;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = axis_variance[i] / total;
+    return out;
+}
+
+std::size_t pca_model::rank_for_variance(double fraction) const {
+    if (!(fraction > 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument("rank_for_variance: fraction outside (0, 1]");
+    }
+    double total = 0.0;
+    for (double v : axis_variance) total += v;
+    if (total <= 0.0) return 0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < axis_variance.size(); ++i) {
+        acc += axis_variance[i];
+        if (acc >= fraction * total) return i + 1;
+    }
+    return axis_variance.size();
+}
+
+pca_model fit_pca(const matrix& y) {
+    if (y.rows() < 2) throw std::invalid_argument("fit_pca: need at least two measurement rows");
+    if (y.cols() == 0) throw std::invalid_argument("fit_pca: no measurement columns");
+
+    pca_model model;
+    model.sample_count = y.rows();
+
+    centering_result centered = center_columns(y);
+    model.column_means = std::move(centered.column_means);
+
+    const matrix cov = column_covariance(y);
+    sym_eigen_result eig = sym_eigen(cov);
+
+    model.principal_axes = std::move(eig.eigenvectors);
+    model.axis_variance = std::move(eig.eigenvalues);
+    // Covariance eigenvalues are >= 0 in exact arithmetic; clamp round-off.
+    for (double& v : model.axis_variance) v = std::max(v, 0.0);
+
+    // Projections u_i = Yc v_i, normalized to unit length.
+    const std::size_t t = y.rows();
+    const std::size_t m = y.cols();
+    model.projections.assign(t, m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        const vec axis = model.principal_axes.column(i);
+        vec u(t, 0.0);
+        for (std::size_t r = 0; r < t; ++r) u[r] = dot(centered.centered.row(r), axis);
+        const double n = norm(u);
+        if (n > 0.0) {
+            for (double& v : u) v /= n;
+        }
+        model.projections.set_column(i, u);
+    }
+    return model;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,40 @@
+// Principal Component Analysis of the link measurement matrix (Section 4.2).
+//
+// Rows of Y are whole-network snapshots (points in R^m). fit_pca centers
+// the columns, eigendecomposes the sample covariance and exposes:
+//   - principal axes v_i        (columns of `principal_axes`)
+//   - captured variances        (`axis_variance`, descending)
+//   - normalized projections u_i = Y v_i / ||Y v_i||  (columns of
+//     `projections`), the common temporal patterns of Figure 4.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+struct pca_model {
+    matrix principal_axes;  // m x m, orthonormal columns, variance-ordered
+    vec axis_variance;      // sample variance captured per axis, descending
+    matrix projections;     // t x m, unit-norm columns u_i
+    vec column_means;       // per-link means removed before the analysis
+    std::size_t sample_count = 0;
+
+    std::size_t dimension() const noexcept { return principal_axes.rows(); }
+
+    // Fraction of total variance captured by axis i (Figure 3's y axis).
+    double variance_fraction(std::size_t i) const;
+    vec variance_fractions() const;
+
+    // Smallest r such that the first r axes capture at least `fraction` of
+    // the total variance. fraction must lie in (0, 1].
+    std::size_t rank_for_variance(double fraction) const;
+};
+
+// Fits PCA to raw (uncentered) link measurements, t x m with t >= 2.
+// Throws std::invalid_argument on degenerate shapes.
+pca_model fit_pca(const matrix& y);
+
+}  // namespace netdiag

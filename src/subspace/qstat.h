@@ -1,0 +1,23 @@
+// Jackson-Mudholkar Q-statistic threshold for the squared prediction error
+// (Section 5.1). Network traffic is declared normal while
+//     SPE = ||y_residual||^2  <=  delta^2_alpha,
+// where delta^2_alpha depends only on the residual eigenvalue tail and the
+// desired confidence level -- notably *not* on mean traffic volume, which
+// is what makes the test portable across networks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace netdiag {
+
+// delta^2_alpha at the given confidence (e.g. 0.999 for the paper's 99.9%).
+//
+// eigenvalues: all m covariance eigenvalues, descending (as produced by
+// fit_pca); normal_rank: r, the number of axes in the normal subspace.
+// Returns 0 when the residual tail carries no variance. Throws
+// std::invalid_argument for confidence outside (0, 1) or rank > size.
+double q_statistic_threshold(std::span<const double> eigenvalues, std::size_t normal_rank,
+                             double confidence);
+
+}  // namespace netdiag

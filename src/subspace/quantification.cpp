@@ -1,0 +1,39 @@
+#include "subspace/quantification.h"
+
+#include <stdexcept>
+
+namespace netdiag {
+
+quantifier::quantifier(const matrix& a) {
+    if (a.empty()) throw std::invalid_argument("quantifier: empty routing matrix");
+    a_bar_ = a;
+    column_norm_.assign(a.cols(), 0.0);
+    column_sum_.assign(a.cols(), 0.0);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+        const vec col = a.column(j);
+        column_norm_[j] = norm(col);
+        column_sum_[j] = sum(col);
+        if (column_sum_[j] > 0.0) {
+            for (std::size_t i = 0; i < a.rows(); ++i) a_bar_(i, j) = a(i, j) / column_sum_[j];
+        }
+    }
+}
+
+double quantifier::estimate_bytes(std::size_t flow, double magnitude) const {
+    if (flow >= a_bar_.cols()) throw std::out_of_range("quantifier: flow index out of range");
+    if (column_sum_[flow] == 0.0 || column_norm_[flow] == 0.0) return 0.0;
+    // A-bar_i^T (theta_i f) = f * ||A_i||^2 / (sum(A_i) * ||A_i||)
+    //                      = f * ||A_i|| / sum(A_i).
+    return magnitude * column_norm_[flow] / column_sum_[flow];
+}
+
+double quantifier::estimate_bytes_from_link_traffic(std::size_t flow,
+                                                    std::span<const double> y_prime) const {
+    if (flow >= a_bar_.cols()) throw std::out_of_range("quantifier: flow index out of range");
+    if (y_prime.size() != a_bar_.rows()) {
+        throw std::invalid_argument("quantifier: link traffic vector size mismatch");
+    }
+    return dot(a_bar_.column(flow), y_prime);
+}
+
+}  // namespace netdiag

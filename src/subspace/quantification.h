@@ -1,0 +1,38 @@
+// Quantification step (Section 5.3): estimate the number of bytes in the
+// identified anomaly.
+//
+// The anomalous link traffic is y' = y - y*_i = theta_i f^_i; summing it
+// over links and normalizing by how many links the flow crosses gives the
+// byte estimate  A-bar_i^T y', with A-bar the routing matrix normalized to
+// unit column sums.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace netdiag {
+
+class quantifier {
+public:
+    // Throws std::invalid_argument on an empty routing matrix.
+    explicit quantifier(const matrix& a);
+
+    // Bytes attributed to `flow` given the identified anomaly magnitude
+    // f^ along theta_flow. Signed: negative for traffic drops.
+    double estimate_bytes(std::size_t flow, double magnitude) const;
+
+    // General form: A-bar_flow^T y_prime for an explicit anomalous link
+    // traffic vector.
+    double estimate_bytes_from_link_traffic(std::size_t flow,
+                                            std::span<const double> y_prime) const;
+
+private:
+    matrix a_bar_;                    // columns normalized to unit sum
+    std::vector<double> column_norm_; // ||A_i||
+    std::vector<double> column_sum_;  // sum A_i
+};
+
+}  // namespace netdiag

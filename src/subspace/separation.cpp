@@ -1,0 +1,31 @@
+#include "subspace/separation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace netdiag {
+
+void separation_config::validate() const {
+    if (k_sigma <= 0.0) throw std::invalid_argument("separation_config: k_sigma must be positive");
+}
+
+std::size_t separate_normal_rank(const pca_model& model, const separation_config& cfg) {
+    cfg.validate();
+    const std::size_t m = model.dimension();
+    if (cfg.fixed_rank) return std::min(*cfg.fixed_rank, m);
+
+    std::size_t rank = m;  // if no axis looks anomalous, everything is normal
+    for (std::size_t i = 0; i < m; ++i) {
+        const vec u = model.projections.column(i);
+        if (!sigma_exceedances(u, cfg.k_sigma).empty()) {
+            rank = i;
+            break;
+        }
+    }
+    return std::clamp(rank, std::min(cfg.min_normal_axes, m), m);
+}
+
+}  // namespace netdiag

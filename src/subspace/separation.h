@@ -1,0 +1,30 @@
+// Normal/anomalous subspace separation (Section 4.3).
+//
+// The paper's rule: walk the principal axes in variance order; the first
+// axis whose temporal projection u_i contains a deviation of more than
+// three standard deviations from its mean sends that axis -- and all later
+// ones -- to the anomalous subspace. Everything before it is normal.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "subspace/pca.h"
+
+namespace netdiag {
+
+struct separation_config {
+    double k_sigma = 3.0;                    // the "3" in the 3-sigma rule
+    std::size_t min_normal_axes = 1;         // never let the normal space vanish
+    std::optional<std::size_t> fixed_rank;   // bypass the rule entirely (ablations)
+
+    // Throws std::invalid_argument for non-positive k_sigma.
+    void validate() const;
+};
+
+// Number of leading principal axes assigned to the normal subspace S.
+// Always at least min(min_normal_axes, dimension) and at most the model
+// dimension.
+std::size_t separate_normal_rank(const pca_model& model, const separation_config& cfg = {});
+
+}  // namespace netdiag

@@ -1,0 +1,55 @@
+#include "topology/builders.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+std::size_t pop_or_throw(const topology& topo, const std::string& name) {
+    const auto idx = topo.find_pop(name);
+    if (!idx) throw std::logic_error("builders: unknown PoP " + name);
+    return *idx;
+}
+
+void add_edges(topology& topo,
+               std::initializer_list<std::pair<const char*, const char*>> edges) {
+    for (const auto& [a, b] : edges) {
+        topo.add_edge(pop_or_throw(topo, a), pop_or_throw(topo, b));
+    }
+}
+
+}  // namespace
+
+topology make_abilene() {
+    topology topo("Abilene");
+    for (const char* name : {"sttl", "snva", "losa", "dnvr", "kscy", "hstn", "ipls", "atla",
+                             "chin", "wash", "nycm"}) {
+        topo.add_pop(name);
+    }
+    add_edges(topo, {
+                        {"chin", "nycm"}, {"chin", "ipls"}, {"ipls", "kscy"}, {"ipls", "atla"},
+                        {"kscy", "dnvr"}, {"kscy", "hstn"}, {"dnvr", "snva"}, {"dnvr", "sttl"},
+                        {"sttl", "snva"}, {"snva", "losa"}, {"losa", "hstn"}, {"hstn", "atla"},
+                        {"atla", "wash"}, {"wash", "nycm"}, {"ipls", "nycm"},
+                    });
+    topo.finalize();
+    return topo;
+}
+
+topology make_sprint_europe() {
+    topology topo("Sprint-Europe");
+    for (const char* name : {"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m"}) {
+        topo.add_pop(name);
+    }
+    add_edges(topo, {
+                        {"a", "b"}, {"a", "c"}, {"b", "c"}, {"c", "d"}, {"c", "e"}, {"d", "e"},
+                        {"d", "f"}, {"e", "g"}, {"f", "g"}, {"f", "i"}, {"g", "h"}, {"h", "i"},
+                        {"h", "j"}, {"i", "k"}, {"j", "k"}, {"j", "l"}, {"k", "m"}, {"l", "m"},
+                    });
+    topo.finalize();
+    return topo;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,22 @@
+// Builders for the two backbone networks studied in the paper (Figure 2,
+// Table 1): Abilene (11 PoPs, 41 links) and Sprint-Europe (13 PoPs, 49
+// links). Link totals include one intra-PoP link per PoP, matching the
+// paper's accounting.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace netdiag {
+
+// The Internet2 Abilene backbone, 2004: 11 PoPs, 15 bidirectional edges
+// (the 14 physical circuits of the period plus one extra edge so the
+// directed + intra-PoP link total matches the paper's 41; see DESIGN.md).
+topology make_abilene();
+
+// A 13-PoP European backbone standing in for Sprint-Europe, whose exact
+// adjacency is not published. PoPs are named "a".."m" as in Figure 2; the
+// 18 bidirectional edges give the paper's 49-link total, and the OD pair
+// (b, i) routes over the path b-c-d-f-i shown in Figure 1.
+topology make_sprint_europe();
+
+}  // namespace netdiag

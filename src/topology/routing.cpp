@@ -1,0 +1,121 @@
+#include "topology/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+struct path_tree {
+    std::vector<double> dist;
+    std::vector<std::size_t> incoming_link;  // link used to reach each PoP
+    static constexpr std::size_t k_none = std::numeric_limits<std::size_t>::max();
+};
+
+// Dijkstra from origin over directed inter-PoP links. Ties are broken
+// toward the lower predecessor PoP index so routing is deterministic.
+path_tree dijkstra(const topology& topo, std::size_t origin) {
+    const std::size_t n = topo.pop_count();
+    path_tree tree{std::vector<double>(n, std::numeric_limits<double>::infinity()),
+                   std::vector<std::size_t>(n, path_tree::k_none)};
+    std::vector<std::size_t> pred(n, path_tree::k_none);
+    tree.dist[origin] = 0.0;
+
+    using entry = std::pair<double, std::size_t>;  // (distance, pop)
+    std::priority_queue<entry, std::vector<entry>, std::greater<>> queue;
+    queue.emplace(0.0, origin);
+
+    while (!queue.empty()) {
+        const auto [d, u] = queue.top();
+        queue.pop();
+        if (d > tree.dist[u]) continue;
+        for (std::size_t link_id : topo.out_links(u)) {
+            const link& l = topo.link_at(link_id);
+            const double nd = d + l.weight;
+            const bool better = nd < tree.dist[l.dst];
+            const bool tie_break = nd == tree.dist[l.dst] && pred[l.dst] != path_tree::k_none &&
+                                   u < pred[l.dst];
+            if (better || tie_break) {
+                tree.dist[l.dst] = nd;
+                tree.incoming_link[l.dst] = link_id;
+                pred[l.dst] = u;
+                queue.emplace(nd, l.dst);
+            }
+        }
+    }
+    return tree;
+}
+
+}  // namespace
+
+std::size_t routing_result::flow_index(std::size_t origin, std::size_t destination) const {
+    for (std::size_t j = 0; j < pairs.size(); ++j) {
+        if (pairs[j].origin == origin && pairs[j].destination == destination) return j;
+    }
+    throw std::invalid_argument("routing_result::flow_index: unknown OD pair");
+}
+
+std::vector<std::size_t> shortest_path_links(const topology& topo, std::size_t origin,
+                                             std::size_t destination) {
+    if (!topo.finalized()) {
+        throw std::invalid_argument("shortest_path_links: topology not finalized");
+    }
+    if (origin >= topo.pop_count() || destination >= topo.pop_count()) {
+        throw std::invalid_argument("shortest_path_links: unknown PoP index");
+    }
+    if (origin == destination) return {topo.intra_link_of(origin)};
+
+    const path_tree tree = dijkstra(topo, origin);
+    if (tree.incoming_link[destination] == path_tree::k_none) {
+        throw std::invalid_argument("shortest_path_links: destination unreachable");
+    }
+    std::vector<std::size_t> path;
+    std::size_t cur = destination;
+    while (cur != origin) {
+        const std::size_t link_id = tree.incoming_link[cur];
+        path.push_back(link_id);
+        cur = topo.link_at(link_id).src;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+routing_result build_routing(const topology& topo) {
+    if (!topo.finalized()) throw std::invalid_argument("build_routing: topology not finalized");
+    const std::size_t p = topo.pop_count();
+    const std::size_t m = topo.link_count();
+
+    routing_result out;
+    out.pairs.reserve(p * p);
+    for (std::size_t o = 0; o < p; ++o) {
+        for (std::size_t d = 0; d < p; ++d) out.pairs.push_back({o, d});
+    }
+    out.a.assign(m, out.pairs.size(), 0.0);
+
+    for (std::size_t o = 0; o < p; ++o) {
+        const path_tree tree = dijkstra(topo, o);
+        for (std::size_t d = 0; d < p; ++d) {
+            const std::size_t j = o * p + d;
+            if (o == d) {
+                out.a(topo.intra_link_of(o), j) = 1.0;
+                continue;
+            }
+            if (tree.incoming_link[d] == path_tree::k_none) {
+                throw std::invalid_argument("build_routing: destination unreachable from " +
+                                            topo.pop_name(o));
+            }
+            std::size_t cur = d;
+            while (cur != o) {
+                const std::size_t link_id = tree.incoming_link[cur];
+                out.a(link_id, j) = 1.0;
+                cur = topo.link_at(link_id).src;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace netdiag

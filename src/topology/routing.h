@@ -1,0 +1,42 @@
+// Shortest-path routing and the routing matrix A (Section 4.1).
+//
+// A has one row per link and one column per OD flow; A(i, j) = 1 when OD
+// flow j traverses link i. Link traffic then satisfies y = A x where x is
+// the vector of OD flow traffic (Vardi's network tomography relation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "topology/topology.h"
+
+namespace netdiag {
+
+struct od_pair {
+    std::size_t origin = 0;
+    std::size_t destination = 0;
+    bool operator==(const od_pair&) const = default;
+};
+
+struct routing_result {
+    matrix a;                   // link_count x od_pair_count, entries 0/1
+    std::vector<od_pair> pairs; // column j of a corresponds to pairs[j]
+
+    std::size_t flow_count() const noexcept { return pairs.size(); }
+    // Column index for an (origin, destination) pair.
+    std::size_t flow_index(std::size_t origin, std::size_t destination) const;
+};
+
+// Directed link ids on the shortest path from origin to destination
+// (IGP-weighted Dijkstra; deterministic lowest-PoP-index tie-breaking).
+// For origin == destination, the PoP's intra-PoP link. Throws
+// std::invalid_argument if destination is unreachable or the topology is
+// not finalized.
+std::vector<std::size_t> shortest_path_links(const topology& topo, std::size_t origin,
+                                             std::size_t destination);
+
+// Builds A over all PoP pairs (origin-major order, self pairs included).
+routing_result build_routing(const topology& topo);
+
+}  // namespace netdiag

@@ -1,0 +1,100 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netdiag {
+
+std::size_t topology::add_pop(const std::string& pop_name) {
+    if (finalized_) throw std::logic_error("topology::add_pop: topology already finalized");
+    if (find_pop(pop_name)) {
+        throw std::invalid_argument("topology::add_pop: duplicate PoP name " + pop_name);
+    }
+    pops_.push_back(pop_name);
+    out_links_.emplace_back();
+    return pops_.size() - 1;
+}
+
+void topology::add_edge(std::size_t a, std::size_t b, double weight) {
+    if (finalized_) throw std::logic_error("topology::add_edge: topology already finalized");
+    if (a >= pops_.size() || b >= pops_.size()) {
+        throw std::invalid_argument("topology::add_edge: unknown PoP index");
+    }
+    if (a == b) throw std::invalid_argument("topology::add_edge: self edges are not allowed");
+    if (weight <= 0.0) throw std::invalid_argument("topology::add_edge: weight must be positive");
+    for (std::size_t id : out_links_[a]) {
+        if (links_[id].dst == b) {
+            throw std::invalid_argument("topology::add_edge: duplicate edge");
+        }
+    }
+    for (auto [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+        links_.push_back({links_.size(), src, dst, weight, false});
+        out_links_[src].push_back(links_.back().id);
+    }
+}
+
+void topology::finalize() {
+    if (finalized_) throw std::logic_error("topology::finalize: already finalized");
+    first_intra_link_ = links_.size();
+    for (std::size_t p = 0; p < pops_.size(); ++p) {
+        links_.push_back({links_.size(), p, p, 0.0, true});
+    }
+    finalized_ = true;
+}
+
+const std::string& topology::pop_name(std::size_t pop) const {
+    if (pop >= pops_.size()) throw std::out_of_range("topology::pop_name: index out of range");
+    return pops_[pop];
+}
+
+std::optional<std::size_t> topology::find_pop(const std::string& pop_name) const {
+    const auto it = std::find(pops_.begin(), pops_.end(), pop_name);
+    if (it == pops_.end()) return std::nullopt;
+    return static_cast<std::size_t>(it - pops_.begin());
+}
+
+const link& topology::link_at(std::size_t id) const {
+    if (id >= links_.size()) throw std::out_of_range("topology::link_at: index out of range");
+    return links_[id];
+}
+
+std::size_t topology::intra_link_of(std::size_t pop) const {
+    if (!finalized_) throw std::logic_error("topology::intra_link_of: finalize() not called");
+    if (pop >= pops_.size()) {
+        throw std::out_of_range("topology::intra_link_of: index out of range");
+    }
+    return first_intra_link_ + pop;
+}
+
+const std::vector<std::size_t>& topology::out_links(std::size_t pop) const {
+    if (pop >= pops_.size()) throw std::out_of_range("topology::out_links: index out of range");
+    return out_links_[pop];
+}
+
+bool topology::has_edge(std::size_t a, std::size_t b) const {
+    if (a >= pops_.size() || b >= pops_.size()) return false;
+    for (std::size_t id : out_links_[a]) {
+        if (links_[id].dst == b) return true;
+    }
+    return false;
+}
+
+topology remove_edge_copy(const topology& base, std::size_t a, std::size_t b) {
+    if (!base.finalized()) {
+        throw std::invalid_argument("remove_edge_copy: topology not finalized");
+    }
+    if (!base.has_edge(a, b)) {
+        throw std::invalid_argument("remove_edge_copy: edge does not exist");
+    }
+    topology out(base.name() + " (failed " + base.pop_name(a) + "-" + base.pop_name(b) + ")");
+    for (std::size_t p = 0; p < base.pop_count(); ++p) out.add_pop(base.pop_name(p));
+    for (const link& l : base.links()) {
+        if (l.intra || l.src > l.dst) continue;  // each edge once
+        if ((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) continue;
+        out.add_edge(l.src, l.dst, l.weight);
+    }
+    out.finalize();
+    return out;
+}
+
+}  // namespace netdiag

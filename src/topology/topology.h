@@ -1,0 +1,78 @@
+// Backbone network model: PoPs (points of presence) connected by directed
+// links, mirroring Section 2 of the paper. Every bidirectional edge becomes
+// two directed links; every PoP additionally owns one intra-PoP link that
+// carries the OD flow entering and exiting at that PoP (the paper counts
+// these in its 41/49 link totals, see Table 1 footnote).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netdiag {
+
+struct link {
+    std::size_t id = 0;
+    std::size_t src = 0;   // PoP index
+    std::size_t dst = 0;   // PoP index (== src for intra-PoP links)
+    double weight = 1.0;   // IGP metric used for shortest-path routing
+    bool intra = false;
+};
+
+class topology {
+public:
+    topology() = default;  // unnamed empty topology (assign-over placeholder)
+    explicit topology(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const noexcept { return name_; }
+
+    // Registers a PoP and returns its index. Throws std::invalid_argument
+    // on a duplicate name.
+    std::size_t add_pop(const std::string& pop_name);
+
+    // Adds a bidirectional edge as two directed links with the given IGP
+    // weight. Throws std::invalid_argument for unknown PoPs, self-edges,
+    // duplicate edges, or non-positive weight.
+    void add_edge(std::size_t a, std::size_t b, double weight = 1.0);
+
+    // Appends one intra-PoP link per PoP. Must be called exactly once,
+    // after all edges are added (so link ids of inter-PoP links are dense
+    // and stable). Throws std::logic_error if called twice.
+    void finalize();
+    bool finalized() const noexcept { return finalized_; }
+
+    std::size_t pop_count() const noexcept { return pops_.size(); }
+    std::size_t link_count() const noexcept { return links_.size(); }
+
+    const std::string& pop_name(std::size_t pop) const;
+    std::optional<std::size_t> find_pop(const std::string& pop_name) const;
+
+    const std::vector<link>& links() const noexcept { return links_; }
+    const link& link_at(std::size_t id) const;
+
+    // Index of the intra-PoP link of the given PoP. Requires finalize().
+    std::size_t intra_link_of(std::size_t pop) const;
+
+    // Ids of directed inter-PoP links leaving the given PoP.
+    const std::vector<std::size_t>& out_links(std::size_t pop) const;
+
+    // True when a directed inter-PoP link a -> b exists.
+    bool has_edge(std::size_t a, std::size_t b) const;
+
+private:
+    std::string name_;
+    std::vector<std::string> pops_;
+    std::vector<link> links_;
+    std::vector<std::vector<std::size_t>> out_links_;
+    std::size_t first_intra_link_ = 0;
+    bool finalized_ = false;
+};
+
+// A copy of a finalized topology with the bidirectional edge a <-> b
+// removed (link ids re-assigned densely, intra-PoP links rebuilt). Models
+// a link failure for routing-change studies. Throws std::invalid_argument
+// when the edge does not exist or the topology is not finalized.
+topology remove_edge_copy(const topology& base, std::size_t a, std::size_t b);
+
+}  // namespace netdiag

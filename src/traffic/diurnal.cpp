@@ -1,0 +1,36 @@
+#include "traffic/diurnal.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace netdiag {
+
+void diurnal_profile::validate() const {
+    if (daily_amplitude < 0.0 || harmonic_amplitude < 0.0) {
+        throw std::invalid_argument("diurnal_profile: amplitudes must be non-negative");
+    }
+    if (weekend_factor <= 0.0 || weekend_factor > 1.0) {
+        throw std::invalid_argument("diurnal_profile: weekend_factor outside (0, 1]");
+    }
+    // Worst case is a weekend trough: weekend_factor - daily - harmonic.
+    if (weekend_factor <= daily_amplitude + harmonic_amplitude) {
+        throw std::invalid_argument(
+            "diurnal_profile: amplitudes large enough to drive the profile non-positive");
+    }
+}
+
+double diurnal_profile::value(double hours_since_monday) const {
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    const double h = hours_since_monday;
+
+    double v = 1.0 + daily_amplitude * std::cos(two_pi * (h - peak_hour) / 24.0) +
+               harmonic_amplitude * std::cos(two_pi * (h - harmonic_peak_hour) / 12.0);
+
+    // Saturday starts 120 h after Monday midnight; the week wraps at 168 h.
+    const double hour_of_week = h - 168.0 * std::floor(h / 168.0);
+    if (hour_of_week >= 120.0) v -= 1.0 - weekend_factor;
+    return v;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,33 @@
+// Diurnal and weekly traffic modulation.
+//
+// Backbone traffic is dominated by a strong daily cycle with a weekly
+// (weekday/weekend) overlay; these few shared temporal patterns are exactly
+// what the paper's Figure 4 shows landing in the first principal components.
+#pragma once
+
+namespace netdiag {
+
+// Multiplicative traffic profile. value() maps an absolute time (hours
+// since Monday 00:00) to a positive multiplier around 1.0.
+struct diurnal_profile {
+    double daily_amplitude = 0.40;    // strength of the 24 h cycle, in [0, 1)
+    double harmonic_amplitude = 0.02; // 12 h harmonic (lunch-dip shape)
+    double peak_hour = 14.0;          // local hour of the daily maximum
+    double harmonic_peak_hour = 14.0; // phase of the 12 h harmonic
+    // Weekend base level, in (0, 1]. The dip is additive -- the profile
+    // drops by (1 - weekend_factor) on Sat/Sun -- so the weekly structure
+    // stays a single temporal dimension (a square wave) instead of
+    // spawning weekend x diurnal product dimensions. This keeps the
+    // ensemble's smooth structure as low-dimensional as the backbone
+    // traffic the paper measures (Figure 3).
+    double weekend_factor = 0.7;
+
+    // Throws std::invalid_argument if the amplitudes can drive the profile
+    // non-positive (requires weekend_factor > daily + harmonic amplitude)
+    // or weekend_factor falls outside (0, 1].
+    void validate() const;
+
+    double value(double hours_since_monday) const;
+};
+
+}  // namespace netdiag

@@ -1,0 +1,121 @@
+#include "traffic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+#include "traffic/diurnal.h"
+#include "traffic/noise.h"
+
+namespace netdiag {
+
+void traffic_config::validate() const {
+    if (bins == 0) throw std::invalid_argument("traffic_config: bins must be positive");
+    if (bin_seconds <= 0.0) throw std::invalid_argument("traffic_config: bin_seconds must be positive");
+    if (ar_sigma_rel < 0.0 || white_sigma_rel < 0.0) {
+        throw std::invalid_argument("traffic_config: noise levels must be non-negative");
+    }
+    if (anomaly_min_bytes > anomaly_max_bytes) {
+        throw std::invalid_argument("traffic_config: anomaly_min_bytes exceeds anomaly_max_bytes");
+    }
+    if (anomaly_negative_fraction < 0.0 || anomaly_negative_fraction > 1.0) {
+        throw std::invalid_argument("traffic_config: anomaly_negative_fraction outside [0, 1]");
+    }
+    if (weekend_factor_min <= 0.0 || weekend_factor_max > 1.0 ||
+        weekend_factor_min > weekend_factor_max) {
+        throw std::invalid_argument("traffic_config: weekend factor range outside (0, 1]");
+    }
+    if (weekly_amplitude_max < 0.0 || weekly_amplitude_max >= 0.4) {
+        throw std::invalid_argument("traffic_config: weekly_amplitude_max outside [0, 0.4)");
+    }
+    diurnal_profile{}.validate();
+}
+
+od_traffic generate_od_traffic(const std::vector<double>& flow_means,
+                               const traffic_config& cfg) {
+    cfg.validate();
+    if (flow_means.empty()) throw std::invalid_argument("generate_od_traffic: no flows");
+    for (double m : flow_means) {
+        if (m < 0.0) throw std::invalid_argument("generate_od_traffic: negative flow mean");
+    }
+
+    const std::size_t n = flow_means.size();
+    const std::size_t t = cfg.bins;
+    std::mt19937_64 rng(cfg.seed);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+
+    od_traffic out;
+    out.x.assign(n, t, 0.0);
+
+    const double hours_per_bin = cfg.bin_seconds / 3600.0;
+    constexpr double two_pi = 6.283185307179586;
+    for (std::size_t j = 0; j < n; ++j) {
+        diurnal_profile profile;
+        profile.peak_hour = cfg.peak_hour + (2.0 * unit(rng) - 1.0) * cfg.peak_hour_jitter;
+        profile.daily_amplitude =
+            std::max(0.05, profile.daily_amplitude + (2.0 * unit(rng) - 1.0) * cfg.amplitude_jitter);
+        profile.weekend_factor = cfg.weekend_factor_min +
+                                 unit(rng) * (cfg.weekend_factor_max - cfg.weekend_factor_min);
+        profile.harmonic_peak_hour = 12.0 * unit(rng);  // independent phase
+        profile.validate();
+        // Signed per-flow weight on the shared weekly trend.
+        const double weekly = (2.0 * unit(rng) - 1.0) * cfg.weekly_amplitude_max;
+
+        const double m = flow_means[j];
+        ar1_process wander(cfg.ar_coefficient, cfg.ar_sigma_rel * m, rng());
+        for (std::size_t ti = 0; ti < t; ++ti) {
+            const double hours = static_cast<double>(ti) * hours_per_bin;
+            const double seasonal =
+                profile.value(hours) + weekly * std::sin(two_pi * hours / 168.0);
+            double v = m * seasonal + wander.next() + cfg.white_sigma_rel * m * gauss(rng);
+            out.x(j, ti) = std::max(0.0, v);
+        }
+    }
+
+    // Inject ground-truth single-bin anomalies on distinct (flow, t) cells.
+    // Keep a margin at the edges so bidirectional smoothing baselines have
+    // history on both sides, and prefer distinct flows while possible so
+    // anomalies spread across the network.
+    const std::size_t margin = std::min<std::size_t>(t / 20 + 1, 24);
+    if (cfg.anomaly_count > 0 && t > 2 * margin) {
+        std::uniform_int_distribution<std::size_t> flow_dist(0, n - 1);
+        std::uniform_int_distribution<std::size_t> time_dist(margin, t - margin - 1);
+        std::uniform_real_distribution<double> size_dist(cfg.anomaly_min_bytes,
+                                                         cfg.anomaly_max_bytes);
+        std::set<std::pair<std::size_t, std::size_t>> used_cells;
+        std::set<std::size_t> used_flows;
+        for (std::size_t k = 0; k < cfg.anomaly_count; ++k) {
+            std::size_t flow = 0;
+            std::size_t when = 0;
+            for (int attempt = 0; attempt < 1000; ++attempt) {
+                flow = flow_dist(rng);
+                when = time_dist(rng);
+                if (used_cells.contains({flow, when})) continue;
+                if (used_flows.contains(flow) && used_flows.size() < n &&
+                    attempt < 100) {
+                    continue;  // prefer unused flows early on
+                }
+                break;
+            }
+            used_cells.insert({flow, when});
+            used_flows.insert(flow);
+
+            double amplitude = size_dist(rng);
+            if (unit(rng) < cfg.anomaly_negative_fraction) amplitude = -amplitude;
+            // A negative anomaly cannot remove more traffic than is there.
+            if (amplitude < 0.0) amplitude = std::max(amplitude, -0.9 * out.x(flow, when));
+            out.x(flow, when) = std::max(0.0, out.x(flow, when) + amplitude);
+            out.anomalies.push_back({flow, when, amplitude});
+        }
+        std::sort(out.anomalies.begin(), out.anomalies.end(),
+                  [](const anomaly_event& a, const anomaly_event& b) {
+                      return a.t != b.t ? a.t < b.t : a.flow < b.flow;
+                  });
+    }
+    return out;
+}
+
+}  // namespace netdiag

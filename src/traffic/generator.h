@@ -1,0 +1,70 @@
+// OD flow traffic generator.
+//
+// Produces a flows x time matrix of byte counts whose second-order structure
+// matches the properties the paper's method exploits: a few strong temporal
+// trends shared across flows (diurnal + weekly), flow-specific AR(1)
+// wander, measurement noise, and rare single-bin volume anomalies whose
+// locations and sizes are recorded as ground truth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+// A ground-truth volume anomaly: `amplitude_bytes` extra bytes added to
+// flow `flow` during time bin `t` (negative for traffic drops).
+struct anomaly_event {
+    std::size_t flow = 0;
+    std::size_t t = 0;
+    double amplitude_bytes = 0.0;
+    bool operator==(const anomaly_event&) const = default;
+};
+
+struct traffic_config {
+    std::size_t bins = 1008;        // one week of 10-minute bins
+    double bin_seconds = 600.0;
+    // Relative per-flow noise levels.
+    double ar_coefficient = 0.92;    // AR(1) phi for the wandering component
+    double ar_sigma_rel = 0.018;     // AR(1) innovation stddev as fraction of flow mean
+    double white_sigma_rel = 0.023;  // white measurement noise fraction
+    // Per-flow diurnal profile randomization (around diurnal_profile
+    // defaults). Backbone OD flows span timezones, so peak hours spread
+    // widely; this is what puts several smooth dimensions into the data
+    // (sin and cos components of each periodicity).
+    double peak_hour = 14.0;
+    double peak_hour_jitter = 4.0;  // uniform +/- jitter across flows
+    double amplitude_jitter = 0.10; // uniform +/- on daily_amplitude
+    double weekend_factor_min = 0.65;  // per-flow weekend level range
+    double weekend_factor_max = 0.85;
+    // Shared weekly (168 h) trend with per-flow random weight: gives the
+    // ensemble several genuinely smooth common dimensions, as real
+    // backbone traffic shows (paper Figures 3-4).
+    double weekly_amplitude_max = 0.02;
+    // Ground-truth anomaly injection.
+    std::size_t anomaly_count = 12;
+    double anomaly_min_bytes = 1.8e7;
+    double anomaly_max_bytes = 4.0e7;
+    double anomaly_negative_fraction = 0.15;  // fraction that are traffic drops
+    std::uint64_t seed = 42;
+
+    // Throws std::invalid_argument on inconsistent settings (zero bins,
+    // negative noise, min > max anomaly size, ...).
+    void validate() const;
+};
+
+struct od_traffic {
+    matrix x;                             // flows x bins, bytes per bin, >= 0
+    std::vector<anomaly_event> anomalies; // injected ground truth, time-ordered
+};
+
+// Generates traffic for flows with the given mean rates (bytes per bin, in
+// OD order; see gravity_flow_means). Anomalies are placed on distinct
+// (flow, t) cells, away from the first/last bins so that bidirectional
+// EWMA has context. Deterministic for a fixed config.
+od_traffic generate_od_traffic(const std::vector<double>& flow_means, const traffic_config& cfg);
+
+}  // namespace netdiag

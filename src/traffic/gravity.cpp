@@ -1,0 +1,38 @@
+#include "traffic/gravity.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+
+std::vector<double> gravity_flow_means(std::size_t pop_count, const gravity_config& cfg) {
+    if (pop_count == 0) throw std::invalid_argument("gravity_flow_means: zero PoPs");
+    if (cfg.total_mean_bytes_per_bin <= 0.0) {
+        throw std::invalid_argument("gravity_flow_means: total mean must be positive");
+    }
+    if (cfg.intra_pop_scale <= 0.0) {
+        throw std::invalid_argument("gravity_flow_means: intra_pop_scale must be positive");
+    }
+
+    std::mt19937_64 rng(cfg.seed);
+    std::lognormal_distribution<double> weight_dist(0.0, cfg.weight_sigma);
+    std::vector<double> weights(pop_count);
+    for (double& w : weights) w = weight_dist(rng);
+
+    std::vector<double> means(pop_count * pop_count, 0.0);
+    double total = 0.0;
+    for (std::size_t o = 0; o < pop_count; ++o) {
+        for (std::size_t d = 0; d < pop_count; ++d) {
+            double v = weights[o] * weights[d];
+            if (o == d) v *= cfg.intra_pop_scale;
+            means[o * pop_count + d] = v;
+            total += v;
+        }
+    }
+    const double scale = cfg.total_mean_bytes_per_bin / total;
+    for (double& v : means) v *= scale;
+    return means;
+}
+
+}  // namespace netdiag

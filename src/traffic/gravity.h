@@ -1,0 +1,26 @@
+// Gravity model for OD flow mean rates.
+//
+// The paper's OD flow sizes span orders of magnitude (Figure 9's x axis
+// runs from 10^2 to 10^6). A gravity model with lognormal PoP weights
+// reproduces that spread: flow (o, d) gets mean proportional to w_o * w_d.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netdiag {
+
+struct gravity_config {
+    double total_mean_bytes_per_bin = 3.5e8; // network-wide offered load per time bin
+    double weight_sigma = 1.0;               // lognormal sigma of PoP weights
+    double intra_pop_scale = 0.3;            // damping for o == d flows
+    std::uint64_t seed = 1;
+};
+
+// Per-flow mean rates in origin-major OD order (o * pop_count + d), summing
+// to total_mean_bytes_per_bin. Throws std::invalid_argument for zero PoPs
+// or non-positive totals/scales.
+std::vector<double> gravity_flow_means(std::size_t pop_count, const gravity_config& cfg);
+
+}  // namespace netdiag

@@ -1,0 +1,31 @@
+#include "traffic/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+ar1_process::ar1_process(double phi, double sigma, std::uint64_t seed)
+    : phi_(phi), sigma_(sigma), state_(0.0), rng_(seed) {
+    if (std::abs(phi) >= 1.0) {
+        throw std::invalid_argument("ar1_process: |phi| must be below 1 for stationarity");
+    }
+    if (sigma < 0.0) throw std::invalid_argument("ar1_process: sigma must be non-negative");
+    stationary_stddev_ = sigma / std::sqrt(1.0 - phi * phi);
+    state_ = stationary_stddev_ * gauss_(rng_);
+}
+
+double ar1_process::next() {
+    const double current = state_;
+    state_ = phi_ * state_ + sigma_ * gauss_(rng_);
+    return current;
+}
+
+std::vector<double> ar1_series(std::size_t n, double phi, double sigma, std::uint64_t seed) {
+    ar1_process proc(phi, sigma, seed);
+    std::vector<double> out(n);
+    for (double& v : out) v = proc.next();
+    return out;
+}
+
+}  // namespace netdiag

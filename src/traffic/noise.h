@@ -1,0 +1,36 @@
+// Noise processes used by the OD traffic generator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace netdiag {
+
+// First-order autoregressive Gaussian process: x_t = phi * x_{t-1} + e_t,
+// e_t ~ N(0, sigma^2), started from its stationary distribution. Models the
+// slowly-wandering component of OD flow traffic on top of the diurnal mean.
+class ar1_process {
+public:
+    // Throws std::invalid_argument unless |phi| < 1 and sigma >= 0.
+    ar1_process(double phi, double sigma, std::uint64_t seed);
+
+    double next();
+
+    // Standard deviation of the stationary distribution.
+    double stationary_stddev() const noexcept { return stationary_stddev_; }
+
+private:
+    double phi_;
+    double sigma_;
+    double state_;
+    double stationary_stddev_;
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> gauss_{0.0, 1.0};
+};
+
+// A full series of n AR(1) samples.
+std::vector<double> ar1_series(std::size_t n, double phi, double sigma, std::uint64_t seed);
+
+}  // namespace netdiag

@@ -1,0 +1,53 @@
+#include "traffic/packet_model.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+
+void packet_model_config::validate() const {
+    if (avg_packet_bytes <= 0.0) {
+        throw std::invalid_argument("packet_model_config: avg_packet_bytes must be positive");
+    }
+    if (size_jitter < 0.0 || size_jitter >= 1.0) {
+        throw std::invalid_argument("packet_model_config: size_jitter outside [0, 1)");
+    }
+}
+
+matrix packets_from_bytes(const matrix& bytes, const packet_model_config& cfg) {
+    cfg.validate();
+    std::mt19937_64 rng(cfg.seed);
+    std::uniform_real_distribution<double> jitter(1.0 - cfg.size_jitter,
+                                                  1.0 + cfg.size_jitter);
+    matrix packets(bytes.rows(), bytes.cols(), 0.0);
+    for (std::size_t flow = 0; flow < bytes.rows(); ++flow) {
+        const double flow_packet_bytes = cfg.avg_packet_bytes * jitter(rng);
+        const auto src = bytes.row(flow);
+        const auto dst = packets.row(flow);
+        for (std::size_t t = 0; t < bytes.cols(); ++t) dst[t] = src[t] / flow_packet_bytes;
+    }
+    return packets;
+}
+
+void flood_event::validate() const {
+    if (t_begin >= t_end) throw std::invalid_argument("flood_event: empty time window");
+    if (packets_per_bin <= 0.0 || bytes_per_packet <= 0.0) {
+        throw std::invalid_argument("flood_event: rates must be positive");
+    }
+}
+
+void inject_small_packet_flood(matrix& bytes, matrix& packets, const flood_event& event) {
+    event.validate();
+    if (bytes.rows() != packets.rows() || bytes.cols() != packets.cols()) {
+        throw std::invalid_argument("inject_small_packet_flood: metric shape mismatch");
+    }
+    if (event.flow >= bytes.rows() || event.t_end > bytes.cols()) {
+        throw std::invalid_argument("inject_small_packet_flood: event outside matrix bounds");
+    }
+    for (std::size_t t = event.t_begin; t < event.t_end; ++t) {
+        packets(event.flow, t) += event.packets_per_bin;
+        bytes(event.flow, t) += event.packets_per_bin * event.bytes_per_packet;
+    }
+}
+
+}  // namespace netdiag

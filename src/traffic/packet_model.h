@@ -1,0 +1,52 @@
+// Alternative measurement metrics (Section 7.2).
+//
+// "It is also possible to consider applying the subspace method to other
+// metrics on links ... for example, the number of IP flows passing over a
+// link, or the average packet size."
+//
+// This module derives per-bin packet counts from the byte-count traffic
+// and provides a small-packet flood injector: an attack that adds many
+// tiny packets moves the packet-count metric strongly while barely
+// perturbing bytes -- exactly the case where monitoring a second metric
+// pays off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+struct packet_model_config {
+    double avg_packet_bytes = 800.0;  // network-wide mean packet size
+    double size_jitter = 0.25;        // +/- relative spread of per-flow mean size
+    std::uint64_t seed = 99;
+
+    // Throws std::invalid_argument for non-positive packet size or jitter
+    // outside [0, 1).
+    void validate() const;
+};
+
+// Packet counts per (flow, bin) derived from byte counts with a per-flow
+// mean packet size. Deterministic for a fixed config.
+matrix packets_from_bytes(const matrix& bytes, const packet_model_config& cfg = {});
+
+// A sustained small-packet flood on one OD flow.
+struct flood_event {
+    std::size_t flow = 0;
+    std::size_t t_begin = 0;
+    std::size_t t_end = 0;            // one past the last affected bin
+    double packets_per_bin = 1e6;
+    double bytes_per_packet = 60.0;   // minimum-size packets
+
+    // Throws std::invalid_argument for an empty window or non-positive
+    // rates.
+    void validate() const;
+};
+
+// Adds the flood to both metric matrices (flows x time). Throws
+// std::invalid_argument when the event exceeds either matrix's bounds.
+void inject_small_packet_flood(matrix& bytes, matrix& packets, const flood_event& event);
+
+}  // namespace netdiag

@@ -1,0 +1,64 @@
+#include "traffic/sampling.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+
+void sampling_config::validate() const {
+    if (!(rate > 0.0 && rate <= 1.0)) {
+        throw std::invalid_argument("sampling_config: rate outside (0, 1]");
+    }
+    if (avg_packet_bytes <= 0.0) {
+        throw std::invalid_argument("sampling_config: avg_packet_bytes must be positive");
+    }
+}
+
+matrix sample_periodic(const matrix& bytes_per_bin, const sampling_config& cfg) {
+    cfg.validate();
+    std::mt19937_64 rng(cfg.seed);
+    std::uniform_real_distribution<double> phase(-1.0, 1.0);
+
+    matrix out(bytes_per_bin.rows(), bytes_per_bin.cols());
+    const double bytes_per_sample = cfg.avg_packet_bytes / cfg.rate;
+    for (std::size_t i = 0; i < bytes_per_bin.rows(); ++i) {
+        for (std::size_t j = 0; j < bytes_per_bin.cols(); ++j) {
+            const double truth = bytes_per_bin(i, j);
+            // Periodic sampling counts floor(n/N) +- 1 packets depending on
+            // where the bin boundary lands in the sampling cycle.
+            const double estimate = truth + phase(rng) * bytes_per_sample;
+            out(i, j) = std::max(0.0, estimate);
+        }
+    }
+    return out;
+}
+
+matrix sample_random(const matrix& bytes_per_bin, const sampling_config& cfg) {
+    cfg.validate();
+    std::mt19937_64 rng(cfg.seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+
+    matrix out(bytes_per_bin.rows(), bytes_per_bin.cols());
+    for (std::size_t i = 0; i < bytes_per_bin.rows(); ++i) {
+        for (std::size_t j = 0; j < bytes_per_bin.cols(); ++j) {
+            const double truth = bytes_per_bin(i, j);
+            const double packets = truth / cfg.avg_packet_bytes;
+            double sampled;
+            const double expected = packets * cfg.rate;
+            if (expected > 50.0) {
+                // Normal approximation to Binomial(packets, rate).
+                const double sd = std::sqrt(packets * cfg.rate * (1.0 - cfg.rate));
+                sampled = expected + sd * gauss(rng);
+            } else {
+                std::binomial_distribution<long> binom(
+                    static_cast<long>(std::llround(packets)), cfg.rate);
+                sampled = static_cast<double>(binom(rng));
+            }
+            out(i, j) = std::max(0.0, sampled / cfg.rate * cfg.avg_packet_bytes);
+        }
+    }
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,37 @@
+// Packet-sampling simulators (Section 3 of the paper).
+//
+// Sprint data was collected with periodic NetFlow sampling (every 250th
+// packet); Abilene with 1% random (Juniper) sampling. Both estimate bytes
+// by scaling sampled counts by the inverse sampling rate. Random sampling
+// is noticeably noisier -- the paper credits Abilene's higher false-alarm
+// rate to exactly this -- so the two simulators differ in noise model:
+//  - periodic: near-deterministic, small phase-dependent relative error;
+//  - random:   binomial packet thinning, rescaled.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+struct sampling_config {
+    double rate = 0.01;               // fraction of packets sampled
+    double avg_packet_bytes = 800.0;  // converts bytes to packet counts
+    std::uint64_t seed = 7;
+
+    // Throws std::invalid_argument for rate outside (0, 1] or non-positive
+    // packet size.
+    void validate() const;
+};
+
+// Periodic 1-in-N sampling (NetFlow style). The estimate deviates from the
+// truth only through packet-boundary phase effects, modeled as a +/- one
+// sampled-packet uniform error per bin.
+matrix sample_periodic(const matrix& bytes_per_bin, const sampling_config& cfg);
+
+// Random per-packet sampling (Juniper style): binomial thinning of the
+// packet count at the configured rate, rescaled by 1/rate.
+matrix sample_random(const matrix& bytes_per_bin, const sampling_config& cfg);
+
+}  // namespace netdiag

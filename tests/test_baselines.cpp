@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "linalg/ops.h"
+
+#include "baselines/ewma.h"
+#include "baselines/fourier.h"
+#include "baselines/holt_winters.h"
+#include "baselines/link_residual.h"
+#include "stats/descriptive.h"
+
+namespace netdiag {
+namespace {
+
+vec sinusoid(std::size_t n, double period_bins, double amplitude, double offset) {
+    vec out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = offset +
+                 amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period_bins);
+    }
+    return out;
+}
+
+TEST(Ewma, ForecastRecurrence) {
+    const vec series{10.0, 20.0, 30.0};
+    const ewma_config cfg{.alpha = 0.5};
+    const vec f = ewma_forecast(series, cfg);
+    EXPECT_DOUBLE_EQ(f[0], 10.0);
+    EXPECT_DOUBLE_EQ(f[1], 0.5 * 10.0 + 0.5 * 10.0);  // alpha z0 + (1-a) f0
+    EXPECT_DOUBLE_EQ(f[2], 0.5 * 20.0 + 0.5 * 10.0);
+}
+
+TEST(Ewma, ConstantSeriesHasZeroResidual) {
+    const vec series(50, 42.0);
+    const vec sizes = ewma_anomaly_sizes(series);
+    for (double s : sizes) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+TEST(Ewma, SpikeShowsUpAtItsBin) {
+    vec series(100, 10.0);
+    series[50] = 100.0;
+    const vec sizes = ewma_anomaly_sizes(series);
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    EXPECT_EQ(argmax, 50u);
+    EXPECT_GT(sizes[50], 80.0);
+}
+
+TEST(Ewma, BidirectionalSuppressesPostSpikeEcho) {
+    // Footnote 4: forward-only EWMA flags the bin after a spike too. The
+    // bidirectional minimum must suppress that echo.
+    vec series(100, 10.0);
+    series[50] = 100.0;
+    const vec forward = ewma_residual_sizes(series, {.alpha = 0.3});
+    const vec both = ewma_anomaly_sizes(series, {.alpha = 0.3});
+    EXPECT_GT(forward[51], 15.0);  // echo present forward-only
+    EXPECT_LT(both[51], 1e-9);     // suppressed bidirectionally
+    EXPECT_GT(both[50], 80.0);     // real spike survives
+}
+
+TEST(Ewma, AlphaBoundsValidated) {
+    const vec series{1.0, 2.0};
+    EXPECT_THROW(ewma_forecast(series, {.alpha = -0.1}), std::invalid_argument);
+    EXPECT_THROW(ewma_forecast(series, {.alpha = 1.1}), std::invalid_argument);
+    EXPECT_THROW(ewma_forecast(vec{}, {}), std::invalid_argument);
+}
+
+TEST(Fourier, FitsPureDiurnalSignalExactly) {
+    // 24 h period with 10-minute bins = 144 bins per cycle; one week.
+    const vec series = sinusoid(1008, 144.0, 5.0, 20.0);
+    const vec fitted = fourier_fit(series, {});
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        EXPECT_NEAR(fitted[i], series[i], 1e-6);
+    }
+}
+
+TEST(Fourier, SpikeLandsInResidual) {
+    vec series = sinusoid(1008, 144.0, 5.0, 20.0);
+    series[400] += 50.0;
+    const vec sizes = fourier_anomaly_sizes(series, {});
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    EXPECT_EQ(argmax, 400u);
+    EXPECT_GT(sizes[400], 40.0);
+}
+
+TEST(Fourier, ResidualSmallForCompositePeriodicSignal) {
+    // Sum of daily + half-daily + weekly cycles: all inside the basis.
+    vec series(1008, 0.0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double t = static_cast<double>(i);
+        series[i] = 100.0 + 10.0 * std::sin(2.0 * std::numbers::pi * t / 144.0) +
+                    4.0 * std::cos(2.0 * std::numbers::pi * t / 72.0) +
+                    2.0 * std::sin(2.0 * std::numbers::pi * t / 1008.0);
+    }
+    const vec sizes = fourier_anomaly_sizes(series, {});
+    EXPECT_LT(max_value(sizes), 1e-6);
+}
+
+TEST(Fourier, ConfigValidation) {
+    const vec series(100, 1.0);
+    fourier_config cfg;
+    cfg.periods_hours.clear();
+    EXPECT_THROW(fourier_fit(series, cfg), std::invalid_argument);
+    fourier_config bad;
+    bad.periods_hours = {-1.0};
+    EXPECT_THROW(fourier_fit(series, bad), std::invalid_argument);
+    const vec tiny(5, 1.0);
+    EXPECT_THROW(fourier_fit(tiny, {}), std::invalid_argument);
+}
+
+TEST(HoltWinters, TracksSeasonalSignal) {
+    // Two exact seasons to initialize, then verify low forecast error.
+    const std::size_t season = 144;
+    const vec series = sinusoid(season * 5, static_cast<double>(season), 8.0, 50.0);
+    const vec sizes = holt_winters_anomaly_sizes(series, {.season_length = season});
+    double worst = 0.0;
+    for (std::size_t t = 3 * season; t < series.size(); ++t) worst = std::max(worst, sizes[t]);
+    EXPECT_LT(worst, 1.0);
+}
+
+TEST(HoltWinters, SpikeDetected) {
+    const std::size_t season = 144;
+    vec series = sinusoid(season * 5, static_cast<double>(season), 8.0, 50.0);
+    series[season * 4] += 60.0;
+    const vec sizes = holt_winters_anomaly_sizes(series, {.season_length = season});
+    EXPECT_GT(sizes[season * 4], 40.0);
+}
+
+TEST(HoltWinters, Validation) {
+    const vec short_series(100, 1.0);
+    EXPECT_THROW(holt_winters_forecast(short_series, {.season_length = 144}),
+                 std::invalid_argument);
+    const vec ok(400, 1.0);
+    EXPECT_THROW(holt_winters_forecast(ok, holt_winters_config{.alpha = 1.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(holt_winters_forecast(ok, holt_winters_config{.season_length = 0}),
+                 std::invalid_argument);
+}
+
+TEST(LinkResidual, EwmaResidualMatrixMatchesPerColumn) {
+    matrix y(200, 3, 0.0);
+    std::mt19937_64 rng(5);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = 100.0 + gauss(rng);
+
+    const matrix resid = ewma_link_residuals(y, {});
+    ASSERT_EQ(resid.rows(), 200u);
+    ASSERT_EQ(resid.cols(), 3u);
+    const vec col0 = y.column(0);
+    const vec forecast = ewma_forecast(col0, {});
+    for (std::size_t r = 0; r < 200; r += 17) {
+        EXPECT_NEAR(resid(r, 0), col0[r] - forecast[r], 1e-12);
+    }
+}
+
+TEST(LinkResidual, NormSeriesIsRowwiseSquaredNorm) {
+    const matrix resid{{3.0, 4.0}, {0.0, 1.0}};
+    const vec norms = residual_norm_series(resid);
+    ASSERT_EQ(norms.size(), 2u);
+    EXPECT_DOUBLE_EQ(norms[0], 25.0);
+    EXPECT_DOUBLE_EQ(norms[1], 1.0);
+}
+
+TEST(LinkResidual, FourierResidualsSmallOnPeriodicLinks) {
+    matrix y(1008, 2, 0.0);
+    for (std::size_t r = 0; r < 1008; ++r) {
+        const double t = static_cast<double>(r);
+        y(r, 0) = 50.0 + 5.0 * std::sin(2.0 * std::numbers::pi * t / 144.0);
+        y(r, 1) = 80.0 + 7.0 * std::cos(2.0 * std::numbers::pi * t / 144.0);
+    }
+    const matrix resid = fourier_link_residuals(y, {});
+    EXPECT_LT(frobenius_norm(resid), 1e-4);
+}
+
+}  // namespace
+}  // namespace netdiag

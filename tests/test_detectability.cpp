@@ -1,0 +1,137 @@
+#include "subspace/detectability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "measurement/link_loads.h"
+#include "subspace/detector.h"
+#include "subspace/identification.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+class DetectabilityFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        topo_ = make_abilene();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+        const std::size_t t = 600;
+
+        std::mt19937_64 rng(4321);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        matrix x(n, t, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 1e6 * (1.0 + static_cast<double>((j * 7) % 29));
+            for (std::size_t ti = 0; ti < t; ++ti) {
+                const double diurnal =
+                    1.0 + 0.35 * std::sin(2.0 * 3.14159265 * static_cast<double>(ti) / 144.0);
+                x(j, ti) = std::max(0.0, mean * diurnal + 0.03 * mean * gauss(rng));
+            }
+        }
+        y_ = link_loads_from_flows(routing_.a, x);
+        model_ = std::make_unique<subspace_model>(subspace_model::fit(y_));
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix y_;
+    std::unique_ptr<subspace_model> model_;
+};
+
+TEST_F(DetectabilityFixture, OneEntryPerFlow) {
+    const auto thresholds = detectability_thresholds(*model_, routing_.a, 0.999);
+    EXPECT_EQ(thresholds.size(), routing_.flow_count());
+    for (std::size_t j = 0; j < thresholds.size(); ++j) EXPECT_EQ(thresholds[j].flow, j);
+}
+
+TEST_F(DetectabilityFixture, ThresholdsArePositiveAndFinite) {
+    const auto thresholds = detectability_thresholds(*model_, routing_.a, 0.999);
+    for (const auto& d : thresholds) {
+        EXPECT_GT(d.min_detectable_bytes, 0.0);
+        EXPECT_TRUE(std::isfinite(d.min_detectable_bytes)) << "flow " << d.flow;
+        EXPECT_GE(d.residual_alignment, 0.0);
+        EXPECT_LE(d.residual_alignment, 1.0 + 1e-9);
+    }
+}
+
+TEST_F(DetectabilityFixture, HigherConfidenceRaisesThresholds) {
+    const auto lo = detectability_thresholds(*model_, routing_.a, 0.95);
+    const auto hi = detectability_thresholds(*model_, routing_.a, 0.999);
+    for (std::size_t j = 0; j < lo.size(); ++j) {
+        EXPECT_LT(lo[j].min_detectable_bytes, hi[j].min_detectable_bytes);
+    }
+}
+
+TEST_F(DetectabilityFixture, SufficientConditionGuaranteesDetection) {
+    // Section 5.4: a spike larger than the per-flow threshold, applied on
+    // top of perfectly normal traffic (the mean), must be detected.
+    const double confidence = 0.999;
+    const auto thresholds = detectability_thresholds(*model_, routing_.a, confidence);
+    const spe_detector detector(*model_, confidence);
+
+    for (std::size_t j = 0; j < thresholds.size(); j += 13) {
+        const double bytes = 1.05 * thresholds[j].min_detectable_bytes;
+        vec y = model_->pca().column_means;  // residual-free baseline
+        axpy(bytes, routing_.a.column(j), y);
+        EXPECT_TRUE(detector.test(y).anomalous) << "flow " << j;
+    }
+}
+
+TEST_F(DetectabilityFixture, ThresholdFormulaHoldsExactly) {
+    // Section 5.4: b_min = 2 delta_alpha / (||C~ theta_i|| * ||A_i||).
+    const double confidence = 0.999;
+    const double delta = std::sqrt(model_->q_threshold(confidence));
+    const auto thresholds = detectability_thresholds(*model_, routing_.a, confidence);
+    for (std::size_t j = 0; j < thresholds.size(); j += 7) {
+        const vec col = routing_.a.column(j);
+        const double a_norm = norm(col);
+        const double expected =
+            2.0 * delta / (thresholds[j].residual_alignment * a_norm);
+        EXPECT_NEAR(thresholds[j].min_detectable_bytes, expected, 1e-9 * expected)
+            << "flow " << j;
+    }
+}
+
+TEST_F(DetectabilityFixture, AlignmentInverselyRelatedToThresholdAtEqualPathLength) {
+    // Among flows crossing the same number of links, the better-aligned
+    // one must have the smaller minimum detectable size.
+    const auto thresholds = detectability_thresholds(*model_, routing_.a, 0.999);
+    const flow_identifier identifier(*model_, routing_.a);
+
+    const flow_detectability* best = nullptr;
+    const flow_detectability* worst = nullptr;
+    const double target_norm = identifier.routing_column_norm(thresholds[0].flow);
+    for (const auto& d : thresholds) {
+        if (std::abs(identifier.routing_column_norm(d.flow) - target_norm) > 1e-12) continue;
+        if (!best || d.residual_alignment > best->residual_alignment) best = &d;
+        if (!worst || d.residual_alignment < worst->residual_alignment) worst = &d;
+    }
+    ASSERT_NE(best, nullptr);
+    ASSERT_NE(worst, nullptr);
+    if (best != worst) {
+        EXPECT_GE(worst->min_detectable_bytes, best->min_detectable_bytes);
+    }
+}
+
+TEST_F(DetectabilityFixture, InvalidArgumentsThrow) {
+    EXPECT_THROW(detectability_thresholds(*model_, matrix(3, 2, 1.0), 0.999),
+                 std::invalid_argument);
+    EXPECT_THROW(detectability_thresholds(*model_, routing_.a, 0.0), std::invalid_argument);
+    EXPECT_THROW(detectability_thresholds(*model_, routing_.a, 1.0), std::invalid_argument);
+}
+
+TEST_F(DetectabilityFixture, ZeroRoutingColumnIsUndetectable) {
+    matrix a = routing_.a;
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, 0) = 0.0;
+    const auto thresholds = detectability_thresholds(*model_, a, 0.999);
+    EXPECT_TRUE(std::isinf(thresholds[0].min_detectable_bytes));
+}
+
+}  // namespace
+}  // namespace netdiag

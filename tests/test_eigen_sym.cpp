@@ -1,0 +1,148 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "linalg/ops.h"
+
+namespace netdiag {
+namespace {
+
+matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            a(i, j) = dist(rng);
+            a(j, i) = a(i, j);
+        }
+    }
+    return a;
+}
+
+// A V = V diag(lambda), columns orthonormal, eigenvalues descending.
+void check_decomposition(const matrix& a, const sym_eigen_result& eig, double tol) {
+    const std::size_t n = a.rows();
+    ASSERT_EQ(eig.eigenvalues.size(), n);
+    ASSERT_EQ(eig.eigenvectors.rows(), n);
+    ASSERT_EQ(eig.eigenvectors.cols(), n);
+
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+        EXPECT_GE(eig.eigenvalues[j], eig.eigenvalues[j + 1] - tol);
+    }
+
+    const matrix vtv = multiply(transpose(eig.eigenvectors), eig.eigenvectors);
+    EXPECT_TRUE(approx_equal(vtv, matrix::identity(n), 1e-9)) << "eigenvectors not orthonormal";
+
+    const matrix av = multiply(a, eig.eigenvectors);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(av(i, j), eig.eigenvalues[j] * eig.eigenvectors(i, j), tol)
+                << "A v != lambda v at (" << i << ", " << j << ")";
+        }
+    }
+}
+
+TEST(SymEigen, DiagonalMatrix) {
+    const matrix a{{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+    const sym_eigen_result eig = sym_eigen(a);
+    EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymEigen, KnownTwoByTwo) {
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    const matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    const sym_eigen_result eig = sym_eigen(a);
+    EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+    check_decomposition(a, eig, 1e-10);
+}
+
+TEST(SymEigen, SingleElement) {
+    const matrix a{{5.0}};
+    const sym_eigen_result eig = sym_eigen(a);
+    ASSERT_EQ(eig.eigenvalues.size(), 1u);
+    EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 5.0);
+}
+
+TEST(SymEigen, RejectsNonSquare) {
+    EXPECT_THROW(sym_eigen(matrix(2, 3, 0.0)), std::invalid_argument);
+}
+
+TEST(SymEigen, RejectsAsymmetric) {
+    const matrix a{{1.0, 2.0}, {0.0, 1.0}};
+    EXPECT_THROW(sym_eigen(a), std::invalid_argument);
+}
+
+TEST(SymEigen, TraceEqualsEigenvalueSum) {
+    const matrix a = random_symmetric(12, 42);
+    const sym_eigen_result eig = sym_eigen(a);
+    double lambda_sum = 0.0;
+    for (double l : eig.eigenvalues) lambda_sum += l;
+    EXPECT_NEAR(lambda_sum, trace(a), 1e-9);
+}
+
+TEST(SymEigenJacobi, AgreesWithQLOnEigenvalues) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const matrix a = random_symmetric(9, seed);
+        const sym_eigen_result ql = sym_eigen(a);
+        const sym_eigen_result jac = sym_eigen_jacobi(a);
+        for (std::size_t i = 0; i < 9; ++i) {
+            EXPECT_NEAR(ql.eigenvalues[i], jac.eigenvalues[i], 1e-8) << "seed " << seed;
+        }
+    }
+}
+
+TEST(SymEigenJacobi, FullDecompositionProperty) {
+    const matrix a = random_symmetric(7, 77);
+    check_decomposition(a, sym_eigen_jacobi(a), 1e-9);
+}
+
+class SymEigenSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymEigenSizes, DecompositionPropertyHolds) {
+    const std::size_t n = GetParam();
+    const matrix a = random_symmetric(n, 100 + n);
+    check_decomposition(a, sym_eigen(a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousSizes, SymEigenSizes,
+                         ::testing::Values<std::size_t>(2, 3, 5, 8, 13, 21, 34, 49));
+
+TEST(SymEigen, PositiveSemidefiniteHasNonNegativeEigenvalues) {
+    // Gram matrices are PSD by construction.
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    matrix b(6, 4);
+    for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = dist(rng);
+    const sym_eigen_result eig = sym_eigen(gram(b));
+    for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-10);
+}
+
+TEST(SymEigen, RepeatedEigenvaluesHandled) {
+    // 2 * I has eigenvalue 2 with multiplicity 3.
+    matrix a = matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i) a(i, i) = 2.0;
+    const sym_eigen_result eig = sym_eigen(a);
+    for (double l : eig.eigenvalues) EXPECT_NEAR(l, 2.0, 1e-12);
+    check_decomposition(a, eig, 1e-10);
+}
+
+TEST(SymEigen, RankDeficientMatrix) {
+    // Outer product v v^T has rank 1: eigenvalues {|v|^2, 0, 0}.
+    const vec v{1.0, 2.0, 2.0};
+    const matrix a = outer(v, v);
+    const sym_eigen_result eig = sym_eigen(a);
+    EXPECT_NEAR(eig.eigenvalues[0], 9.0, 1e-10);
+    EXPECT_NEAR(eig.eigenvalues[1], 0.0, 1e-10);
+    EXPECT_NEAR(eig.eigenvalues[2], 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,132 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+// Flows x time matrix of smooth diurnal traffic with chosen spikes.
+matrix toy_flows(std::size_t n, std::size_t t,
+                 const std::vector<true_anomaly>& spikes, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    matrix x(n, t, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double mean = 1e6 * (1.0 + static_cast<double>(j));
+        for (std::size_t ti = 0; ti < t; ++ti) {
+            const double diurnal =
+                1.0 + 0.4 * std::sin(2.0 * std::numbers::pi * static_cast<double>(ti) / 144.0);
+            x(j, ti) = std::max(0.0, mean * diurnal + 0.01 * mean * gauss(rng));
+        }
+    }
+    for (const true_anomaly& s : spikes) x(s.flow, s.t) += s.size_bytes;
+    return x;
+}
+
+TEST(GroundTruth, BiggestSpikeRanksFirst) {
+    const std::vector<true_anomaly> spikes{{2, 300, 5e6}, {0, 500, 2e6}};
+    const matrix x = toy_flows(4, 1008, spikes, 1);
+    for (truth_method method : {truth_method::fourier, truth_method::ewma}) {
+        ground_truth_config cfg;
+        cfg.method = method;
+        const ground_truth gt = extract_ground_truth(x, cfg);
+        ASSERT_FALSE(gt.ranked.empty());
+        EXPECT_EQ(gt.ranked[0].flow, 2u);
+        EXPECT_EQ(gt.ranked[0].t, 300u);
+    }
+}
+
+TEST(GroundTruth, SizesApproximateInjectedBytes) {
+    const std::vector<true_anomaly> spikes{{1, 400, 8e6}};
+    const matrix x = toy_flows(3, 1008, spikes, 2);
+    ground_truth_config cfg;
+    cfg.method = truth_method::ewma;
+    const ground_truth gt = extract_ground_truth(x, cfg);
+    EXPECT_NEAR(gt.ranked[0].size_bytes, 8e6, 0.25 * 8e6);
+}
+
+TEST(GroundTruth, ExplicitCutoffSelectsSignificant) {
+    const std::vector<true_anomaly> spikes{{0, 200, 6e6}, {1, 600, 5e6}, {2, 800, 4e6}};
+    const matrix x = toy_flows(4, 1008, spikes, 3);
+    ground_truth_config cfg;
+    cfg.cutoff_bytes = 3e6;
+    const ground_truth gt = extract_ground_truth(x, cfg);
+    EXPECT_DOUBLE_EQ(gt.cutoff_bytes, 3e6);
+    EXPECT_EQ(gt.significant.size(), 3u);
+}
+
+TEST(GroundTruth, KneeCutoffSeparatesStandoutSpikes) {
+    // Three large spikes well above the noise floor: the knee finder should
+    // place the cutoff below them and above the noise candidates.
+    const std::vector<true_anomaly> spikes{{0, 200, 9e6}, {1, 500, 8e6}, {3, 700, 7e6}};
+    const matrix x = toy_flows(5, 1008, spikes, 4);
+    const ground_truth gt = extract_ground_truth(x, {});
+    ASSERT_GE(gt.significant.size(), 3u);
+    EXPECT_LE(gt.significant.size(), 6u);
+    // The three injected ones are in the significant set.
+    std::size_t found = 0;
+    for (const true_anomaly& a : gt.significant) {
+        for (const true_anomaly& s : spikes) {
+            if (a.flow == s.flow && a.t == s.t) ++found;
+        }
+    }
+    EXPECT_EQ(found, 3u);
+}
+
+TEST(GroundTruth, TopKBoundsCandidateCount) {
+    const matrix x = toy_flows(4, 1008, {}, 5);
+    ground_truth_config cfg;
+    cfg.top_k = 10;
+    const ground_truth gt = extract_ground_truth(x, cfg);
+    EXPECT_EQ(gt.ranked.size(), 10u);
+}
+
+TEST(GroundTruth, RankedIsSizeDescending) {
+    const matrix x = toy_flows(4, 1008, {{1, 300, 5e6}}, 6);
+    const ground_truth gt = extract_ground_truth(x, {});
+    for (std::size_t i = 0; i + 1 < gt.ranked.size(); ++i) {
+        EXPECT_GE(gt.ranked[i].size_bytes, gt.ranked[i + 1].size_bytes);
+    }
+}
+
+TEST(GroundTruth, Validation) {
+    EXPECT_THROW(extract_ground_truth(matrix{}, {}), std::invalid_argument);
+    const matrix x = toy_flows(2, 1008, {}, 7);
+    ground_truth_config cfg;
+    cfg.top_k = 0;
+    EXPECT_THROW(extract_ground_truth(x, cfg), std::invalid_argument);
+}
+
+TEST(KneeCutoff, FindsObviousKnee) {
+    const std::vector<double> sizes{100.0, 95.0, 90.0, 10.0, 9.0, 8.0, 7.0, 6.0};
+    const double cutoff = knee_cutoff(sizes);
+    EXPECT_GT(cutoff, 10.0);
+    EXPECT_LT(cutoff, 90.0);
+}
+
+TEST(KneeCutoff, NoKneeInFlatList) {
+    const std::vector<double> sizes{10.0, 9.9, 9.8, 9.7, 9.6, 9.5};
+    EXPECT_DOUBLE_EQ(knee_cutoff(sizes), 0.0);
+}
+
+TEST(KneeCutoff, ShortListsHaveNoKnee) {
+    EXPECT_DOUBLE_EQ(knee_cutoff(std::vector<double>{5.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(knee_cutoff(std::vector<double>{}), 0.0);
+}
+
+TEST(KneeCutoff, IgnoresGapsInTheTail) {
+    // A big relative gap deep in the list (beyond the upper half) must not
+    // move the cutoff: the knee concerns the standout anomalies at the top.
+    const std::vector<double> sizes{100.0, 50.0, 40.0, 39.0, 38.0, 37.0,
+                                    36.0,  35.0, 34.0, 1.0};
+    const double cutoff = knee_cutoff(sizes);
+    EXPECT_GT(cutoff, 50.0);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,214 @@
+#include "subspace/identification.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "measurement/link_loads.h"
+#include "subspace/quantification.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+// Shared fixture: a small synthetic week on the Abilene topology with an
+// already-fitted subspace model. Traffic is built directly (without the
+// full generator) so the test controls every byte.
+class IdentificationFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        topo_ = make_abilene();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+        const std::size_t t = 600;
+
+        std::mt19937_64 rng(1234);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        matrix x(n, t, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 1e6 * (1.0 + static_cast<double>(j % 17));
+            for (std::size_t ti = 0; ti < t; ++ti) {
+                const double diurnal =
+                    1.0 + 0.4 * std::sin(2.0 * 3.14159265 * static_cast<double>(ti) / 144.0);
+                x(j, ti) = std::max(0.0, mean * diurnal + 0.03 * mean * gauss(rng));
+            }
+        }
+        y_ = link_loads_from_flows(routing_.a, x);
+        model_ = std::make_unique<subspace_model>(subspace_model::fit(y_));
+    }
+
+    // A baseline measurement with a spike of `bytes` injected into flow j.
+    vec spiked_measurement(std::size_t t_idx, std::size_t flow, double bytes) const {
+        vec y(y_.row(t_idx).begin(), y_.row(t_idx).end());
+        const vec a_col = routing_.a.column(flow);
+        axpy(bytes, a_col, y);
+        return y;
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix y_;
+    std::unique_ptr<subspace_model> model_;
+};
+
+TEST_F(IdentificationFixture, RecoversInjectedFlow) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(0, 7);
+    const double bytes = 5e7;
+    const vec y = spiked_measurement(300, flow, bytes);
+    const identification_result id = identifier.identify(y);
+    EXPECT_EQ(id.flow, flow);
+}
+
+TEST_F(IdentificationFixture, MagnitudeTracksInjectedBytes) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(2, 9);
+    const double bytes = 8e7;
+    const vec y = spiked_measurement(200, flow, bytes);
+    const identification_result id = identifier.identify(y);
+    ASSERT_EQ(id.flow, flow);
+    // f^ estimates bytes * ||A_flow|| up to the background residual.
+    const double expected = bytes * identifier.routing_column_norm(flow);
+    EXPECT_NEAR(id.magnitude, expected, 0.2 * expected);
+}
+
+TEST_F(IdentificationFixture, ResidualSpeDropsAfterRemoval) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(4, 1);
+    const vec y = spiked_measurement(100, flow, 6e7);
+    const double spe_before = model_->spe(y);
+    const identification_result id = identifier.identify(y);
+    EXPECT_LT(id.residual_spe, 0.1 * spe_before);
+}
+
+TEST_F(IdentificationFixture, IdentifyResidualMatchesIdentify) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(5, 10);
+    const vec y = spiked_measurement(50, flow, 7e7);
+    const identification_result a = identifier.identify(y);
+    const identification_result b = identifier.identify_residual(model_->residual(y));
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_NEAR(a.magnitude, b.magnitude, 1e-9 * std::abs(a.magnitude));
+}
+
+TEST_F(IdentificationFixture, NegativeAnomalyGetsNegativeMagnitude) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(3, 8);
+    const vec y = spiked_measurement(250, flow, -5e7);
+    const identification_result id = identifier.identify(y);
+    EXPECT_EQ(id.flow, flow);
+    EXPECT_LT(id.magnitude, 0.0);
+}
+
+class IdentificationFlows : public IdentificationFixture,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(IdentificationFlows, SweepAcrossFlows) {
+    // Parameterized sweep over a spread of OD pairs: identification should
+    // name the injected flow for all of them at this spike size.
+    const flow_identifier identifier(*model_, routing_.a);
+    const auto flow = static_cast<std::size_t>(GetParam());
+    const vec y = spiked_measurement(400, flow, 1.2e8);
+    EXPECT_EQ(identifier.identify(y).flow, flow);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowSweep, IdentificationFlows,
+                         ::testing::Values(0, 5, 12, 23, 37, 48, 60, 77, 93, 104, 115, 120));
+
+TEST_F(IdentificationFixture, TopKRanksInjectedFlowFirst) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(6, 2);
+    const vec y = spiked_measurement(150, flow, 9e7);
+    const auto ranked = identifier.identify_top_k(y, 5);
+    ASSERT_EQ(ranked.size(), 5u);
+    EXPECT_EQ(ranked[0].flow, flow);
+    // Residual SPE after removal must be non-decreasing down the list.
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_GE(ranked[i].residual_spe, ranked[i - 1].residual_spe - 1e-6);
+    }
+}
+
+TEST_F(IdentificationFixture, TopKFirstEntryMatchesIdentify) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const std::size_t flow = routing_.flow_index(9, 4);
+    const vec y = spiked_measurement(220, flow, 7e7);
+    const identification_result single = identifier.identify(y);
+    const auto ranked = identifier.identify_top_k(y, 3);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked[0].flow, single.flow);
+    EXPECT_NEAR(ranked[0].magnitude, single.magnitude, 1e-9 * std::abs(single.magnitude));
+    EXPECT_NEAR(ranked[0].residual_spe, single.residual_spe,
+                1e-6 * std::max(1.0, single.residual_spe));
+}
+
+TEST_F(IdentificationFixture, TopKClampsToCandidateCount) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const vec y = spiked_measurement(100, routing_.flow_index(0, 1), 5e7);
+    const auto ranked = identifier.identify_top_k(y, 100000);
+    EXPECT_LE(ranked.size(), identifier.candidate_count());
+    EXPECT_GT(ranked.size(), 100u);  // nearly every flow is identifiable here
+}
+
+TEST_F(IdentificationFixture, TopKZeroThrows) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const vec y = spiked_measurement(100, 0, 5e7);
+    EXPECT_THROW(identifier.identify_top_k(y, 0), std::invalid_argument);
+}
+
+TEST_F(IdentificationFixture, RoutingMatrixRowMismatchThrows) {
+    const matrix bad_a(7, 3, 1.0);
+    EXPECT_THROW(flow_identifier(*model_, bad_a), std::invalid_argument);
+}
+
+TEST_F(IdentificationFixture, AccessorsValidateIndices) {
+    const flow_identifier identifier(*model_, routing_.a);
+    EXPECT_THROW(identifier.residual_direction_norm_squared(9999), std::out_of_range);
+    EXPECT_THROW(identifier.routing_column_norm(9999), std::out_of_range);
+    EXPECT_THROW(identifier.residual_direction(9999), std::out_of_range);
+}
+
+TEST_F(IdentificationFixture, RoutingColumnNormIsSqrtPathLength) {
+    const flow_identifier identifier(*model_, routing_.a);
+    for (std::size_t j = 0; j < routing_.flow_count(); j += 11) {
+        double links = 0.0;
+        for (std::size_t i = 0; i < routing_.a.rows(); ++i) links += routing_.a(i, j);
+        EXPECT_NEAR(identifier.routing_column_norm(j), std::sqrt(links), 1e-12);
+    }
+}
+
+TEST_F(IdentificationFixture, QuantifierRecoversInjectedBytes) {
+    const flow_identifier identifier(*model_, routing_.a);
+    const quantifier quant(routing_.a);
+    const std::size_t flow = routing_.flow_index(1, 6);
+    const double bytes = 9e7;
+    const vec y = spiked_measurement(350, flow, bytes);
+    const identification_result id = identifier.identify(y);
+    ASSERT_EQ(id.flow, flow);
+    const double estimate = quant.estimate_bytes(id.flow, id.magnitude);
+    EXPECT_NEAR(estimate, bytes, 0.25 * bytes);
+}
+
+TEST_F(IdentificationFixture, QuantifierLinkTrafficFormMatchesClosedForm) {
+    const quantifier quant(routing_.a);
+    const std::size_t flow = routing_.flow_index(2, 3);
+    vec theta = routing_.a.column(flow);
+    const double nrm = norm(theta);
+    scale(theta, 1.0 / nrm);
+    const double magnitude = 1e6;
+    const vec y_prime = scaled(theta, magnitude);
+    EXPECT_NEAR(quant.estimate_bytes(flow, magnitude),
+                quant.estimate_bytes_from_link_traffic(flow, y_prime), 1e-6);
+}
+
+TEST_F(IdentificationFixture, QuantifierValidation) {
+    const quantifier quant(routing_.a);
+    EXPECT_THROW(quant.estimate_bytes(9999, 1.0), std::out_of_range);
+    const vec bad(3, 0.0);
+    EXPECT_THROW(quant.estimate_bytes_from_link_traffic(0, bad), std::invalid_argument);
+    EXPECT_THROW(quantifier(matrix{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,120 @@
+#include "eval/injection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "measurement/presets.h"
+#include "stats/descriptive.h"
+
+namespace netdiag {
+namespace {
+
+// One shared Sprint-1 dataset + diagnoser for all injection tests (fitting
+// is the expensive part).
+class InjectionFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ds_ = new dataset(make_sprint1_dataset());
+        diagnoser_ = new volume_anomaly_diagnoser(ds_->link_loads, ds_->routing.a, 0.999);
+    }
+    static void TearDownTestSuite() {
+        delete diagnoser_;
+        delete ds_;
+        diagnoser_ = nullptr;
+        ds_ = nullptr;
+    }
+
+    static dataset* ds_;
+    static volume_anomaly_diagnoser* diagnoser_;
+};
+
+dataset* InjectionFixture::ds_ = nullptr;
+volume_anomaly_diagnoser* InjectionFixture::diagnoser_ = nullptr;
+
+TEST_F(InjectionFixture, LargeSpikesAreDetectedAndIdentified) {
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;  // the paper's "large" setting for Sprint
+    cfg.t_begin = 300;
+    cfg.t_end = 300 + 48;  // 8 hours is plenty for a statistical check
+    const injection_summary s = run_injection_experiment(*ds_, *diagnoser_, cfg);
+
+    EXPECT_GT(s.detection_rate, 0.7);
+    EXPECT_GT(s.identification_rate, 0.6);
+    EXPECT_LT(s.quantification_error, 0.4);
+}
+
+TEST_F(InjectionFixture, SmallSpikesRarelyTrigger) {
+    injection_config cfg;
+    cfg.spike_bytes = 0.5e7;  // well below the Sprint cutoff
+    cfg.t_begin = 300;
+    cfg.t_end = 300 + 48;
+    const injection_summary s = run_injection_experiment(*ds_, *diagnoser_, cfg);
+    EXPECT_LT(s.detection_rate, 0.3);
+}
+
+TEST_F(InjectionFixture, SummaryShapesMatchConfig) {
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 100;
+    cfg.t_end = 124;
+    const injection_summary s = run_injection_experiment(*ds_, *diagnoser_, cfg);
+    EXPECT_EQ(s.flow_count, ds_->routing.flow_count());
+    EXPECT_EQ(s.time_count, 24u);
+    EXPECT_EQ(s.detection_rate_by_flow.size(), s.flow_count);
+    EXPECT_EQ(s.detection_rate_by_time.size(), 24u);
+    EXPECT_DOUBLE_EQ(s.spike_bytes, 3.0e7);
+}
+
+TEST_F(InjectionFixture, PerFlowAndPerTimeRatesConsistentWithOverall) {
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 200;
+    cfg.t_end = 224;
+    const injection_summary s = run_injection_experiment(*ds_, *diagnoser_, cfg);
+    EXPECT_NEAR(mean(s.detection_rate_by_flow), s.detection_rate, 1e-9);
+    EXPECT_NEAR(mean(s.detection_rate_by_time), s.detection_rate, 1e-9);
+}
+
+TEST_F(InjectionFixture, RatesAreProbabilities) {
+    injection_config cfg;
+    cfg.spike_bytes = 2.0e7;
+    cfg.t_begin = 0;
+    cfg.t_end = 24;
+    const injection_summary s = run_injection_experiment(*ds_, *diagnoser_, cfg);
+    for (double r : s.detection_rate_by_flow) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+    for (double r : s.detection_rate_by_time) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST_F(InjectionFixture, WindowValidation) {
+    injection_config cfg;
+    cfg.t_begin = 10;
+    cfg.t_end = 10;
+    EXPECT_THROW(run_injection_experiment(*ds_, *diagnoser_, cfg), std::invalid_argument);
+
+    injection_config beyond;
+    beyond.t_begin = 0;
+    beyond.t_end = ds_->bin_count() + 1;
+    EXPECT_THROW(run_injection_experiment(*ds_, *diagnoser_, beyond), std::invalid_argument);
+}
+
+TEST_F(InjectionFixture, BiggerSpikesDetectBetter) {
+    injection_config small;
+    small.spike_bytes = 1.0e7;
+    small.t_begin = 400;
+    small.t_end = 424;
+    injection_config large = small;
+    large.spike_bytes = 4.0e7;
+    const injection_summary s_small = run_injection_experiment(*ds_, *diagnoser_, small);
+    const injection_summary s_large = run_injection_experiment(*ds_, *diagnoser_, large);
+    EXPECT_GT(s_large.detection_rate, s_small.detection_rate);
+}
+
+}  // namespace
+}  // namespace netdiag

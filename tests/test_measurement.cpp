@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "measurement/binning.h"
+#include "measurement/centering.h"
+#include "measurement/csv.h"
+#include "measurement/link_loads.h"
+
+namespace netdiag {
+namespace {
+
+TEST(LinkLoads, MatchesManualSuperposition) {
+    // Two links, three flows: flow 0 uses link 0, flow 1 uses link 1,
+    // flow 2 uses both.
+    const matrix a{{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+    const matrix x{{10.0, 20.0},   // flow 0 over two bins
+                   {1.0, 2.0},     // flow 1
+                   {100.0, 200.0}};  // flow 2
+    const matrix y = link_loads_from_flows(a, x);
+    ASSERT_EQ(y.rows(), 2u);  // time bins
+    ASSERT_EQ(y.cols(), 2u);  // links
+    EXPECT_DOUBLE_EQ(y(0, 0), 110.0);
+    EXPECT_DOUBLE_EQ(y(0, 1), 101.0);
+    EXPECT_DOUBLE_EQ(y(1, 0), 220.0);
+    EXPECT_DOUBLE_EQ(y(1, 1), 202.0);
+}
+
+TEST(LinkLoads, DimensionMismatchThrows) {
+    EXPECT_THROW(link_loads_from_flows(matrix(2, 3, 1.0), matrix(2, 5, 1.0)),
+                 std::invalid_argument);
+}
+
+TEST(LinkLoads, SingleTimestepHelper) {
+    const matrix a{{1.0, 1.0}, {0.0, 1.0}};
+    const vec flows{3.0, 4.0};
+    const vec y = link_loads_at(a, flows);
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+    const vec bad{1.0};
+    EXPECT_THROW(link_loads_at(a, bad), std::invalid_argument);
+}
+
+TEST(Binning, RowRebinSumsGroups) {
+    const matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+    const matrix out = rebin_time_rows(m, 2);
+    ASSERT_EQ(out.rows(), 2u);
+    EXPECT_DOUBLE_EQ(out(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 6.0);
+    EXPECT_DOUBLE_EQ(out(1, 0), 12.0);
+    EXPECT_DOUBLE_EQ(out(1, 1), 14.0);
+}
+
+TEST(Binning, ColRebinSumsGroups) {
+    const matrix m{{1.0, 2.0, 3.0, 4.0}, {5.0, 6.0, 7.0, 8.0}};
+    const matrix out = rebin_time_cols(m, 2);
+    ASSERT_EQ(out.cols(), 2u);
+    EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(out(1, 0), 11.0);
+    EXPECT_DOUBLE_EQ(out(1, 1), 15.0);
+}
+
+TEST(Binning, TotalMassPreserved) {
+    matrix m(12, 3, 0.0);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = static_cast<double>(i);
+    double before = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) before += m.data()[i];
+    const matrix out = rebin_time_rows(m, 4);
+    double after = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) after += out.data()[i];
+    EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Binning, IndivisibleLengthThrows) {
+    EXPECT_THROW(rebin_time_rows(matrix(5, 2, 1.0), 2), std::invalid_argument);
+    EXPECT_THROW(rebin_time_cols(matrix(2, 5, 1.0), 2), std::invalid_argument);
+    EXPECT_THROW(rebin_time_rows(matrix(4, 2, 1.0), 0), std::invalid_argument);
+}
+
+TEST(Centering, RemovesColumnMeans) {
+    const matrix y{{1.0, 10.0}, {3.0, 30.0}};
+    const centering_result c = center_columns(y);
+    EXPECT_DOUBLE_EQ(c.column_means[0], 2.0);
+    EXPECT_DOUBLE_EQ(c.column_means[1], 20.0);
+    EXPECT_DOUBLE_EQ(c.centered(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(c.centered(1, 1), 10.0);
+}
+
+TEST(Centering, CenteredColumnsSumToZero) {
+    matrix y(7, 3, 0.0);
+    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = static_cast<double>(i * i % 13);
+    const centering_result c = center_columns(y);
+    for (std::size_t col = 0; col < 3; ++col) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < 7; ++r) s += c.centered(r, col);
+        EXPECT_NEAR(s, 0.0, 1e-12);
+    }
+}
+
+TEST(Centering, CenterWithAppliesStoredMeans) {
+    const vec y{5.0, 7.0};
+    const vec means{2.0, 3.0};
+    const vec out = center_with(y, means);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(Centering, EmptyMatrixThrows) {
+    EXPECT_THROW(center_columns(matrix{}), std::invalid_argument);
+}
+
+class CsvRoundTrip : public ::testing::Test {
+protected:
+    std::string path_ = (std::filesystem::temp_directory_path() /
+                         ("netdiag_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                            .string();
+    void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvRoundTrip, ValuesSurviveExactly) {
+    matrix m(3, 2, 0.0);
+    m(0, 0) = 1.5;
+    m(0, 1) = -2.25;
+    m(1, 0) = 1e17;
+    m(1, 1) = 3.141592653589793;
+    m(2, 0) = 0.0;
+    m(2, 1) = -0.125;
+    write_matrix_csv(path_, m);
+    const csv_matrix back = read_matrix_csv(path_);
+    EXPECT_TRUE(back.header.empty());
+    EXPECT_TRUE(approx_equal(back.values, m, 0.0));
+}
+
+TEST_F(CsvRoundTrip, HeaderRoundTrips) {
+    const matrix m{{1.0, 2.0}};
+    write_matrix_csv(path_, m, {"link_a", "link_b"});
+    const csv_matrix back = read_matrix_csv(path_);
+    ASSERT_EQ(back.header.size(), 2u);
+    EXPECT_EQ(back.header[0], "link_a");
+    EXPECT_TRUE(approx_equal(back.values, m, 0.0));
+}
+
+TEST_F(CsvRoundTrip, HeaderSizeMismatchThrows) {
+    const matrix m{{1.0, 2.0}};
+    EXPECT_THROW(write_matrix_csv(path_, m, {"only_one"}), std::invalid_argument);
+}
+
+TEST_F(CsvRoundTrip, MissingFileThrows) {
+    EXPECT_THROW(read_matrix_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST_F(CsvRoundTrip, RaggedFileThrows) {
+    {
+        std::ofstream out(path_);
+        out << "1,2\n3\n";
+    }
+    EXPECT_THROW(read_matrix_csv(path_), std::invalid_argument);
+}
+
+TEST_F(CsvRoundTrip, NonNumericBodyThrows) {
+    {
+        std::ofstream out(path_);
+        out << "1,2\nfoo,bar\n";
+    }
+    EXPECT_THROW(read_matrix_csv(path_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,114 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+diagnosis normal_bin() { return {}; }
+
+diagnosis alarm(std::size_t flow, double bytes) {
+    diagnosis d;
+    d.anomalous = true;
+    d.flow = flow;
+    d.estimated_bytes = bytes;
+    return d;
+}
+
+TEST(Metrics, PerfectDiagnosisScoresPerfectly) {
+    std::vector<diagnosis> bins(10, normal_bin());
+    bins[3] = alarm(7, 1e6);
+    bins[8] = alarm(2, 2e6);
+    const std::vector<true_anomaly> truths{{7, 3, 1e6}, {2, 8, 2e6}};
+
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.truth_count, 2u);
+    EXPECT_EQ(card.detected_count, 2u);
+    EXPECT_EQ(card.identified_count, 2u);
+    EXPECT_EQ(card.false_alarm_count, 0u);
+    EXPECT_EQ(card.normal_bin_count, 8u);
+    EXPECT_DOUBLE_EQ(card.detection_rate(), 1.0);
+    EXPECT_DOUBLE_EQ(card.identification_rate(), 1.0);
+    EXPECT_DOUBLE_EQ(card.false_alarm_rate(), 0.0);
+    EXPECT_NEAR(card.quantification_error, 0.0, 1e-12);
+}
+
+TEST(Metrics, MissedDetectionLowersRate) {
+    std::vector<diagnosis> bins(10, normal_bin());
+    bins[3] = alarm(7, 1e6);
+    const std::vector<true_anomaly> truths{{7, 3, 1e6}, {2, 8, 2e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.detected_count, 1u);
+    EXPECT_DOUBLE_EQ(card.detection_rate(), 0.5);
+}
+
+TEST(Metrics, WrongFlowCountsDetectedNotIdentified) {
+    std::vector<diagnosis> bins(10, normal_bin());
+    bins[3] = alarm(99, 1e6);  // right time, wrong flow
+    const std::vector<true_anomaly> truths{{7, 3, 1e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.detected_count, 1u);
+    EXPECT_EQ(card.identified_count, 0u);
+    EXPECT_DOUBLE_EQ(card.identification_rate(), 0.0);
+    EXPECT_TRUE(std::isnan(card.quantification_error));
+}
+
+TEST(Metrics, FalseAlarmsCountedAgainstNormalBins) {
+    std::vector<diagnosis> bins(10, normal_bin());
+    bins[1] = alarm(0, 1.0);
+    bins[2] = alarm(0, 1.0);
+    const std::vector<true_anomaly> truths{{5, 9, 1e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.false_alarm_count, 2u);
+    EXPECT_EQ(card.normal_bin_count, 9u);
+    EXPECT_NEAR(card.false_alarm_rate(), 2.0 / 9.0, 1e-12);
+}
+
+TEST(Metrics, QuantificationErrorAveragesRelativeError) {
+    std::vector<diagnosis> bins(10, normal_bin());
+    bins[3] = alarm(7, 1.2e6);  // 20% high
+    bins[8] = alarm(2, 1.8e6);  // 10% low vs 2e6
+    const std::vector<true_anomaly> truths{{7, 3, 1e6}, {2, 8, 2e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_NEAR(card.quantification_error, (0.2 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(Metrics, NegativeEstimatesComparedByMagnitude) {
+    // A detected traffic drop carries a negative byte estimate; the truth
+    // extraction reports absolute sizes.
+    std::vector<diagnosis> bins(5, normal_bin());
+    bins[2] = alarm(1, -1e6);
+    const std::vector<true_anomaly> truths{{1, 2, 1e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_NEAR(card.quantification_error, 0.0, 1e-12);
+}
+
+TEST(Metrics, TruthOutsideRangeThrows) {
+    const std::vector<diagnosis> bins(5, normal_bin());
+    const std::vector<true_anomaly> truths{{0, 9, 1e6}};
+    EXPECT_THROW(score_diagnoses(bins, truths), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyTruthGivesZeroRates) {
+    std::vector<diagnosis> bins(5, normal_bin());
+    bins[0] = alarm(0, 1.0);
+    const diagnosis_scorecard card = score_diagnoses(bins, {});
+    EXPECT_DOUBLE_EQ(card.detection_rate(), 0.0);
+    EXPECT_EQ(card.false_alarm_count, 1u);
+    EXPECT_EQ(card.normal_bin_count, 5u);
+}
+
+TEST(Metrics, TwoTruthsInOneBinBothCredited) {
+    std::vector<diagnosis> bins(5, normal_bin());
+    bins[2] = alarm(4, 1e6);
+    const std::vector<true_anomaly> truths{{4, 2, 1e6}, {9, 2, 5e5}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.detected_count, 2u);   // one alarm covers the bin
+    EXPECT_EQ(card.identified_count, 1u); // only flow 4 named
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,146 @@
+#include "subspace/multiflow.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "measurement/link_loads.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+class MultiFlowFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        topo_ = make_sprint_europe();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+        const std::size_t t = 500;
+
+        std::mt19937_64 rng(777);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        matrix x(n, t, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 5e5 * (1.0 + static_cast<double>(j % 23));
+            for (std::size_t ti = 0; ti < t; ++ti) {
+                const double diurnal =
+                    1.0 + 0.4 * std::sin(2.0 * 3.14159265 * static_cast<double>(ti) / 144.0);
+                x(j, ti) = std::max(0.0, mean * diurnal + 0.02 * mean * gauss(rng));
+            }
+        }
+        y_ = link_loads_from_flows(routing_.a, x);
+        model_ = std::make_unique<subspace_model>(subspace_model::fit(y_));
+    }
+
+    vec multi_spiked(std::size_t t_idx, std::span<const std::size_t> flows,
+                     std::span<const double> bytes) const {
+        vec y(y_.row(t_idx).begin(), y_.row(t_idx).end());
+        for (std::size_t k = 0; k < flows.size(); ++k) {
+            axpy(bytes[k], routing_.a.column(flows[k]), y);
+        }
+        return y;
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix y_;
+    std::unique_ptr<subspace_model> model_;
+};
+
+TEST_F(MultiFlowFixture, RecoversTwoFlowIntensities) {
+    const std::vector<std::size_t> flows{routing_.flow_index(1, 8), routing_.flow_index(11, 3)};
+    const std::vector<double> bytes{6e7, 3e7};
+    const vec y = multi_spiked(200, flows, bytes);
+
+    const multi_flow_result fit = fit_multi_flow(*model_, routing_.a, flows, y);
+    ASSERT_EQ(fit.intensities.size(), 2u);
+    // Intensities are along unit-normalized theta: f_k ~ bytes_k * ||A_k||.
+    for (std::size_t k = 0; k < 2; ++k) {
+        const vec col = routing_.a.column(flows[k]);
+        const double expected = bytes[k] * norm(col);
+        EXPECT_NEAR(fit.intensities[k], expected, 0.25 * expected) << "flow " << k;
+    }
+}
+
+TEST_F(MultiFlowFixture, JointRemovalShrinksResidual) {
+    const std::vector<std::size_t> flows{routing_.flow_index(0, 5), routing_.flow_index(7, 12)};
+    const std::vector<double> bytes{8e7, 8e7};
+    const vec y = multi_spiked(150, flows, bytes);
+    const double spe_before = model_->spe(y);
+    const multi_flow_result fit = fit_multi_flow(*model_, routing_.a, flows, y);
+    EXPECT_LT(fit.residual_spe, 0.15 * spe_before);
+}
+
+TEST_F(MultiFlowFixture, SingleFlowSetReducesToSingleFlowFit) {
+    const std::vector<std::size_t> flows{routing_.flow_index(4, 10)};
+    const std::vector<double> bytes{9e7};
+    const vec y = multi_spiked(100, flows, bytes);
+    const multi_flow_result fit = fit_multi_flow(*model_, routing_.a, flows, y);
+    const vec col = routing_.a.column(flows[0]);
+    EXPECT_NEAR(fit.intensities[0], bytes[0] * norm(col), 0.25 * bytes[0] * norm(col));
+}
+
+TEST_F(MultiFlowFixture, GreedySearchFindsBothInjectedFlows) {
+    const std::vector<std::size_t> flows{routing_.flow_index(2, 9), routing_.flow_index(12, 6)};
+    const std::vector<double> bytes{1.2e8, 9e7};
+    const vec y = multi_spiked(250, flows, bytes);
+
+    const double target = model_->q_threshold(0.999);
+    const multi_flow_result found =
+        identify_multi_flow_greedy(*model_, routing_.a, y, target, 5);
+
+    ASSERT_GE(found.flows.size(), 2u);
+    EXPECT_EQ(found.flows[0], flows[0]);  // larger anomaly found first
+    EXPECT_TRUE(found.flows[1] == flows[1] || found.flows[0] == flows[1]);
+}
+
+TEST_F(MultiFlowFixture, GreedyStopsWhenResidualExplained) {
+    // No anomaly at all: greedy should stop almost immediately because the
+    // SPE is already below threshold.
+    const vec y(y_.row(77).begin(), y_.row(77).end());
+    const double target = model_->q_threshold(0.999);
+    const multi_flow_result found =
+        identify_multi_flow_greedy(*model_, routing_.a, y, target, 5);
+    EXPECT_LE(found.flows.size(), 1u);
+}
+
+TEST_F(MultiFlowFixture, ValidationErrors) {
+    const vec y(y_.row(0).begin(), y_.row(0).end());
+    const std::vector<std::size_t> empty;
+    EXPECT_THROW(fit_multi_flow(*model_, routing_.a, empty, y), std::invalid_argument);
+
+    const std::vector<std::size_t> dup{3, 3};
+    EXPECT_THROW(fit_multi_flow(*model_, routing_.a, dup, y), std::invalid_argument);
+
+    const std::vector<std::size_t> out_of_range{routing_.flow_count() + 5};
+    EXPECT_THROW(fit_multi_flow(*model_, routing_.a, out_of_range, y), std::invalid_argument);
+
+    EXPECT_THROW(identify_multi_flow_greedy(*model_, routing_.a, y, 0.0, 0),
+                 std::invalid_argument);
+}
+
+TEST_F(MultiFlowFixture, EquationOneUnchangedForMatrixForm) {
+    // Section 7.2: the identification equation is form-invariant. Fitting
+    // one flow via the multi-flow path must match the single-flow
+    // identifier's magnitude for that hypothesis.
+    const std::size_t flow = routing_.flow_index(6, 2);
+    const std::vector<std::size_t> flows{flow};
+    const vec y = multi_spiked(300, flows, std::vector<double>{7e7});
+
+    const multi_flow_result multi = fit_multi_flow(*model_, routing_.a, flows, y);
+
+    // Manual single-flow projection: f = <theta~, y~> / ||theta~||^2.
+    vec theta = routing_.a.column(flow);
+    scale(theta, 1.0 / norm(theta));
+    const vec theta_res = model_->project_direction_residual(theta);
+    const vec resid = model_->residual(y);
+    const double f = dot(theta_res, resid) / norm_squared(theta_res);
+
+    EXPECT_NEAR(multi.intensities[0], f, 1e-6 * std::abs(f));
+}
+
+}  // namespace
+}  // namespace netdiag

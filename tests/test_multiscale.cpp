@@ -1,0 +1,129 @@
+#include "subspace/multiscale.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace netdiag {
+namespace {
+
+// Link-matrix-shaped data: shared diurnal structure + noise.
+matrix diurnal_links(std::size_t t, std::size_t m, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    matrix y(t, m, 0.0);
+    for (std::size_t r = 0; r < t; ++r) {
+        const double daily =
+            std::sin(2.0 * std::numbers::pi * static_cast<double>(r) / 144.0);
+        for (std::size_t c = 0; c < m; ++c) {
+            const double w = 1.0 + 0.15 * static_cast<double>(c);
+            y(r, c) = 1000.0 + 300.0 * w * daily + 5.0 * gauss(rng);
+        }
+    }
+    return y;
+}
+
+TEST(WaveletBands, TelescopeBackToOriginal) {
+    const matrix y = diurnal_links(512, 5, 1);
+    const auto bands = wavelet_band_matrices(y, 4);
+    ASSERT_EQ(bands.size(), 5u);  // 4 detail bands + approximation
+    matrix sum(y.rows(), y.cols(), 0.0);
+    for (const matrix& band : bands) {
+        for (std::size_t i = 0; i < sum.size(); ++i) sum.data()[i] += band.data()[i];
+    }
+    EXPECT_TRUE(approx_equal(sum, y, 1e-8));
+}
+
+TEST(WaveletBands, BandShapesMatchInput) {
+    const matrix y = diurnal_links(300, 4, 2);  // non power of two length
+    const auto bands = wavelet_band_matrices(y, 3);
+    for (const matrix& band : bands) {
+        EXPECT_EQ(band.rows(), 300u);
+        EXPECT_EQ(band.cols(), 4u);
+    }
+}
+
+TEST(WaveletBands, LevelsClampedToAvailable) {
+    const matrix y = diurnal_links(16, 3, 3);  // only 4 transform levels
+    const auto bands = wavelet_band_matrices(y, 50);
+    EXPECT_LE(bands.size(), 5u);
+}
+
+TEST(WaveletBands, TooShortInputThrows) {
+    EXPECT_THROW(wavelet_band_matrices(matrix(4, 3, 1.0), 2), std::invalid_argument);
+}
+
+TEST(Multiscale, ConfigValidation) {
+    const matrix y = diurnal_links(256, 4, 4);
+    multiscale_config cfg;
+    cfg.levels = 0;
+    EXPECT_THROW(multiscale_subspace_analysis(y, cfg), std::invalid_argument);
+}
+
+TEST(Multiscale, ProducesOneResultPerDetailBand) {
+    const matrix y = diurnal_links(512, 6, 5);
+    multiscale_config cfg;
+    cfg.levels = 3;
+    const multiscale_result r = multiscale_subspace_analysis(y, cfg);
+    ASSERT_EQ(r.bands.size(), 3u);
+    for (std::size_t l = 0; l < 3; ++l) {
+        EXPECT_EQ(r.bands[l].level, l);
+        EXPECT_EQ(r.bands[l].spe.size(), 512u);
+        EXPECT_GE(r.bands[l].threshold, 0.0);
+    }
+}
+
+TEST(Multiscale, SingleBinSpikeFlaggedInFinestBand) {
+    matrix y = diurnal_links(512, 6, 6);
+    for (std::size_t c = 0; c < 6; ++c) y(300, c) += (c % 2 == 0) ? 400.0 : 250.0;
+    const multiscale_result r = multiscale_subspace_analysis(y, {});
+    const auto& finest = r.bands[0].flagged_bins;
+    // Haar bands smear a spike by at most a couple of bins at fine scale.
+    const bool hit = std::any_of(finest.begin(), finest.end(), [](std::size_t t) {
+        return t >= 298 && t <= 302;
+    });
+    EXPECT_TRUE(hit);
+}
+
+TEST(Multiscale, SustainedShiftFlaggedAtCoarserScale) {
+    matrix y = diurnal_links(512, 6, 7);
+    // A 32-bin level shift on a subset of links (a routing-change style
+    // event, too slow for the finest band to see well).
+    for (std::size_t t = 200; t < 232; ++t) {
+        for (std::size_t c = 0; c < 3; ++c) y(t, c) += 150.0;
+    }
+    multiscale_config cfg;
+    cfg.levels = 5;
+    const multiscale_result r = multiscale_subspace_analysis(y, cfg);
+
+    bool coarse_hit = false;
+    for (std::size_t l = 2; l < r.bands.size(); ++l) {
+        for (std::size_t t : r.bands[l].flagged_bins) {
+            if (t >= 192 && t <= 240) coarse_hit = true;
+        }
+    }
+    EXPECT_TRUE(coarse_hit);
+}
+
+TEST(Multiscale, CleanDataFlagsFewBins) {
+    const matrix y = diurnal_links(512, 6, 8);
+    const multiscale_result r = multiscale_subspace_analysis(y, {});
+    const auto flags = r.any_scale_flags();
+    EXPECT_LT(flags.size(), 512u / 10);
+}
+
+TEST(Multiscale, AnyScaleFlagsSortedAndUnique) {
+    matrix y = diurnal_links(512, 5, 9);
+    y(100, 0) += 500.0;
+    y(400, 2) += 500.0;
+    const multiscale_result r = multiscale_subspace_analysis(y, {});
+    const auto flags = r.any_scale_flags();
+    EXPECT_TRUE(std::is_sorted(flags.begin(), flags.end()));
+    EXPECT_EQ(std::adjacent_find(flags.begin(), flags.end()), flags.end());
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,126 @@
+#include "linalg/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) m(r, c) = dist(rng);
+    }
+    return m;
+}
+
+TEST(Ops, MultiplyMatchesHandComputation) {
+    const matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const matrix c = multiply(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Ops, MultiplyShapeMismatchThrows) {
+    const matrix a(2, 3, 1.0);
+    const matrix b(2, 2, 1.0);
+    EXPECT_THROW(multiply(a, b), std::invalid_argument);
+}
+
+TEST(Ops, IdentityIsMultiplicativeUnit) {
+    const matrix a = random_matrix(4, 4, 1);
+    EXPECT_TRUE(approx_equal(multiply(a, matrix::identity(4)), a, 1e-14));
+    EXPECT_TRUE(approx_equal(multiply(matrix::identity(4), a), a, 1e-14));
+}
+
+TEST(Ops, MatVecMatchesMatMat) {
+    const matrix a = random_matrix(3, 5, 2);
+    const matrix x_col = random_matrix(5, 1, 3);
+    const vec x = x_col.column(0);
+    const vec y = multiply(a, x);
+    const matrix y_mat = multiply(a, x_col);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], y_mat(i, 0), 1e-14);
+}
+
+TEST(Ops, MultiplyTransposedMatchesExplicitTranspose) {
+    const matrix a = random_matrix(4, 3, 4);
+    const vec x{1.0, -2.0, 0.5, 3.0};
+    const vec y1 = multiply_transposed(a, x);
+    const vec y2 = multiply(transpose(a), x);
+    EXPECT_TRUE(approx_equal(y1, y2, 1e-14));
+}
+
+TEST(Ops, TransposeInvolution) {
+    const matrix a = random_matrix(3, 5, 5);
+    EXPECT_TRUE(approx_equal(transpose(transpose(a)), a, 0.0));
+}
+
+TEST(Ops, GramEqualsAtA) {
+    const matrix a = random_matrix(6, 4, 6);
+    const matrix g = gram(a);
+    const matrix expected = multiply(transpose(a), a);
+    EXPECT_TRUE(approx_equal(g, expected, 1e-13));
+}
+
+TEST(Ops, GramIsSymmetric) {
+    const matrix g = gram(random_matrix(5, 3, 7));
+    EXPECT_TRUE(approx_equal(g, transpose(g), 0.0));
+}
+
+TEST(Ops, OuterProduct) {
+    const vec a{1.0, 2.0};
+    const vec b{3.0, 4.0, 5.0};
+    const matrix o = outer(a, b);
+    EXPECT_EQ(o.rows(), 2u);
+    EXPECT_EQ(o.cols(), 3u);
+    EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(Ops, TraceSumsDiagonal) {
+    const matrix a{{1.0, 9.0}, {9.0, 2.0}};
+    EXPECT_DOUBLE_EQ(trace(a), 3.0);
+    EXPECT_THROW(trace(matrix(2, 3, 0.0)), std::invalid_argument);
+}
+
+TEST(Ops, FrobeniusNorm) {
+    const matrix a{{3.0, 0.0}, {0.0, 4.0}};
+    EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Ops, ColumnCovarianceOfConstantIsZero) {
+    matrix y(10, 2, 3.0);
+    const matrix cov = column_covariance(y);
+    EXPECT_NEAR(cov(0, 0), 0.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+}
+
+TEST(Ops, ColumnCovarianceKnownValue) {
+    // Columns: [0,2] (var 2) and [0,4] (var 8), covariance 4.
+    const matrix y{{0.0, 0.0}, {2.0, 4.0}};
+    const matrix cov = column_covariance(y);
+    EXPECT_DOUBLE_EQ(cov(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(cov(1, 1), 8.0);
+    EXPECT_DOUBLE_EQ(cov(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(cov(1, 0), 4.0);
+}
+
+TEST(Ops, ColumnCovarianceNeedsTwoRows) {
+    EXPECT_THROW(column_covariance(matrix(1, 3, 0.0)), std::invalid_argument);
+}
+
+TEST(Ops, MaxOffDiagonal) {
+    const matrix a{{1.0, -7.0}, {2.0, 3.0}};
+    EXPECT_DOUBLE_EQ(max_off_diagonal(a), 7.0);
+    EXPECT_DOUBLE_EQ(max_off_diagonal(matrix::identity(4)), 0.0);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,106 @@
+#include "traffic/packet_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+TEST(PacketModel, ConfigValidation) {
+    packet_model_config bad;
+    bad.avg_packet_bytes = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    packet_model_config bad2;
+    bad2.size_jitter = 1.0;
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(PacketModel, PacketsScaleWithBytes) {
+    matrix bytes(2, 3, 0.0);
+    bytes(0, 0) = 8000.0;
+    bytes(0, 1) = 16000.0;
+    bytes(1, 2) = 800.0;
+    packet_model_config cfg;
+    cfg.size_jitter = 0.0;  // exact division
+    cfg.avg_packet_bytes = 800.0;
+    const matrix packets = packets_from_bytes(bytes, cfg);
+    EXPECT_DOUBLE_EQ(packets(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(packets(0, 1), 20.0);
+    EXPECT_DOUBLE_EQ(packets(1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(packets(1, 0), 0.0);
+}
+
+TEST(PacketModel, PerFlowSizesDifferButAreDeterministic) {
+    const matrix bytes(4, 10, 8000.0);
+    packet_model_config cfg;
+    cfg.size_jitter = 0.3;
+    cfg.seed = 5;
+    const matrix a = packets_from_bytes(bytes, cfg);
+    const matrix b = packets_from_bytes(bytes, cfg);
+    EXPECT_EQ(a, b);
+    // Different flows get different mean packet sizes.
+    EXPECT_NE(a(0, 0), a(1, 0));
+    // Within a flow the conversion factor is constant.
+    EXPECT_DOUBLE_EQ(a(0, 0), a(0, 9));
+}
+
+TEST(PacketModel, FloodValidation) {
+    flood_event bad;
+    bad.t_begin = 5;
+    bad.t_end = 5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    flood_event bad2;
+    bad2.t_end = 1;
+    bad2.packets_per_bin = -1.0;
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(PacketModel, FloodMovesPacketsMoreThanBytes) {
+    matrix bytes(2, 20, 1e8);  // a healthy flow: 1e8 bytes per bin
+    matrix packets = packets_from_bytes(bytes, {.size_jitter = 0.0});
+
+    flood_event flood;
+    flood.flow = 1;
+    flood.t_begin = 10;
+    flood.t_end = 12;
+    flood.packets_per_bin = 1e5;   // a hundred thousand tiny packets
+    flood.bytes_per_packet = 60.0;
+    const double packets_before = packets(1, 10);
+    const double bytes_before = bytes(1, 10);
+    inject_small_packet_flood(bytes, packets, flood);
+
+    // Relative impact on packets is ~13x the relative impact on bytes:
+    // 1e5 extra packets on a 1.25e5-packet bin vs 6e6 extra bytes on 1e8.
+    const double packet_growth = packets(1, 10) / packets_before;
+    const double byte_growth = bytes(1, 10) / bytes_before;
+    EXPECT_GT(packet_growth, 1.5);
+    EXPECT_LT(byte_growth, 1.1);
+    // Unaffected bins untouched.
+    EXPECT_DOUBLE_EQ(bytes(1, 9), 1e8);
+    EXPECT_DOUBLE_EQ(packets(0, 10), packets_before);
+}
+
+TEST(PacketModel, FloodBoundsChecked) {
+    matrix bytes(2, 10, 1.0);
+    matrix packets(2, 10, 1.0);
+    flood_event event;
+    event.flow = 5;
+    event.t_begin = 0;
+    event.t_end = 2;
+    EXPECT_THROW(inject_small_packet_flood(bytes, packets, event), std::invalid_argument);
+
+    flood_event event2;
+    event2.flow = 0;
+    event2.t_begin = 8;
+    event2.t_end = 20;
+    EXPECT_THROW(inject_small_packet_flood(bytes, packets, event2), std::invalid_argument);
+
+    matrix mismatched(3, 10, 1.0);
+    flood_event ok;
+    ok.t_end = 1;
+    EXPECT_THROW(inject_small_packet_flood(bytes, mismatched, ok), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netdiag

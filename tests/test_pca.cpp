@@ -1,0 +1,133 @@
+#include "subspace/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "linalg/ops.h"
+
+namespace netdiag {
+namespace {
+
+// Data spread along a known direction plus small isotropic noise.
+matrix directional_data(std::size_t t, std::size_t m, const vec& direction,
+                        double noise, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    matrix y(t, m, 0.0);
+    for (std::size_t r = 0; r < t; ++r) {
+        const double coef = 10.0 * gauss(rng);
+        for (std::size_t c = 0; c < m; ++c) {
+            y(r, c) = coef * direction[c] + noise * gauss(rng);
+        }
+    }
+    return y;
+}
+
+TEST(Pca, RecoverDominantDirection) {
+    const vec dir = normalized(vec{3.0, 4.0, 0.0, 0.0});
+    const matrix y = directional_data(500, 4, dir, 0.01, 1);
+    const pca_model model = fit_pca(y);
+
+    const vec v0 = model.principal_axes.column(0);
+    // Direction is defined up to sign.
+    EXPECT_NEAR(std::abs(dot(v0, dir)), 1.0, 1e-3);
+    EXPECT_GT(model.variance_fraction(0), 0.99);
+}
+
+TEST(Pca, AxesAreOrthonormal) {
+    const matrix y = directional_data(200, 6, normalized(vec{1, 1, 1, 1, 1, 1}), 0.5, 2);
+    const pca_model model = fit_pca(y);
+    const matrix vtv = multiply(transpose(model.principal_axes), model.principal_axes);
+    EXPECT_TRUE(approx_equal(vtv, matrix::identity(6), 1e-9));
+}
+
+TEST(Pca, VarianceIsDescendingAndNonNegative) {
+    const matrix y = directional_data(300, 5, normalized(vec{1, 0, 2, 0, 1}), 1.0, 3);
+    const pca_model model = fit_pca(y);
+    for (std::size_t i = 0; i + 1 < model.axis_variance.size(); ++i) {
+        EXPECT_GE(model.axis_variance[i], model.axis_variance[i + 1]);
+    }
+    for (double v : model.axis_variance) EXPECT_GE(v, 0.0);
+}
+
+TEST(Pca, TotalVarianceMatchesCovarianceTrace) {
+    const matrix y = directional_data(150, 4, normalized(vec{1, 2, 3, 4}), 0.7, 4);
+    const pca_model model = fit_pca(y);
+    double sum_var = 0.0;
+    for (double v : model.axis_variance) sum_var += v;
+    EXPECT_NEAR(sum_var, trace(column_covariance(y)), 1e-6 * sum_var);
+}
+
+TEST(Pca, ProjectionsAreUnitNormAndOrthogonal) {
+    const matrix y = directional_data(100, 4, normalized(vec{1, 1, 0, 0}), 1.0, 5);
+    const pca_model model = fit_pca(y);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const vec ui = model.projections.column(i);
+        EXPECT_NEAR(norm(ui), 1.0, 1e-9) << "axis " << i;
+        for (std::size_t j = i + 1; j < 4; ++j) {
+            EXPECT_NEAR(dot(ui, model.projections.column(j)), 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(Pca, ColumnMeansStored) {
+    matrix y(50, 2, 0.0);
+    for (std::size_t r = 0; r < 50; ++r) {
+        y(r, 0) = 100.0 + static_cast<double>(r % 3);
+        y(r, 1) = -40.0;
+    }
+    const pca_model model = fit_pca(y);
+    EXPECT_NEAR(model.column_means[0], 100.0 + (0 + 1 + 2) / 3.0, 0.05);
+    EXPECT_DOUBLE_EQ(model.column_means[1], -40.0);
+    EXPECT_EQ(model.sample_count, 50u);
+}
+
+TEST(Pca, VarianceFractionsSumToOne) {
+    const matrix y = directional_data(80, 5, normalized(vec{0, 1, 0, 1, 0}), 2.0, 6);
+    const vec fractions = fit_pca(y).variance_fractions();
+    double total = 0.0;
+    for (double f : fractions) total += f;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Pca, RankForVariance) {
+    // Two strong directions, rest noise.
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    matrix y(400, 6, 0.0);
+    for (std::size_t r = 0; r < 400; ++r) {
+        const double a = 10.0 * gauss(rng);
+        const double b = 8.0 * gauss(rng);
+        y(r, 0) = a;
+        y(r, 1) = b;
+        for (std::size_t c = 2; c < 6; ++c) y(r, c) = 0.01 * gauss(rng);
+    }
+    const pca_model model = fit_pca(y);
+    EXPECT_EQ(model.rank_for_variance(0.99), 2u);
+    EXPECT_EQ(model.rank_for_variance(1.0), 6u);
+    EXPECT_THROW(model.rank_for_variance(0.0), std::invalid_argument);
+    EXPECT_THROW(model.rank_for_variance(1.5), std::invalid_argument);
+}
+
+TEST(Pca, DegenerateInputsThrow) {
+    EXPECT_THROW(fit_pca(matrix(1, 3, 0.0)), std::invalid_argument);
+    EXPECT_THROW(fit_pca(matrix{}), std::invalid_argument);
+}
+
+TEST(Pca, ConstantDataHasZeroVariance) {
+    const matrix y(20, 3, 5.0);
+    const pca_model model = fit_pca(y);
+    for (double v : model.axis_variance) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Pca, VarianceFractionOutOfRangeThrows) {
+    const matrix y = directional_data(30, 3, normalized(vec{1, 0, 0}), 0.1, 8);
+    const pca_model model = fit_pca(y);
+    EXPECT_THROW(model.variance_fraction(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,102 @@
+#include "measurement/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "measurement/csv.h"
+#include "measurement/dataset.h"
+#include "measurement/link_loads.h"
+#include "topology/builders.h"
+
+namespace netdiag {
+namespace {
+
+class PersistenceFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("netdiag_persist_" + std::to_string(::getpid())))
+                   .string();
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    static dataset small_dataset() {
+        dataset_config cfg;
+        cfg.name = "persisted";
+        cfg.period_label = "test week";
+        cfg.gravity.total_mean_bytes_per_bin = 1e8;
+        cfg.traffic.bins = 288;
+        cfg.traffic.anomaly_count = 3;
+        cfg.traffic.seed = 77;
+        return build_dataset(make_abilene(), cfg);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(PersistenceFixture, RoundTripPreservesEverything) {
+    const dataset original = small_dataset();
+    save_dataset(original, dir_);
+    const dataset loaded = load_dataset(dir_);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.period_label, original.period_label);
+    EXPECT_DOUBLE_EQ(loaded.bin_seconds, original.bin_seconds);
+
+    EXPECT_EQ(loaded.topo.pop_count(), original.topo.pop_count());
+    EXPECT_EQ(loaded.topo.link_count(), original.topo.link_count());
+    for (std::size_t p = 0; p < original.topo.pop_count(); ++p) {
+        EXPECT_EQ(loaded.topo.pop_name(p), original.topo.pop_name(p));
+    }
+
+    EXPECT_TRUE(approx_equal(loaded.routing.a, original.routing.a, 0.0));
+    EXPECT_TRUE(approx_equal(loaded.od_flows, original.od_flows, 0.0));
+    EXPECT_TRUE(approx_equal(loaded.link_loads, original.link_loads, 1e-6));
+    EXPECT_EQ(loaded.injected, original.injected);
+}
+
+TEST_F(PersistenceFixture, LinkLoadsRecomputedConsistently) {
+    const dataset original = small_dataset();
+    save_dataset(original, dir_);
+    const dataset loaded = load_dataset(dir_);
+    // The invariant y = Ax holds by construction after load.
+    const matrix expected = link_loads_from_flows(loaded.routing.a, loaded.od_flows);
+    EXPECT_TRUE(approx_equal(loaded.link_loads, expected, 0.0));
+}
+
+TEST_F(PersistenceFixture, MissingDirectoryThrows) {
+    EXPECT_THROW(load_dataset("/nonexistent/netdiag/archive"), std::runtime_error);
+}
+
+TEST_F(PersistenceFixture, CorruptMetaThrows) {
+    const dataset original = small_dataset();
+    save_dataset(original, dir_);
+    {
+        std::ofstream meta(std::filesystem::path(dir_) / "meta.txt");
+        meta << "garbage-without-keys\n";
+    }
+    EXPECT_THROW(load_dataset(dir_), std::runtime_error);
+}
+
+TEST_F(PersistenceFixture, FlowTopologyMismatchDetected) {
+    const dataset original = small_dataset();
+    save_dataset(original, dir_);
+    // Overwrite the flow matrix with the wrong number of flows.
+    write_matrix_csv((std::filesystem::path(dir_) / "od_flows.csv").string(),
+                     matrix(5, 10, 1.0));
+    EXPECT_THROW(load_dataset(dir_), std::runtime_error);
+}
+
+TEST_F(PersistenceFixture, SaveCreatesDirectory) {
+    const std::string nested = dir_ + "/deeper/archive";
+    save_dataset(small_dataset(), nested);
+    EXPECT_TRUE(std::filesystem::exists(nested + "/od_flows.csv"));
+}
+
+}  // namespace
+}  // namespace netdiag

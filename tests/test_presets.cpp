@@ -1,0 +1,90 @@
+#include "measurement/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "measurement/link_loads.h"
+
+namespace netdiag {
+namespace {
+
+TEST(Presets, Sprint1MatchesTable1Row) {
+    const dataset ds = make_sprint1_dataset();
+    EXPECT_EQ(ds.name, "Sprint-1");
+    EXPECT_EQ(ds.topo.pop_count(), 13u);
+    EXPECT_EQ(ds.link_count(), 49u);
+    EXPECT_EQ(ds.flow_count(), 169u);
+    EXPECT_EQ(ds.bin_count(), 1008u);
+    EXPECT_DOUBLE_EQ(ds.bin_seconds, 600.0);
+}
+
+TEST(Presets, AbileneMatchesTable1Row) {
+    const dataset ds = make_abilene_dataset();
+    EXPECT_EQ(ds.name, "Abilene");
+    EXPECT_EQ(ds.topo.pop_count(), 11u);
+    EXPECT_EQ(ds.link_count(), 41u);
+    EXPECT_EQ(ds.flow_count(), 121u);
+    EXPECT_EQ(ds.bin_count(), 1008u);
+}
+
+TEST(Presets, LinkLoadsConsistentWithFlows) {
+    const dataset ds = make_sprint1_dataset();
+    const matrix expected = link_loads_from_flows(ds.routing.a, ds.od_flows);
+    EXPECT_TRUE(approx_equal(ds.link_loads, expected, 1e-6));
+}
+
+TEST(Presets, SprintWeeksShareStructureButDifferInNoise) {
+    const dataset w1 = make_sprint1_dataset();
+    const dataset w2 = make_sprint2_dataset();
+    EXPECT_EQ(w1.link_count(), w2.link_count());
+    EXPECT_EQ(w1.flow_count(), w2.flow_count());
+    // Same gravity seed -> same flow-size structure; different traffic
+    // seed -> different realizations.
+    EXPECT_NE(w1.od_flows, w2.od_flows);
+}
+
+TEST(Presets, GroundTruthAnomaliesPresent) {
+    for (const dataset& ds :
+         {make_sprint1_dataset(), make_sprint2_dataset(), make_abilene_dataset()}) {
+        EXPECT_GE(ds.injected.size(), 8u) << ds.name;
+        for (const anomaly_event& ev : ds.injected) {
+            EXPECT_LT(ev.flow, ds.flow_count());
+            EXPECT_LT(ev.t, ds.bin_count());
+        }
+    }
+}
+
+TEST(Presets, TrafficIsNonNegativeEverywhere) {
+    const dataset ds = make_abilene_dataset();
+    for (std::size_t i = 0; i < ds.od_flows.size(); ++i) {
+        EXPECT_GE(ds.od_flows.data()[i], 0.0);
+    }
+    for (std::size_t i = 0; i < ds.link_loads.size(); ++i) {
+        EXPECT_GE(ds.link_loads.data()[i], 0.0);
+    }
+}
+
+TEST(Presets, DeterministicRebuild) {
+    const dataset a = make_sprint1_dataset();
+    const dataset b = make_sprint1_dataset();
+    EXPECT_EQ(a.od_flows, b.od_flows);
+    EXPECT_EQ(a.link_loads, b.link_loads);
+}
+
+TEST(Presets, SummaryReportsTable1Fields) {
+    const dataset_summary s = summarize(make_abilene_dataset());
+    EXPECT_EQ(s.name, "Abilene");
+    EXPECT_EQ(s.pops, 11u);
+    EXPECT_EQ(s.links, 41u);
+    EXPECT_EQ(s.bins, 1008u);
+    EXPECT_DOUBLE_EQ(s.bin_minutes, 10.0);
+    EXPECT_EQ(s.period_label, "Apr 07-Apr 13");
+}
+
+TEST(Presets, BuildDatasetRejectsUnfinalizedTopology) {
+    topology t("x");
+    t.add_pop("a");
+    EXPECT_THROW(build_dataset(std::move(t), sprint1_config()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,156 @@
+// Parameterized property sweeps across random seeds and parameters:
+// invariants of the subspace method that must hold for *any* realization
+// of the traffic model, not just the preset datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "measurement/dataset.h"
+#include "subspace/detectability.h"
+#include "subspace/diagnoser.h"
+#include "topology/builders.h"
+
+namespace netdiag {
+namespace {
+
+dataset small_dataset(std::uint64_t seed, double noise_rel = 0.04) {
+    dataset_config cfg;
+    cfg.name = "prop";
+    cfg.gravity.total_mean_bytes_per_bin = 3.0e8;
+    cfg.gravity.seed = seed * 3 + 1;
+    cfg.traffic.bins = 432;  // three days: enough diurnal cycles for PCA
+    cfg.traffic.seed = seed;
+    cfg.traffic.anomaly_count = 0;  // properties control their own anomalies
+    cfg.traffic.white_sigma_rel = noise_rel;
+    cfg.sampling = sampling_kind::none;
+    return build_dataset(make_abilene(), cfg);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, ResidualDecompositionIsExact) {
+    const dataset ds = small_dataset(GetParam());
+    const subspace_model model = subspace_model::fit(ds.link_loads);
+    for (std::size_t t = 0; t < ds.bin_count(); t += 97) {
+        const auto y = ds.link_loads.row(t);
+        const vec resid = model.residual(y);
+        const vec modeled = model.modeled(y);
+        const vec centered = subtract(y, model.pca().column_means);
+        for (std::size_t i = 0; i < centered.size(); ++i) {
+            EXPECT_NEAR(resid[i] + modeled[i], centered[i], 1e-6)
+                << "seed " << GetParam() << " t " << t;
+        }
+    }
+}
+
+TEST_P(SeedSweep, CleanTrafficFalseAlarmRateIsLow) {
+    const dataset ds = small_dataset(GetParam());
+    const subspace_model model = subspace_model::fit(ds.link_loads);
+    const spe_detector det(model, 0.999);
+    std::size_t alarms = 0;
+    for (std::size_t t = 0; t < ds.bin_count(); ++t) {
+        if (det.test(ds.link_loads.row(t)).anomalous) ++alarms;
+    }
+    // 99.9% confidence on clean traffic: expect well under 2% flagged.
+    EXPECT_LT(static_cast<double>(alarms) / static_cast<double>(ds.bin_count()), 0.02)
+        << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, InjectedSpikeAboveDetectabilityThresholdIsAlwaysCaught) {
+    const dataset ds = small_dataset(GetParam());
+    const volume_anomaly_diagnoser diag(ds.link_loads, ds.routing.a, 0.999);
+    const auto thresholds = detectability_thresholds(diag.model(), ds.routing.a, 0.999);
+
+    // Inject on top of the column means (residual-free baseline): the
+    // sufficient condition of Section 5.4 guarantees detection.
+    for (std::size_t j = 0; j < ds.routing.flow_count(); j += 17) {
+        vec y = diag.model().pca().column_means;
+        axpy(1.1 * thresholds[j].min_detectable_bytes, ds.routing.a.column(j), y);
+        EXPECT_TRUE(diag.diagnose(y).anomalous) << "seed " << GetParam() << " flow " << j;
+    }
+}
+
+TEST_P(SeedSweep, IdentificationNamesTheInjectedFlow) {
+    const dataset ds = small_dataset(GetParam());
+    const volume_anomaly_diagnoser diag(ds.link_loads, ds.routing.a, 0.999);
+
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (std::size_t j = 3; j < ds.routing.flow_count(); j += 11) {
+        vec y(ds.link_loads.row(200).begin(), ds.link_loads.row(200).end());
+        axpy(2.0e8, ds.routing.a.column(j), y);
+        const diagnosis d = diag.diagnose(y);
+        ++total;
+        if (d.anomalous && d.flow && *d.flow == j) ++correct;
+    }
+    EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.8)
+        << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, QuantificationWithinFactorOfTwo) {
+    const dataset ds = small_dataset(GetParam());
+    const volume_anomaly_diagnoser diag(ds.link_loads, ds.routing.a, 0.999);
+    const double bytes = 2.5e8;
+    std::size_t within = 0;
+    std::size_t total = 0;
+    for (std::size_t j = 5; j < ds.routing.flow_count(); j += 13) {
+        vec y(ds.link_loads.row(150).begin(), ds.link_loads.row(150).end());
+        axpy(bytes, ds.routing.a.column(j), y);
+        const diagnosis d = diag.diagnose(y);
+        if (!(d.anomalous && d.flow && *d.flow == j)) continue;
+        ++total;
+        if (std::abs(d.estimated_bytes) > 0.5 * bytes &&
+            std::abs(d.estimated_bytes) < 2.0 * bytes) {
+            ++within;
+        }
+    }
+    ASSERT_GT(total, 0u) << "seed " << GetParam();
+    EXPECT_EQ(within, total) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, NormalRankStaysSmallAcrossNoiseLevels) {
+    const dataset ds = small_dataset(42, GetParam());
+    const subspace_model model = subspace_model::fit(ds.link_loads);
+    EXPECT_LE(model.normal_rank(), 10u) << "noise " << GetParam();
+}
+
+TEST_P(NoiseSweep, ThresholdGrowsWithNoise) {
+    const dataset quiet = small_dataset(7, 0.01);
+    const dataset loud = small_dataset(7, GetParam());
+    separation_config sep;
+    sep.fixed_rank = 4;  // compare thresholds at equal rank
+    const subspace_model mq = subspace_model::fit(quiet.link_loads, sep);
+    const subspace_model ml = subspace_model::fit(loud.link_loads, sep);
+    if (GetParam() > 0.01) {
+        EXPECT_GT(ml.q_threshold(0.999), mq.q_threshold(0.999)) << "noise " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseSweep, ::testing::Values(0.02, 0.05, 0.08, 0.12));
+
+class ConfidenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConfidenceSweep, AlarmCountDecreasesWithConfidence) {
+    const dataset ds = small_dataset(99);
+    const subspace_model model = subspace_model::fit(ds.link_loads);
+    const spe_detector loose(model, 0.95);
+    const spe_detector tight(model, GetParam());
+    std::size_t loose_alarms = 0, tight_alarms = 0;
+    for (std::size_t t = 0; t < ds.bin_count(); ++t) {
+        if (loose.test(ds.link_loads.row(t)).anomalous) ++loose_alarms;
+        if (tight.test(ds.link_loads.row(t)).anomalous) ++tight_alarms;
+    }
+    EXPECT_LE(tight_alarms, loose_alarms) << "confidence " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidences, ConfidenceSweep,
+                         ::testing::Values(0.99, 0.995, 0.999, 0.9999));
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,112 @@
+#include "subspace/qstat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "stats/normal.h"
+
+namespace netdiag {
+namespace {
+
+TEST(QStat, EmptyResidualTailGivesZero) {
+    const std::vector<double> eig{5.0, 3.0};
+    EXPECT_DOUBLE_EQ(q_statistic_threshold(eig, 2, 0.999), 0.0);
+}
+
+TEST(QStat, ZeroVarianceTailGivesZero) {
+    const std::vector<double> eig{5.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(q_statistic_threshold(eig, 1, 0.999), 0.0);
+}
+
+TEST(QStat, SingleEigenvalueTailMatchesHandComputation) {
+    // With one residual eigenvalue l: phi1 = l, phi2 = l^2, phi3 = l^3,
+    // h0 = 1 - 2/3 = 1/3, and
+    // delta^2 = l * (c sqrt(2) / 3 + 1 + (1/3)(1/3 - 1))^3
+    //         = l * (c sqrt(2)/3 + 7/9)^3.
+    const double l = 2.5;
+    const double confidence = 0.995;
+    const double c = normal_quantile(confidence);
+    const double expected = l * std::pow(c * std::sqrt(2.0) / 3.0 + 7.0 / 9.0, 3.0);
+    const std::vector<double> eig{10.0, l};
+    EXPECT_NEAR(q_statistic_threshold(eig, 1, confidence), expected, 1e-10);
+}
+
+TEST(QStat, MonotoneInConfidence) {
+    const std::vector<double> eig{8.0, 2.0, 1.0, 0.5, 0.25};
+    const double t95 = q_statistic_threshold(eig, 1, 0.95);
+    const double t995 = q_statistic_threshold(eig, 1, 0.995);
+    const double t999 = q_statistic_threshold(eig, 1, 0.999);
+    EXPECT_LT(t95, t995);
+    EXPECT_LT(t995, t999);
+}
+
+TEST(QStat, ScalesQuadraticallyWithTraffic) {
+    // Scaling measurements by c scales eigenvalues by c^2 and the SPE by
+    // c^2, so the threshold must also scale by c^2. This is the paper's
+    // "does not depend on mean traffic" property.
+    const std::vector<double> eig{4.0, 1.0, 0.5, 0.2};
+    std::vector<double> scaled_eig(eig);
+    const double c2 = 1000.0 * 1000.0;
+    for (double& l : scaled_eig) l *= c2;
+    const double base = q_statistic_threshold(eig, 1, 0.999);
+    const double scaled = q_statistic_threshold(scaled_eig, 1, 0.999);
+    EXPECT_NEAR(scaled / base, c2, 1e-6 * c2);
+}
+
+TEST(QStat, InvalidArgumentsThrow) {
+    const std::vector<double> eig{1.0, 0.5};
+    EXPECT_THROW(q_statistic_threshold(eig, 3, 0.999), std::invalid_argument);
+    EXPECT_THROW(q_statistic_threshold(eig, 0, 0.0), std::invalid_argument);
+    EXPECT_THROW(q_statistic_threshold(eig, 0, 1.0), std::invalid_argument);
+}
+
+TEST(QStat, GaussianFalseAlarmRateMatchesConfidence) {
+    // For x ~ N(0, diag(lambda)) and an empty normal subspace (r = 0), the
+    // SPE is ||x||^2 and P(SPE > delta^2_alpha) should be close to alpha.
+    const std::vector<double> lambda{4.0, 2.0, 1.0, 0.5, 0.25, 0.1};
+    const double confidence = 0.95;
+    const double threshold = q_statistic_threshold(lambda, 0, confidence);
+
+    std::mt19937_64 rng(99);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    const int trials = 40000;
+    int exceed = 0;
+    for (int i = 0; i < trials; ++i) {
+        double spe = 0.0;
+        for (double l : lambda) {
+            const double x = std::sqrt(l) * gauss(rng);
+            spe += x * x;
+        }
+        if (spe > threshold) ++exceed;
+    }
+    const double rate = static_cast<double>(exceed) / trials;
+    // Jackson-Mudholkar is an approximation; allow a generous band around
+    // the nominal 5%.
+    EXPECT_GT(rate, 0.02);
+    EXPECT_LT(rate, 0.09);
+}
+
+TEST(QStat, HigherConfidenceLowersFalseAlarms) {
+    const std::vector<double> lambda{3.0, 1.5, 0.7, 0.3};
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    const double t99 = q_statistic_threshold(lambda, 0, 0.99);
+    const double t999 = q_statistic_threshold(lambda, 0, 0.999);
+    int exceed99 = 0, exceed999 = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double spe = 0.0;
+        for (double l : lambda) {
+            const double x = std::sqrt(l) * gauss(rng);
+            spe += x * x;
+        }
+        if (spe > t99) ++exceed99;
+        if (spe > t999) ++exceed999;
+    }
+    EXPECT_LT(exceed999, exceed99);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,86 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+    text_table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"a-much-longer-name", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+    // Every line has the same length (alignment).
+    std::size_t line_len = std::string::npos;
+    std::size_t start = 0;
+    while (start < s.size()) {
+        const std::size_t end = s.find('\n', start);
+        const std::size_t len = end - start;
+        if (line_len == std::string::npos) line_len = len;
+        EXPECT_EQ(len, line_len);
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, CellCountValidated) {
+    text_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, FixedAndScientific) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(2.0, 0), "2");
+    EXPECT_EQ(format_scientific(12345.0, 2), "1.23e+04");
+}
+
+TEST(Format, PercentAndRatio) {
+    EXPECT_EQ(format_percent(0.156, 1), "15.6%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+    EXPECT_EQ(format_ratio(9, 9), "9/9");
+    EXPECT_EQ(format_ratio(1, 999), "1/999");
+}
+
+TEST(AsciiTimeseries, ContainsDataMarksAndScale) {
+    std::vector<double> xs(100, 1.0);
+    xs[50] = 10.0;
+    const std::string plot = ascii_timeseries(xs, 60, 8);
+    EXPECT_NE(plot.find('*'), std::string::npos);
+    EXPECT_NE(plot.find("1.00e+01"), std::string::npos);  // max label
+}
+
+TEST(AsciiTimeseries, MarkersDrawn) {
+    std::vector<double> xs(50, 1.0);
+    const std::vector<double> markers{5.0};
+    const std::string plot = ascii_timeseries(xs, 40, 6, markers);
+    EXPECT_NE(plot.find('-'), std::string::npos);
+}
+
+TEST(AsciiTimeseries, EmptyInputsGiveEmptyString) {
+    EXPECT_TRUE(ascii_timeseries({}, 10, 5).empty());
+    const std::vector<double> xs{1.0};
+    EXPECT_TRUE(ascii_timeseries(xs, 0, 5).empty());
+}
+
+TEST(AsciiTimeseries, SpikeSurvivesDownsampling) {
+    // 1000 points squeezed into 50 columns: the single spike must still
+    // appear because columns keep their max.
+    std::vector<double> xs(1000, 0.0);
+    xs[777] = 100.0;
+    const std::string plot = ascii_timeseries(xs, 50, 10);
+    EXPECT_NE(plot.find("1.00e+02"), std::string::npos);
+}
+
+TEST(AsciiHistogram, BarsScaleWithCounts) {
+    histogram h{0.0, 1.0, {1, 4, 2}};
+    const std::string s = ascii_histogram(h, 8);
+    // Largest bin gets the full bar.
+    EXPECT_NE(s.find("########"), std::string::npos);
+    EXPECT_NE(s.find(" 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netdiag

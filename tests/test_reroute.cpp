@@ -1,0 +1,122 @@
+// Routing-change anomalies (Section 7.2 motivates multi-flow anomalies
+// "when it arises from routing changes"). A link failure reroutes every
+// OD flow crossing it; the resulting shift in link loads is a
+// multi-dimensional anomaly the subspace method should flag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measurement/dataset.h"
+#include "measurement/link_loads.h"
+#include "subspace/diagnoser.h"
+#include "topology/builders.h"
+
+namespace netdiag {
+namespace {
+
+TEST(RemoveEdge, CopyDropsExactlyOneEdge) {
+    const topology base = make_abilene();
+    const auto a = *base.find_pop("chin");
+    const auto b = *base.find_pop("ipls");
+    const topology failed = remove_edge_copy(base, a, b);
+    EXPECT_EQ(failed.pop_count(), base.pop_count());
+    EXPECT_EQ(failed.link_count(), base.link_count() - 2);  // both directions
+    EXPECT_FALSE(failed.has_edge(a, b));
+    EXPECT_FALSE(failed.has_edge(b, a));
+    EXPECT_TRUE(failed.finalized());
+}
+
+TEST(RemoveEdge, Validation) {
+    const topology base = make_abilene();
+    EXPECT_THROW(remove_edge_copy(base, 0, 0), std::invalid_argument);
+    topology unfinalized("u");
+    unfinalized.add_pop("x");
+    unfinalized.add_pop("y");
+    unfinalized.add_edge(0, 1);
+    EXPECT_THROW(remove_edge_copy(unfinalized, 0, 1), std::invalid_argument);
+}
+
+TEST(RemoveEdge, RoutingStillCoversAllPairs) {
+    // Abilene is 2-connected: any single edge failure leaves all OD pairs
+    // routable.
+    const topology base = make_abilene();
+    for (const link& l : base.links()) {
+        if (l.intra || l.src > l.dst) continue;
+        const topology failed = remove_edge_copy(base, l.src, l.dst);
+        EXPECT_NO_THROW(build_routing(failed))
+            << "failure of " << base.pop_name(l.src) << "-" << base.pop_name(l.dst);
+    }
+}
+
+TEST(RemoveEdge, ReroutedPathsAvoidFailedLink) {
+    const topology base = make_abilene();
+    const auto a = *base.find_pop("kscy");
+    const auto b = *base.find_pop("dnvr");
+    const topology failed = remove_edge_copy(base, a, b);
+    const auto path = shortest_path_links(failed, a, b);
+    EXPECT_GE(path.size(), 2u);  // direct hop gone
+    for (std::size_t id : path) {
+        const link& l = failed.link_at(id);
+        EXPECT_FALSE((l.src == a && l.dst == b) || (l.src == b && l.dst == a));
+    }
+}
+
+class RerouteDetection : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dataset_config cfg;
+        cfg.name = "reroute";
+        cfg.gravity.total_mean_bytes_per_bin = 2e9;
+        cfg.gravity.seed = 11;
+        cfg.traffic.bins = 432;
+        cfg.traffic.anomaly_count = 0;
+        cfg.traffic.seed = 55;
+        ds_ = std::make_unique<dataset>(build_dataset(make_abilene(), cfg));
+        diagnoser_ = std::make_unique<volume_anomaly_diagnoser>(ds_->link_loads,
+                                                                ds_->routing.a, 0.999);
+    }
+
+    std::unique_ptr<dataset> ds_;
+    std::unique_ptr<volume_anomaly_diagnoser> diagnoser_;
+};
+
+TEST_F(RerouteDetection, LinkFailureShiftTriggersDetection) {
+    // Fail a core link and recompute the loads for one timestep from the
+    // *same* OD traffic via the post-failure routing matrix.
+    const auto a = *ds_->topo.find_pop("kscy");
+    const auto b = *ds_->topo.find_pop("hstn");
+    const topology failed = remove_edge_copy(ds_->topo, a, b);
+    const routing_result failed_routing = build_routing(failed);
+
+    // Map post-failure link loads back onto the original link id space:
+    // surviving links keep relative order, the two removed directed links
+    // contribute zero load.
+    const std::size_t t_probe = 200;
+    const vec flows = ds_->od_flows.column(t_probe);
+    const vec failed_loads = link_loads_at(failed_routing.a, flows);
+
+    vec y(ds_->link_count(), 0.0);
+    std::size_t failed_idx = 0;
+    for (std::size_t id = 0; id < ds_->link_count(); ++id) {
+        const link& l = ds_->topo.link_at(id);
+        const bool removed = !l.intra && ((l.src == a && l.dst == b) || (l.src == b && l.dst == a));
+        if (removed) {
+            y[id] = 0.0;  // failed link carries nothing
+        } else {
+            y[id] = failed_loads[failed_idx++];
+        }
+    }
+    ASSERT_EQ(failed_idx, failed_loads.size());
+
+    const diagnosis d = diagnoser_->diagnose(y);
+    EXPECT_TRUE(d.anomalous);
+    EXPECT_GT(d.spe, 10.0 * d.threshold);  // a routing shift is a huge event
+}
+
+TEST_F(RerouteDetection, NoFailureNoDetection) {
+    const diagnosis d = diagnoser_->diagnose(ds_->link_loads.row(200));
+    EXPECT_FALSE(d.anomalous);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,111 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measurement/presets.h"
+
+namespace netdiag {
+namespace {
+
+class RocFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ds_ = new dataset(make_sprint1_dataset());
+        model_ = new subspace_model(subspace_model::fit(ds_->link_loads));
+        truths_ = new std::vector<true_anomaly>();
+        for (const anomaly_event& ev : ds_->injected) {
+            if (std::abs(ev.amplitude_bytes) >= 2e7) {
+                truths_->push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            }
+        }
+    }
+    static void TearDownTestSuite() {
+        delete truths_;
+        delete model_;
+        delete ds_;
+        truths_ = nullptr;
+        model_ = nullptr;
+        ds_ = nullptr;
+    }
+
+    static dataset* ds_;
+    static subspace_model* model_;
+    static std::vector<true_anomaly>* truths_;
+};
+
+dataset* RocFixture::ds_ = nullptr;
+subspace_model* RocFixture::model_ = nullptr;
+std::vector<true_anomaly>* RocFixture::truths_ = nullptr;
+
+TEST_F(RocFixture, OnePointPerConfidence) {
+    const std::vector<double> confidences{0.9, 0.99, 0.999};
+    const auto points = compute_roc(*model_, ds_->link_loads, *truths_, confidences);
+    ASSERT_EQ(points.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(points[i].confidence, confidences[i]);
+    }
+}
+
+TEST_F(RocFixture, ThresholdMonotoneInConfidence) {
+    const std::vector<double> confidences{0.9, 0.95, 0.99, 0.999};
+    const auto points = compute_roc(*model_, ds_->link_loads, *truths_, confidences);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].threshold, points[i - 1].threshold);
+    }
+}
+
+TEST_F(RocFixture, RatesMonotoneAgainstThreshold) {
+    const std::vector<double> confidences{0.9, 0.95, 0.99, 0.999, 0.9999};
+    const auto points = compute_roc(*model_, ds_->link_loads, *truths_, confidences);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LE(points[i].detection_rate, points[i - 1].detection_rate + 1e-12);
+        EXPECT_LE(points[i].false_alarm_rate, points[i - 1].false_alarm_rate + 1e-12);
+    }
+}
+
+TEST_F(RocFixture, WellSeparatedDataHasHighAuc) {
+    const std::vector<double> confidences{0.5,  0.8,   0.9,   0.95,  0.99,
+                                          0.995, 0.999, 0.9995, 0.9999};
+    const auto points = compute_roc(*model_, ds_->link_loads, *truths_, confidences);
+    EXPECT_GT(roc_auc(points), 0.9);  // Figure 5's separation, as one number
+}
+
+TEST_F(RocFixture, RatesAreProbabilities) {
+    const std::vector<double> confidences{0.9, 0.999};
+    const auto points = compute_roc(*model_, ds_->link_loads, *truths_, confidences);
+    for (const roc_point& p : points) {
+        EXPECT_GE(p.detection_rate, 0.0);
+        EXPECT_LE(p.detection_rate, 1.0);
+        EXPECT_GE(p.false_alarm_rate, 0.0);
+        EXPECT_LE(p.false_alarm_rate, 1.0);
+    }
+}
+
+TEST_F(RocFixture, Validation) {
+    const std::vector<double> empty;
+    EXPECT_THROW(compute_roc(*model_, ds_->link_loads, *truths_, empty),
+                 std::invalid_argument);
+    const std::vector<double> bad{1.5};
+    EXPECT_THROW(compute_roc(*model_, ds_->link_loads, *truths_, bad),
+                 std::invalid_argument);
+    std::vector<true_anomaly> out_of_range{{0, ds_->bin_count() + 3, 1.0}};
+    const std::vector<double> ok{0.99};
+    EXPECT_THROW(compute_roc(*model_, ds_->link_loads, out_of_range, ok),
+                 std::invalid_argument);
+    EXPECT_THROW(roc_auc({}), std::invalid_argument);
+}
+
+TEST(RocAuc, KnownGeometry) {
+    // One point at (0.5 FA, 0.5 det) anchored at (0,0) and (1,1): the
+    // diagonal, AUC exactly 0.5.
+    const std::vector<roc_point> diagonal{{0.99, 1.0, 0.5, 0.5}};
+    EXPECT_NEAR(roc_auc(diagonal), 0.5, 1e-12);
+    // Perfect corner: detection 1 at false alarms 0.
+    const std::vector<roc_point> perfect{{0.99, 1.0, 1.0, 0.0}};
+    EXPECT_NEAR(roc_auc(perfect), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,146 @@
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "topology/builders.h"
+
+namespace netdiag {
+namespace {
+
+TEST(Routing, SelfPairUsesIntraLink) {
+    const topology topo = make_abilene();
+    const auto path = shortest_path_links(topo, 3, 3);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], topo.intra_link_of(3));
+}
+
+TEST(Routing, PathIsContiguous) {
+    const topology topo = make_sprint_europe();
+    for (std::size_t o = 0; o < topo.pop_count(); ++o) {
+        for (std::size_t d = 0; d < topo.pop_count(); ++d) {
+            if (o == d) continue;
+            const auto path = shortest_path_links(topo, o, d);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(topo.link_at(path.front()).src, o);
+            EXPECT_EQ(topo.link_at(path.back()).dst, d);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                EXPECT_EQ(topo.link_at(path[i]).dst, topo.link_at(path[i + 1]).src);
+            }
+        }
+    }
+}
+
+TEST(Routing, Figure1PathIsReproduced) {
+    // The paper's Figure 1 example: OD flow b->i rides links b-c, c-d,
+    // d-f, f-i in the Sprint network.
+    const topology topo = make_sprint_europe();
+    const auto b = *topo.find_pop("b");
+    const auto i = *topo.find_pop("i");
+    const auto path = shortest_path_links(topo, b, i);
+    ASSERT_EQ(path.size(), 4u);
+    const char* expected[][2] = {{"b", "c"}, {"c", "d"}, {"d", "f"}, {"f", "i"}};
+    for (std::size_t k = 0; k < 4; ++k) {
+        const link& l = topo.link_at(path[k]);
+        EXPECT_EQ(topo.pop_name(l.src), expected[k][0]);
+        EXPECT_EQ(topo.pop_name(l.dst), expected[k][1]);
+    }
+}
+
+TEST(Routing, UnfinalizedTopologyThrows) {
+    topology t("x");
+    t.add_pop("a");
+    t.add_pop("b");
+    EXPECT_THROW(shortest_path_links(t, 0, 1), std::invalid_argument);
+    EXPECT_THROW(build_routing(t), std::invalid_argument);
+}
+
+TEST(Routing, UnreachableDestinationThrows) {
+    topology t("disconnected");
+    t.add_pop("a");
+    t.add_pop("b");
+    t.add_pop("c");
+    t.add_edge(0, 1);
+    t.finalize();  // c is isolated
+    EXPECT_THROW(shortest_path_links(t, 0, 2), std::invalid_argument);
+    EXPECT_THROW(build_routing(t), std::invalid_argument);
+}
+
+TEST(RoutingMatrix, ShapeMatchesTable1) {
+    const routing_result sprint = build_routing(make_sprint_europe());
+    EXPECT_EQ(sprint.a.rows(), 49u);
+    EXPECT_EQ(sprint.a.cols(), 169u);  // 13^2 OD pairs
+    EXPECT_EQ(sprint.pairs.size(), 169u);
+
+    const routing_result abilene = build_routing(make_abilene());
+    EXPECT_EQ(abilene.a.rows(), 41u);
+    EXPECT_EQ(abilene.a.cols(), 121u);  // 11^2
+}
+
+TEST(RoutingMatrix, EntriesAreZeroOne) {
+    const routing_result r = build_routing(make_abilene());
+    for (std::size_t i = 0; i < r.a.size(); ++i) {
+        const double v = r.a.data()[i];
+        EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+}
+
+TEST(RoutingMatrix, ColumnsMatchShortestPaths) {
+    const topology topo = make_abilene();
+    const routing_result r = build_routing(topo);
+    for (std::size_t o = 0; o < topo.pop_count(); o += 3) {
+        for (std::size_t d = 0; d < topo.pop_count(); d += 2) {
+            const auto path = shortest_path_links(topo, o, d);
+            const std::set<std::size_t> path_set(path.begin(), path.end());
+            const std::size_t j = r.flow_index(o, d);
+            for (std::size_t l = 0; l < topo.link_count(); ++l) {
+                EXPECT_DOUBLE_EQ(r.a(l, j), path_set.contains(l) ? 1.0 : 0.0);
+            }
+        }
+    }
+}
+
+TEST(RoutingMatrix, EveryFlowCrossesAtLeastOneLink) {
+    const routing_result r = build_routing(make_sprint_europe());
+    for (std::size_t j = 0; j < r.a.cols(); ++j) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < r.a.rows(); ++i) s += r.a(i, j);
+        EXPECT_GE(s, 1.0) << "flow " << j;
+    }
+}
+
+TEST(RoutingMatrix, EveryLinkCarriesSomeFlow) {
+    // In a backbone where shortest paths cover all links, each link must
+    // appear in at least one OD path (its own endpoints if nothing else).
+    const routing_result r = build_routing(make_abilene());
+    for (std::size_t i = 0; i < r.a.rows(); ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < r.a.cols(); ++j) s += r.a(i, j);
+        EXPECT_GE(s, 1.0) << "link " << i;
+    }
+}
+
+TEST(RoutingMatrix, FlowIndexRoundTrips) {
+    const routing_result r = build_routing(make_abilene());
+    for (std::size_t j = 0; j < r.pairs.size(); j += 7) {
+        EXPECT_EQ(r.flow_index(r.pairs[j].origin, r.pairs[j].destination), j);
+    }
+    EXPECT_THROW(r.flow_index(99, 0), std::invalid_argument);
+}
+
+TEST(RoutingMatrix, SymmetricPathLengths) {
+    // With unit weights, the shortest o->d and d->o paths have equal hop
+    // counts (links are symmetric).
+    const topology topo = make_sprint_europe();
+    for (std::size_t o = 0; o < topo.pop_count(); ++o) {
+        for (std::size_t d = o + 1; d < topo.pop_count(); ++d) {
+            EXPECT_EQ(shortest_path_links(topo, o, d).size(),
+                      shortest_path_links(topo, d, o).size());
+        }
+    }
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,127 @@
+#include "traffic/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace netdiag {
+namespace {
+
+matrix constant_matrix(std::size_t rows, std::size_t cols, double v) {
+    return matrix(rows, cols, v);
+}
+
+TEST(Sampling, ConfigValidation) {
+    sampling_config bad;
+    bad.rate = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad.rate = 1.5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad.rate = 0.01;
+    bad.avg_packet_bytes = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Sampling, PeriodicIsNearlyUnbiased) {
+    const matrix truth = constant_matrix(50, 20, 1e7);
+    sampling_config cfg;
+    cfg.rate = 1.0 / 250.0;
+    cfg.seed = 1;
+    const matrix est = sample_periodic(truth, cfg);
+    std::vector<double> values(est.data(), est.data() + est.size());
+    EXPECT_NEAR(mean(values), 1e7, 0.02 * 1e7);
+}
+
+TEST(Sampling, PeriodicErrorBoundedByOneSample) {
+    const matrix truth = constant_matrix(10, 10, 1e7);
+    sampling_config cfg;
+    cfg.rate = 1.0 / 250.0;
+    cfg.avg_packet_bytes = 800.0;
+    const matrix est = sample_periodic(truth, cfg);
+    const double bytes_per_sample = 800.0 * 250.0;
+    for (std::size_t i = 0; i < est.size(); ++i) {
+        EXPECT_LE(std::abs(est.data()[i] - 1e7), bytes_per_sample + 1e-6);
+    }
+}
+
+TEST(Sampling, RandomIsUnbiasedButNoisier) {
+    const matrix truth = constant_matrix(60, 20, 1e7);
+    sampling_config random_cfg;
+    random_cfg.rate = 0.01;
+    random_cfg.seed = 2;
+    const matrix est_random = sample_random(truth, random_cfg);
+
+    sampling_config periodic_cfg;
+    periodic_cfg.rate = 1.0 / 250.0;
+    periodic_cfg.seed = 2;
+    const matrix est_periodic = sample_periodic(truth, periodic_cfg);
+
+    std::vector<double> rnd(est_random.data(), est_random.data() + est_random.size());
+    std::vector<double> per(est_periodic.data(), est_periodic.data() + est_periodic.size());
+
+    EXPECT_NEAR(mean(rnd), 1e7, 0.05 * 1e7);
+    // Random sampling must be the noisier of the two (the paper's stated
+    // reason for Abilene's higher false alarm rate).
+    EXPECT_GT(sample_stddev(rnd), 2.0 * sample_stddev(per));
+}
+
+TEST(Sampling, RandomRelativeNoiseShrinksWithVolume) {
+    sampling_config cfg;
+    cfg.rate = 0.01;
+    cfg.seed = 3;
+    const matrix small_truth = constant_matrix(200, 1, 1e6);
+    const matrix big_truth = constant_matrix(200, 1, 1e9);
+    const matrix small_est = sample_random(small_truth, cfg);
+    const matrix big_est = sample_random(big_truth, cfg);
+
+    std::vector<double> small_vals(small_est.data(), small_est.data() + small_est.size());
+    std::vector<double> big_vals(big_est.data(), big_est.data() + big_est.size());
+    const double small_rel = sample_stddev(small_vals) / 1e6;
+    const double big_rel = sample_stddev(big_vals) / 1e9;
+    EXPECT_GT(small_rel, 5.0 * big_rel);
+}
+
+TEST(Sampling, ZeroTrafficStaysZero) {
+    const matrix truth = constant_matrix(5, 5, 0.0);
+    sampling_config cfg;
+    cfg.rate = 0.01;
+    const matrix est = sample_random(truth, cfg);
+    for (std::size_t i = 0; i < est.size(); ++i) EXPECT_DOUBLE_EQ(est.data()[i], 0.0);
+}
+
+TEST(Sampling, OutputsNonNegative) {
+    const matrix truth = constant_matrix(20, 20, 5e5);
+    sampling_config cfg;
+    cfg.rate = 0.005;
+    cfg.seed = 4;
+    for (const matrix& est : {sample_random(truth, cfg), sample_periodic(truth, cfg)}) {
+        for (std::size_t i = 0; i < est.size(); ++i) EXPECT_GE(est.data()[i], 0.0);
+    }
+}
+
+TEST(Sampling, DeterministicForFixedSeed) {
+    const matrix truth = constant_matrix(10, 10, 1e7);
+    sampling_config cfg;
+    cfg.rate = 0.01;
+    cfg.seed = 5;
+    EXPECT_EQ(sample_random(truth, cfg), sample_random(truth, cfg));
+    EXPECT_EQ(sample_periodic(truth, cfg), sample_periodic(truth, cfg));
+}
+
+TEST(Sampling, FullRateRandomSamplingIsExact) {
+    // rate = 1 keeps every packet: only packet-quantization error remains.
+    const matrix truth = constant_matrix(5, 5, 8e5);
+    sampling_config cfg;
+    cfg.rate = 1.0;
+    cfg.avg_packet_bytes = 800.0;
+    const matrix est = sample_random(truth, cfg);
+    for (std::size_t i = 0; i < est.size(); ++i) {
+        EXPECT_NEAR(est.data()[i], 8e5, 800.0);
+    }
+}
+
+}  // namespace
+}  // namespace netdiag

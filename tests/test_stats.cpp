@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/normal.h"
+#include "stats/rolling.h"
+
+namespace netdiag {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+    const std::vector<double> empty;
+    EXPECT_THROW(mean(empty), std::invalid_argument);
+    EXPECT_THROW(min_value(empty), std::invalid_argument);
+    const std::vector<double> one{1.0};
+    EXPECT_THROW(sample_variance(one), std::invalid_argument);
+}
+
+TEST(Descriptive, MinMaxMedian) {
+    const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+    EXPECT_DOUBLE_EQ(max_value(xs), 5.0);
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Descriptive, MedianEvenCountInterpolates) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, QuantileEndpointsAndMid) {
+    const std::vector<double> xs{10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+    EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, MeanAbsoluteRelativeError) {
+    const std::vector<double> est{11.0, 9.0};
+    const std::vector<double> truth{10.0, 10.0};
+    EXPECT_NEAR(mean_absolute_relative_error(est, truth), 0.1, 1e-12);
+}
+
+TEST(Descriptive, MareSkipsZeroTruth) {
+    const std::vector<double> est{11.0, 123.0};
+    const std::vector<double> truth{10.0, 0.0};
+    EXPECT_NEAR(mean_absolute_relative_error(est, truth), 0.1, 1e-12);
+    const std::vector<double> zeros{0.0, 0.0};
+    EXPECT_THROW(mean_absolute_relative_error(est, zeros), std::invalid_argument);
+}
+
+TEST(Descriptive, SigmaExceedancesFindsSpike) {
+    std::vector<double> xs(100, 1.0);
+    // Small jitter so stddev is nonzero.
+    for (std::size_t i = 0; i < xs.size(); ++i) xs[i] += 0.01 * ((i % 2 == 0) ? 1.0 : -1.0);
+    xs[42] = 10.0;
+    const auto hits = sigma_exceedances(xs, 3.0);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], 42u);
+}
+
+TEST(Descriptive, SigmaExceedancesCleanSeriesEmpty) {
+    std::vector<double> xs(50);
+    for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = std::sin(0.3 * static_cast<double>(i));
+    EXPECT_TRUE(sigma_exceedances(xs, 4.0).empty());
+}
+
+TEST(Normal, PdfSymmetricAndPeaked) {
+    EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+    EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+TEST(Normal, CdfKnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+    EXPECT_NEAR(normal_cdf(3.090232306167813), 0.999, 1e-9);
+}
+
+TEST(Normal, QuantileKnownValues) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.999), 3.090232306167813, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.995), 2.575829303548901, 1e-8);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+    for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999, 0.9999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p = " << p;
+    }
+}
+
+TEST(Normal, QuantileDomainChecked) {
+    EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+    EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndClamping) {
+    const std::vector<double> xs{0.05, 0.15, 0.15, 0.95, -0.2, 1.7};
+    const histogram h = make_histogram(xs, 0.0, 1.0, 10);
+    EXPECT_EQ(h.counts[0], 2u);  // 0.05 and the clamped -0.2
+    EXPECT_EQ(h.counts[1], 2u);
+    EXPECT_EQ(h.counts[9], 2u);  // 0.95 and the clamped 1.7
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BinGeometry) {
+    const histogram h = make_histogram(std::vector<double>{}, 0.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.bin_center(3), 1.75);
+    EXPECT_THROW(h.bin_center(4), std::out_of_range);
+}
+
+TEST(Histogram, InvalidConfigThrows) {
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(make_histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(make_histogram(xs, 1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> dist(5.0, 2.0);
+    std::vector<double> xs(500);
+    running_stats rs;
+    for (double& x : xs) {
+        x = dist(rng);
+        rs.add(x);
+    }
+    EXPECT_EQ(rs.count(), 500u);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+    EXPECT_NEAR(rs.variance(), sample_variance(xs), 1e-8);
+}
+
+TEST(RunningStats, ErrorsWithoutSamples) {
+    running_stats rs;
+    EXPECT_THROW(rs.mean(), std::logic_error);
+    rs.add(1.0);
+    EXPECT_THROW(rs.variance(), std::logic_error);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+    const std::vector<double> xs{1.0, 3.0, 2.0, 5.0, 4.0};
+    EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+    std::vector<double> xs(200);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / 20.0);
+    }
+    EXPECT_GT(autocorrelation(xs, 20), 0.8);
+    EXPECT_LT(autocorrelation(xs, 10), -0.8);
+}
+
+TEST(Autocorrelation, InvalidInputsThrow) {
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_THROW(autocorrelation(xs, 2), std::invalid_argument);
+    const std::vector<double> constant{2.0, 2.0, 2.0};
+    EXPECT_THROW(autocorrelation(constant, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netdiag

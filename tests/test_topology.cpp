@@ -1,0 +1,123 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topology/builders.h"
+
+namespace netdiag {
+namespace {
+
+topology make_triangle() {
+    topology t("tri");
+    const auto a = t.add_pop("a");
+    const auto b = t.add_pop("b");
+    const auto c = t.add_pop("c");
+    t.add_edge(a, b);
+    t.add_edge(b, c);
+    t.add_edge(a, c);
+    t.finalize();
+    return t;
+}
+
+TEST(Topology, PopRegistration) {
+    topology t("x");
+    EXPECT_EQ(t.add_pop("p0"), 0u);
+    EXPECT_EQ(t.add_pop("p1"), 1u);
+    EXPECT_EQ(t.pop_count(), 2u);
+    EXPECT_EQ(t.pop_name(1), "p1");
+    EXPECT_EQ(t.find_pop("p0"), std::optional<std::size_t>{0});
+    EXPECT_FALSE(t.find_pop("nope").has_value());
+}
+
+TEST(Topology, DuplicatePopThrows) {
+    topology t("x");
+    t.add_pop("p");
+    EXPECT_THROW(t.add_pop("p"), std::invalid_argument);
+}
+
+TEST(Topology, EdgeCreatesTwoDirectedLinks) {
+    topology t("x");
+    const auto a = t.add_pop("a");
+    const auto b = t.add_pop("b");
+    t.add_edge(a, b, 2.5);
+    ASSERT_EQ(t.link_count(), 2u);
+    EXPECT_EQ(t.link_at(0).src, a);
+    EXPECT_EQ(t.link_at(0).dst, b);
+    EXPECT_EQ(t.link_at(1).src, b);
+    EXPECT_EQ(t.link_at(1).dst, a);
+    EXPECT_DOUBLE_EQ(t.link_at(0).weight, 2.5);
+    EXPECT_FALSE(t.link_at(0).intra);
+}
+
+TEST(Topology, EdgeValidation) {
+    topology t("x");
+    const auto a = t.add_pop("a");
+    const auto b = t.add_pop("b");
+    EXPECT_THROW(t.add_edge(a, a), std::invalid_argument);        // self edge
+    EXPECT_THROW(t.add_edge(a, 7), std::invalid_argument);        // unknown pop
+    EXPECT_THROW(t.add_edge(a, b, 0.0), std::invalid_argument);   // bad weight
+    t.add_edge(a, b);
+    EXPECT_THROW(t.add_edge(a, b), std::invalid_argument);        // duplicate
+    EXPECT_THROW(t.add_edge(b, a), std::invalid_argument);        // reverse duplicate
+}
+
+TEST(Topology, FinalizeAppendsIntraPopLinks) {
+    const topology t = make_triangle();
+    EXPECT_EQ(t.link_count(), 9u);  // 3 edges * 2 + 3 intra
+    for (std::size_t p = 0; p < 3; ++p) {
+        const link& l = t.link_at(t.intra_link_of(p));
+        EXPECT_TRUE(l.intra);
+        EXPECT_EQ(l.src, p);
+        EXPECT_EQ(l.dst, p);
+    }
+}
+
+TEST(Topology, FinalizeTwiceThrows) {
+    topology t("x");
+    t.add_pop("a");
+    t.finalize();
+    EXPECT_THROW(t.finalize(), std::logic_error);
+    EXPECT_THROW(t.add_pop("b"), std::logic_error);
+}
+
+TEST(Topology, IntraLinkRequiresFinalize) {
+    topology t("x");
+    t.add_pop("a");
+    EXPECT_THROW(t.intra_link_of(0), std::logic_error);
+}
+
+TEST(Topology, OutLinksListsDepartingLinks) {
+    const topology t = make_triangle();
+    const auto& out = t.out_links(0);
+    ASSERT_EQ(out.size(), 2u);
+    for (std::size_t id : out) EXPECT_EQ(t.link_at(id).src, 0u);
+}
+
+TEST(Builders, AbileneMatchesTable1) {
+    const topology abilene = make_abilene();
+    EXPECT_EQ(abilene.name(), "Abilene");
+    EXPECT_EQ(abilene.pop_count(), 11u);
+    EXPECT_EQ(abilene.link_count(), 41u);  // 15 edges * 2 + 11 intra
+    EXPECT_TRUE(abilene.find_pop("nycm").has_value());
+    EXPECT_TRUE(abilene.find_pop("snva").has_value());
+}
+
+TEST(Builders, SprintEuropeMatchesTable1) {
+    const topology sprint = make_sprint_europe();
+    EXPECT_EQ(sprint.name(), "Sprint-Europe");
+    EXPECT_EQ(sprint.pop_count(), 13u);
+    EXPECT_EQ(sprint.link_count(), 49u);  // 18 edges * 2 + 13 intra
+    for (const char* name : {"a", "b", "i", "m"}) {
+        EXPECT_TRUE(sprint.find_pop(name).has_value()) << name;
+    }
+}
+
+TEST(Builders, TopologiesAreFinalized) {
+    EXPECT_TRUE(make_abilene().finalized());
+    EXPECT_TRUE(make_sprint_europe().finalized());
+}
+
+}  // namespace
+}  // namespace netdiag

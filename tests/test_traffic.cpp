@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "traffic/diurnal.h"
+#include "traffic/generator.h"
+#include "traffic/gravity.h"
+#include "traffic/noise.h"
+
+namespace netdiag {
+namespace {
+
+TEST(Diurnal, PeaksNearConfiguredHour) {
+    diurnal_profile p;
+    p.peak_hour = 14.0;
+    double best_hour = 0.0;
+    double best = 0.0;
+    for (double h = 0.0; h < 24.0; h += 0.25) {
+        const double v = p.value(h);
+        if (v > best) {
+            best = v;
+            best_hour = h;
+        }
+    }
+    EXPECT_NEAR(best_hour, 14.0, 0.5);
+}
+
+TEST(Diurnal, AlwaysPositive) {
+    diurnal_profile p;
+    p.validate();
+    for (double h = 0.0; h < 168.0; h += 0.1) EXPECT_GT(p.value(h), 0.0) << "hour " << h;
+}
+
+TEST(Diurnal, WeekendDropsLevelAdditively) {
+    diurnal_profile p;
+    p.weekend_factor = 0.55;
+    const double weekday = p.value(14.0);          // Monday 14:00
+    const double weekend = p.value(120.0 + 14.0);  // Saturday 14:00
+    EXPECT_NEAR(weekday - weekend, 1.0 - 0.55, 1e-12);
+}
+
+TEST(Diurnal, WeekWrapsAtSevenDays) {
+    diurnal_profile p;
+    EXPECT_NEAR(p.value(10.0), p.value(10.0 + 168.0), 1e-12);
+}
+
+TEST(Diurnal, ValidationRejectsBadParameters) {
+    diurnal_profile p;
+    p.daily_amplitude = 0.9;
+    p.harmonic_amplitude = 0.2;  // trough goes negative on weekends
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    diurnal_profile q;
+    q.weekend_factor = 0.0;
+    EXPECT_THROW(q.validate(), std::invalid_argument);
+
+    diurnal_profile r;
+    r.daily_amplitude = 0.5;
+    r.weekend_factor = 0.5;  // <= daily + harmonic: weekend trough dips below zero
+    EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Gravity, MeansSumToTotal) {
+    gravity_config cfg;
+    cfg.total_mean_bytes_per_bin = 1e8;
+    const auto means = gravity_flow_means(7, cfg);
+    ASSERT_EQ(means.size(), 49u);
+    double total = 0.0;
+    for (double m : means) {
+        EXPECT_GT(m, 0.0);
+        total += m;
+    }
+    EXPECT_NEAR(total, 1e8, 1e-3);
+}
+
+TEST(Gravity, DeterministicForFixedSeed) {
+    const auto a = gravity_flow_means(5, {.total_mean_bytes_per_bin = 1e6, .seed = 9});
+    const auto b = gravity_flow_means(5, {.total_mean_bytes_per_bin = 1e6, .seed = 9});
+    EXPECT_EQ(a, b);
+    const auto c = gravity_flow_means(5, {.total_mean_bytes_per_bin = 1e6, .seed = 10});
+    EXPECT_NE(a, c);
+}
+
+TEST(Gravity, SpreadSpansOrdersOfMagnitude) {
+    const auto means = gravity_flow_means(13, {.weight_sigma = 1.0, .seed = 3});
+    const double lo = min_value(means);
+    const double hi = max_value(means);
+    EXPECT_GT(hi / lo, 30.0);  // heavy spread, as in the paper's Figure 9
+}
+
+TEST(Gravity, IntraScaleDampsSelfPairs) {
+    gravity_config cfg;
+    cfg.intra_pop_scale = 0.1;
+    cfg.seed = 4;
+    const std::size_t p = 6;
+    const auto means = gravity_flow_means(p, cfg);
+    gravity_config undamped = cfg;
+    undamped.intra_pop_scale = 1.0;
+    const auto base = gravity_flow_means(p, undamped);
+    // Self pairs should shrink relative to the undamped run (up to overall
+    // rescaling): compare ratios.
+    const double ratio_self = means[0] / base[0];
+    const double ratio_cross = means[1] / base[1];
+    EXPECT_LT(ratio_self, ratio_cross);
+}
+
+TEST(Gravity, InvalidConfigThrows) {
+    EXPECT_THROW(gravity_flow_means(0, {}), std::invalid_argument);
+    EXPECT_THROW(gravity_flow_means(3, {.total_mean_bytes_per_bin = -1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(gravity_flow_means(3, {.intra_pop_scale = 0.0}), std::invalid_argument);
+}
+
+TEST(Ar1, StationaryMomentsRoughlyCorrect) {
+    ar1_process proc(0.8, 1.0, 42);
+    std::vector<double> xs(20000);
+    for (double& x : xs) x = proc.next();
+    EXPECT_NEAR(mean(xs), 0.0, 0.1);
+    // Stationary stddev = sigma / sqrt(1 - phi^2) = 1.667.
+    EXPECT_NEAR(sample_stddev(xs), proc.stationary_stddev(), 0.1);
+}
+
+TEST(Ar1, RejectsNonStationaryPhi) {
+    EXPECT_THROW(ar1_process(1.0, 1.0, 1), std::invalid_argument);
+    EXPECT_THROW(ar1_process(-1.2, 1.0, 1), std::invalid_argument);
+    EXPECT_THROW(ar1_process(0.5, -1.0, 1), std::invalid_argument);
+}
+
+TEST(Ar1, SeriesHelperDeterministic) {
+    const auto a = ar1_series(100, 0.9, 0.5, 7);
+    const auto b = ar1_series(100, 0.9, 0.5, 7);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Generator, ShapeAndNonNegativity) {
+    const std::vector<double> means{1e6, 5e6, 2e7};
+    traffic_config cfg;
+    cfg.bins = 288;
+    cfg.anomaly_count = 2;
+    cfg.anomaly_min_bytes = 1e6;
+    cfg.anomaly_max_bytes = 2e6;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    EXPECT_EQ(traffic.x.rows(), 3u);
+    EXPECT_EQ(traffic.x.cols(), 288u);
+    for (std::size_t i = 0; i < traffic.x.size(); ++i) EXPECT_GE(traffic.x.data()[i], 0.0);
+}
+
+TEST(Generator, FlowMeansApproximatelyRespected) {
+    const std::vector<double> means{1e7};
+    traffic_config cfg;
+    cfg.bins = 1008;
+    cfg.anomaly_count = 0;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    const auto series = traffic.x.row(0);
+    // The diurnal profile averages close to (slightly below, because of the
+    // weekend dip) its base level of 1.
+    const double m = mean(series);
+    EXPECT_GT(m, 0.7 * 1e7);
+    EXPECT_LT(m, 1.2 * 1e7);
+}
+
+TEST(Generator, GroundTruthEventsAreApplied) {
+    const std::vector<double> means{1e6, 1e6};
+    traffic_config cfg;
+    cfg.bins = 288;
+    cfg.anomaly_count = 3;
+    cfg.anomaly_min_bytes = 5e6;  // large relative to flow
+    cfg.anomaly_max_bytes = 6e6;
+    cfg.anomaly_negative_fraction = 0.0;
+    cfg.seed = 5;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    ASSERT_EQ(traffic.anomalies.size(), 3u);
+    for (const anomaly_event& ev : traffic.anomalies) {
+        EXPECT_LT(ev.flow, 2u);
+        EXPECT_LT(ev.t, 288u);
+        EXPECT_GE(ev.amplitude_bytes, 5e6);
+        // A spike this large must dominate its bin.
+        EXPECT_GT(traffic.x(ev.flow, ev.t), 4e6);
+    }
+}
+
+TEST(Generator, AnomaliesAvoidSeriesEdges) {
+    const std::vector<double> means(4, 1e6);
+    traffic_config cfg;
+    cfg.bins = 288;
+    cfg.anomaly_count = 8;
+    cfg.seed = 11;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    for (const anomaly_event& ev : traffic.anomalies) {
+        EXPECT_GT(ev.t, 5u);
+        EXPECT_LT(ev.t, 282u);
+    }
+}
+
+TEST(Generator, AnomalyCellsAreDistinct) {
+    const std::vector<double> means(3, 1e6);
+    traffic_config cfg;
+    cfg.bins = 500;
+    cfg.anomaly_count = 9;
+    cfg.seed = 13;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    std::set<std::pair<std::size_t, std::size_t>> cells;
+    for (const anomaly_event& ev : traffic.anomalies) cells.insert({ev.flow, ev.t});
+    EXPECT_EQ(cells.size(), traffic.anomalies.size());
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+    const std::vector<double> means{2e6, 3e6};
+    traffic_config cfg;
+    cfg.bins = 144;
+    cfg.seed = 21;
+    const od_traffic a = generate_od_traffic(means, cfg);
+    const od_traffic b = generate_od_traffic(means, cfg);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.anomalies, b.anomalies);
+}
+
+TEST(Generator, ConfigValidation) {
+    const std::vector<double> means{1e6};
+    traffic_config cfg;
+    cfg.bins = 0;
+    EXPECT_THROW(generate_od_traffic(means, cfg), std::invalid_argument);
+
+    traffic_config cfg2;
+    cfg2.anomaly_min_bytes = 10.0;
+    cfg2.anomaly_max_bytes = 5.0;
+    EXPECT_THROW(generate_od_traffic(means, cfg2), std::invalid_argument);
+
+    EXPECT_THROW(generate_od_traffic({}, traffic_config{}), std::invalid_argument);
+    EXPECT_THROW(generate_od_traffic({-1.0}, traffic_config{}), std::invalid_argument);
+}
+
+TEST(Generator, DiurnalStructureDominates) {
+    // Autocorrelation of a generated flow at one day lag should be strongly
+    // positive (the paper's Figure 4 normal subspace patterns).
+    const std::vector<double> means{1e7};
+    traffic_config cfg;
+    cfg.bins = 1008;
+    cfg.anomaly_count = 0;
+    cfg.seed = 31;
+    const od_traffic traffic = generate_od_traffic(means, cfg);
+    const auto series = traffic.x.row(0);
+    std::vector<double> xs(series.begin(), series.end());
+
+    double m = mean(xs);
+    double denom = 0.0, num = 0.0;
+    for (double x : xs) denom += (x - m) * (x - m);
+    for (std::size_t i = 0; i + 144 < xs.size(); ++i) {
+        num += (xs[i] - m) * (xs[i + 144] - m);
+    }
+    EXPECT_GT(num / denom, 0.5);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -1,0 +1,91 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/error.h"
+
+namespace netdiag {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+    const vec a{1.0, 2.0, 3.0};
+    const vec b{4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+    const vec a{1.0};
+    const vec b{1.0, 2.0};
+    EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, NormAndNormSquared) {
+    const vec a{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(norm_squared(a), 25.0);
+    EXPECT_DOUBLE_EQ(norm(a), 5.0);
+}
+
+TEST(VectorOps, SumOfElements) {
+    const vec a{1.0, -2.0, 3.5};
+    EXPECT_DOUBLE_EQ(sum(a), 2.5);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+    const vec x{1.0, 2.0};
+    vec y{10.0, 20.0};
+    axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 12.0);
+    EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, ScaleInPlace) {
+    vec x{1.0, -2.0};
+    scale(x, -3.0);
+    EXPECT_DOUBLE_EQ(x[0], -3.0);
+    EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(VectorOps, AddSubtract) {
+    const vec a{1.0, 2.0};
+    const vec b{0.5, 1.5};
+    const vec s = add(a, b);
+    const vec d = subtract(a, b);
+    EXPECT_DOUBLE_EQ(s[0], 1.5);
+    EXPECT_DOUBLE_EQ(s[1], 3.5);
+    EXPECT_DOUBLE_EQ(d[0], 0.5);
+    EXPECT_DOUBLE_EQ(d[1], 0.5);
+}
+
+TEST(VectorOps, ScaledMakesCopy) {
+    const vec a{1.0, 2.0};
+    const vec out = scaled(a, 2.0);
+    EXPECT_DOUBLE_EQ(out[0], 2.0);
+    EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(VectorOps, NormalizedHasUnitNorm) {
+    const vec a{3.0, 4.0};
+    const vec u = normalized(a);
+    EXPECT_NEAR(norm(u), 1.0, 1e-15);
+    EXPECT_NEAR(u[0], 0.6, 1e-15);
+}
+
+TEST(VectorOps, NormalizedZeroVectorThrows) {
+    const vec zero{0.0, 0.0};
+    EXPECT_THROW(normalized(zero), numerical_error);
+}
+
+TEST(VectorOps, ApproxEqual) {
+    const vec a{1.0, 2.0};
+    const vec b{1.0 + 1e-12, 2.0};
+    const vec c{1.0, 2.0, 3.0};
+    EXPECT_TRUE(approx_equal(a, b, 1e-9));
+    EXPECT_FALSE(approx_equal(a, b, 1e-15));
+    EXPECT_FALSE(approx_equal(a, c, 1.0));
+}
+
+}  // namespace
+}  // namespace netdiag

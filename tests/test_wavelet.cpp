@@ -1,0 +1,113 @@
+#include "baselines/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace netdiag {
+namespace {
+
+TEST(HaarDwt, RoundTripIsExact) {
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> dist(-10.0, 10.0);
+    vec series(256);
+    for (double& v : series) v = dist(rng);
+    const vec coeffs = haar_dwt(series);
+    const vec back = haar_idwt(coeffs);
+    ASSERT_EQ(back.size(), series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) EXPECT_NEAR(back[i], series[i], 1e-10);
+}
+
+TEST(HaarDwt, PreservesEnergy) {
+    std::mt19937_64 rng(2);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    vec series(128);
+    for (double& v : series) v = dist(rng);
+    const vec coeffs = haar_dwt(series);
+    EXPECT_NEAR(norm_squared(series), norm_squared(coeffs), 1e-10);
+}
+
+TEST(HaarDwt, ConstantSeriesConcentratesInApproximation) {
+    const vec series(64, 3.0);
+    const vec coeffs = haar_dwt(series);
+    EXPECT_NEAR(coeffs[0], 3.0 * 8.0, 1e-10);  // 3 * sqrt(64)
+    for (std::size_t i = 1; i < coeffs.size(); ++i) EXPECT_NEAR(coeffs[i], 0.0, 1e-12);
+}
+
+TEST(HaarDwt, TwoPointTransformKnownValues) {
+    const vec series{1.0, 3.0};
+    const vec coeffs = haar_dwt(series);
+    EXPECT_NEAR(coeffs[0], 4.0 / std::numbers::sqrt2, 1e-12);
+    EXPECT_NEAR(coeffs[1], -2.0 / std::numbers::sqrt2, 1e-12);
+}
+
+TEST(HaarDwt, NonPowerOfTwoThrows) {
+    const vec series(100, 1.0);
+    EXPECT_THROW(haar_dwt(series), std::invalid_argument);
+    EXPECT_THROW(haar_idwt(series), std::invalid_argument);
+}
+
+TEST(WaveletSmooth, RecoversConstantExactly) {
+    const vec series(100, 7.5);  // non-power-of-two: exercises padding
+    const vec smooth = wavelet_smooth(series, 0);
+    ASSERT_EQ(smooth.size(), 100u);
+    for (double v : smooth) EXPECT_NEAR(v, 7.5, 1e-10);
+}
+
+TEST(WaveletSmooth, TracksSlowSignal) {
+    vec series(1008);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        series[i] =
+            50.0 + 10.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 1008.0);
+    }
+    const vec smooth = wavelet_smooth(series, 4);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        worst = std::max(worst, std::abs(smooth[i] - series[i]));
+    }
+    EXPECT_LT(worst, 3.0);
+}
+
+TEST(WaveletSmooth, MoreLevelsTrackBetter) {
+    vec series(512);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        series[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 64.0);
+    }
+    auto rms_err = [&](std::size_t levels) {
+        const vec smooth = wavelet_smooth(series, levels);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            acc += (smooth[i] - series[i]) * (smooth[i] - series[i]);
+        }
+        return std::sqrt(acc / static_cast<double>(series.size()));
+    };
+    EXPECT_GT(rms_err(1), rms_err(5));
+}
+
+TEST(WaveletAnomaly, SpikeDominatesResidual) {
+    vec series(300, 20.0);
+    series[150] = 120.0;
+    const vec sizes = wavelet_anomaly_sizes(series, 3);
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    EXPECT_EQ(argmax, 150u);
+    EXPECT_GT(sizes[150], 50.0);
+}
+
+TEST(WaveletSmooth, EmptySeriesThrows) {
+    EXPECT_THROW(wavelet_smooth(vec{}, 2), std::invalid_argument);
+}
+
+TEST(WaveletSmooth, SingleSampleIsItself) {
+    const vec series{42.0};
+    const vec smooth = wavelet_smooth(series, 0);
+    ASSERT_EQ(smooth.size(), 1u);
+    EXPECT_DOUBLE_EQ(smooth[0], 42.0);
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "engine/batch_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -11,6 +12,12 @@
 #include "subspace/diagnoser.h"
 
 namespace netdiag::bench {
+
+// Shared parallel engine for the bench binaries, sized to the hardware.
+inline const batch_detector& engine() {
+    static const batch_detector e;
+    return e;
+}
 
 // The paper's per-dataset anomaly size cutoffs (Section 6.2): anomalies
 // larger than these "stand out to the left of the knee".

@@ -34,7 +34,7 @@ int main() {
     std::printf("%s\n", ascii_timeseries(ds.od_flows.row(flow), 72, 8).c_str());
 
     for (std::size_t link_id : path) {
-        const link& l = ds.topo.link_at(link_id);
+        const auto& l = ds.topo.link_at(link_id);
         const vec series = ds.link_loads.column(link_id);
         std::printf("Link %s-%s (mean %.3g bytes/bin; spike is %.1f%% of the mean):\n",
                     ds.topo.pop_name(l.src).c_str(), ds.topo.pop_name(l.dst).c_str(),

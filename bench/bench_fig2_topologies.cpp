@@ -17,7 +17,7 @@ void print_topology(const netdiag::topology& topo) {
     }
     std::printf("\nEdges (bidirectional):\n  ");
     std::size_t printed = 0;
-    for (const link& l : topo.links()) {
+    for (const auto& l : topo.links()) {
         if (l.intra || l.src > l.dst) continue;
         std::printf("%s-%s ", topo.pop_name(l.src).c_str(), topo.pop_name(l.dst).c_str());
         if (++printed % 8 == 0) std::printf("\n  ");

@@ -1,10 +1,26 @@
-// Microbenchmarks (google-benchmark): the computational claims of
-// Section 7.1 -- a full PCA of a week of link data is cheap (the paper
-// quotes under two seconds for 1008 x 49 in 2004), per-measurement
-// detection and identification are trivial, and incremental SVD updates
-// avoid the periodic recomputation entirely.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the computational claims of Section 7.1 -- a full
+// PCA of a week of link data is cheap (the paper quotes under two seconds
+// for 1008 x 49 in 2004), per-measurement detection and identification
+// are trivial, and incremental SVD updates avoid periodic recomputation.
+//
+// Two parts:
+//   1. Engine comparison (always built): wall-clock of the serial
+//      detection sweeps vs batch_detector at several thread counts,
+//      written to BENCH_engine.json. Results are checked bit-identical
+//      against the serial path, so this doubles as a smoke test.
+//      Flags: --quick (small shapes, for CI smoke),
+//             --engine-json=PATH (default BENCH_engine.json),
+//             --engine-only (skip the google-benchmark suite).
+//   2. The google-benchmark microbenchmark suite (compiled only when the
+//      dependency is available; all remaining flags are forwarded to it).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "engine/batch_detector.h"
 #include "eval/injection.h"
 #include "linalg/svd.h"
 #include "linalg/svd_update.h"
@@ -25,6 +41,203 @@ const volume_anomaly_diagnoser& sprint1_diagnoser() {
                                                0.999);
     return diag;
 }
+
+// ---------------------------------------------------------------------------
+// Part 1: engine comparison.
+// ---------------------------------------------------------------------------
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// Best-of-N wall clock of fn(), in milliseconds.
+template <typename Fn>
+double time_best_ms(int iterations, Fn&& fn) {
+    double best = 0.0;
+    for (int i = 0; i < iterations; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ms = elapsed_ms(start);
+        if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+}
+
+struct thread_timing {
+    std::size_t threads = 0;
+    double ms = 0.0;
+};
+
+struct engine_benchmark {
+    std::string name;
+    std::size_t items = 0;  // rows or (flow, t) cells swept per run
+    double serial_ms = 0.0;
+    std::vector<thread_timing> parallel;
+    bool identical_to_serial = false;
+};
+
+// Tiles the 1008 x 49 week vertically so the sweep has enough rows to
+// amortize sharding overhead.
+matrix tile_rows(const matrix& y, std::size_t times) {
+    matrix out(y.rows() * times, y.cols());
+    for (std::size_t rep = 0; rep < times; ++rep) {
+        for (std::size_t r = 0; r < y.rows(); ++r) {
+            out.set_row(rep * y.rows() + r, y.row(r));
+        }
+    }
+    return out;
+}
+
+bool same_results(const std::vector<detection_result>& a,
+                  const std::vector<detection_result>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].anomalous != b[i].anomalous || a[i].spe != b[i].spe ||
+            a[i].threshold != b[i].threshold) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool same_results(const injection_summary& a, const injection_summary& b) {
+    return a.detection_rate == b.detection_rate &&
+           a.identification_rate == b.identification_rate &&
+           a.quantification_error == b.quantification_error &&
+           a.detection_rate_by_flow == b.detection_rate_by_flow &&
+           a.detection_rate_by_time == b.detection_rate_by_time;
+}
+
+engine_benchmark run_spe_sweep(const std::vector<std::size_t>& thread_counts, bool quick) {
+    const auto& diag = sprint1_diagnoser();
+    const matrix big_y = tile_rows(sprint1().link_loads, quick ? 2 : 16);
+    const int iterations = quick ? 1 : 3;
+
+    engine_benchmark out;
+    out.name = "spe_sweep_test_all";
+    out.items = big_y.rows();
+
+    const auto serial = diag.detector().test_all(big_y);
+    out.serial_ms = time_best_ms(iterations, [&] { diag.detector().test_all(big_y); });
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        const batch_detector engine(t);
+        out.identical_to_serial =
+            out.identical_to_serial && same_results(serial, engine.test_all(diag.detector(), big_y));
+        const double ms =
+            time_best_ms(iterations, [&] { engine.test_all(diag.detector(), big_y); });
+        out.parallel.push_back({t, ms});
+    }
+    return out;
+}
+
+engine_benchmark run_injection_sweep(const std::vector<std::size_t>& thread_counts,
+                                     bool quick) {
+    const dataset& ds = sprint1();
+    const auto& diag = sprint1_diagnoser();
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 300;
+    cfg.t_end = quick ? 303 : 312;
+    const int iterations = quick ? 1 : 3;
+
+    engine_benchmark out;
+    out.name = "injection_sweep";
+    out.items = ds.routing.flow_count() * (cfg.t_end - cfg.t_begin);
+
+    const injection_summary serial = run_injection_experiment(ds, diag, cfg);
+    out.serial_ms =
+        time_best_ms(iterations, [&] { run_injection_experiment(ds, diag, cfg); });
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        const batch_detector engine(t);
+        out.identical_to_serial =
+            out.identical_to_serial && same_results(serial, engine.run_injection(ds, diag, cfg));
+        const double ms = time_best_ms(iterations, [&] { engine.run_injection(ds, diag, cfg); });
+        out.parallel.push_back({t, ms});
+    }
+    return out;
+}
+
+bool write_engine_json(const std::string& path, const std::vector<engine_benchmark>& benches,
+                       bool quick) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_perf_micro: cannot open %s for writing\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const engine_benchmark& eb = benches[b];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", eb.name.c_str());
+        std::fprintf(f, "      \"items\": %zu,\n", eb.items);
+        std::fprintf(f, "      \"serial_ms\": %.6f,\n", eb.serial_ms);
+        std::fprintf(f, "      \"identical_to_serial\": %s,\n",
+                     eb.identical_to_serial ? "true" : "false");
+        std::fprintf(f, "      \"parallel\": [\n");
+        for (std::size_t p = 0; p < eb.parallel.size(); ++p) {
+            const thread_timing& tt = eb.parallel[p];
+            const double speedup = tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0;
+            std::fprintf(f, "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
+                         tt.threads, tt.ms, speedup,
+                         p + 1 < eb.parallel.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n");
+        std::fprintf(f, "    }%s\n", b + 1 < benches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+// Returns false when any parallel result diverged from the serial path
+// or the JSON report could not be written.
+bool run_engine_comparison(const std::string& json_path, bool quick) {
+    const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+    std::printf("Engine comparison: serial sweeps vs batch_detector "
+                "(hardware threads: %u)\n\n",
+                std::thread::hardware_concurrency());
+
+    std::vector<engine_benchmark> benches;
+    benches.push_back(run_spe_sweep(thread_counts, quick));
+    benches.push_back(run_injection_sweep(thread_counts, quick));
+
+    bool all_identical = true;
+    for (const engine_benchmark& eb : benches) {
+        std::printf("%-22s %zu items, serial %.3f ms, results %s\n", eb.name.c_str(), eb.items,
+                    eb.serial_ms, eb.identical_to_serial ? "bit-identical" : "DIVERGED");
+        for (const thread_timing& tt : eb.parallel) {
+            std::printf("    %zu thread%s: %.3f ms (%.2fx)\n", tt.threads,
+                        tt.threads == 1 ? " " : "s", tt.ms,
+                        tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0);
+        }
+        all_identical = all_identical && eb.identical_to_serial;
+    }
+
+    if (!write_engine_json(json_path, benches, quick)) return false;
+    std::printf("\nWrote %s\n\n", json_path.c_str());
+    return all_identical;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Part 2: google-benchmark suite (only when the dependency is present).
+// ---------------------------------------------------------------------------
+#if NETDIAG_HAVE_GOOGLE_BENCHMARK
+
+#include <benchmark/benchmark.h>
+
+namespace {
 
 void bm_svd_week_of_links(benchmark::State& state) {
     const matrix& y = sprint1().link_loads;  // 1008 x 49, the paper's shape
@@ -94,6 +307,69 @@ void bm_injection_sweep_one_hour(benchmark::State& state) {
 }
 BENCHMARK(bm_injection_sweep_one_hour)->Unit(benchmark::kMillisecond);
 
+void bm_batch_injection_sweep_one_hour(benchmark::State& state) {
+    const dataset& ds = sprint1();
+    const auto& diag = sprint1_diagnoser();
+    const batch_detector engine;
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 300;
+    cfg.t_end = 306;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run_injection(ds, diag, cfg));
+    }
+}
+BENCHMARK(bm_batch_injection_sweep_one_hour)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+#endif  // NETDIAG_HAVE_GOOGLE_BENCHMARK
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool engine_only = false;
+    std::string json_path = "BENCH_engine.json";
+
+    std::vector<char*> forwarded;
+    forwarded.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--engine-only") == 0) {
+            engine_only = true;
+        } else if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
+            json_path = argv[i] + 14;
+        } else {
+            forwarded.push_back(argv[i]);
+        }
+    }
+
+    if (!run_engine_comparison(json_path, quick)) {
+        std::fprintf(stderr, "bench_perf_micro: engine comparison failed\n");
+        return 1;
+    }
+    if (quick || engine_only) {
+        // The google-benchmark suite is skipped, so nothing will consume
+        // forwarded flags; reject them instead of ignoring typos.
+        if (forwarded.size() > 1) {
+            std::fprintf(stderr, "bench_perf_micro: unrecognized flag %s\n", forwarded[1]);
+            return 1;
+        }
+        return 0;
+    }
+
+#if NETDIAG_HAVE_GOOGLE_BENCHMARK
+    int forwarded_argc = static_cast<int>(forwarded.size());
+    benchmark::Initialize(&forwarded_argc, forwarded.data());
+    if (benchmark::ReportUnrecognizedArguments(forwarded_argc, forwarded.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+#else
+    if (forwarded.size() > 1) {
+        std::fprintf(stderr, "bench_perf_micro: unrecognized flag %s\n", forwarded[1]);
+        return 1;
+    }
+    std::printf("google-benchmark not available at build time; microbenchmark suite skipped.\n");
+#endif
+    return 0;
+}

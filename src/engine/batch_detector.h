@@ -1,0 +1,61 @@
+// Parallel batch front-end for the detection pipeline.
+//
+// The serial API (spe_detector::test_all, diagnoser::diagnose_all, the
+// eval sweeps) processes one timestep or flow at a time. batch_detector
+// owns a fixed-size thread_pool and shards those loops across it with
+// deterministic result ordering: every output slot is written by exactly
+// one index of the sharded range and all reductions run serially in
+// index order, so results are bit-identical to the serial path for any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "eval/injection.h"
+#include "eval/roc.h"
+#include "linalg/matrix.h"
+#include "measurement/dataset.h"
+#include "subspace/detector.h"
+#include "subspace/diagnoser.h"
+#include "subspace/model.h"
+
+namespace netdiag {
+
+class batch_detector {
+public:
+    // threads == 0 selects the hardware thread count.
+    explicit batch_detector(std::size_t threads = 0);
+    ~batch_detector();
+
+    batch_detector(const batch_detector&) = delete;
+    batch_detector& operator=(const batch_detector&) = delete;
+
+    std::size_t threads() const noexcept;
+
+    // Parallel spe_detector::test_all: one result per row of y.
+    std::vector<detection_result> test_all(const spe_detector& detector, const matrix& y) const;
+
+    // Parallel diagnoser::diagnose_all: one diagnosis per row of y.
+    std::vector<diagnosis> diagnose_all(const volume_anomaly_diagnoser& diagnoser,
+                                        const matrix& y) const;
+
+    // Parallel subspace_model::spe_series.
+    vec spe_series(const subspace_model& model, const matrix& y) const;
+
+    // Parallel eval sweeps (see eval/roc.h, eval/injection.h).
+    std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
+                                       const std::vector<true_anomaly>& truths,
+                                       std::span<const double> confidences) const;
+    injection_summary run_injection(const dataset& ds,
+                                    const volume_anomaly_diagnoser& diagnoser,
+                                    const injection_config& cfg) const;
+
+private:
+    std::unique_ptr<thread_pool> pool_;
+};
+
+}  // namespace netdiag

@@ -1,0 +1,49 @@
+#include "engine/thread_pool.h"
+
+namespace netdiag {
+
+thread_pool::thread_pool(std::size_t threads) {
+    if (threads == 0) threads = hardware_threads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> job) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+std::size_t thread_pool::hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty()) return;  // stop_ set and queue drained
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+    }
+}
+
+}  // namespace netdiag

@@ -1,0 +1,130 @@
+// A fixed-size thread pool plus a blocking parallel_for over index ranges.
+//
+// This is deliberately the simplest engine that makes the batch sweeps
+// scale: no work stealing, no futures, just a mutex-protected job queue
+// drained by a fixed set of workers. Sweeps partition their index range
+// into one contiguous chunk per thread, so scheduling cost is O(threads)
+// per parallel_for, independent of the range length.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace netdiag {
+
+class thread_pool {
+public:
+    // threads == 0 selects hardware_threads(). The pool always has at
+    // least one worker so submit() can never deadlock.
+    explicit thread_pool(std::size_t threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    // Enqueues a job for execution on some worker. Jobs must not block on
+    // other jobs in the same pool (no nested parallel_for over one pool).
+    void submit(std::function<void()> job);
+
+    // std::thread::hardware_concurrency with a floor of 1.
+    static std::size_t hardware_threads() noexcept;
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+namespace detail {
+
+// Shared completion state for one parallel_for call.
+struct parallel_for_sync {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t pending = 0;
+    std::exception_ptr first_error;
+
+    void finish_one(std::exception_ptr error) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error && !first_error) first_error = std::move(error);
+        if (--pending == 0) done_cv.notify_one();
+    }
+};
+
+}  // namespace detail
+
+// Runs body(i) for every i in [begin, end), sharded across the pool in
+// contiguous chunks (at most pool.size() of them, each >= 1 index). The
+// first chunk runs on the calling thread, so a 1-thread pool degenerates
+// to a plain serial loop with no handoff. Blocks until every index has
+// run; rethrows the first exception any chunk raised. Empty ranges are a
+// no-op. Results must be written to per-index slots by the body — the
+// chunking itself imposes no ordering on side effects.
+template <typename Body>
+void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, Body&& body) {
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+    const std::size_t chunks = std::min(pool.size(), count);
+    const std::size_t base = count / chunks;
+    const std::size_t extra = count % chunks;  // first `extra` chunks get one more
+
+    if (chunks == 1) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+
+    detail::parallel_for_sync sync;
+    sync.pending = chunks - 1;
+
+    std::size_t chunk_begin = begin + base + (extra > 0 ? 1 : 0);  // skip chunk 0
+    for (std::size_t c = 1; c < chunks; ++c) {
+        const std::size_t chunk_end = chunk_begin + base + (c < extra ? 1 : 0);
+        const auto run_chunk = [&body, &sync, chunk_begin, chunk_end] {
+            std::exception_ptr error;
+            try {
+                for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            sync.finish_one(std::move(error));
+        };
+        try {
+            pool.submit(run_chunk);
+        } catch (...) {
+            // Enqueueing failed (e.g. bad_alloc): the chunk must still run
+            // and be accounted for, or the wait below would reference
+            // destroyed stack state. Degrade to inline execution.
+            run_chunk();
+        }
+        chunk_begin = chunk_end;
+    }
+
+    // Chunk 0 on the calling thread.
+    std::exception_ptr local_error;
+    try {
+        const std::size_t chunk0_end = begin + base + (extra > 0 ? 1 : 0);
+        for (std::size_t i = begin; i < chunk0_end; ++i) body(i);
+    } catch (...) {
+        local_error = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
+    const std::exception_ptr error = sync.first_error ? sync.first_error : local_error;
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace netdiag

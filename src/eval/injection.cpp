@@ -1,9 +1,26 @@
 #include "eval/injection.h"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "engine/thread_pool.h"
+
 namespace netdiag {
+namespace {
+
+// Everything one flow contributes to the summary. Flows are swept
+// independently (possibly on different threads) and reduced serially in
+// flow order, so totals are bit-identical for any thread count.
+struct flow_sweep {
+    std::size_t detected = 0;
+    std::size_t identified = 0;
+    double error_sum = 0.0;
+    std::size_t error_count = 0;
+    std::vector<std::uint8_t> detected_at;  // one flag per window timestep
+};
+
+}  // namespace
 
 void injection_config::validate() const {
     if (t_begin >= t_end) throw std::invalid_argument("injection_config: empty time window");
@@ -11,7 +28,7 @@ void injection_config::validate() const {
 
 injection_summary run_injection_experiment(const dataset& ds,
                                            const volume_anomaly_diagnoser& diagnoser,
-                                           const injection_config& cfg) {
+                                           const injection_config& cfg, thread_pool* pool) {
     cfg.validate();
     if (cfg.t_end > ds.bin_count()) {
         throw std::invalid_argument("run_injection_experiment: window exceeds dataset length");
@@ -39,6 +56,36 @@ injection_summary run_injection_experiment(const dataset& ds,
         shift[i] = scaled(theta_res, identifier.routing_column_norm(i) * cfg.spike_bytes);
     }
 
+    // Map phase: sweep each flow independently into its own slot.
+    std::vector<flow_sweep> per_flow(n);
+    const auto sweep_flow = [&](std::size_t i) {
+        flow_sweep& fs = per_flow[i];
+        fs.detected_at.assign(window, 0);
+        vec perturbed(model.dimension());
+        for (std::size_t w = 0; w < window; ++w) {
+            const vec& base = base_residuals[w];
+            for (std::size_t l = 0; l < perturbed.size(); ++l) {
+                perturbed[l] = base[l] + shift[i][l];
+            }
+            const diagnosis d = diagnoser.diagnose_residual(perturbed);
+            if (!d.anomalous) continue;
+            ++fs.detected;
+            fs.detected_at[w] = 1;
+            if (d.flow && *d.flow == i) {
+                ++fs.identified;
+                fs.error_sum += std::abs(std::abs(d.estimated_bytes) - cfg.spike_bytes) /
+                                cfg.spike_bytes;
+                ++fs.error_count;
+            }
+        }
+    };
+    if (pool != nullptr) {
+        parallel_for(*pool, 0, n, sweep_flow);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) sweep_flow(i);
+    }
+
+    // Reduce phase: serial, in flow order.
     injection_summary out;
     out.flow_count = n;
     out.time_count = window;
@@ -50,32 +97,23 @@ injection_summary run_injection_experiment(const dataset& ds,
     std::size_t identified_total = 0;
     double error_sum = 0.0;
     std::size_t error_count = 0;
+    std::vector<std::size_t> detected_by_time(window, 0);
 
-    vec perturbed(model.dimension());
     for (std::size_t i = 0; i < n; ++i) {
-        std::size_t detected_for_flow = 0;
-        for (std::size_t w = 0; w < window; ++w) {
-            const vec& base = base_residuals[w];
-            for (std::size_t l = 0; l < perturbed.size(); ++l) {
-                perturbed[l] = base[l] + shift[i][l];
-            }
-            const diagnosis d = diagnoser.diagnose_residual(perturbed);
-            if (!d.anomalous) continue;
-            ++detected_for_flow;
-            out.detection_rate_by_time[w] += 1.0;
-            if (d.flow && *d.flow == i) {
-                ++identified_total;
-                error_sum += std::abs(std::abs(d.estimated_bytes) - cfg.spike_bytes) /
-                             cfg.spike_bytes;
-                ++error_count;
-            }
-        }
-        detected_total += detected_for_flow;
+        const flow_sweep& fs = per_flow[i];
+        detected_total += fs.detected;
+        identified_total += fs.identified;
+        error_sum += fs.error_sum;
+        error_count += fs.error_count;
+        for (std::size_t w = 0; w < window; ++w) detected_by_time[w] += fs.detected_at[w];
         out.detection_rate_by_flow[i] =
-            static_cast<double>(detected_for_flow) / static_cast<double>(window);
+            static_cast<double>(fs.detected) / static_cast<double>(window);
     }
 
-    for (double& v : out.detection_rate_by_time) v /= static_cast<double>(n);
+    for (std::size_t w = 0; w < window; ++w) {
+        out.detection_rate_by_time[w] =
+            static_cast<double>(detected_by_time[w]) / static_cast<double>(n);
+    }
 
     const double cells = static_cast<double>(n) * static_cast<double>(window);
     out.detection_rate = static_cast<double>(detected_total) / cells;

@@ -17,6 +17,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct injection_config {
     double spike_bytes = 3.0e7;  // size of each injected spike
     std::size_t t_begin = 0;     // first timestep of the sweep window
@@ -43,8 +45,14 @@ struct injection_summary {
 
 // Runs the sweep against a fitted diagnoser. The diagnoser must have been
 // fitted on ds.link_loads (dimension checks throw std::invalid_argument).
+//
+// When pool is non-null the per-flow sweeps are sharded across its
+// threads. Flows are independent and the reduction always runs serially
+// in flow order, so the result is bit-identical for any thread count
+// (including the serial pool == nullptr path).
 injection_summary run_injection_experiment(const dataset& ds,
                                            const volume_anomaly_diagnoser& diagnoser,
-                                           const injection_config& cfg);
+                                           const injection_config& cfg,
+                                           thread_pool* pool = nullptr);
 
 }  // namespace netdiag

@@ -3,19 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "engine/thread_pool.h"
+
 namespace netdiag {
 
 std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
                                    const std::vector<true_anomaly>& truths,
-                                   std::span<const double> confidences) {
+                                   std::span<const double> confidences, thread_pool* pool) {
     if (confidences.empty()) throw std::invalid_argument("compute_roc: no confidence levels");
     for (double c : confidences) {
         if (!(c > 0.0 && c < 1.0)) {
             throw std::invalid_argument("compute_roc: confidence outside (0, 1)");
         }
     }
+    if (y.cols() != model.dimension()) {
+        throw std::invalid_argument("compute_roc: column count mismatch");
+    }
 
-    const vec spe = model.spe_series(y);
+    vec spe(y.rows(), 0.0);
+    if (pool != nullptr) {
+        parallel_for(*pool, 0, y.rows(), [&](std::size_t t) { spe[t] = model.spe(y.row(t)); });
+    } else {
+        spe = model.spe_series(y);
+    }
     std::vector<bool> is_truth_bin(spe.size(), false);
     std::size_t truth_bins = 0;
     for (const true_anomaly& a : truths) {
@@ -27,12 +37,11 @@ std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
     }
     const std::size_t normal_bins = spe.size() - truth_bins;
 
-    std::vector<roc_point> out;
-    out.reserve(confidences.size());
-    for (double confidence : confidences) {
+    std::vector<roc_point> out(confidences.size());
+    const auto fill_point = [&](std::size_t k) {
         roc_point p;
-        p.confidence = confidence;
-        p.threshold = model.q_threshold(confidence);
+        p.confidence = confidences[k];
+        p.threshold = model.q_threshold(p.confidence);
         std::size_t detected = 0;
         std::size_t false_alarms = 0;
         for (std::size_t t = 0; t < spe.size(); ++t) {
@@ -49,7 +58,12 @@ std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
         p.false_alarm_rate = normal_bins > 0 ? static_cast<double>(false_alarms) /
                                                    static_cast<double>(normal_bins)
                                              : 0.0;
-        out.push_back(p);
+        out[k] = p;
+    };
+    if (pool != nullptr) {
+        parallel_for(*pool, 0, out.size(), fill_point);
+    } else {
+        for (std::size_t k = 0; k < out.size(); ++k) fill_point(k);
     }
     return out;
 }

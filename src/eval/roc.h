@@ -11,6 +11,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct roc_point {
     double confidence = 0.0;       // 1 - alpha
     double threshold = 0.0;        // delta^2_alpha
@@ -22,9 +24,15 @@ struct roc_point {
 // measurement matrix (time x links); truths the significant anomaly set.
 // Throws std::invalid_argument for empty confidences, values outside
 // (0, 1), or truths referencing bins beyond y's rows.
+//
+// When pool is non-null the SPE series (per row) and the curve points
+// (per confidence) are sharded across its threads; both loops write
+// independent output slots, so the result is bit-identical to the
+// serial path for any thread count.
 std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
                                    const std::vector<true_anomaly>& truths,
-                                   std::span<const double> confidences);
+                                   std::span<const double> confidences,
+                                   thread_pool* pool = nullptr);
 
 // Area under the ROC curve via trapezoidal integration over the curve's
 // (false_alarm_rate, detection_rate) points, after sorting by false alarm

@@ -1,0 +1,205 @@
+#include "engine/batch_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "measurement/presets.h"
+
+namespace netdiag {
+namespace {
+
+// ---------------------------------------------------------------------------
+// thread_pool / parallel_for mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+    EXPECT_GE(thread_pool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareSize) {
+    thread_pool pool(0);
+    EXPECT_EQ(pool.size(), thread_pool::hardware_threads());
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+    thread_pool pool(4);
+    std::atomic<int> calls{0};
+    parallel_for(pool, 0, 0, [&](std::size_t) { ++calls; });
+    parallel_for(pool, 7, 7, [&](std::size_t) { ++calls; });
+    parallel_for(pool, 9, 3, [&](std::size_t) { ++calls; });  // reversed == empty
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingletonRangeRunsOnce) {
+    thread_pool pool(4);
+    std::vector<int> hits(1, 0);
+    parallel_for(pool, 0, 1, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+        thread_pool pool(threads);
+        for (std::size_t n : {1u, 2u, 5u, 7u, 64u, 1000u}) {
+            std::vector<std::atomic<int>> hits(n);
+            parallel_for(pool, 0, n, [&](std::size_t i) { ++hits[i]; });
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                             << " index=" << i;
+            }
+        }
+    }
+}
+
+TEST(ParallelFor, RangeSmallerThanPoolStillCompletes) {
+    thread_pool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    parallel_for(pool, 0, 3, [&](std::size_t i) { ++hits[i]; });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, OffsetRangeSeesOriginalIndices) {
+    thread_pool pool(4);
+    std::vector<std::size_t> seen(20, 0);
+    parallel_for(pool, 5, 17, [&](std::size_t i) { seen[i] = i; });
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i], (i >= 5 && i < 17) ? i : 0u);
+    }
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+    thread_pool pool(4);
+    const auto boom = [](std::size_t i) {
+        if (i == 33) throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(parallel_for(pool, 0, 100, boom), std::runtime_error);
+    // The pool must remain usable after an exception.
+    std::atomic<int> calls{0};
+    parallel_for(pool, 0, 10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(BatchDetector, ReportsRequestedThreadCount) {
+    const batch_detector engine(3);
+    EXPECT_EQ(engine.threads(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the batch sweeps against the serial path, across thread
+// counts {1, 2, 8}. One shared fitted diagnoser (fitting dominates cost).
+// ---------------------------------------------------------------------------
+
+class BatchParityFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ds_ = new dataset(make_sprint1_dataset());
+        diagnoser_ = new volume_anomaly_diagnoser(ds_->link_loads, ds_->routing.a, 0.999);
+    }
+    static void TearDownTestSuite() {
+        delete diagnoser_;
+        delete ds_;
+        diagnoser_ = nullptr;
+        ds_ = nullptr;
+    }
+
+    static dataset* ds_;
+    static volume_anomaly_diagnoser* diagnoser_;
+};
+
+dataset* BatchParityFixture::ds_ = nullptr;
+volume_anomaly_diagnoser* BatchParityFixture::diagnoser_ = nullptr;
+
+constexpr std::size_t k_thread_counts[] = {1, 2, 8};
+
+TEST_F(BatchParityFixture, TestAllMatchesSerialBitForBit) {
+    const auto serial = diagnoser_->detector().test_all(ds_->link_loads);
+    for (std::size_t threads : k_thread_counts) {
+        const batch_detector engine(threads);
+        const auto batch = engine.test_all(diagnoser_->detector(), ds_->link_loads);
+        ASSERT_EQ(batch.size(), serial.size());
+        for (std::size_t r = 0; r < serial.size(); ++r) {
+            ASSERT_EQ(batch[r].anomalous, serial[r].anomalous) << "threads=" << threads;
+            // Exact equality on purpose: the sharded sweep must perform the
+            // same arithmetic per row as the serial loop.
+            ASSERT_EQ(batch[r].spe, serial[r].spe) << "threads=" << threads << " row=" << r;
+            ASSERT_EQ(batch[r].threshold, serial[r].threshold);
+        }
+    }
+}
+
+TEST_F(BatchParityFixture, DiagnoseAllMatchesSerialBitForBit) {
+    const auto serial = diagnoser_->diagnose_all(ds_->link_loads);
+    for (std::size_t threads : k_thread_counts) {
+        const batch_detector engine(threads);
+        const auto batch = engine.diagnose_all(*diagnoser_, ds_->link_loads);
+        ASSERT_EQ(batch.size(), serial.size());
+        for (std::size_t r = 0; r < serial.size(); ++r) {
+            ASSERT_EQ(batch[r].anomalous, serial[r].anomalous) << "threads=" << threads;
+            ASSERT_EQ(batch[r].spe, serial[r].spe);
+            ASSERT_EQ(batch[r].flow.has_value(), serial[r].flow.has_value());
+            if (serial[r].flow) {
+                ASSERT_EQ(*batch[r].flow, *serial[r].flow);
+            }
+            ASSERT_EQ(batch[r].magnitude, serial[r].magnitude);
+            ASSERT_EQ(batch[r].estimated_bytes, serial[r].estimated_bytes);
+        }
+    }
+}
+
+TEST_F(BatchParityFixture, SpeSeriesMatchesSerialBitForBit) {
+    const vec serial = diagnoser_->model().spe_series(ds_->link_loads);
+    for (std::size_t threads : k_thread_counts) {
+        const batch_detector engine(threads);
+        const vec batch = engine.spe_series(diagnoser_->model(), ds_->link_loads);
+        ASSERT_EQ(batch, serial) << "threads=" << threads;
+    }
+}
+
+TEST_F(BatchParityFixture, InjectionSweepMatchesSerialBitForBit) {
+    injection_config cfg;
+    cfg.spike_bytes = 3.0e7;
+    cfg.t_begin = 300;
+    cfg.t_end = 312;
+    const injection_summary serial = run_injection_experiment(*ds_, *diagnoser_, cfg);
+    for (std::size_t threads : k_thread_counts) {
+        const batch_detector engine(threads);
+        const injection_summary batch = engine.run_injection(*ds_, *diagnoser_, cfg);
+        ASSERT_EQ(batch.flow_count, serial.flow_count) << "threads=" << threads;
+        ASSERT_EQ(batch.time_count, serial.time_count);
+        ASSERT_EQ(batch.detection_rate, serial.detection_rate);
+        ASSERT_EQ(batch.identification_rate, serial.identification_rate);
+        ASSERT_EQ(batch.quantification_error, serial.quantification_error);
+        ASSERT_EQ(batch.detection_rate_by_flow, serial.detection_rate_by_flow);
+        ASSERT_EQ(batch.detection_rate_by_time, serial.detection_rate_by_time);
+    }
+}
+
+TEST_F(BatchParityFixture, RocMatchesSerialBitForBit) {
+    std::vector<true_anomaly> truths;
+    for (const anomaly_event& ev : ds_->injected) {
+        truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+    }
+    const std::vector<double> sweep{0.5, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9999};
+    const auto serial = compute_roc(diagnoser_->model(), ds_->link_loads, truths, sweep);
+    for (std::size_t threads : k_thread_counts) {
+        const batch_detector engine(threads);
+        const auto batch = engine.compute_roc(diagnoser_->model(), ds_->link_loads, truths, sweep);
+        ASSERT_EQ(batch.size(), serial.size()) << "threads=" << threads;
+        for (std::size_t k = 0; k < serial.size(); ++k) {
+            ASSERT_EQ(batch[k].confidence, serial[k].confidence);
+            ASSERT_EQ(batch[k].threshold, serial[k].threshold);
+            ASSERT_EQ(batch[k].detection_rate, serial[k].detection_rate);
+            ASSERT_EQ(batch[k].false_alarm_rate, serial[k].false_alarm_rate);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -13,14 +13,18 @@
 //             --engine-only (skip the google-benchmark suite).
 //   2. The google-benchmark microbenchmark suite (compiled only when the
 //      dependency is available; all remaining flags are forwarded to it).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/batch_detector.h"
+#include "engine/thread_pool.h"
 #include "eval/injection.h"
 #include "linalg/svd.h"
 #include "linalg/svd_update.h"
@@ -107,6 +111,77 @@ bool same_results(const injection_summary& a, const injection_summary& b) {
            a.quantification_error == b.quantification_error &&
            a.detection_rate_by_flow == b.detection_rate_by_flow &&
            a.detection_rate_by_time == b.detection_rate_by_time;
+}
+
+// Synthetic wide measurement matrix for the fit benchmark: the 1008 x 49
+// paper shape is too small to show fit-side scaling, so the fit sweep uses
+// a larger network (more links) with the same diurnal-plus-noise texture.
+matrix synthetic_measurements(std::size_t t, std::size_t m) {
+    std::mt19937_64 rng(4242);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    matrix y(t, m, 0.0);
+    for (std::size_t r = 0; r < t; ++r) {
+        const double diurnal = std::sin(2.0 * 3.14159265 * static_cast<double>(r) / 144.0);
+        for (std::size_t c = 0; c < m; ++c) {
+            const double w = 1.0 + 0.01 * static_cast<double>(c % 37);
+            y(r, c) = 1e6 * (5.0 + 2.0 * w * diurnal) + 1e4 * gauss(rng);
+        }
+    }
+    return y;
+}
+
+bool same_pca(const pca_model& a, const pca_model& b) {
+    return a.principal_axes == b.principal_axes && a.axis_variance == b.axis_variance &&
+           a.projections == b.projections && a.column_means == b.column_means;
+}
+
+// PCA fit (covariance + eigensolve + projections) through the parallel
+// fit path. Bit-identical across thread counts by construction.
+engine_benchmark run_fit_sweep(const std::vector<std::size_t>& thread_counts, bool quick) {
+    const matrix y = synthetic_measurements(quick ? 400 : 2400, quick ? 96 : 256);
+    const int iterations = quick ? 1 : 3;
+
+    engine_benchmark out;
+    out.name = "pca_fit";
+    out.items = y.rows() * y.cols();
+
+    const pca_model serial = fit_pca(y);
+    out.serial_ms = time_best_ms(iterations, [&] { fit_pca(y); });
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        thread_pool pool(t);
+        out.identical_to_serial = out.identical_to_serial && same_pca(serial, fit_pca(y, &pool));
+        const double ms = time_best_ms(iterations, [&] { fit_pca(y, &pool); });
+        out.parallel.push_back({t, ms});
+    }
+    return out;
+}
+
+// Low-rank residual projection over every timestep (the per-measurement
+// hot path), row-sharded across the pool.
+engine_benchmark run_spe_series_sweep(const std::vector<std::size_t>& thread_counts,
+                                      bool quick) {
+    const subspace_model& model = sprint1_diagnoser().model();
+    const matrix big_y = tile_rows(sprint1().link_loads, quick ? 2 : 16);
+    const int iterations = quick ? 1 : 3;
+
+    engine_benchmark out;
+    out.name = "spe_series_lowrank";
+    out.items = big_y.rows();
+
+    const vec serial = model.spe_series(big_y);
+    out.serial_ms = time_best_ms(iterations, [&] { model.spe_series(big_y); });
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        thread_pool pool(t);
+        out.identical_to_serial =
+            out.identical_to_serial && serial == model.spe_series(big_y, &pool);
+        const double ms = time_best_ms(iterations, [&] { model.spe_series(big_y, &pool); });
+        out.parallel.push_back({t, ms});
+    }
+    return out;
 }
 
 engine_benchmark run_spe_sweep(const std::vector<std::size_t>& thread_counts, bool quick) {
@@ -206,8 +281,18 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
     std::printf("Engine comparison: serial sweeps vs batch_detector "
                 "(hardware threads: %u)\n\n",
                 std::thread::hardware_concurrency());
+    const std::size_t max_threads =
+        *std::max_element(thread_counts.begin(), thread_counts.end());
+    if (std::thread::hardware_concurrency() < max_threads) {
+        std::printf("note: only %u hardware thread(s) available; parallel timings "
+                    "measure dispatch overhead, not scaling — bit-identity is the "
+                    "meaningful signal on this machine.\n\n",
+                    std::thread::hardware_concurrency());
+    }
 
     std::vector<engine_benchmark> benches;
+    benches.push_back(run_fit_sweep(thread_counts, quick));
+    benches.push_back(run_spe_series_sweep(thread_counts, quick));
     benches.push_back(run_spe_sweep(thread_counts, quick));
     benches.push_back(run_injection_sweep(thread_counts, quick));
 

@@ -28,9 +28,7 @@ std::vector<diagnosis> batch_detector::diagnose_all(const volume_anomaly_diagnos
 }
 
 vec batch_detector::spe_series(const subspace_model& model, const matrix& y) const {
-    vec out(y.rows(), 0.0);
-    parallel_for(*pool_, 0, y.rows(), [&](std::size_t r) { out[r] = model.spe(y.row(r)); });
-    return out;
+    return model.spe_series(y, pool_.get());
 }
 
 std::vector<roc_point> batch_detector::compute_roc(const subspace_model& model, const matrix& y,

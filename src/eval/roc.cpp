@@ -20,12 +20,7 @@ std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
         throw std::invalid_argument("compute_roc: column count mismatch");
     }
 
-    vec spe(y.rows(), 0.0);
-    if (pool != nullptr) {
-        parallel_for(*pool, 0, y.rows(), [&](std::size_t t) { spe[t] = model.spe(y.row(t)); });
-    } else {
-        spe = model.spe_series(y);
-    }
+    const vec spe = model.spe_series(y, pool);
     std::vector<bool> is_truth_bin(spe.size(), false);
     std::size_t truth_bins = 0;
     for (const true_anomaly& a : truths) {

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/thread_pool.h"
 #include "linalg/error.h"
 #include "linalg/ops.h"
 
@@ -15,6 +16,16 @@ namespace {
 
 constexpr int k_max_ql_iterations = 50;
 constexpr int k_max_jacobi_sweeps = 100;
+
+// Gates below which the pool is ignored (the sharded work per dispatch is
+// too small to amortize a parallel_for). The QL path dispatches once per
+// iteration with a whole batched rotation sequence, so it gates on the
+// batch's total work (rotations x rows): big early-sweep batches shard,
+// the tiny deflation batches near convergence stay serial. Jacobi must
+// dispatch per rotation (~n flops, its rotation parameters depend on the
+// previous rotation's result), so it only pays off for very large
+// matrices; its gate is a mutable test seam (see header).
+constexpr std::size_t k_ql_parallel_min_work = 1u << 17;
 
 void require_symmetric(const matrix& a, const char* who) {
     if (a.rows() != a.cols()) {
@@ -112,9 +123,33 @@ void tridiagonalize(matrix& v, std::vector<double>& d, std::vector<double>& e) {
     e[0] = 0.0;
 }
 
+// Applies a batch of Givens rotations to every row of v. Rotation j acts
+// on columns (i, i + 1) with i = hi - 1 - j, in that order — the exact
+// per-element arithmetic the classic interleaved loop performs, so batching
+// (and row-sharding across the pool) changes nothing numerically.
+void apply_rotation_batch(matrix& v, std::size_t hi, const std::vector<double>& rot_c,
+                          const std::vector<double>& rot_s, thread_pool* pool) {
+    const std::size_t n = v.rows();
+    const auto apply_row = [&](std::size_t k) {
+        for (std::size_t j = 0; j < rot_c.size(); ++j) {
+            const std::size_t i = hi - 1 - j;
+            const double h = v(k, i + 1);
+            v(k, i + 1) = rot_s[j] * v(k, i) + rot_c[j] * h;
+            v(k, i) = rot_c[j] * v(k, i) - rot_s[j] * h;
+        }
+    };
+    if (pool != nullptr && rot_c.size() * n >= k_ql_parallel_min_work) {
+        parallel_for(*pool, 0, n, apply_row);
+    } else {
+        for (std::size_t k = 0; k < n; ++k) apply_row(k);
+    }
+}
+
 // Implicit-shift QL iteration on the tridiagonal (d, e), accumulating the
-// rotations into v. Classic tql2 recurrence.
-void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e) {
+// rotations into v. Classic tql2 recurrence; the per-iteration rotation
+// sequence only depends on (d, e), so it is recorded first and applied to
+// v as one row-parallel batch.
+void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e, thread_pool* pool) {
     const std::size_t n = v.rows();
     for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
     e[n - 1] = 0.0;
@@ -122,6 +157,8 @@ void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e) {
     double f = 0.0;
     double tst1 = 0.0;
     const double eps = std::numeric_limits<double>::epsilon();
+    std::vector<double> rot_c;
+    std::vector<double> rot_s;
 
     for (std::size_t l = 0; l < n; ++l) {
         tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
@@ -152,6 +189,8 @@ void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e) {
                 const double el1 = e[l + 1];
                 double s = 0.0;
                 double s2 = 0.0;
+                rot_c.clear();
+                rot_s.clear();
                 for (std::size_t i = m; i-- > l;) {
                     c3 = c2;
                     c2 = c;
@@ -164,12 +203,10 @@ void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e) {
                     c = p / r;
                     p = c * d[i] - s * g;
                     d[i + 1] = h + s * (c * g + s * d[i]);
-                    for (std::size_t k = 0; k < n; ++k) {
-                        h = v(k, i + 1);
-                        v(k, i + 1) = s * v(k, i) + c * h;
-                        v(k, i) = c * v(k, i) - s * h;
-                    }
+                    rot_c.push_back(c);
+                    rot_s.push_back(s);
                 }
+                apply_rotation_batch(v, m, rot_c, rot_s, pool);
                 p = -s * s2 * c3 * el1 * e[l] / dl1;
                 e[l] = s * p;
                 d[l] = c * p;
@@ -200,7 +237,18 @@ sym_eigen_result sorted_descending(std::vector<double> d, const matrix& v) {
 
 }  // namespace
 
-sym_eigen_result sym_eigen(const matrix& a) {
+namespace detail {
+
+std::size_t& jacobi_parallel_min_dim() noexcept {
+    static std::size_t gate = 2048;
+    return gate;
+}
+
+}  // namespace detail
+
+sym_eigen_result sym_eigen(const matrix& a) { return sym_eigen(a, nullptr); }
+
+sym_eigen_result sym_eigen(const matrix& a, thread_pool* pool) {
     require_symmetric(a, "sym_eigen");
     const std::size_t n = a.rows();
     if (n == 0) return {};
@@ -210,11 +258,13 @@ sym_eigen_result sym_eigen(const matrix& a) {
     std::vector<double> d(n, 0.0);
     std::vector<double> e(n, 0.0);
     tridiagonalize(v, d, e);
-    ql_iterate(v, d, e);
+    ql_iterate(v, d, e, pool);
     return sorted_descending(std::move(d), v);
 }
 
-sym_eigen_result sym_eigen_jacobi(const matrix& a) {
+sym_eigen_result sym_eigen_jacobi(const matrix& a) { return sym_eigen_jacobi(a, nullptr); }
+
+sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool) {
     require_symmetric(a, "sym_eigen_jacobi");
     const std::size_t n = a.rows();
     if (n == 0) return {};
@@ -250,20 +300,26 @@ sym_eigen_result sym_eigen_jacobi(const matrix& a) {
                 w(q, q) = s * s * app + 2.0 * s * c * apq + c * c * aqq;
                 w(p, q) = 0.0;
                 w(q, p) = 0.0;
-                for (std::size_t k = 0; k < n; ++k) {
-                    if (k == p || k == q) continue;
-                    const double akp = w(k, p);
-                    const double akq = w(k, q);
-                    w(k, p) = c * akp - s * akq;
-                    w(p, k) = w(k, p);
-                    w(k, q) = s * akp + c * akq;
-                    w(q, k) = w(k, q);
-                }
-                for (std::size_t k = 0; k < n; ++k) {
+                // Each k touches only row/column entries indexed by k, so
+                // the update is row-shardable with identical arithmetic.
+                const auto update_row = [&](std::size_t k) {
+                    if (k != p && k != q) {
+                        const double akp = w(k, p);
+                        const double akq = w(k, q);
+                        w(k, p) = c * akp - s * akq;
+                        w(p, k) = w(k, p);
+                        w(k, q) = s * akp + c * akq;
+                        w(q, k) = w(k, q);
+                    }
                     const double vkp = v(k, p);
                     const double vkq = v(k, q);
                     v(k, p) = c * vkp - s * vkq;
                     v(k, q) = s * vkp + c * vkq;
+                };
+                if (pool != nullptr && n >= detail::jacobi_parallel_min_dim()) {
+                    parallel_for(*pool, 0, n, update_row);
+                } else {
+                    for (std::size_t k = 0; k < n; ++k) update_row(k);
                 }
             }
         }

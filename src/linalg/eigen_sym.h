@@ -16,6 +16,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct sym_eigen_result {
     std::vector<double> eigenvalues;  // descending
     matrix eigenvectors;              // column i pairs with eigenvalues[i]
@@ -26,7 +28,30 @@ struct sym_eigen_result {
 // a small relative tolerance), netdiag::numerical_error on non-convergence.
 sym_eigen_result sym_eigen(const matrix& a);
 
+// Same decomposition with the O(n) eigenvector-rotation updates sharded
+// across the pool: each QL iteration batches its rotation sequence and
+// applies it row-parallel. Every matrix element sees the same arithmetic
+// in the same order for any pool size, so the result is bit-identical to
+// the serial call (pool == nullptr degrades to it). The pool only engages
+// above a dimension threshold where the sharding amortizes.
+sym_eigen_result sym_eigen(const matrix& a, thread_pool* pool);
+
 // Same contract, computed with cyclic Jacobi rotations.
 sym_eigen_result sym_eigen_jacobi(const matrix& a);
+
+// Jacobi with the per-rotation O(n) row updates sharded across the pool;
+// bit-identical to the serial call for any pool size.
+sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool);
+
+namespace detail {
+
+// The dimension gate below which sym_eigen_jacobi ignores the pool.
+// Defaults to 2048: a per-rotation parallel_for dispatch only amortizes
+// its mutex/condvar cost for very large matrices. Exposed mutably as a
+// test seam so the parity suite can drive the sharded path at unit-test
+// sizes (restore the old value afterwards).
+std::size_t& jacobi_parallel_min_dim() noexcept;
+
+}  // namespace detail
 
 }  // namespace netdiag

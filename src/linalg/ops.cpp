@@ -1,9 +1,26 @@
 #include "linalg/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "engine/thread_pool.h"
 
 namespace netdiag {
+
+namespace {
+
+// Block shape for parallel_column_covariance: at least this many rows per
+// partial-Gram block, and at most this many blocks (each partial is an
+// m x m matrix, so the block count bounds the temporary memory at
+// 64 * m^2 doubles regardless of the row count). Both are functions of
+// the input shape only — never of the thread count — so the reduction
+// order is fixed.
+constexpr std::size_t k_covariance_min_row_block = 256;
+constexpr std::size_t k_covariance_max_blocks = 64;
+
+}  // namespace
 
 matrix multiply(const matrix& a, const matrix& b) {
     if (a.cols() != b.rows()) throw std::invalid_argument("multiply: inner dimensions differ");
@@ -110,6 +127,88 @@ matrix column_covariance(const matrix& y) {
         }
     }
     return cov;
+}
+
+namespace {
+
+// Shared core of the two parallel covariance entry points: blocked Gram
+// accumulation with the partials reduced in block order. `means` is null
+// for already-centered input (the per-row subtraction is skipped, which
+// produces identical products when the rows equal raw - means bitwise).
+matrix blocked_covariance(const matrix& y, const vec* means, thread_pool* pool,
+                          const char* who) {
+    if (y.rows() < 2) {
+        throw std::invalid_argument(std::string(who) + ": need at least two rows");
+    }
+    const std::size_t t = y.rows();
+    const std::size_t m = y.cols();
+
+    const std::size_t row_block = std::max(k_covariance_min_row_block,
+                                           (t + k_covariance_max_blocks - 1) /
+                                               k_covariance_max_blocks);
+    const std::size_t blocks = (t + row_block - 1) / row_block;
+    std::vector<matrix> partial(blocks);
+
+    const auto accumulate_block = [&](std::size_t b) {
+        const std::size_t row_begin = b * row_block;
+        const std::size_t row_end = std::min(t, row_begin + row_block);
+        matrix& acc = partial[b];
+        acc.assign(m, m, 0.0);
+        vec centered(m);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            const auto raw = y.row(r);
+            std::span<const double> row = raw;
+            if (means != nullptr) {
+                for (std::size_t j = 0; j < m; ++j) centered[j] = raw[j] - (*means)[j];
+                row = centered;
+            }
+            for (std::size_t i = 0; i < m; ++i) {
+                const double ci = row[i];
+                if (ci == 0.0) continue;
+                for (std::size_t j = i; j < m; ++j) acc(i, j) += ci * row[j];
+            }
+        }
+    };
+
+    if (pool != nullptr && blocks > 1) {
+        parallel_for(*pool, 0, blocks, accumulate_block);
+    } else {
+        for (std::size_t b = 0; b < blocks; ++b) accumulate_block(b);
+    }
+
+    // Serial reduction in block order: deterministic for every pool size.
+    matrix cov(m, m, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const matrix& acc = partial[b];
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = i; j < m; ++j) cov(i, j) += acc(i, j);
+        }
+    }
+    const double scale_factor = 1.0 / static_cast<double>(t - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i; j < m; ++j) {
+            cov(i, j) *= scale_factor;
+            cov(j, i) = cov(i, j);
+        }
+    }
+    return cov;
+}
+
+}  // namespace
+
+matrix parallel_column_covariance(const matrix& y, thread_pool* pool) {
+    // Shape validation happens in blocked_covariance (before the means
+    // below are ever used). Means accumulate exactly as in
+    // column_covariance (and center_columns) so the centering is identical
+    // between the paths.
+    vec means(y.cols(), 0.0);
+    for (std::size_t r = 0; r < y.rows(); ++r) axpy(1.0, y.row(r), means);
+    if (y.rows() > 0) scale(means, 1.0 / static_cast<double>(y.rows()));
+    return blocked_covariance(y, &means, pool, "parallel_column_covariance");
+}
+
+matrix parallel_centered_covariance(const matrix& centered, thread_pool* pool) {
+    return blocked_covariance(centered, nullptr, pool, "parallel_centered_covariance");
 }
 
 double max_off_diagonal(const matrix& a) {

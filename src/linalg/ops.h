@@ -9,6 +9,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 // C = A * B. Throws std::invalid_argument on inner-dimension mismatch.
 matrix multiply(const matrix& a, const matrix& b);
 
@@ -36,6 +38,23 @@ double frobenius_norm(const matrix& a);
 // Sample covariance of the columns of y: cov = Y_c^T Y_c / (rows - 1) where
 // Y_c is y with column means removed. Requires at least two rows.
 matrix column_covariance(const matrix& y);
+
+// Same covariance via sharded Gram accumulation: rows are split into
+// fixed-size blocks, each block accumulates a partial Gram matrix, and the
+// partials are reduced in block order. The block decomposition is a
+// function of the shape only — never of the thread count — so the result
+// is bit-identical for any pool size, including pool == nullptr. The
+// blocked reduction reassociates the row sum relative to
+// column_covariance, so the two agree only to rounding (~1e-15 relative;
+// see test_engine.cpp).
+matrix parallel_column_covariance(const matrix& y, thread_pool* pool);
+
+// Same sharded accumulation for rows that are already column-centered
+// (e.g. center_columns output): skips the mean pass and the per-row
+// subtraction. Bit-identical to parallel_column_covariance on the raw
+// matrix when the centering used identical means, since center_columns
+// and parallel_column_covariance accumulate means the same way.
+matrix parallel_centered_covariance(const matrix& centered, thread_pool* pool);
 
 // Largest absolute off-diagonal element; requires a square matrix.
 // Useful for verifying orthogonality (M^T M ~ I) in tests.

@@ -7,6 +7,12 @@ volume_anomaly_diagnoser::volume_anomaly_diagnoser(const matrix& y, const matrix
                                                    const separation_config& sep)
     : volume_anomaly_diagnoser(subspace_model::fit(y, sep), a, confidence) {}
 
+volume_anomaly_diagnoser::volume_anomaly_diagnoser(const matrix& y, const matrix& a,
+                                                   double confidence,
+                                                   const separation_config& sep,
+                                                   thread_pool* pool)
+    : volume_anomaly_diagnoser(subspace_model::fit(y, sep, pool), a, confidence) {}
+
 volume_anomaly_diagnoser::volume_anomaly_diagnoser(subspace_model model, const matrix& a,
                                                    double confidence)
     : model_(std::move(model)),

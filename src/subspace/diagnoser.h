@@ -18,6 +18,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct diagnosis {
     bool anomalous = false;
     double spe = 0.0;
@@ -35,6 +37,11 @@ public:
     // (m x flows). confidence is the 1-alpha detection level (paper: 0.999).
     volume_anomaly_diagnoser(const matrix& y, const matrix& a, double confidence = 0.999,
                              const separation_config& sep = {});
+
+    // Same fit sharded across an engine thread_pool (bit-identical to the
+    // serial fit for every pool size; see subspace_model::fit).
+    volume_anomaly_diagnoser(const matrix& y, const matrix& a, double confidence,
+                             const separation_config& sep, thread_pool* pool);
 
     // Assembles from an existing model (ablations, online refits).
     volume_anomaly_diagnoser(subspace_model model, const matrix& a, double confidence);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <utility>
 
 namespace netdiag {
 
@@ -71,7 +70,9 @@ identification_result flow_identifier::identify_residual(std::span<const double>
     identification_result out;
     out.flow = best_flow;
     out.magnitude = best_projection / theta_norm2_[best_flow];
-    out.residual_spe = norm_squared(residual) - best_score;
+    // ||residual||^2 - score cancels to a tiny negative when the chosen
+    // direction explains (numerically) all of the residual; clamp at 0.
+    out.residual_spe = std::max(0.0, norm_squared(residual) - best_score);
     return out;
 }
 
@@ -81,21 +82,26 @@ std::vector<identification_result> flow_identifier::identify_top_k(std::span<con
     const vec residual = model_->residual(y);
     const double residual_spe = norm_squared(residual);
 
-    std::vector<std::pair<double, std::size_t>> scored;  // (score, flow)
+    struct scored_flow {
+        double score;
+        std::size_t flow;
+        double projection;  // carried along so the O(m) dot runs once per flow
+    };
+    std::vector<scored_flow> scored;
     for (std::size_t i = 0; i < theta_norm2_.size(); ++i) {
         if (theta_norm2_[i] == 0.0) continue;
         const double proj = dot(theta_residual_.row(i), residual);
-        scored.emplace_back(proj * proj / theta_norm2_[i], i);
+        scored.push_back({proj * proj / theta_norm2_[i], i, proj});
     }
     std::sort(scored.begin(), scored.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
+              [](const scored_flow& a, const scored_flow& b) { return a.score > b.score; });
     if (scored.size() > k) scored.resize(k);
 
     std::vector<identification_result> out;
     out.reserve(scored.size());
-    for (const auto& [score, flow] : scored) {
-        const double proj = dot(theta_residual_.row(flow), residual);
-        out.push_back({flow, proj / theta_norm2_[flow], residual_spe - score});
+    for (const scored_flow& s : scored) {
+        out.push_back({s.flow, s.projection / theta_norm2_[s.flow],
+                       std::max(0.0, residual_spe - s.score)});
     }
     return out;
 }

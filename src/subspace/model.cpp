@@ -1,62 +1,150 @@
 #include "subspace/model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "engine/thread_pool.h"
 #include "subspace/qstat.h"
 
 namespace netdiag {
+
+namespace {
+
+// Fixed link-block width for the low-rank projection. The block layout is
+// a function of m only — never of the thread count — and the per-block
+// partial coefficients are reduced in block order, so serial and sharded
+// projections are bit-identical.
+constexpr std::size_t k_link_block = 256;
+
+// Below this dimension a parallel_for dispatch costs more than the O(m r)
+// projection itself; the pool is ignored.
+constexpr std::size_t k_parallel_min_links = 1024;
+
+// Minimum total work (rows * m * rank multiply-adds) before spe_series
+// shards its rows across the pool.
+constexpr std::size_t k_spe_series_parallel_min_work = 1u << 15;
+
+}  // namespace
 
 subspace_model::subspace_model(pca_model pca, std::size_t normal_rank)
     : pca_(std::move(pca)), rank_(normal_rank) {
     const std::size_t m = pca_.dimension();
     if (rank_ > m) throw std::invalid_argument("subspace_model: normal rank exceeds dimension");
 
-    // C~ = I - P P^T where P holds the first rank_ principal axes.
-    c_tilde_ = matrix::identity(m);
-    for (std::size_t k = 0; k < rank_; ++k) {
-        const vec v = pca_.principal_axes.column(k);
-        for (std::size_t i = 0; i < m; ++i) {
-            const double vi = v[i];
-            if (vi == 0.0) continue;
-            for (std::size_t j = 0; j < m; ++j) c_tilde_(i, j) -= vi * v[j];
+    // Store P^T (rank x m) so every projection reads contiguous rows.
+    // rank 0 leaves it the empty 0x0 matrix (C~ = I, residual == input).
+    if (rank_ > 0 && m > 0) {
+        normal_axes_t_.assign(rank_, m, 0.0);
+        for (std::size_t k = 0; k < rank_; ++k) {
+            for (std::size_t i = 0; i < m; ++i) normal_axes_t_(k, i) = pca_.principal_axes(i, k);
         }
     }
 }
 
-subspace_model subspace_model::fit(const matrix& y, const separation_config& sep) {
-    pca_model pca = fit_pca(y);
+subspace_model subspace_model::fit(const matrix& y, const separation_config& sep,
+                                   thread_pool* pool) {
+    pca_model pca = fit_pca(y, pool);
     const std::size_t rank = separate_normal_rank(pca, sep);
     return {std::move(pca), rank};
 }
 
-vec subspace_model::residual(std::span<const double> y) const {
-    if (y.size() != dimension()) throw std::invalid_argument("subspace_model: vector size mismatch");
-    const vec centered = subtract(y, pca_.column_means);
-    return project_direction_residual(centered);
+matrix subspace_model::dense_residual_projector() const {
+    const std::size_t m = dimension();
+    matrix c_tilde = matrix::identity(m);
+    for (std::size_t k = 0; k < rank_; ++k) {
+        const auto v = normal_axes_t_.row(k);
+        for (std::size_t i = 0; i < m; ++i) {
+            const double vi = v[i];
+            if (vi == 0.0) continue;
+            for (std::size_t j = 0; j < m; ++j) c_tilde(i, j) -= vi * v[j];
+        }
+    }
+    return c_tilde;
 }
 
-vec subspace_model::modeled(std::span<const double> y) const {
+vec subspace_model::residual(std::span<const double> y, thread_pool* pool) const {
     if (y.size() != dimension()) throw std::invalid_argument("subspace_model: vector size mismatch");
     const vec centered = subtract(y, pca_.column_means);
-    const vec resid = project_direction_residual(centered);
+    return project_direction_residual(centered, pool);
+}
+
+vec subspace_model::modeled(std::span<const double> y, thread_pool* pool) const {
+    if (y.size() != dimension()) throw std::invalid_argument("subspace_model: vector size mismatch");
+    const vec centered = subtract(y, pca_.column_means);
+    const vec resid = project_direction_residual(centered, pool);
     return subtract(centered, resid);
 }
 
-double subspace_model::spe(std::span<const double> y) const { return norm_squared(residual(y)); }
+double subspace_model::spe(std::span<const double> y, thread_pool* pool) const {
+    return norm_squared(residual(y, pool));
+}
 
-vec subspace_model::project_direction_residual(std::span<const double> direction) const {
-    if (direction.size() != dimension()) {
+vec subspace_model::project_direction_residual(std::span<const double> direction,
+                                               thread_pool* pool) const {
+    const std::size_t m = dimension();
+    if (direction.size() != m) {
         throw std::invalid_argument("subspace_model: direction size mismatch");
     }
-    vec out(dimension(), 0.0);
-    for (std::size_t i = 0; i < dimension(); ++i) out[i] = dot(c_tilde_.row(i), direction);
+    vec out(direction.begin(), direction.end());
+    if (rank_ == 0 || m == 0) return out;
+
+    const std::size_t blocks = (m + k_link_block - 1) / k_link_block;
+    const bool shard = pool != nullptr && m >= k_parallel_min_links && blocks > 1;
+
+    // Stage 1: coefficients c = P^T x, accumulated per link block.
+    vec coeffs(rank_, 0.0);
+    if (blocks == 1) {
+        // Common case (m <= block width): plain dots, no partial buffer.
+        for (std::size_t k = 0; k < rank_; ++k) {
+            coeffs[k] = dot(normal_axes_t_.row(k), direction);
+        }
+    } else {
+        vec partial(blocks * rank_, 0.0);
+        const auto accumulate_block = [&](std::size_t b) {
+            const std::size_t begin = b * k_link_block;
+            const std::size_t len = std::min(m, begin + k_link_block) - begin;
+            const auto x = direction.subspan(begin, len);
+            for (std::size_t k = 0; k < rank_; ++k) {
+                partial[b * rank_ + k] = dot(normal_axes_t_.row(k).subspan(begin, len), x);
+            }
+        };
+        if (shard) {
+            parallel_for(*pool, 0, blocks, accumulate_block);
+        } else {
+            for (std::size_t b = 0; b < blocks; ++b) accumulate_block(b);
+        }
+        for (std::size_t b = 0; b < blocks; ++b) {
+            for (std::size_t k = 0; k < rank_; ++k) coeffs[k] += partial[b * rank_ + k];
+        }
+    }
+
+    // Stage 2: out = x - P c, element-wise over the same blocks.
+    const auto subtract_block = [&](std::size_t b) {
+        const std::size_t begin = b * k_link_block;
+        const std::size_t end = std::min(m, begin + k_link_block);
+        for (std::size_t k = 0; k < rank_; ++k) {
+            const double ck = coeffs[k];
+            const auto axis = normal_axes_t_.row(k);
+            for (std::size_t i = begin; i < end; ++i) out[i] -= ck * axis[i];
+        }
+    };
+    if (shard) {
+        parallel_for(*pool, 0, blocks, subtract_block);
+    } else {
+        for (std::size_t b = 0; b < blocks; ++b) subtract_block(b);
+    }
     return out;
 }
 
-vec subspace_model::spe_series(const matrix& y) const {
+vec subspace_model::spe_series(const matrix& y, thread_pool* pool) const {
     if (y.cols() != dimension()) throw std::invalid_argument("spe_series: column count mismatch");
     vec out(y.rows(), 0.0);
-    for (std::size_t r = 0; r < y.rows(); ++r) out[r] = spe(y.row(r));
+    const std::size_t work = y.rows() * dimension() * std::max<std::size_t>(rank_, 1);
+    if (pool != nullptr && work >= k_spe_series_parallel_min_work) {
+        parallel_for(*pool, 0, y.rows(), [&](std::size_t r) { out[r] = spe(y.row(r)); });
+    } else {
+        for (std::size_t r = 0; r < y.rows(); ++r) out[r] = spe(y.row(r));
+    }
     return out;
 }
 

@@ -1,5 +1,13 @@
 // The fitted subspace model: normal subspace S, anomalous subspace S~, and
-// the projectors C = P P^T and C~ = I - P P^T of Section 5.1.
+// the projections of Section 5.1.
+//
+// The residual projector C~ = I - P P^T is never materialized: with P the
+// m x r matrix of normal axes, residual(x) = x - P (P^T x) costs O(m r)
+// per projection instead of the O(m^2) dense multiply, and stores O(m r).
+// The link dimension is processed in fixed-size blocks whose partial
+// reductions are combined in block order, so results are bit-identical for
+// any thread count; an optional engine thread_pool shards the blocks for
+// very large m.
 #pragma once
 
 #include <cstddef>
@@ -12,11 +20,16 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 class subspace_model {
 public:
     // Fits PCA to raw link measurements y (t x m) and separates the
-    // subspaces with the given rule.
-    static subspace_model fit(const matrix& y, const separation_config& sep = {});
+    // subspaces with the given rule. A non-null pool parallelizes the
+    // covariance accumulation, eigensolve rotation updates, and axis
+    // projections (bit-identical for every pool size; see fit_pca).
+    static subspace_model fit(const matrix& y, const separation_config& sep = {},
+                              thread_pool* pool = nullptr);
 
     // Assembles a model from an existing PCA with an explicit normal rank
     // (used by ablations and the online tracker). Throws
@@ -27,23 +40,29 @@ public:
     std::size_t normal_rank() const noexcept { return rank_; }
     const pca_model& pca() const noexcept { return pca_; }
 
-    // Residual projector C~ (m x m).
-    const matrix& residual_projector() const noexcept { return c_tilde_; }
+    // Dense residual projector C~ = I - P P^T, materialized on demand.
+    // O(m^2) storage and time: for tests and offline inspection only; the
+    // hot paths below never build it.
+    matrix dense_residual_projector() const;
 
     // y is a raw measurement vector (one row of Y, uncentered).
     // residual(y)  = C~ (y - mean)     -- the anomalous component y~
     // modeled(y)   = C  (y - mean)     -- the normal component y^ (centered)
     // spe(y)       = ||residual(y)||^2 -- the squared prediction error
-    vec residual(std::span<const double> y) const;
-    vec modeled(std::span<const double> y) const;
-    double spe(std::span<const double> y) const;
+    // A non-null pool shards the link dimension in fixed blocks (only
+    // engaged for very large m); results are identical for any pool size.
+    vec residual(std::span<const double> y, thread_pool* pool = nullptr) const;
+    vec modeled(std::span<const double> y, thread_pool* pool = nullptr) const;
+    double spe(std::span<const double> y, thread_pool* pool = nullptr) const;
 
     // C~ applied to a direction (no mean removal): used for anomaly
     // direction vectors theta_i, which are displacements, not measurements.
-    vec project_direction_residual(std::span<const double> direction) const;
+    vec project_direction_residual(std::span<const double> direction,
+                                   thread_pool* pool = nullptr) const;
 
-    // SPE for every row of a measurement matrix.
-    vec spe_series(const matrix& y) const;
+    // SPE for every row of a measurement matrix. A non-null pool shards
+    // the rows (one result slot per row, bit-identical to serial).
+    vec spe_series(const matrix& y, thread_pool* pool = nullptr) const;
 
     // Jackson-Mudholkar threshold delta^2_alpha at the given confidence.
     double q_threshold(double confidence) const;
@@ -51,7 +70,7 @@ public:
 private:
     pca_model pca_;
     std::size_t rank_ = 0;
-    matrix c_tilde_;  // I - P P^T
+    matrix normal_axes_t_;  // rank x m, row k = principal axis v_k (contiguous)
 };
 
 }  // namespace netdiag

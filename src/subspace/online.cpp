@@ -8,21 +8,20 @@
 
 namespace netdiag {
 
-namespace {
-
 matrix window_to_matrix(const std::deque<vec>& window) {
+    if (window.empty()) {
+        throw std::invalid_argument("window_to_matrix: empty measurement window");
+    }
     matrix y(window.size(), window.front().size());
     for (std::size_t r = 0; r < window.size(); ++r) y.set_row(r, window[r]);
     return y;
 }
 
-}  // namespace
-
 streaming_diagnoser::streaming_diagnoser(const matrix& bootstrap_y, const matrix& a,
                                          streaming_config cfg)
     : cfg_(cfg),
       a_(a),
-      diagnoser_(bootstrap_y, a, cfg.confidence, cfg.separation) {
+      diagnoser_(bootstrap_y, a, cfg.confidence, cfg.separation, cfg.pool) {
     if (cfg_.window < 2) throw std::invalid_argument("streaming_diagnoser: window too small");
     for (std::size_t r = 0; r < bootstrap_y.rows(); ++r) {
         const auto row = bootstrap_y.row(r);
@@ -47,8 +46,8 @@ diagnosis streaming_diagnoser::push(std::span<const double> y) {
 }
 
 void streaming_diagnoser::refit() {
-    diagnoser_ =
-        volume_anomaly_diagnoser(window_to_matrix(window_), a_, cfg_.confidence, cfg_.separation);
+    diagnoser_ = volume_anomaly_diagnoser(window_to_matrix(window_), a_, cfg_.confidence,
+                                          cfg_.separation, cfg_.pool);
     ++refits_;
 }
 
@@ -93,15 +92,22 @@ vec incremental_pca_tracker::axis_variance() const {
 }
 
 tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
-                                     double confidence, const separation_config& sep)
-    : tracker_(bootstrap_y,
-               std::max(max_rank, separate_normal_rank(fit_pca(bootstrap_y), sep) + 1)),
+                                     double confidence, const separation_config& sep,
+                                     thread_pool* pool)
+    // Fit the bootstrap PCA exactly once; the separation rank feeds both
+    // the tracker's rank floor and the normal-subspace rank.
+    : tracking_detector(bootstrap_y, max_rank, confidence,
+                        separate_normal_rank(fit_pca(bootstrap_y, pool), sep)) {}
+
+tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
+                                     double confidence, std::size_t bootstrap_normal_rank)
+    : tracker_(bootstrap_y, std::max(max_rank, bootstrap_normal_rank + 1)),
       confidence_(confidence) {
     if (!(confidence > 0.0 && confidence < 1.0)) {
         throw std::invalid_argument("tracking_detector: confidence outside (0, 1)");
     }
     dimension_ = bootstrap_y.cols();
-    normal_rank_ = separate_normal_rank(fit_pca(bootstrap_y), sep);
+    normal_rank_ = bootstrap_normal_rank;
 
     centering_result centered = center_columns(bootstrap_y);
     for (std::size_t r = 0; r < centered.centered.rows(); ++r) {

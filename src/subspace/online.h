@@ -22,11 +22,22 @@
 
 namespace netdiag {
 
+class thread_pool;
+
+// Stacks a measurement window into a t x m matrix, one window entry per
+// row. Throws std::invalid_argument on an empty window (a refit must never
+// run before any measurement survives the window).
+matrix window_to_matrix(const std::deque<vec>& window);
+
 struct streaming_config {
     std::size_t window = 1008;         // measurements kept for refits
     std::size_t refit_interval = 144;  // refit every day of 10-min bins; 0 = never
     double confidence = 0.999;
     separation_config separation;
+    // Non-owning; when set, the bootstrap fit and every refit run through
+    // the parallel fit path (bit-identical to serial) so periodic refits
+    // stall the push path less. Must outlive the diagnoser.
+    thread_pool* pool = nullptr;
 };
 
 class streaming_diagnoser {
@@ -96,10 +107,13 @@ class tracking_detector {
 public:
     // max_rank bounds the tracked spectrum; it is raised to the separation
     // rank + 1 when smaller, so a tracked residual tail always exists.
-    // Throws std::invalid_argument on a degenerate bootstrap or a
-    // confidence outside (0, 1).
+    // The bootstrap PCA is fit exactly once (shared by the rank raise and
+    // the subspace separation); a non-null pool shards that fit. Throws
+    // std::invalid_argument on a degenerate bootstrap or a confidence
+    // outside (0, 1).
     tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
-                      double confidence = 0.999, const separation_config& sep = {});
+                      double confidence = 0.999, const separation_config& sep = {},
+                      thread_pool* pool = nullptr);
 
     // Tests the measurement against the current model, then folds it into
     // the tracked decomposition (every measurement refines the model).
@@ -115,6 +129,12 @@ public:
     const incremental_pca_tracker& tracker() const noexcept { return tracker_; }
 
 private:
+    // Delegation target taking the bootstrap separation rank, so the
+    // bootstrap PCA is fit once and reused for both the tracker's rank
+    // floor and the normal-subspace rank.
+    tracking_detector(const matrix& bootstrap_y, std::size_t max_rank, double confidence,
+                      std::size_t bootstrap_normal_rank);
+
     void refresh_threshold();
 
     incremental_pca_tracker tracker_;

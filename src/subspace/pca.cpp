@@ -4,11 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/thread_pool.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/ops.h"
 #include "measurement/centering.h"
 
 namespace netdiag {
+
+namespace {
+
+// Minimum per-axis projection work (t * m multiply-adds) before sharding
+// the axis loop across the pool pays for the dispatch.
+constexpr std::size_t k_projection_parallel_min_work = 1u << 18;
+
+}  // namespace
 
 double pca_model::variance_fraction(std::size_t i) const {
     if (i >= axis_variance.size()) {
@@ -43,7 +52,9 @@ std::size_t pca_model::rank_for_variance(double fraction) const {
     return axis_variance.size();
 }
 
-pca_model fit_pca(const matrix& y) {
+pca_model fit_pca(const matrix& y) { return fit_pca(y, nullptr); }
+
+pca_model fit_pca(const matrix& y, thread_pool* pool) {
     if (y.rows() < 2) throw std::invalid_argument("fit_pca: need at least two measurement rows");
     if (y.cols() == 0) throw std::invalid_argument("fit_pca: no measurement columns");
 
@@ -53,19 +64,23 @@ pca_model fit_pca(const matrix& y) {
     centering_result centered = center_columns(y);
     model.column_means = std::move(centered.column_means);
 
-    const matrix cov = column_covariance(y);
-    sym_eigen_result eig = sym_eigen(cov);
+    // center_columns already produced the centered rows (with the same
+    // mean accumulation the covariance would redo), so the Gram runs
+    // straight over them — one less pass over the data, identical result.
+    const matrix cov = parallel_centered_covariance(centered.centered, pool);
+    sym_eigen_result eig = sym_eigen(cov, pool);
 
     model.principal_axes = std::move(eig.eigenvectors);
     model.axis_variance = std::move(eig.eigenvalues);
     // Covariance eigenvalues are >= 0 in exact arithmetic; clamp round-off.
     for (double& v : model.axis_variance) v = std::max(v, 0.0);
 
-    // Projections u_i = Yc v_i, normalized to unit length.
+    // Projections u_i = Yc v_i, normalized to unit length. Each axis writes
+    // its own column, so the axis loop shards with identical arithmetic.
     const std::size_t t = y.rows();
     const std::size_t m = y.cols();
     model.projections.assign(t, m, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
+    const auto project_axis = [&](std::size_t i) {
         const vec axis = model.principal_axes.column(i);
         vec u(t, 0.0);
         for (std::size_t r = 0; r < t; ++r) u[r] = dot(centered.centered.row(r), axis);
@@ -74,6 +89,11 @@ pca_model fit_pca(const matrix& y) {
             for (double& v : u) v /= n;
         }
         model.projections.set_column(i, u);
+    };
+    if (pool != nullptr && t * m >= k_projection_parallel_min_work) {
+        parallel_for(*pool, 0, m, project_axis);
+    } else {
+        for (std::size_t i = 0; i < m; ++i) project_axis(i);
     }
     return model;
 }

@@ -15,6 +15,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct pca_model {
     matrix principal_axes;  // m x m, orthonormal columns, variance-ordered
     vec axis_variance;      // sample variance captured per axis, descending
@@ -36,5 +38,12 @@ struct pca_model {
 // Fits PCA to raw (uncentered) link measurements, t x m with t >= 2.
 // Throws std::invalid_argument on degenerate shapes.
 pca_model fit_pca(const matrix& y);
+
+// Same fit with the covariance accumulation, eigensolve rotation updates,
+// and per-axis projections sharded across the pool. The covariance uses a
+// fixed row-block decomposition and the remaining stages are element-wise
+// independent, so the result is bit-identical for every pool size
+// (including pool == nullptr, which fit_pca(y) delegates to).
+pca_model fit_pca(const matrix& y, thread_pool* pool);
 
 }  // namespace netdiag

@@ -143,6 +143,27 @@ TEST_F(IdentificationFixture, TopKFirstEntryMatchesIdentify) {
                 1e-6 * std::max(1.0, single.residual_spe));
 }
 
+TEST_F(IdentificationFixture, ResidualSpeNeverNegative) {
+    // Regression: when the chosen direction explains (numerically) the
+    // whole residual, ||residual||^2 - score cancels to a tiny negative;
+    // both identify paths must clamp it at 0.
+    const flow_identifier identifier(*model_, routing_.a);
+    for (std::size_t flow = 0; flow < routing_.flow_count(); flow += 7) {
+        if (identifier.residual_direction_norm_squared(flow) == 0.0) continue;
+        // A residual exactly along theta~_flow: best_score == ||residual||^2
+        // in exact arithmetic, so the subtraction is pure cancellation.
+        const auto theta_res = identifier.residual_direction(flow);
+        const vec residual = scaled(theta_res, 3.0e7 / std::max(1e-12, norm(theta_res)));
+        const identification_result id = identifier.identify_residual(residual);
+        ASSERT_GE(id.residual_spe, 0.0) << "flow " << flow;
+    }
+    // And down a full top-k list on a real spiked measurement.
+    const vec y = spiked_measurement(320, routing_.flow_index(1, 4), 2e8);
+    for (const identification_result& r : identifier.identify_top_k(y, 50)) {
+        ASSERT_GE(r.residual_spe, 0.0) << "flow " << r.flow;
+    }
+}
+
 TEST_F(IdentificationFixture, TopKClampsToCandidateCount) {
     const flow_identifier identifier(*model_, routing_.a);
     const vec y = spiked_measurement(100, routing_.flow_index(0, 1), 5e7);

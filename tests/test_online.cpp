@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 #include <random>
 
+#include "engine/thread_pool.h"
 #include "linalg/ops.h"
 #include "measurement/link_loads.h"
 #include "topology/builders.h"
@@ -89,6 +91,49 @@ TEST_F(OnlineFixture, TinyWindowRejected) {
     streaming_config cfg;
     cfg.window = 1;
     EXPECT_THROW(streaming_diagnoser(bootstrap_, routing_.a, cfg), std::invalid_argument);
+}
+
+TEST_F(OnlineFixture, WindowToMatrixRejectsEmptyWindow) {
+    // Regression: this used to dereference window.front() on an empty
+    // deque; it must throw a clear error instead.
+    EXPECT_THROW(window_to_matrix({}), std::invalid_argument);
+
+    std::deque<vec> window;
+    window.emplace_back(vec{1.0, 2.0, 3.0});
+    window.emplace_back(vec{4.0, 5.0, 6.0});
+    const matrix y = window_to_matrix(window);
+    ASSERT_EQ(y.rows(), 2u);
+    ASSERT_EQ(y.cols(), 3u);
+    EXPECT_EQ(y(1, 2), 6.0);
+}
+
+TEST_F(OnlineFixture, PooledRefitsMatchSerialBitForBit) {
+    // Routing refits through the engine must not change a single bit of
+    // any diagnosis, before or after the refit fires.
+    thread_pool pool(4);
+    streaming_config serial_cfg;
+    serial_cfg.refit_interval = 40;
+    serial_cfg.window = 432;
+    streaming_config pooled_cfg = serial_cfg;
+    pooled_cfg.pool = &pool;
+
+    streaming_diagnoser serial(bootstrap_, routing_.a, serial_cfg);
+    streaming_diagnoser pooled(bootstrap_, routing_.a, pooled_cfg);
+    for (std::size_t r = 0; r < 100; ++r) {
+        const diagnosis a = serial.push(stream_.row(r));
+        const diagnosis b = pooled.push(stream_.row(r));
+        ASSERT_EQ(b.anomalous, a.anomalous) << "r=" << r;
+        ASSERT_EQ(b.spe, a.spe) << "r=" << r;
+        ASSERT_EQ(b.threshold, a.threshold) << "r=" << r;
+        ASSERT_EQ(b.flow.has_value(), a.flow.has_value()) << "r=" << r;
+        if (a.flow) {
+            ASSERT_EQ(*b.flow, *a.flow) << "r=" << r;
+        }
+        ASSERT_EQ(b.magnitude, a.magnitude) << "r=" << r;
+        ASSERT_EQ(b.estimated_bytes, a.estimated_bytes) << "r=" << r;
+    }
+    EXPECT_EQ(serial.refit_count(), 2u);
+    EXPECT_EQ(pooled.refit_count(), 2u);
 }
 
 TEST_F(OnlineFixture, TrackerMatchesBatchVarianceSpectrum) {

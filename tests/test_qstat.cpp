@@ -11,14 +11,19 @@
 namespace netdiag {
 namespace {
 
-TEST(QStat, EmptyResidualTailGivesZero) {
+TEST(QStat, EmptyResidualTailGivesInfinity) {
+    // No residual subspace (rank == m): nothing can be anomalous, so the
+    // threshold is +infinity — a 0 threshold would flag every timestep on
+    // round-off-level SPE.
     const std::vector<double> eig{5.0, 3.0};
-    EXPECT_DOUBLE_EQ(q_statistic_threshold(eig, 2, 0.999), 0.0);
+    EXPECT_TRUE(std::isinf(q_statistic_threshold(eig, 2, 0.999)));
+    EXPECT_GT(q_statistic_threshold(eig, 2, 0.999), 0.0);
 }
 
-TEST(QStat, ZeroVarianceTailGivesZero) {
+TEST(QStat, ZeroVarianceTailGivesInfinity) {
     const std::vector<double> eig{5.0, 0.0, 0.0};
-    EXPECT_DOUBLE_EQ(q_statistic_threshold(eig, 1, 0.999), 0.0);
+    EXPECT_TRUE(std::isinf(q_statistic_threshold(eig, 1, 0.999)));
+    EXPECT_GT(q_statistic_threshold(eig, 1, 0.999), 0.0);
 }
 
 TEST(QStat, SingleEigenvalueTailMatchesHandComputation) {

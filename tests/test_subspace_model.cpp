@@ -29,12 +29,32 @@ matrix structured_data(std::size_t t, std::size_t m, std::uint64_t seed) {
     return y;
 }
 
-TEST(SubspaceModel, ResidualProjectorIsSymmetricIdempotent) {
+TEST(SubspaceModel, DenseResidualProjectorIsSymmetricIdempotent) {
     const matrix y = structured_data(400, 8, 1);
     const subspace_model model(fit_pca(y), 3);
-    const matrix& ct = model.residual_projector();
+    const matrix ct = model.dense_residual_projector();
     EXPECT_TRUE(approx_equal(ct, transpose(ct), 1e-10));
     EXPECT_TRUE(approx_equal(multiply(ct, ct), ct, 1e-9));
+}
+
+TEST(SubspaceModel, LowRankResidualMatchesDenseProjector) {
+    // The low-rank x - P (P^T x) path must reproduce the dense C~ x result
+    // it replaced, across ranks, to well below detection tolerances.
+    const matrix y = structured_data(400, 8, 21);
+    const pca_model pca = fit_pca(y);
+    for (std::size_t rank : {0u, 1u, 3u, 8u}) {
+        const subspace_model model(pca, rank);
+        const matrix ct = model.dense_residual_projector();
+        for (std::size_t r = 0; r < y.rows(); r += 97) {
+            const vec centered = subtract(y.row(r), pca.column_means);
+            const vec lowrank = model.project_direction_residual(centered);
+            const vec dense = multiply(ct, centered);
+            ASSERT_EQ(lowrank.size(), dense.size());
+            for (std::size_t i = 0; i < dense.size(); ++i) {
+                EXPECT_NEAR(lowrank[i], dense[i], 1e-9) << "rank=" << rank << " row=" << r;
+            }
+        }
+    }
 }
 
 TEST(SubspaceModel, ProjectorAnnihilatesNormalAxes) {
@@ -176,6 +196,23 @@ TEST(SpeDetector, LargeResidualSpikeIsFlagged) {
     const vec worst_axis = model.pca().principal_axes.column(7);
     axpy(50.0, worst_axis, measurement);
     EXPECT_TRUE(det.test(measurement).anomalous);
+}
+
+TEST(SpeDetector, FullRankModelNeverAlarms) {
+    // With normal_rank == m there is no residual subspace: the Q-statistic
+    // threshold is +infinity and round-off-level SPE (> 0) must not flag
+    // every timestep anomalous.
+    const matrix y = structured_data(200, 6, 18);
+    const subspace_model model(fit_pca(y), 6);
+    EXPECT_TRUE(std::isinf(model.q_threshold(0.999)));
+    const spe_detector det(model, 0.999);
+    for (std::size_t r = 0; r < y.rows(); r += 11) {
+        EXPECT_FALSE(det.test(y.row(r)).anomalous) << "row " << r;
+    }
+    // Even a wild measurement has nowhere anomalous to project to.
+    vec wild(y.row(0).begin(), y.row(0).end());
+    for (double& v : wild) v += 1e9;
+    EXPECT_FALSE(det.test(wild).anomalous);
 }
 
 TEST(SpeDetector, InvalidConfidenceThrows) {

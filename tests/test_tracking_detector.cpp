@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/thread_pool.h"
 #include "measurement/dataset.h"
 #include "subspace/detector.h"
 #include "subspace/online.h"
@@ -80,9 +81,43 @@ TEST_F(TrackingFixture, ThresholdStaysPositiveAndFinite) {
 }
 
 TEST_F(TrackingFixture, NormalRankMatchesBatchSeparation) {
+    // Regression for the double bootstrap fit: the constructor now fits
+    // PCA once and reuses the separation rank for both the tracker's rank
+    // floor and the normal subspace, so it must still agree with a fresh
+    // batch separation.
     tracking_detector det(bootstrap_, 10);
     const subspace_model batch = subspace_model::fit(bootstrap_);
     EXPECT_EQ(det.normal_rank(), batch.normal_rank());
+    EXPECT_GE(det.tracker().rank(), det.normal_rank() + 1);
+}
+
+TEST_F(TrackingFixture, PooledBootstrapFitMatchesSerial) {
+    thread_pool pool(4);
+    tracking_detector serial(bootstrap_, 10);
+    tracking_detector pooled(bootstrap_, 10, 0.999, separation_config{}, &pool);
+    EXPECT_EQ(pooled.normal_rank(), serial.normal_rank());
+    EXPECT_EQ(pooled.threshold(), serial.threshold());
+    for (std::size_t t = 432; t < 470; ++t) {
+        const detection_result a = serial.push(ds_->link_loads.row(t));
+        const detection_result b = pooled.push(ds_->link_loads.row(t));
+        ASSERT_EQ(b.spe, a.spe) << "t=" << t;
+        ASSERT_EQ(b.threshold, a.threshold) << "t=" << t;
+        ASSERT_EQ(b.anomalous, a.anomalous) << "t=" << t;
+    }
+}
+
+TEST_F(TrackingFixture, FullNormalRankNeverAlarms) {
+    // normal_rank == dimension leaves no tracked residual tail: the
+    // Q-statistic threshold must go to +infinity instead of 0 (which used
+    // to flag every push on round-off SPE).
+    separation_config sep;
+    sep.fixed_rank = bootstrap_.cols();
+    tracking_detector det(bootstrap_, bootstrap_.cols(), 0.999, sep);
+    EXPECT_TRUE(std::isinf(det.threshold()));
+    for (std::size_t t = 432; t < 460; ++t) {
+        EXPECT_FALSE(det.push(ds_->link_loads.row(t)).anomalous) << "t=" << t;
+    }
+    EXPECT_EQ(det.alarm_count(), 0u);
 }
 
 TEST_F(TrackingFixture, TinyMaxRankIsRaisedAboveSeparationRank) {

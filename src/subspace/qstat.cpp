@@ -1,6 +1,7 @@
 #include "subspace/qstat.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/normal.h"
@@ -23,7 +24,13 @@ double q_statistic_threshold(std::span<const double> eigenvalues, std::size_t no
         phi2 += l * l;
         phi3 += l * l * l;
     }
-    if (phi1 <= 0.0 || phi2 <= 0.0) return 0.0;  // empty or zero-variance residual tail
+    if (phi1 <= 0.0 || phi2 <= 0.0) {
+        // Empty or zero-variance residual tail (normal_rank == m, or all
+        // residual eigenvalues are zero): there is no residual subspace for
+        // an anomaly to live in. Returning 0 here made round-off-level SPE
+        // flag every timestep; +infinity makes nothing anomalous instead.
+        return std::numeric_limits<double>::infinity();
+    }
 
     double h0 = 1.0 - 2.0 * phi1 * phi3 / (3.0 * phi2 * phi2);
     // h0 can in principle go non-positive for extreme eigenvalue tails;

@@ -15,7 +15,8 @@ namespace netdiag {
 //
 // eigenvalues: all m covariance eigenvalues, descending (as produced by
 // fit_pca); normal_rank: r, the number of axes in the normal subspace.
-// Returns 0 when the residual tail carries no variance. Throws
+// Returns +infinity when the residual tail is empty or carries no variance
+// (no residual subspace means nothing can be anomalous). Throws
 // std::invalid_argument for confidence outside (0, 1) or rank > size.
 double q_statistic_threshold(std::span<const double> eigenvalues, std::size_t normal_rank,
                              double confidence);

@@ -56,5 +56,16 @@ int main() {
     std::printf("\n\nPaper's observation: the OD-level spike is pronounced, the per-link\n"
                 "spikes are barely visible, and mean link levels vary widely -- yet the\n"
                 "subspace method diagnoses the event from link data only.\n");
+
+    bench::output_digest digest("fig1_illustration");
+    digest.add("anomalous", d.anomalous);
+    digest.add("flow_correct", d.flow && *d.flow == flow);
+    digest.add("spe", d.spe);
+    digest.add("threshold", d.threshold);
+    digest.add("estimated_bytes", d.estimated_bytes);
+    for (std::size_t link_id : path) {
+        digest.add("link_mean", mean(ds.link_loads.column(link_id)));
+    }
+    digest.print();
     return 0;
 }

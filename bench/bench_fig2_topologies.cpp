@@ -6,7 +6,7 @@
 
 namespace {
 
-void print_topology(const netdiag::topology& topo) {
+void print_topology(const netdiag::topology& topo, netdiag::bench::output_digest& digest) {
     using namespace netdiag;
     std::printf("--- %s: %zu PoPs, %zu links (%zu inter-PoP directed + %zu intra-PoP)\n",
                 topo.name().c_str(), topo.pop_count(), topo.link_count(),
@@ -34,6 +34,10 @@ void print_topology(const netdiag::topology& topo) {
     }
     std::printf("\nOD flows: %zu; mean shortest-path length %.2f links\n\n",
                 routing.flow_count(), total_hops / static_cast<double>(inter));
+    digest.add("pops", topo.pop_count());
+    digest.add("links", topo.link_count());
+    digest.add("flows", routing.flow_count());
+    digest.add("mean_path", total_hops / static_cast<double>(inter));
 }
 
 }  // namespace
@@ -42,10 +46,12 @@ int main() {
     using namespace netdiag;
     bench::print_header("Figure 2: Topology of networks studied",
                         "Lakhina et al., Figure 2 (Section 3)");
-    print_topology(make_abilene());
-    print_topology(make_sprint_europe());
+    bench::output_digest digest("fig2_topologies");
+    print_topology(make_abilene(), digest);
+    print_topology(make_sprint_europe(), digest);
     std::printf("Abilene uses the real 2004 PoP names; Sprint-Europe PoPs are labeled\n"
                 "a..m as in the paper's Figure 2 (exact adjacency unpublished; see\n"
                 "DESIGN.md for the substitution).\n");
+    digest.print();
     return 0;
 }

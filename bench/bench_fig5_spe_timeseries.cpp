@@ -9,7 +9,7 @@
 
 namespace {
 
-void run_week(const netdiag::dataset& ds) {
+void run_week(const netdiag::dataset& ds, netdiag::bench::output_digest& digest) {
     using namespace netdiag;
 
     const subspace_model model = subspace_model::fit(ds.link_loads);
@@ -47,6 +47,12 @@ void run_week(const netdiag::dataset& ds) {
                     spe[ev.t] > t999 ? "above 99.9% threshold" : "below threshold");
     }
     std::printf("\n");
+
+    digest.add("spe_series", spe);
+    digest.add("t995", t995);
+    digest.add("t999", t999);
+    digest.add("above995", above995);
+    digest.add("above999", above999);
 }
 
 }  // namespace
@@ -55,10 +61,12 @@ int main() {
     using namespace netdiag;
     bench::print_header("Figure 5: state vector vs residual vector timeseries",
                         "Lakhina et al., Figure 5 (Section 5.1)");
-    run_week(make_sprint1_dataset());
-    run_week(make_sprint2_dataset());
+    bench::output_digest digest("fig5_spe_timeseries");
+    run_week(make_sprint1_dataset(), digest);
+    run_week(make_sprint2_dataset(), digest);
     std::printf("Paper's observation: anomalies are invisible in ||y||^2 but stand out\n"
                 "sharply in the residual SPE, where nearly all anomalies exceed the\n"
                 "threshold while almost no normal bins do.\n");
+    digest.print();
     return 0;
 }

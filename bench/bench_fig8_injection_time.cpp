@@ -32,5 +32,11 @@ int main() {
 
     std::printf("Paper's observation: the detection rate is fairly constant across the\n"
                 "day -- diagnosis is not affected by traffic nonstationarity.\n");
+
+    bench::output_digest digest("fig8_injection_time");
+    digest.add("detection_rate_by_time", s.detection_rate_by_time);
+    digest.add("mean", mean(s.detection_rate_by_time));
+    digest.add("stddev", sample_stddev(s.detection_rate_by_time));
+    digest.print();
     return 0;
 }

@@ -25,11 +25,13 @@
 
 #include "engine/batch_detector.h"
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "eval/injection.h"
 #include "linalg/svd.h"
 #include "linalg/svd_update.h"
 #include "measurement/presets.h"
 #include "subspace/diagnoser.h"
+#include "subspace/online.h"
 
 namespace {
 
@@ -237,6 +239,107 @@ engine_benchmark run_injection_sweep(const std::vector<std::size_t>& thread_coun
     return out;
 }
 
+// Pooled one-sided Jacobi SVD vs the serial kernel (same fixed-block
+// arithmetic, so the comparison is bit-exact).
+engine_benchmark run_svd_sweep(const std::vector<std::size_t>& thread_counts, bool quick) {
+    const matrix y = synthetic_measurements(quick ? 1200 : 2400, quick ? 48 : 96);
+    const int iterations = quick ? 1 : 3;
+
+    // The default row gate only engages for very tall matrices; this sweep
+    // exists to measure the sharded kernel itself, so open the gate for
+    // its duration (exactly what the tuning struct is for).
+    const scoped_tuning guard;
+    global_tuning().svd_parallel_min_rows = 1024;
+
+    engine_benchmark out;
+    out.name = "svd_jacobi";
+    out.items = y.rows() * y.cols();
+
+    const svd_result serial = svd(y);
+    out.serial_ms = time_best_ms(iterations, [&] { svd(y); });
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        thread_pool pool(t);
+        const svd_result pooled = svd(y, &pool);
+        out.identical_to_serial = out.identical_to_serial && pooled.s == serial.s &&
+                                  pooled.u == serial.u && pooled.v == serial.v;
+        const double ms = time_best_ms(iterations, [&] { svd(y, &pool); });
+        out.parallel.push_back({t, ms});
+    }
+    return out;
+}
+
+// Streaming push path with periodic refits in flight. The recorded metric
+// is the *maximum* push latency over the stream: in blocking mode the
+// triggering push pays for the whole model fit; in deferred mode the fit
+// runs as a background task and pushes only swap at the horizon, so the
+// worst push stays near the per-bin diagnosis cost. "serial" is the
+// blocking mode; the identical flag checks that the deferred run at every
+// pool size reproduces the no-pool deferred run bit-for-bit (the
+// determinism contract -- blocking and deferred swap at different bins by
+// design, so they are not compared against each other).
+engine_benchmark run_streaming_push_sweep(const std::vector<std::size_t>& thread_counts,
+                                          bool quick) {
+    const dataset& ds = sprint1();
+    const std::size_t bootstrap_bins = 432;
+    matrix bootstrap(bootstrap_bins, ds.link_loads.cols());
+    for (std::size_t r = 0; r < bootstrap_bins; ++r) bootstrap.set_row(r, ds.link_loads.row(r));
+    const std::size_t stream_bins =
+        std::min(ds.bin_count() - bootstrap_bins, quick ? std::size_t{120} : std::size_t{432});
+
+    streaming_config base;
+    base.window = bootstrap_bins;
+    base.refit_interval = quick ? 40 : 72;
+    base.mode = refit_mode::deferred;
+    base.swap_horizon = 8;
+
+    const auto max_push_ms = [&](streaming_config cfg, std::vector<diagnosis>* trace) {
+        streaming_diagnoser diag(bootstrap, ds.routing.a, cfg);
+        double worst = 0.0;
+        for (std::size_t r = 0; r < stream_bins; ++r) {
+            const auto start = std::chrono::steady_clock::now();
+            diagnosis d = diag.push(ds.link_loads.row(bootstrap_bins + r));
+            worst = std::max(worst, elapsed_ms(start));
+            if (trace != nullptr) trace->push_back(std::move(d));
+        }
+        diag.drain();
+        return worst;
+    };
+
+    engine_benchmark out;
+    out.name = "streaming_push_max_latency";
+    out.items = stream_bins;
+
+    streaming_config blocking = base;
+    blocking.mode = refit_mode::blocking;
+    out.serial_ms = max_push_ms(blocking, nullptr);
+
+    std::vector<diagnosis> reference;  // deferred without a pool
+    max_push_ms(base, &reference);
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        thread_pool pool(t);
+        streaming_config cfg = base;
+        cfg.pool = &pool;
+        std::vector<diagnosis> trace;
+        const double ms = max_push_ms(cfg, &trace);
+        bool same = trace.size() == reference.size();
+        for (std::size_t r = 0; same && r < trace.size(); ++r) {
+            same = trace[r].anomalous == reference[r].anomalous &&
+                   trace[r].spe == reference[r].spe &&
+                   trace[r].threshold == reference[r].threshold &&
+                   trace[r].flow == reference[r].flow &&
+                   trace[r].magnitude == reference[r].magnitude &&
+                   trace[r].estimated_bytes == reference[r].estimated_bytes;
+        }
+        out.identical_to_serial = out.identical_to_serial && same;
+        out.parallel.push_back({t, ms});
+    }
+    return out;
+}
+
 bool write_engine_json(const std::string& path, const std::vector<engine_benchmark>& benches,
                        bool quick) {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -292,9 +395,11 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
 
     std::vector<engine_benchmark> benches;
     benches.push_back(run_fit_sweep(thread_counts, quick));
+    benches.push_back(run_svd_sweep(thread_counts, quick));
     benches.push_back(run_spe_series_sweep(thread_counts, quick));
     benches.push_back(run_spe_sweep(thread_counts, quick));
     benches.push_back(run_injection_sweep(thread_counts, quick));
+    benches.push_back(run_streaming_push_sweep(thread_counts, quick));
 
     bool all_identical = true;
     for (const engine_benchmark& eb : benches) {

@@ -54,7 +54,7 @@ int main() {
     vec y(ds.link_count(), 0.0);
     std::size_t src_idx = 0;
     for (std::size_t id = 0; id < ds.link_count(); ++id) {
-        const link& l = ds.topo.link_at(id);
+        const netdiag::link& l = ds.topo.link_at(id);
         const bool removed =
             !l.intra && ((l.src == a && l.dst == b) || (l.src == b && l.dst == a));
         y[id] = removed ? 0.0 : failed_loads[src_idx++];
@@ -74,7 +74,7 @@ int main() {
         const auto old_path = shortest_path_links(ds.topo, pair.origin, pair.destination);
         bool crossed = false;
         for (std::size_t id : old_path) {
-            const link& l = ds.topo.link_at(id);
+            const netdiag::link& l = ds.topo.link_at(id);
             if ((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) crossed = true;
         }
         if (crossed) ++through_failed;

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Golden-output replay harness for the figure benches.
+#
+# Every bench_fig* binary ends its run with a canonical "DIGEST <name>
+# <hash>" line: an order-sensitive FNV-1a over its key numeric results,
+# rounded to 6 significant digits (see bench::output_digest). This script
+# runs all of them, collects those lines, and diffs them against the
+# checked-in golden file -- so a change that silently shifts any reproduced
+# number fails CI, while formatting-only changes do not.
+#
+# Usage:
+#   scripts/check_bench_digests.sh [build_dir]            # verify (CI)
+#   scripts/check_bench_digests.sh [build_dir] --update   # regenerate golden
+set -euo pipefail
+
+build_dir="${1:-build}"
+mode="${2:-check}"
+golden="$(dirname "$0")/../bench/golden_digests.txt"
+
+benches=(
+    bench_fig1_illustration
+    bench_fig2_topologies
+    bench_fig3_scree
+    bench_fig4_projections
+    bench_fig5_spe_timeseries
+    bench_fig6_top40
+    bench_fig7_injection_hist
+    bench_fig8_injection_time
+    bench_fig9_rate_vs_flowsize
+    bench_fig10_basis_comparison
+)
+
+actual="$(mktemp)"
+trap 'rm -f "$actual"' EXIT
+
+for bench in "${benches[@]}"; do
+    bin="$build_dir/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "check_bench_digests: missing binary $bin (build the bench targets first)" >&2
+        exit 2
+    fi
+    echo "running $bench..." >&2
+    "$bin" | grep '^DIGEST ' >> "$actual" || {
+        echo "check_bench_digests: $bench produced no DIGEST line" >&2
+        exit 2
+    }
+done
+
+if [[ "$mode" == "--update" ]]; then
+    cp "$actual" "$golden"
+    echo "updated $golden:"
+    cat "$golden"
+    exit 0
+fi
+
+if ! diff -u "$golden" "$actual"; then
+    echo "" >&2
+    echo "check_bench_digests: figure-bench output drifted from the golden digests." >&2
+    echo "If the change is intentional, regenerate with:" >&2
+    echo "    scripts/check_bench_digests.sh $build_dir --update" >&2
+    exit 1
+fi
+echo "all figure-bench digests match the golden file."

@@ -1,6 +1,7 @@
 #include "engine/batch_detector.h"
 
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 
 namespace netdiag {
 
@@ -22,7 +23,9 @@ std::vector<detection_result> batch_detector::test_all(const spe_detector& detec
 std::vector<diagnosis> batch_detector::diagnose_all(const volume_anomaly_diagnoser& diagnoser,
                                                     const matrix& y) const {
     std::vector<diagnosis> out(y.rows());
-    parallel_for(*pool_, 0, y.rows(),
+    // Dynamic chunking: anomalous rows additionally pay for identification,
+    // so threads claim fixed-size row chunks instead of one static span.
+    parallel_for(*pool_, 0, y.rows(), global_tuning().diagnose_grain,
                  [&](std::size_t r) { out[r] = diagnoser.diagnose(y.row(r)); });
     return out;
 }

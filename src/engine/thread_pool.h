@@ -1,20 +1,33 @@
 // A fixed-size thread pool plus a blocking parallel_for over index ranges.
 //
 // This is deliberately the simplest engine that makes the batch sweeps
-// scale: no work stealing, no futures, just a mutex-protected job queue
-// drained by a fixed set of workers. Sweeps partition their index range
-// into one contiguous chunk per thread, so scheduling cost is O(threads)
-// per parallel_for, independent of the range length.
+// scale: no work stealing, just a mutex-protected job queue drained by a
+// fixed set of workers. Three entry points:
+//  - submit():       fire-and-forget enqueue (the primitive).
+//  - submit_task():  enqueue a callable and get a std::future for its
+//                    result -- the task-queue face used by the streaming
+//                    subsystem to run model refits off the push path.
+//  - parallel_for(): blocking index sweep. By default the range is split
+//                    into one contiguous chunk per thread (O(threads)
+//                    scheduling, ideal for uniform bodies); an optional
+//                    grain re-chunks the range into fixed-size pieces
+//                    claimed dynamically, for bodies with non-uniform
+//                    per-index cost.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace netdiag {
@@ -34,6 +47,21 @@ public:
     // Enqueues a job for execution on some worker. Jobs must not block on
     // other jobs in the same pool (no nested parallel_for over one pool).
     void submit(std::function<void()> job);
+
+    // Enqueues a callable and returns a future for its result. Exceptions
+    // thrown by the task surface at future.get(). The same no-nesting rule
+    // as submit() applies: a task must not wait on another task or run a
+    // parallel_for over this pool, or the pool can deadlock once every
+    // worker is parked on such a wait.
+    template <typename Fn>
+    std::future<std::invoke_result_t<std::decay_t<Fn>>> submit_task(Fn&& fn) {
+        using result_t = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task =
+            std::make_shared<std::packaged_task<result_t()>>(std::forward<Fn>(fn));
+        std::future<result_t> out = task->get_future();
+        submit([task]() mutable { (*task)(); });
+        return out;
+    }
 
     // std::thread::hardware_concurrency with a floor of 1.
     static std::size_t hardware_threads() noexcept;
@@ -117,6 +145,77 @@ void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, Body&& 
     try {
         const std::size_t chunk0_end = begin + base + (extra > 0 ? 1 : 0);
         for (std::size_t i = begin; i < chunk0_end; ++i) body(i);
+    } catch (...) {
+        local_error = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
+    const std::exception_ptr error = sync.first_error ? sync.first_error : local_error;
+    if (error) std::rethrow_exception(error);
+}
+
+// parallel_for with an explicit grain: the range is split into contiguous
+// chunks of at most `grain` indices which workers (and the calling thread)
+// claim dynamically from a shared counter. Use when per-index cost is
+// non-uniform -- e.g. diagnose_all, where only anomalous rows pay for
+// identification -- so a thread that drew cheap rows moves on to the next
+// chunk instead of idling. grain == 0 falls back to the static one-chunk-
+// per-thread split above. Same contract otherwise: every index runs
+// exactly once, results go to per-index slots, the first exception is
+// rethrown after the whole range completes.
+template <typename Body>
+void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+    if (begin >= end) return;
+    if (grain == 0) {
+        parallel_for(pool, begin, end, std::forward<Body>(body));
+        return;
+    }
+    const std::size_t count = end - begin;
+    const std::size_t chunks = (count + grain - 1) / grain;
+    const std::size_t helpers = std::min(pool.size() - 1, chunks - 1);
+
+    auto next_chunk = std::make_shared<std::atomic<std::size_t>>(0);
+    const auto drain_chunks = [&body, next_chunk, begin, end, grain, chunks] {
+        for (;;) {
+            const std::size_t c = next_chunk->fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks) return;
+            const std::size_t chunk_begin = begin + c * grain;
+            const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+        }
+    };
+
+    if (helpers == 0) {
+        drain_chunks();
+        return;
+    }
+
+    detail::parallel_for_sync sync;
+    sync.pending = helpers;
+    for (std::size_t h = 0; h < helpers; ++h) {
+        const auto run_helper = [&drain_chunks, &sync] {
+            std::exception_ptr error;
+            try {
+                drain_chunks();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            sync.finish_one(std::move(error));
+        };
+        try {
+            pool.submit(run_helper);
+        } catch (...) {
+            // Enqueueing failed: account for the helper inline so the wait
+            // below cannot reference destroyed stack state.
+            run_helper();
+        }
+    }
+
+    std::exception_ptr local_error;
+    try {
+        drain_chunks();
     } catch (...) {
         local_error = std::current_exception();
     }

@@ -1,0 +1,10 @@
+#include "engine/tuning.h"
+
+namespace netdiag {
+
+tuning& global_tuning() noexcept {
+    static tuning instance;
+    return instance;
+}
+
+}  // namespace netdiag

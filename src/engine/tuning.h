@@ -1,0 +1,69 @@
+// Central knobs for the parallel kernels: block widths and the work/size
+// gates below which a kernel ignores its thread_pool.
+//
+// Every value here started life as a hardcoded constant chosen on a
+// single-core dev container (see ROADMAP); collecting them in one mutable
+// struct makes them sweepable on a many-core box without recompiling.
+// Block widths are part of the numerical contract -- the fixed block
+// layout (a function of the problem shape only, never the thread count)
+// is what keeps the sharded kernels bit-identical across pool sizes -- so
+// changing one mid-run changes results within rounding, exactly as
+// recompiling with a different constant would. Gates are pure performance
+// knobs and never affect results.
+//
+// The singleton is plain mutable state with no locking: set it up before
+// spawning work, as benchmark sweeps and tests do.
+#pragma once
+
+#include <cstddef>
+
+namespace netdiag {
+
+struct tuning {
+    // subspace/model.cpp -- low-rank residual projection.
+    std::size_t link_block = 256;               // fixed link-block width
+    std::size_t parallel_min_links = 1024;      // pool ignored below this m
+    std::size_t spe_series_min_work = 1u << 15; // rows*m*rank gate for spe_series
+
+    // linalg/eigen_sym.cpp -- symmetric eigensolvers.
+    std::size_t ql_parallel_min_work = 1u << 17;   // rotations*rows gate (QL batch)
+    std::size_t jacobi_parallel_min_dim = 2048;    // dimension gate (cyclic Jacobi)
+
+    // linalg/svd.cpp -- one-sided Jacobi SVD. Unlike the QL eigensolver,
+    // one-sided Jacobi cannot batch its rotations (each depends on the
+    // previous moments), so every rotation is its own dispatch of ~6
+    // flops/row: the gate sits high, like the cyclic-Jacobi dimension
+    // gate, and only very tall matrices engage the pool.
+    std::size_t svd_row_block = 512;               // fixed row-block width for the
+                                                   // (alpha, beta, gamma) reduction
+    std::size_t svd_parallel_min_rows = 8192;      // pool ignored below this row count
+
+    // linalg/svd_update.cpp -- rank-1 row update.
+    std::size_t svd_update_parallel_min_work = 1u << 15;  // m*k gate
+
+    // engine/batch_detector.cpp -- diagnose_all dynamic chunking. Per-row
+    // cost is non-uniform (identification only runs on anomalous rows), so
+    // rows are claimed in chunks of this many from a shared counter.
+    std::size_t diagnose_grain = 16;
+};
+
+// The process-wide tuning block. Defaults match the previously hardcoded
+// constants; mutate before launching parallel work (test/bench seam).
+tuning& global_tuning() noexcept;
+
+// RAII override: snapshots global_tuning() on construction and restores
+// it on destruction, so a test or bench sweep that mutates the knobs
+// cannot leak altered numerics into the rest of the process when it
+// fails or throws mid-way.
+class scoped_tuning {
+public:
+    scoped_tuning() : saved_(global_tuning()) {}
+    ~scoped_tuning() { global_tuning() = saved_; }
+    scoped_tuning(const scoped_tuning&) = delete;
+    scoped_tuning& operator=(const scoped_tuning&) = delete;
+
+private:
+    tuning saved_;
+};
+
+}  // namespace netdiag

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "linalg/error.h"
 #include "linalg/ops.h"
 
@@ -18,14 +19,14 @@ constexpr int k_max_ql_iterations = 50;
 constexpr int k_max_jacobi_sweeps = 100;
 
 // Gates below which the pool is ignored (the sharded work per dispatch is
-// too small to amortize a parallel_for). The QL path dispatches once per
-// iteration with a whole batched rotation sequence, so it gates on the
-// batch's total work (rotations x rows): big early-sweep batches shard,
-// the tiny deflation batches near convergence stay serial. Jacobi must
-// dispatch per rotation (~n flops, its rotation parameters depend on the
-// previous rotation's result), so it only pays off for very large
-// matrices; its gate is a mutable test seam (see header).
-constexpr std::size_t k_ql_parallel_min_work = 1u << 17;
+// too small to amortize a parallel_for) live in the global tuning struct.
+// The QL path dispatches once per iteration with a whole batched rotation
+// sequence, so it gates on the batch's total work (rotations x rows): big
+// early-sweep batches shard, the tiny deflation batches near convergence
+// stay serial. Jacobi must dispatch per rotation (~n flops, its rotation
+// parameters depend on the previous rotation's result), so it only pays
+// off for very large matrices; its gate doubles as the test seam the
+// header documents.
 
 void require_symmetric(const matrix& a, const char* who) {
     if (a.rows() != a.cols()) {
@@ -138,7 +139,7 @@ void apply_rotation_batch(matrix& v, std::size_t hi, const std::vector<double>& 
             v(k, i) = rot_c[j] * v(k, i) - rot_s[j] * h;
         }
     };
-    if (pool != nullptr && rot_c.size() * n >= k_ql_parallel_min_work) {
+    if (pool != nullptr && rot_c.size() * n >= global_tuning().ql_parallel_min_work) {
         parallel_for(*pool, 0, n, apply_row);
     } else {
         for (std::size_t k = 0; k < n; ++k) apply_row(k);
@@ -240,8 +241,7 @@ sym_eigen_result sorted_descending(std::vector<double> d, const matrix& v) {
 namespace detail {
 
 std::size_t& jacobi_parallel_min_dim() noexcept {
-    static std::size_t gate = 2048;
-    return gate;
+    return global_tuning().jacobi_parallel_min_dim;
 }
 
 }  // namespace detail

@@ -45,11 +45,12 @@ sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool);
 
 namespace detail {
 
-// The dimension gate below which sym_eigen_jacobi ignores the pool.
+// The dimension gate below which sym_eigen_jacobi ignores the pool: an
+// alias for global_tuning().jacobi_parallel_min_dim (engine/tuning.h).
 // Defaults to 2048: a per-rotation parallel_for dispatch only amortizes
-// its mutex/condvar cost for very large matrices. Exposed mutably as a
-// test seam so the parity suite can drive the sharded path at unit-test
-// sizes (restore the old value afterwards).
+// its mutex/condvar cost for very large matrices. Mutable so the parity
+// suite can drive the sharded path at unit-test sizes (restore the old
+// value afterwards).
 std::size_t& jacobi_parallel_min_dim() noexcept;
 
 }  // namespace detail

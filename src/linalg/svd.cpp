@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
+#include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "linalg/error.h"
 #include "linalg/ops.h"
 #include "linalg/vector_ops.h"
@@ -16,23 +19,55 @@ constexpr int k_max_sweeps = 60;
 
 // One-sided Jacobi on a tall (or square) matrix: rows >= cols.
 // Orthogonalizes the columns of work in place, accumulating rotations in v.
-void jacobi_orthogonalize(matrix& work, matrix& v) {
+//
+// The (alpha, beta, gamma) column moments are accumulated over fixed row
+// blocks whose partials are combined in block order, and the rotation
+// applications are element-wise independent per row, so the whole
+// procedure performs identical arithmetic for every pool size (including
+// no pool). The block width comes from tuning, so the serial kernel
+// reassociates the moment sums relative to a plain single-pass loop only
+// when rows exceed one block (last-ulps; tolerance-covered).
+void jacobi_orthogonalize(matrix& work, matrix& v, thread_pool* pool) {
     const std::size_t t = work.rows();
     const std::size_t m = work.cols();
     const double eps = 1e-15;
+
+    const std::size_t block = std::max<std::size_t>(global_tuning().svd_row_block, 1);
+    const std::size_t blocks = (t + block - 1) / block;
+    const bool shard = pool != nullptr && t >= global_tuning().svd_parallel_min_rows;
+    std::vector<double> partial(3 * blocks, 0.0);
 
     for (int sweep = 0; sweep < k_max_sweeps; ++sweep) {
         bool converged = true;
         for (std::size_t p = 0; p < m; ++p) {
             for (std::size_t q = p + 1; q < m; ++q) {
-                double alpha = 0.0, beta = 0.0, gamma = 0.0;
-                for (std::size_t r = 0; r < t; ++r) {
-                    const double wp = work(r, p);
-                    const double wq = work(r, q);
-                    alpha += wp * wp;
-                    beta += wq * wq;
-                    gamma += wp * wq;
+                const auto moments_block = [&](std::size_t b) {
+                    const std::size_t lo = b * block;
+                    const std::size_t hi = std::min(t, lo + block);
+                    double a = 0.0, bb = 0.0, g = 0.0;
+                    for (std::size_t r = lo; r < hi; ++r) {
+                        const double wp = work(r, p);
+                        const double wq = work(r, q);
+                        a += wp * wp;
+                        bb += wq * wq;
+                        g += wp * wq;
+                    }
+                    partial[3 * b] = a;
+                    partial[3 * b + 1] = bb;
+                    partial[3 * b + 2] = g;
+                };
+                if (shard && blocks > 1) {
+                    parallel_for(*pool, 0, blocks, moments_block);
+                } else {
+                    for (std::size_t b = 0; b < blocks; ++b) moments_block(b);
                 }
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (std::size_t b = 0; b < blocks; ++b) {
+                    alpha += partial[3 * b];
+                    beta += partial[3 * b + 1];
+                    gamma += partial[3 * b + 2];
+                }
+
                 if (std::abs(gamma) <= eps * std::sqrt(alpha * beta) || gamma == 0.0) continue;
                 converged = false;
 
@@ -42,17 +77,29 @@ void jacobi_orthogonalize(matrix& work, matrix& v) {
                 const double cos = 1.0 / std::sqrt(1.0 + tan * tan);
                 const double sin = cos * tan;
 
-                for (std::size_t r = 0; r < t; ++r) {
+                const auto rotate_work_row = [&](std::size_t r) {
                     const double wp = work(r, p);
                     const double wq = work(r, q);
                     work(r, p) = cos * wp - sin * wq;
                     work(r, q) = sin * wp + cos * wq;
+                };
+                if (shard) {
+                    parallel_for(*pool, 0, t, rotate_work_row);
+                } else {
+                    for (std::size_t r = 0; r < t; ++r) rotate_work_row(r);
                 }
-                for (std::size_t r = 0; r < m; ++r) {
+                // v is m x m; m <= t here, and typically far smaller, so its
+                // rotation is only worth sharding for very wide problems.
+                const auto rotate_v_row = [&](std::size_t r) {
                     const double vp = v(r, p);
                     const double vq = v(r, q);
                     v(r, p) = cos * vp - sin * vq;
                     v(r, q) = sin * vp + cos * vq;
+                };
+                if (pool != nullptr && m >= global_tuning().svd_parallel_min_rows) {
+                    parallel_for(*pool, 0, m, rotate_v_row);
+                } else {
+                    for (std::size_t r = 0; r < m; ++r) rotate_v_row(r);
                 }
             }
         }
@@ -87,13 +134,13 @@ void complete_orthonormal_columns(matrix& u, const std::vector<bool>& is_zero) {
     }
 }
 
-svd_result svd_tall(const matrix& a) {
+svd_result svd_tall(const matrix& a, thread_pool* pool) {
     const std::size_t t = a.rows();
     const std::size_t m = a.cols();
 
     matrix work = a;
     matrix v = matrix::identity(m);
-    jacobi_orthogonalize(work, v);
+    jacobi_orthogonalize(work, v, pool);
 
     // Singular values are the column norms of the rotated matrix.
     std::vector<double> s(m);
@@ -138,11 +185,13 @@ svd_result svd_tall(const matrix& a) {
 
 }  // namespace
 
-svd_result svd(const matrix& a) {
+svd_result svd(const matrix& a) { return svd(a, nullptr); }
+
+svd_result svd(const matrix& a, thread_pool* pool) {
     if (a.empty()) return {};
-    if (a.rows() >= a.cols()) return svd_tall(a);
+    if (a.rows() >= a.cols()) return svd_tall(a, pool);
     // Wide matrix: factor the transpose and swap the roles of u and v.
-    svd_result st = svd_tall(transpose(a));
+    svd_result st = svd_tall(transpose(a), pool);
     return {std::move(st.v), std::move(st.s), std::move(st.u)};
 }
 

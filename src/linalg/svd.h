@@ -12,6 +12,8 @@
 
 namespace netdiag {
 
+class thread_pool;
+
 struct svd_result {
     matrix u;                       // rows(a) x k, orthonormal columns
     std::vector<double> s;          // k singular values, descending, >= 0
@@ -23,5 +25,15 @@ struct svd_result {
 // have orthonormal columns. Throws netdiag::numerical_error if the Jacobi
 // sweeps fail to converge (pathological input).
 svd_result svd(const matrix& a);
+
+// Same decomposition with the Jacobi inner loops sharded across the pool,
+// mirroring the sym_eigen pattern: the per-pair (alpha, beta, gamma)
+// reduction runs over fixed row blocks combined in block order, and the
+// O(rows) rotation applications are row-parallel. The block layout depends
+// only on the shape and tuning, never the thread count, so the result is
+// bit-identical for every pool size (pool == nullptr degrades to the same
+// blocked kernel; svd(a) delegates here). The pool only engages above
+// tuning().svd_parallel_min_rows.
+svd_result svd(const matrix& a, thread_pool* pool);
 
 }  // namespace netdiag

@@ -1,0 +1,157 @@
+#include "measurement/stream_checkpoint.h"
+
+#include <bit>
+#include <fstream>
+#include <stdexcept>
+
+#include "subspace/online.h"
+#include "subspace/stream_detector.h"
+
+namespace netdiag {
+
+namespace ckpt {
+
+namespace {
+
+constexpr std::uint64_t k_magic = 0x314b434453444eull;  // "NDSDCK1" packed
+constexpr std::uint64_t k_format_version = 1;
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    if (!out) throw std::runtime_error("stream_checkpoint: write failed");
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+        throw std::runtime_error("stream_checkpoint: truncated input");
+    }
+}
+
+}  // namespace
+
+void write_u64(std::ostream& out, std::uint64_t value) { write_raw(out, &value, sizeof value); }
+
+void write_f64(std::ostream& out, double value) {
+    // Exact bit pattern: the replay guarantee depends on it.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    write_raw(out, &bits, sizeof bits);
+}
+
+void write_flag(std::ostream& out, bool value) { write_u64(out, value ? 1 : 0); }
+
+void write_string(std::ostream& out, const std::string& value) {
+    write_u64(out, value.size());
+    if (!value.empty()) write_raw(out, value.data(), value.size());
+}
+
+void write_vec(std::ostream& out, const std::vector<double>& value) {
+    write_u64(out, value.size());
+    if (!value.empty()) write_raw(out, value.data(), value.size() * sizeof(double));
+}
+
+void write_matrix(std::ostream& out, const matrix& value) {
+    write_u64(out, value.rows());
+    write_u64(out, value.cols());
+    if (!value.empty()) write_raw(out, value.data(), value.size() * sizeof(double));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    std::uint64_t value = 0;
+    read_raw(in, &value, sizeof value);
+    return value;
+}
+
+double read_f64(std::istream& in) { return std::bit_cast<double>(read_u64(in)); }
+
+bool read_flag(std::istream& in) {
+    const std::uint64_t value = read_u64(in);
+    if (value > 1) throw std::runtime_error("stream_checkpoint: malformed flag");
+    return value == 1;
+}
+
+std::string read_string(std::istream& in) {
+    const std::uint64_t size = read_u64(in);
+    if (size > (1u << 20)) throw std::runtime_error("stream_checkpoint: string too large");
+    std::string value(size, '\0');
+    if (size > 0) read_raw(in, value.data(), size);
+    return value;
+}
+
+std::vector<double> read_vec(std::istream& in) {
+    const std::uint64_t size = read_u64(in);
+    if (size > (1u << 28)) throw std::runtime_error("stream_checkpoint: vector too large");
+    std::vector<double> value(size, 0.0);
+    if (size > 0) read_raw(in, value.data(), size * sizeof(double));
+    return value;
+}
+
+matrix read_matrix(std::istream& in) {
+    const std::uint64_t rows = read_u64(in);
+    const std::uint64_t cols = read_u64(in);
+    if (rows > (1u << 24) || cols > (1u << 24) ||
+        (rows != 0 && cols > (1u << 28) / rows)) {
+        throw std::runtime_error("stream_checkpoint: matrix too large");
+    }
+    matrix value(rows, cols, 0.0);
+    if (!value.empty()) read_raw(in, value.data(), value.size() * sizeof(double));
+    return value;
+}
+
+void write_header(std::ostream& out, const std::string& type_tag) {
+    write_u64(out, k_magic);
+    write_u64(out, k_format_version);
+    write_string(out, type_tag);
+}
+
+std::string read_header(std::istream& in) {
+    if (read_u64(in) != k_magic) {
+        throw std::runtime_error("stream_checkpoint: bad magic (not a checkpoint file)");
+    }
+    const std::uint64_t version = read_u64(in);
+    if (version != k_format_version) {
+        throw std::runtime_error("stream_checkpoint: unsupported format version " +
+                                 std::to_string(version));
+    }
+    return read_string(in);
+}
+
+void expect_header(std::istream& in, const std::string& type_tag) {
+    const std::string tag = read_header(in);
+    if (tag != type_tag) {
+        throw std::runtime_error("stream_checkpoint: expected " + type_tag + ", found " + tag);
+    }
+}
+
+}  // namespace ckpt
+
+void save_stream_detector(stream_detector& detector, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_stream_detector: cannot open " + path);
+    detector.save(out);
+    out.flush();
+    if (!out) throw std::runtime_error("save_stream_detector: write failed for " + path);
+}
+
+std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
+                                                      thread_pool* pool) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_stream_detector: cannot open " + path);
+    const std::string tag = ckpt::read_header(in);
+    // restore() re-validates its own header, so rewind to the start.
+    in.clear();
+    in.seekg(0);
+    if (tag == "streaming_diagnoser") {
+        return std::make_unique<streaming_diagnoser>(streaming_diagnoser::restore(in, pool));
+    }
+    if (tag == "tracking_detector") {
+        return std::make_unique<tracking_detector>(tracking_detector::restore(in, pool));
+    }
+    if (tag == "incremental_pca_tracker") {
+        return std::make_unique<incremental_pca_tracker>(
+            incremental_pca_tracker::restore(in, pool));
+    }
+    throw std::runtime_error("load_stream_detector: unknown detector tag " + tag);
+}
+
+}  // namespace netdiag

@@ -1,0 +1,69 @@
+// Checkpoint/replay persistence for the streaming subsystem.
+//
+// A checkpoint is the complete state of a stream_detector -- current
+// model, maintenance buffers (window or tracked SVD), pending refit,
+// counters, epoch -- written as a flat binary image: magic + format
+// version + a type tag, then the detector's fields. Doubles are stored as
+// their exact bit patterns, so a restored stream replays the remaining
+// detection sequence bit-for-bit; the format is host-endian and intended
+// for snapshot/restore on the same architecture, not as an interchange
+// format (dataset archives stay in the CSV layout of persistence.h).
+//
+// The ckpt primitives are exposed so the detectors' save()/restore()
+// implementations (subspace/online.cpp) and tests can share one encoding.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace netdiag {
+
+class stream_detector;
+class thread_pool;
+
+namespace ckpt {
+
+// All readers throw std::runtime_error on truncated or malformed input;
+// writers throw std::runtime_error when the stream enters a failed state.
+void write_u64(std::ostream& out, std::uint64_t value);
+void write_f64(std::ostream& out, double value);
+void write_flag(std::ostream& out, bool value);
+void write_string(std::ostream& out, const std::string& value);
+void write_vec(std::ostream& out, const std::vector<double>& value);
+void write_matrix(std::ostream& out, const matrix& value);
+
+std::uint64_t read_u64(std::istream& in);
+double read_f64(std::istream& in);
+bool read_flag(std::istream& in);
+std::string read_string(std::istream& in);
+std::vector<double> read_vec(std::istream& in);
+matrix read_matrix(std::istream& in);
+
+// Magic + format version + the detector type tag.
+void write_header(std::ostream& out, const std::string& type_tag);
+// Reads and validates the header, returning the type tag.
+std::string read_header(std::istream& in);
+// Reads the header and throws unless the tag matches (restore guards).
+void expect_header(std::istream& in, const std::string& type_tag);
+
+}  // namespace ckpt
+
+// Saves any stream_detector to a file (draining in-flight background work
+// first, so the bytes are independent of pool size and timing). Throws
+// std::runtime_error on I/O failure.
+void save_stream_detector(stream_detector& detector, const std::string& path);
+
+// Loads a checkpoint written by save_stream_detector, dispatching on the
+// type tag to the matching detector's restore(). The pool is runtime
+// wiring, not checkpoint state: the restored detector uses the one given
+// here. Throws std::runtime_error on I/O failure, an unknown tag, or
+// malformed content.
+std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
+                                                      thread_pool* pool = nullptr);
+
+}  // namespace netdiag

@@ -15,13 +15,13 @@ volume_anomaly_diagnoser::volume_anomaly_diagnoser(const matrix& y, const matrix
 
 volume_anomaly_diagnoser::volume_anomaly_diagnoser(subspace_model model, const matrix& a,
                                                    double confidence)
-    : model_(std::move(model)),
-      detector_(model_, confidence),
-      identifier_(model_, a),
+    : model_(std::make_unique<subspace_model>(std::move(model))),
+      detector_(*model_, confidence),
+      identifier_(*model_, a),
       quantifier_(a) {}
 
 diagnosis volume_anomaly_diagnoser::diagnose(std::span<const double> y) const {
-    return diagnose_residual(model_.residual(y));
+    return diagnose_residual(model_->residual(y));
 }
 
 diagnosis volume_anomaly_diagnoser::diagnose_residual(std::span<const double> residual) const {

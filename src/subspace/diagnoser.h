@@ -6,6 +6,7 @@
 // and estimate its size in bytes.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -46,7 +47,16 @@ public:
     // Assembles from an existing model (ablations, online refits).
     volume_anomaly_diagnoser(subspace_model model, const matrix& a, double confidence);
 
-    const subspace_model& model() const noexcept { return model_; }
+    // Movable but not copyable: detector_ and identifier_ point at the
+    // heap-held model, so moves keep them valid (the streaming subsystem
+    // builds diagnosers on worker threads and moves them into place at the
+    // swap boundary) while a copy would alias the source's model.
+    volume_anomaly_diagnoser(volume_anomaly_diagnoser&&) noexcept = default;
+    volume_anomaly_diagnoser& operator=(volume_anomaly_diagnoser&&) noexcept = default;
+    volume_anomaly_diagnoser(const volume_anomaly_diagnoser&) = delete;
+    volume_anomaly_diagnoser& operator=(const volume_anomaly_diagnoser&) = delete;
+
+    const subspace_model& model() const noexcept { return *model_; }
     const spe_detector& detector() const noexcept { return detector_; }
     const flow_identifier& identifier() const noexcept { return identifier_; }
 
@@ -57,7 +67,7 @@ public:
     diagnosis diagnose_residual(std::span<const double> residual) const;
 
 private:
-    subspace_model model_;
+    std::unique_ptr<subspace_model> model_;  // heap-held: address-stable under move
     spe_detector detector_;
     flow_identifier identifier_;
     quantifier quantifier_;

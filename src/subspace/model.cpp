@@ -4,27 +4,16 @@
 #include <stdexcept>
 
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "subspace/qstat.h"
 
 namespace netdiag {
 
-namespace {
-
-// Fixed link-block width for the low-rank projection. The block layout is
-// a function of m only — never of the thread count — and the per-block
-// partial coefficients are reduced in block order, so serial and sharded
-// projections are bit-identical.
-constexpr std::size_t k_link_block = 256;
-
-// Below this dimension a parallel_for dispatch costs more than the O(m r)
-// projection itself; the pool is ignored.
-constexpr std::size_t k_parallel_min_links = 1024;
-
-// Minimum total work (rows * m * rank multiply-adds) before spe_series
-// shards its rows across the pool.
-constexpr std::size_t k_spe_series_parallel_min_work = 1u << 15;
-
-}  // namespace
+// Block width and parallel gates come from the global tuning struct
+// (defaults match the old hardcoded constants). The link-block layout is a
+// function of m and tuning only — never of the thread count — and the
+// per-block partial coefficients are reduced in block order, so serial and
+// sharded projections are bit-identical.
 
 subspace_model::subspace_model(pca_model pca, std::size_t normal_rank)
     : pca_(std::move(pca)), rank_(normal_rank) {
@@ -88,8 +77,10 @@ vec subspace_model::project_direction_residual(std::span<const double> direction
     vec out(direction.begin(), direction.end());
     if (rank_ == 0 || m == 0) return out;
 
+    const std::size_t k_link_block = std::max<std::size_t>(global_tuning().link_block, 1);
     const std::size_t blocks = (m + k_link_block - 1) / k_link_block;
-    const bool shard = pool != nullptr && m >= k_parallel_min_links && blocks > 1;
+    const bool shard =
+        pool != nullptr && m >= global_tuning().parallel_min_links && blocks > 1;
 
     // Stage 1: coefficients c = P^T x, accumulated per link block.
     vec coeffs(rank_, 0.0);
@@ -140,7 +131,7 @@ vec subspace_model::spe_series(const matrix& y, thread_pool* pool) const {
     if (y.cols() != dimension()) throw std::invalid_argument("spe_series: column count mismatch");
     vec out(y.rows(), 0.0);
     const std::size_t work = y.rows() * dimension() * std::max<std::size_t>(rank_, 1);
-    if (pool != nullptr && work >= k_spe_series_parallel_min_work) {
+    if (pool != nullptr && work >= global_tuning().spe_series_min_work) {
         parallel_for(*pool, 0, y.rows(), [&](std::size_t r) { out[r] = spe(y.row(r)); });
     } else {
         for (std::size_t r = 0; r < y.rows(); ++r) out[r] = spe(y.row(r));

@@ -1,12 +1,44 @@
 #include "subspace/online.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
+#include "engine/thread_pool.h"
 #include "measurement/centering.h"
+#include "measurement/stream_checkpoint.h"
 #include "subspace/qstat.h"
 
 namespace netdiag {
+
+namespace {
+
+// Shared (de)serialization of a fitted model: the PCA plus the normal
+// rank fully determine a subspace_model, and with the routing matrix and
+// confidence they rebuild a volume_anomaly_diagnoser exactly.
+void write_model(std::ostream& out, const subspace_model& model) {
+    const pca_model& pca = model.pca();
+    ckpt::write_matrix(out, pca.principal_axes);
+    ckpt::write_vec(out, pca.axis_variance);
+    ckpt::write_matrix(out, pca.projections);
+    ckpt::write_vec(out, pca.column_means);
+    ckpt::write_u64(out, pca.sample_count);
+    ckpt::write_u64(out, model.normal_rank());
+}
+
+subspace_model read_model(std::istream& in) {
+    pca_model pca;
+    pca.principal_axes = ckpt::read_matrix(in);
+    pca.axis_variance = ckpt::read_vec(in);
+    pca.projections = ckpt::read_matrix(in);
+    pca.column_means = ckpt::read_vec(in);
+    pca.sample_count = ckpt::read_u64(in);
+    const std::size_t rank = ckpt::read_u64(in);
+    return {std::move(pca), rank};
+}
+
+}  // namespace
 
 matrix window_to_matrix(const std::deque<vec>& window) {
     if (window.empty()) {
@@ -17,11 +49,15 @@ matrix window_to_matrix(const std::deque<vec>& window) {
     return y;
 }
 
+// ---------------------------------------------------------------------------
+// streaming_diagnoser
+// ---------------------------------------------------------------------------
+
 streaming_diagnoser::streaming_diagnoser(const matrix& bootstrap_y, const matrix& a,
                                          streaming_config cfg)
-    : cfg_(cfg),
+    : cfg_(std::move(cfg)),
       a_(a),
-      diagnoser_(bootstrap_y, a, cfg.confidence, cfg.separation, cfg.pool) {
+      diagnoser_(bootstrap_y, a, cfg_.confidence, cfg_.separation, cfg_.pool) {
     if (cfg_.window < 2) throw std::invalid_argument("streaming_diagnoser: window too small");
     for (std::size_t r = 0; r < bootstrap_y.rows(); ++r) {
         const auto row = bootstrap_y.row(r);
@@ -30,7 +66,17 @@ streaming_diagnoser::streaming_diagnoser(const matrix& bootstrap_y, const matrix
     }
 }
 
+streaming_diagnoser::~streaming_diagnoser() {
+    // Never let a worker outlive the members its future result references.
+    // A refit that failed must not escalate to std::terminate here.
+    try {
+        drain();
+    } catch (...) {
+    }
+}
+
 diagnosis streaming_diagnoser::push(std::span<const double> y) {
+    maybe_apply_swap();
     const diagnosis d = diagnoser_.diagnose(y);
     ++processed_;
     if (d.anomalous) ++alarms_;
@@ -39,20 +85,211 @@ diagnosis streaming_diagnoser::push(std::span<const double> y) {
     if (window_.size() > cfg_.window) window_.pop_front();
 
     if (cfg_.refit_interval > 0 && ++since_refit_ >= cfg_.refit_interval) {
-        refit();
+        trigger_refit();
         since_refit_ = 0;
     }
     return d;
 }
 
-void streaming_diagnoser::refit() {
-    diagnoser_ = volume_anomaly_diagnoser(window_to_matrix(window_), a_, cfg_.confidence,
-                                          cfg_.separation, cfg_.pool);
+detection_result streaming_diagnoser::push_bin(std::span<const double> y) {
+    const diagnosis d = push(y);
+    return {d.anomalous, d.spe, d.threshold};
+}
+
+void streaming_diagnoser::maybe_apply_swap() {
+    if (!refit_pending()) return;
+    if (cfg_.mode == refit_mode::deferred) {
+        // Fixed bin boundary: the swap is a function of the stream alone.
+        if (processed_ < swap_at_) return;
+        apply_swap(take_pending());
+        return;
+    }
+    // Eager: swap at the first push that finds the fit finished.
+    if (ready_.has_value()) {
+        apply_swap(std::move(*ready_));
+        ready_.reset();
+        return;
+    }
+    if (inflight_.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        apply_swap(inflight_.get());
+    }
+}
+
+void streaming_diagnoser::trigger_refit() {
+    if (cfg_.mode == refit_mode::blocking) {
+        // Legacy path: fit inline (pool-sharded when available) and swap
+        // immediately -- the triggering push pays for the whole fit.
+        if (cfg_.refit_observer) cfg_.refit_observer();
+        apply_swap(volume_anomaly_diagnoser(window_to_matrix(window_), a_, cfg_.confidence,
+                                            cfg_.separation, cfg_.pool));
+        return;
+    }
+    // One pending refit at a time; a trigger landing while one is pending
+    // is dropped (deterministically so in deferred mode).
+    if (refit_pending()) return;
+    swap_at_ = processed_ + std::max<std::size_t>(cfg_.swap_horizon, 1);
+
+    // The task owns copies of everything it reads, so the diagnoser can be
+    // moved (or destroyed after drain()) while the fit is in flight. The
+    // fit itself runs serially: a pool task must not run a nested
+    // parallel_for over its own pool, and the serial fit is bit-identical
+    // to the sharded one anyway.
+    auto fit = [snapshot = window_to_matrix(window_), a = a_, confidence = cfg_.confidence,
+                sep = cfg_.separation, observer = cfg_.refit_observer]() {
+        if (observer) observer();
+        return volume_anomaly_diagnoser(snapshot, a, confidence, sep, nullptr);
+    };
+    if (cfg_.pool != nullptr) {
+        inflight_ = cfg_.pool->submit_task(std::move(fit));
+    } else {
+        // No pool to offload to: fit now, but still honour the swap
+        // boundary so results match the pooled runs bit-for-bit.
+        ready_ = fit();
+    }
+}
+
+volume_anomaly_diagnoser streaming_diagnoser::take_pending() {
+    if (ready_.has_value()) {
+        volume_anomaly_diagnoser out = std::move(*ready_);
+        ready_.reset();
+        return out;
+    }
+    // The boundary arrived before the fit finished: this is the one place
+    // the push path may wait, and only for the remainder of the fit.
+    return inflight_.get();
+}
+
+void streaming_diagnoser::apply_swap(volume_anomaly_diagnoser&& next) {
+    diagnoser_ = std::move(next);
+    ++epoch_;
     ++refits_;
 }
 
-incremental_pca_tracker::incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank)
-    : max_rank_(max_rank) {
+void streaming_diagnoser::drain() {
+    if (inflight_.valid()) ready_ = inflight_.get();
+}
+
+void streaming_diagnoser::save(std::ostream& out) {
+    drain();
+    ckpt::write_header(out, "streaming_diagnoser");
+    ckpt::write_u64(out, cfg_.window);
+    ckpt::write_u64(out, cfg_.refit_interval);
+    ckpt::write_f64(out, cfg_.confidence);
+    ckpt::write_f64(out, cfg_.separation.k_sigma);
+    ckpt::write_u64(out, cfg_.separation.min_normal_axes);
+    ckpt::write_flag(out, cfg_.separation.fixed_rank.has_value());
+    if (cfg_.separation.fixed_rank) ckpt::write_u64(out, *cfg_.separation.fixed_rank);
+    ckpt::write_u64(out, static_cast<std::uint64_t>(cfg_.mode));
+    ckpt::write_u64(out, cfg_.swap_horizon);
+    ckpt::write_matrix(out, a_);
+    ckpt::write_u64(out, window_.size());
+    for (const vec& row : window_) ckpt::write_vec(out, row);
+    ckpt::write_u64(out, epoch_);
+    ckpt::write_u64(out, processed_);
+    ckpt::write_u64(out, alarms_);
+    ckpt::write_u64(out, refits_);
+    ckpt::write_u64(out, since_refit_);
+    write_model(out, diagnoser_.model());
+    ckpt::write_flag(out, ready_.has_value());
+    if (ready_.has_value()) {
+        ckpt::write_u64(out, swap_at_);
+        write_model(out, ready_->model());
+    }
+}
+
+struct streaming_diagnoser::restored_state {
+    streaming_config cfg;
+    matrix a;
+    std::deque<vec> window;
+    volume_anomaly_diagnoser diagnoser;
+    std::uint64_t epoch = 0;
+    std::size_t processed = 0;
+    std::size_t alarms = 0;
+    std::size_t refits = 0;
+    std::size_t since_refit = 0;
+    std::optional<volume_anomaly_diagnoser> ready;
+    std::size_t swap_at = 0;
+};
+
+streaming_diagnoser::streaming_diagnoser(restored_state&& state)
+    : cfg_(std::move(state.cfg)),
+      a_(std::move(state.a)),
+      window_(std::move(state.window)),
+      diagnoser_(std::move(state.diagnoser)),
+      epoch_(state.epoch),
+      processed_(state.processed),
+      alarms_(state.alarms),
+      refits_(state.refits),
+      since_refit_(state.since_refit),
+      ready_(std::move(state.ready)),
+      swap_at_(state.swap_at) {}
+
+streaming_diagnoser streaming_diagnoser::restore(std::istream& in, thread_pool* pool) {
+    ckpt::expect_header(in, "streaming_diagnoser");
+    streaming_config cfg;
+    cfg.window = ckpt::read_u64(in);
+    cfg.refit_interval = ckpt::read_u64(in);
+    cfg.confidence = ckpt::read_f64(in);
+    cfg.separation.k_sigma = ckpt::read_f64(in);
+    cfg.separation.min_normal_axes = ckpt::read_u64(in);
+    if (ckpt::read_flag(in)) cfg.separation.fixed_rank = ckpt::read_u64(in);
+    const std::uint64_t mode = ckpt::read_u64(in);
+    if (mode > static_cast<std::uint64_t>(refit_mode::eager)) {
+        throw std::runtime_error("streaming_diagnoser::restore: malformed refit mode");
+    }
+    cfg.mode = static_cast<refit_mode>(mode);
+    cfg.swap_horizon = ckpt::read_u64(in);
+    cfg.pool = pool;
+    // Re-check the constructor's invariant: restore must never build a
+    // diagnoser the public API forbids.
+    if (cfg.window < 2) {
+        throw std::runtime_error("streaming_diagnoser::restore: window too small");
+    }
+
+    matrix a = ckpt::read_matrix(in);
+    const std::uint64_t window_size = ckpt::read_u64(in);
+    if (window_size > cfg.window) {
+        throw std::runtime_error("streaming_diagnoser::restore: window larger than configured");
+    }
+    std::deque<vec> window;
+    for (std::uint64_t r = 0; r < window_size; ++r) window.push_back(ckpt::read_vec(in));
+
+    const std::uint64_t epoch = ckpt::read_u64(in);
+    const std::size_t processed = ckpt::read_u64(in);
+    const std::size_t alarms = ckpt::read_u64(in);
+    const std::size_t refits = ckpt::read_u64(in);
+    const std::size_t since_refit = ckpt::read_u64(in);
+    volume_anomaly_diagnoser diagnoser(read_model(in), a, cfg.confidence);
+    std::optional<volume_anomaly_diagnoser> ready;
+    std::size_t swap_at = 0;
+    if (ckpt::read_flag(in)) {
+        swap_at = ckpt::read_u64(in);
+        ready.emplace(read_model(in), a, cfg.confidence);
+    }
+
+    restored_state state{
+        .cfg = std::move(cfg),
+        .a = std::move(a),
+        .window = std::move(window),
+        .diagnoser = std::move(diagnoser),
+        .epoch = epoch,
+        .processed = processed,
+        .alarms = alarms,
+        .refits = refits,
+        .since_refit = since_refit,
+        .ready = std::move(ready),
+        .swap_at = swap_at,
+    };
+    return streaming_diagnoser(std::move(state));
+}
+
+// ---------------------------------------------------------------------------
+// incremental_pca_tracker
+// ---------------------------------------------------------------------------
+
+incremental_pca_tracker::incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank,
+                                                 thread_pool* pool)
+    : max_rank_(max_rank), pool_(pool) {
     if (bootstrap_y.rows() < 2) {
         throw std::invalid_argument("incremental_pca_tracker: need at least two bootstrap rows");
     }
@@ -62,7 +299,7 @@ incremental_pca_tracker::incremental_pca_tracker(const matrix& bootstrap_y, std:
     mean_ = std::move(centered.column_means);
     count_ = bootstrap_y.rows();
 
-    right_svd full = right_svd_of(centered.centered);
+    right_svd full = right_svd_of(centered.centered, pool_);
     const std::size_t keep = std::min(max_rank_, full.s.size());
     svd_.s.assign(full.s.begin(), full.s.begin() + static_cast<std::ptrdiff_t>(keep));
     svd_.v.assign(full.v.rows(), keep, 0.0);
@@ -77,10 +314,16 @@ void incremental_pca_tracker::push(std::span<const double> y) {
     // mean drifts slowly relative to the update stream, so treating it as
     // quasi-static is the standard approximation for subspace tracking.
     const vec centered = subtract(y, mean_);
-    svd_ = append_row(svd_, centered, max_rank_);
+    svd_ = append_row(svd_, centered, max_rank_, pool_);
     ++count_;
+    ++pushed_;
     const double w = 1.0 / static_cast<double>(count_);
     for (std::size_t i = 0; i < mean_.size(); ++i) mean_[i] += w * centered[i];
+}
+
+detection_result incremental_pca_tracker::push_bin(std::span<const double> y) {
+    push(y);
+    return {false, 0.0, std::numeric_limits<double>::infinity()};
 }
 
 vec incremental_pca_tracker::axis_variance() const {
@@ -91,18 +334,59 @@ vec incremental_pca_tracker::axis_variance() const {
     return out;
 }
 
-tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
-                                     double confidence, const separation_config& sep,
-                                     thread_pool* pool)
-    // Fit the bootstrap PCA exactly once; the separation rank feeds both
-    // the tracker's rank floor and the normal-subspace rank.
-    : tracking_detector(bootstrap_y, max_rank, confidence,
-                        separate_normal_rank(fit_pca(bootstrap_y, pool), sep)) {}
+void incremental_pca_tracker::save(std::ostream& out) {
+    ckpt::write_header(out, "incremental_pca_tracker");
+    ckpt::write_vec(out, svd_.s);
+    ckpt::write_matrix(out, svd_.v);
+    ckpt::write_vec(out, mean_);
+    ckpt::write_u64(out, count_);
+    ckpt::write_u64(out, max_rank_);
+    ckpt::write_u64(out, pushed_);
+}
+
+incremental_pca_tracker incremental_pca_tracker::restore(std::istream& in, thread_pool* pool) {
+    ckpt::expect_header(in, "incremental_pca_tracker");
+    incremental_pca_tracker out;
+    out.svd_.s = ckpt::read_vec(in);
+    out.svd_.v = ckpt::read_matrix(in);
+    out.mean_ = ckpt::read_vec(in);
+    out.count_ = ckpt::read_u64(in);
+    out.max_rank_ = ckpt::read_u64(in);
+    out.pushed_ = ckpt::read_u64(in);
+    out.pool_ = pool;
+    if (out.max_rank_ == 0 || out.svd_.s.size() != out.svd_.v.cols() ||
+        out.svd_.v.rows() != out.mean_.size()) {
+        throw std::runtime_error("incremental_pca_tracker::restore: inconsistent state");
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// tracking_detector
+// ---------------------------------------------------------------------------
 
 tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
-                                     double confidence, std::size_t bootstrap_normal_rank)
-    : tracker_(bootstrap_y, std::max(max_rank, bootstrap_normal_rank + 1)),
-      confidence_(confidence) {
+                                     double confidence, const separation_config& sep,
+                                     thread_pool* pool, bool deferred_updates)
+    // Fit the bootstrap PCA exactly once; the separation rank feeds both
+    // the tracker's rank floor and the normal-subspace rank.
+    : tracking_detector(bootstrap_rank_tag{}, bootstrap_y, max_rank, confidence,
+                        separate_normal_rank(fit_pca(bootstrap_y, pool), sep), pool,
+                        deferred_updates) {}
+
+tracking_detector::tracking_detector(bootstrap_rank_tag, const matrix& bootstrap_y,
+                                     std::size_t max_rank, double confidence,
+                                     std::size_t bootstrap_normal_rank, thread_pool* pool,
+                                     bool deferred_updates)
+    // Deferred folds run *on* the pool, so the tracker math inside them
+    // must stay serial (no nested parallel_for); inline folds shard their
+    // rank-1 update across the pool instead. Either way the arithmetic is
+    // identical.
+    : tracker_(bootstrap_y, std::max(max_rank, bootstrap_normal_rank + 1),
+               deferred_updates ? nullptr : pool),
+      confidence_(confidence),
+      pool_(pool),
+      deferred_updates_(deferred_updates && pool != nullptr) {
     if (!(confidence > 0.0 && confidence < 1.0)) {
         throw std::invalid_argument("tracking_detector: confidence outside (0, 1)");
     }
@@ -115,6 +399,19 @@ tracking_detector::tracking_detector(const matrix& bootstrap_y, std::size_t max_
     }
     refresh_threshold();
 }
+
+tracking_detector::~tracking_detector() {
+    try {
+        join_fold();
+    } catch (...) {
+    }
+}
+
+void tracking_detector::join_fold() {
+    if (fold_inflight_.valid()) fold_inflight_.get();
+}
+
+void tracking_detector::drain() { join_fold(); }
 
 void tracking_detector::refresh_threshold() {
     // Eigenvalue spectrum estimate: tracked values for the top axes, the
@@ -137,7 +434,7 @@ void tracking_detector::refresh_threshold() {
     threshold_ = q_statistic_threshold(spectrum, normal_rank_, confidence_);
 }
 
-detection_result tracking_detector::test(std::span<const double> y) const {
+detection_result tracking_detector::test_current(std::span<const double> y) const {
     if (y.size() != dimension_) {
         throw std::invalid_argument("tracking_detector: measurement size mismatch");
     }
@@ -152,16 +449,128 @@ detection_result tracking_detector::test(std::span<const double> y) const {
     return {spe > threshold_, spe, threshold_};
 }
 
-detection_result tracking_detector::push(std::span<const double> y) {
-    const detection_result result = test(y);
-    ++processed_;
-    if (result.anomalous) ++alarms_;
+detection_result tracking_detector::test(std::span<const double> y) {
+    join_fold();
+    return test_current(y);
+}
 
+double tracking_detector::threshold() {
+    join_fold();
+    return threshold_;
+}
+
+const incremental_pca_tracker& tracking_detector::tracker() {
+    join_fold();
+    return tracker_;
+}
+
+void tracking_detector::fold(std::span<const double> y) {
     const vec centered = subtract(y, tracker_.running_mean());
     total_variance_sum_ += norm_squared(centered);
     tracker_.push(y);
     refresh_threshold();
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+detection_result tracking_detector::push(std::span<const double> y) {
+    // Bin t is tested against the model of bins < t -- exactly the serial
+    // ordering -- while the fold of bin t may overlap the caller's gap to
+    // bin t+1. The join above bounds the pipeline at one fold of lag.
+    join_fold();
+    const detection_result result = test_current(y);
+    ++processed_;
+    if (result.anomalous) ++alarms_;
+
+    if (deferred_updates_) {
+        // Only the background task needs its own copy of the measurement;
+        // the inline path folds the span directly.
+        vec sample(y.begin(), y.end());
+        fold_inflight_ =
+            pool_->submit_task([this, sample = std::move(sample)] { fold(sample); });
+    } else {
+        fold(y);
+    }
     return result;
+}
+
+void tracking_detector::save(std::ostream& out) {
+    join_fold();
+    ckpt::write_header(out, "tracking_detector");
+    ckpt::write_flag(out, deferred_updates_);
+    ckpt::write_f64(out, confidence_);
+    ckpt::write_u64(out, normal_rank_);
+    ckpt::write_u64(out, dimension_);
+    ckpt::write_f64(out, threshold_);
+    ckpt::write_f64(out, total_variance_sum_);
+    ckpt::write_u64(out, processed_);
+    ckpt::write_u64(out, alarms_);
+    ckpt::write_u64(out, epoch_.load(std::memory_order_relaxed));
+    tracker_.save(out);
+}
+
+struct tracking_detector::restored_state {
+    std::optional<incremental_pca_tracker> tracker;
+    bool deferred_updates = false;
+    double confidence = 0.999;
+    std::size_t normal_rank = 0;
+    std::size_t dimension = 0;
+    double threshold = 0.0;
+    double total_variance_sum = 0.0;
+    std::size_t processed = 0;
+    std::size_t alarms = 0;
+    std::uint64_t epoch = 0;
+    thread_pool* pool = nullptr;
+};
+
+tracking_detector::tracking_detector(restored_state&& state)
+    : tracker_(std::move(*state.tracker)),
+      confidence_(state.confidence),
+      normal_rank_(state.normal_rank),
+      dimension_(state.dimension),
+      threshold_(state.threshold),
+      total_variance_sum_(state.total_variance_sum),
+      processed_(state.processed),
+      alarms_(state.alarms),
+      epoch_(state.epoch),
+      pool_(state.pool),
+      deferred_updates_(state.deferred_updates && state.pool != nullptr) {}
+
+tracking_detector::tracking_detector(tracking_detector&& other)
+    // Join first (via the comma in the first initializer) so no worker is
+    // still writing through the moved-from object's `this`.
+    : tracker_((other.join_fold(), std::move(other.tracker_))),
+      confidence_(other.confidence_),
+      normal_rank_(other.normal_rank_),
+      dimension_(other.dimension_),
+      threshold_(other.threshold_),
+      total_variance_sum_(other.total_variance_sum_),
+      processed_(other.processed_),
+      alarms_(other.alarms_),
+      epoch_(other.epoch_.load(std::memory_order_relaxed)),
+      pool_(other.pool_),
+      deferred_updates_(other.deferred_updates_) {}
+
+tracking_detector tracking_detector::restore(std::istream& in, thread_pool* pool) {
+    ckpt::expect_header(in, "tracking_detector");
+    restored_state state;
+    state.deferred_updates = ckpt::read_flag(in);
+    state.confidence = ckpt::read_f64(in);
+    state.normal_rank = ckpt::read_u64(in);
+    state.dimension = ckpt::read_u64(in);
+    state.threshold = ckpt::read_f64(in);
+    state.total_variance_sum = ckpt::read_f64(in);
+    state.processed = ckpt::read_u64(in);
+    state.alarms = ckpt::read_u64(in);
+    state.epoch = ckpt::read_u64(in);
+    state.pool = pool;
+    incremental_pca_tracker tracker = incremental_pca_tracker::restore(
+        in, (state.deferred_updates && pool != nullptr) ? nullptr : pool);
+    if (tracker.dimension() != state.dimension ||
+        !(state.confidence > 0.0 && state.confidence < 1.0)) {
+        throw std::runtime_error("tracking_detector::restore: inconsistent state");
+    }
+    state.tracker = std::move(tracker);
+    return tracking_detector(std::move(state));
 }
 
 }  // namespace netdiag

@@ -1,24 +1,42 @@
-// Online deployment of the subspace method (Section 7.1).
+// Online deployment of the subspace method (Section 7.1), refactored as a
+// pipelined streaming subsystem.
 //
 // The paper envisions the method as a first-level online monitor: the PCA
 // model is recomputed only occasionally (it is stable week to week), while
 // each arriving measurement is processed against the fixed projector.
-// Two strategies are provided:
+// Three push-based detectors implement the common stream_detector
+// interface (see subspace/stream_detector.h):
 //  - streaming_diagnoser: keeps a sliding window and refits the full model
 //    every refit_interval measurements;
 //  - incremental_pca_tracker: maintains the principal axes with rank-1
 //    SVD row updates (the [12, 13, 24] family the paper cites), avoiding
-//    full recomputation entirely.
+//    full recomputation entirely;
+//  - tracking_detector: SPE detection on top of the tracker.
+//
+// Pipelining: a refit (or rank-1 fold) is the maintenance path; testing
+// the next bin is the detection path. With an engine thread_pool the
+// maintenance runs as a background task while detection keeps reading the
+// current epoch-versioned model snapshot, and the snapshot swap is applied
+// on the push thread at a deterministic bin boundary -- so the output
+// sequence depends only on the input stream, never on thread timing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <limits>
+#include <optional>
 #include <span>
 
 #include "linalg/matrix.h"
 #include "linalg/svd_update.h"
 #include "linalg/vector_ops.h"
 #include "subspace/diagnoser.h"
+#include "subspace/stream_detector.h"
 
 namespace netdiag {
 
@@ -29,56 +47,134 @@ class thread_pool;
 // run before any measurement survives the window).
 matrix window_to_matrix(const std::deque<vec>& window);
 
+// How streaming_diagnoser applies periodic refits.
+enum class refit_mode {
+    // Legacy: the triggering push fits the new model inline (stalls that
+    // push for the whole fit; the engine pool, when set, shards the fit).
+    blocking,
+    // Deterministic pipelining: the fit runs as a background task on the
+    // pool (serially -- its result is bit-identical either way) and the
+    // swap is applied exactly swap_horizon bins after the trigger,
+    // whether or not the fit finished earlier. push only waits at that
+    // boundary, and only when the fit is slower than swap_horizon bins of
+    // stream. Without a pool the fit runs inline but the swap still
+    // honours the boundary, so results match any pool size bit-for-bit.
+    deferred,
+    // Lowest latency-to-freshness: the swap is applied at the first push
+    // that finds the background fit finished. Push never blocks, but the
+    // swap bin depends on thread timing -- use deferred when replays must
+    // be reproducible.
+    eager,
+};
+
 struct streaming_config {
     std::size_t window = 1008;         // measurements kept for refits
     std::size_t refit_interval = 144;  // refit every day of 10-min bins; 0 = never
     double confidence = 0.999;
     separation_config separation;
-    // Non-owning; when set, the bootstrap fit and every refit run through
-    // the parallel fit path (bit-identical to serial) so periodic refits
-    // stall the push path less. Must outlive the diagnoser.
+    // Non-owning; when set, blocking-mode refits shard their fit across
+    // the pool while deferred/eager refits run on it as background tasks.
+    // Must outlive the diagnoser.
     thread_pool* pool = nullptr;
+    refit_mode mode = refit_mode::blocking;
+    // deferred mode: bins between the refit trigger and the model swap.
+    std::size_t swap_horizon = 8;
+    // Observability/test seam: runs at the start of every refit fit, on
+    // whichever thread performs it. Not serialized by checkpoints.
+    std::function<void()> refit_observer;
 };
 
-class streaming_diagnoser {
+class streaming_diagnoser final : public stream_detector {
 public:
-    // bootstrap_y supplies the initial model and seeds the window.
-    // Throws std::invalid_argument when bootstrap has fewer than two rows
-    // or the routing matrix does not match its width.
+    // bootstrap_y supplies the initial model (epoch 0) and seeds the
+    // window. Throws std::invalid_argument when bootstrap has fewer than
+    // two rows or the routing matrix does not match its width.
     streaming_diagnoser(const matrix& bootstrap_y, const matrix& a, streaming_config cfg = {});
 
-    // Processes one measurement: diagnoses it against the current model,
-    // appends it to the window, and refits when the interval elapses.
+    streaming_diagnoser(streaming_diagnoser&&) = default;
+    streaming_diagnoser& operator=(streaming_diagnoser&&) = default;
+
+    // Joins any in-flight background refit before the members it reads
+    // are torn down.
+    ~streaming_diagnoser() override;
+
+    // Processes one measurement: applies a due model swap, diagnoses the
+    // measurement against the current snapshot, appends it to the window,
+    // and triggers a refit when the interval elapses.
     diagnosis push(std::span<const double> y);
 
-    std::size_t processed() const noexcept { return processed_; }
-    std::size_t alarm_count() const noexcept { return alarms_; }
+    // stream_detector interface. push_bin is push() minus the
+    // identification fields.
+    detection_result push_bin(std::span<const double> y) override;
+    std::size_t dimension() const noexcept override { return a_.rows(); }
+    std::size_t processed() const noexcept override { return processed_; }
+    std::size_t alarm_count() const noexcept override { return alarms_; }
+    std::uint64_t model_epoch() const noexcept override { return epoch_; }
+    void drain() override;
+    void save(std::ostream& out) override;
+
+    // Rebuilds a diagnoser saved by save(). The pool (and observer) are
+    // runtime wiring, not state: pass whatever the restored stream should
+    // use. Throws std::runtime_error on malformed input.
+    static streaming_diagnoser restore(std::istream& in, thread_pool* pool = nullptr);
+
+    // Applied refits (== model_epoch()).
     std::size_t refit_count() const noexcept { return refits_; }
+    // True while a background fit is computing or a finished fit awaits
+    // its deferred swap boundary.
+    bool refit_pending() const noexcept { return inflight_.valid() || ready_.has_value(); }
     const volume_anomaly_diagnoser& current() const noexcept { return diagnoser_; }
 
 private:
-    void refit();
+    struct restored_state;  // defined in online.cpp
+    explicit streaming_diagnoser(restored_state&& state);
+
+    void maybe_apply_swap();
+    void trigger_refit();
+    void apply_swap(volume_anomaly_diagnoser&& next);
+    volume_anomaly_diagnoser take_pending();
 
     streaming_config cfg_;
     matrix a_;
     std::deque<vec> window_;
     volume_anomaly_diagnoser diagnoser_;
+    std::uint64_t epoch_ = 0;
     std::size_t processed_ = 0;
     std::size_t alarms_ = 0;
     std::size_t refits_ = 0;
     std::size_t since_refit_ = 0;
+
+    // Background refit state. At most one refit is pending at a time; a
+    // trigger that fires while one is pending is skipped (deterministic,
+    // since pendingness is itself deterministic in deferred mode).
+    std::future<volume_anomaly_diagnoser> inflight_;
+    std::optional<volume_anomaly_diagnoser> ready_;
+    std::size_t swap_at_ = 0;  // deferred: processed_ value at which to swap
 };
 
 // Rank-1 principal-axis tracker. Maintains (approximately) the top
 // max_rank principal axes and variances of the growing measurement matrix
-// without ever recomputing a full decomposition.
-class incremental_pca_tracker {
+// without ever recomputing a full decomposition. As a stream_detector it
+// is maintenance-only: push_bin folds the sample and reports a non-alarm
+// (SPE 0 against an infinite threshold); every fold advances the epoch.
+class incremental_pca_tracker final : public stream_detector {
 public:
     // Throws std::invalid_argument when bootstrap has fewer than two rows
-    // or max_rank is zero.
-    incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank);
+    // or max_rank is zero. A non-null pool shards the bootstrap SVD and
+    // every rank-1 fold (bit-identical for any pool size).
+    incremental_pca_tracker(const matrix& bootstrap_y, std::size_t max_rank,
+                            thread_pool* pool = nullptr);
 
     void push(std::span<const double> y);
+
+    detection_result push_bin(std::span<const double> y) override;
+    std::size_t dimension() const noexcept override { return mean_.size(); }
+    std::size_t processed() const noexcept override { return pushed_; }
+    std::size_t alarm_count() const noexcept override { return 0; }
+    std::uint64_t model_epoch() const noexcept override { return pushed_; }
+    void drain() override {}  // folds are synchronous
+    void save(std::ostream& out) override;
+    static incremental_pca_tracker restore(std::istream& in, thread_pool* pool = nullptr);
 
     std::size_t sample_count() const noexcept { return count_; }
     std::size_t rank() const noexcept { return svd_.v.cols(); }
@@ -89,10 +185,14 @@ public:
     vec axis_variance() const;
 
 private:
+    incremental_pca_tracker() = default;
+
     right_svd svd_;
     vec mean_;
     std::size_t count_ = 0;
     std::size_t max_rank_ = 0;
+    std::uint64_t pushed_ = 0;
+    thread_pool* pool_ = nullptr;
 };
 
 // Fully incremental online detector built on rank-1 SVD updates: the
@@ -103,48 +203,85 @@ private:
 // untracked remainder variance spread uniformly over the remaining
 // dimensions -- a documented approximation, since the tracker keeps only
 // max_rank components.
-class tracking_detector {
+class tracking_detector final : public stream_detector {
 public:
     // max_rank bounds the tracked spectrum; it is raised to the separation
     // rank + 1 when smaller, so a tracked residual tail always exists.
     // The bootstrap PCA is fit exactly once (shared by the rank raise and
-    // the subspace separation); a non-null pool shards that fit. Throws
-    // std::invalid_argument on a degenerate bootstrap or a confidence
-    // outside (0, 1).
+    // the subspace separation); a non-null pool shards that fit and every
+    // rank-1 fold. deferred_updates additionally moves each fold onto the
+    // pool as a background task: push tests bin t against the model of
+    // bins < t (exactly the serial arithmetic, hence bit-identical), and
+    // the fold of bin t overlaps the caller's gap to bin t+1, waiting at
+    // most one fold behind. Throws std::invalid_argument on a degenerate
+    // bootstrap or a confidence outside (0, 1).
     tracking_detector(const matrix& bootstrap_y, std::size_t max_rank,
                       double confidence = 0.999, const separation_config& sep = {},
-                      thread_pool* pool = nullptr);
+                      thread_pool* pool = nullptr, bool deferred_updates = false);
+
+    // Joins the source's in-flight fold, then moves (folds capture `this`,
+    // so a live fold must never survive a move).
+    tracking_detector(tracking_detector&& other);
+
+    // Joins any in-flight fold.
+    ~tracking_detector() override;
 
     // Tests the measurement against the current model, then folds it into
     // the tracked decomposition (every measurement refines the model).
     detection_result push(std::span<const double> y);
 
-    // Test only, without updating the model.
-    detection_result test(std::span<const double> y) const;
+    // Test only, without updating the model. Joins an in-flight fold so
+    // the verdict always reflects every pushed measurement.
+    detection_result test(std::span<const double> y);
 
-    std::size_t processed() const noexcept { return processed_; }
-    std::size_t alarm_count() const noexcept { return alarms_; }
+    detection_result push_bin(std::span<const double> y) override { return push(y); }
+    std::size_t dimension() const noexcept override { return dimension_; }
+    std::size_t processed() const noexcept override { return processed_; }
+    std::size_t alarm_count() const noexcept override { return alarms_; }
+    std::uint64_t model_epoch() const noexcept override {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+    void drain() override;
+    void save(std::ostream& out) override;
+    static tracking_detector restore(std::istream& in, thread_pool* pool = nullptr);
+
     std::size_t normal_rank() const noexcept { return normal_rank_; }
-    double threshold() const noexcept { return threshold_; }
-    const incremental_pca_tracker& tracker() const noexcept { return tracker_; }
+    double threshold();
+    const incremental_pca_tracker& tracker();
 
 private:
+    struct restored_state;  // defined in online.cpp
+    explicit tracking_detector(restored_state&& state);
+
     // Delegation target taking the bootstrap separation rank, so the
     // bootstrap PCA is fit once and reused for both the tracker's rank
-    // floor and the normal-subspace rank.
-    tracking_detector(const matrix& bootstrap_y, std::size_t max_rank, double confidence,
-                      std::size_t bootstrap_normal_rank);
+    // floor and the normal-subspace rank. The tag keeps the overload from
+    // colliding with the public constructor (a braced separation_config
+    // would otherwise be ambiguous against the rank).
+    struct bootstrap_rank_tag {};
+    tracking_detector(bootstrap_rank_tag, const matrix& bootstrap_y, std::size_t max_rank,
+                      double confidence, std::size_t bootstrap_normal_rank, thread_pool* pool,
+                      bool deferred_updates);
 
+    detection_result test_current(std::span<const double> y) const;
+    void fold(std::span<const double> y);
+    void join_fold();
     void refresh_threshold();
 
     incremental_pca_tracker tracker_;
-    double confidence_;
+    double confidence_ = 0.999;
     std::size_t normal_rank_ = 0;
     std::size_t dimension_ = 0;
     double threshold_ = 0.0;
     double total_variance_sum_ = 0.0;  // running sum of ||y - mean||^2
     std::size_t processed_ = 0;
     std::size_t alarms_ = 0;
+    // Folds applied; atomic because a deferred fold advances it from a
+    // worker while model_epoch() may read it from the push thread.
+    std::atomic<std::uint64_t> epoch_{0};
+    thread_pool* pool_ = nullptr;
+    bool deferred_updates_ = false;
+    std::future<void> fold_inflight_;
 };
 
 }  // namespace netdiag

@@ -91,6 +91,77 @@ TEST(ParallelFor, PropagatesBodyExceptions) {
     EXPECT_EQ(calls.load(), 10);
 }
 
+TEST(ParallelForGrain, CoversEveryIndexExactlyOnce) {
+    for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+        thread_pool pool(threads);
+        for (std::size_t grain : {1u, 3u, 16u, 1000u}) {
+            for (std::size_t n : {1u, 2u, 7u, 64u, 501u}) {
+                std::vector<std::atomic<int>> hits(n);
+                parallel_for(pool, 0, n, grain, [&](std::size_t i) { ++hits[i]; });
+                for (std::size_t i = 0; i < n; ++i) {
+                    ASSERT_EQ(hits[i].load(), 1)
+                        << "threads=" << threads << " grain=" << grain << " n=" << n;
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelForGrain, ZeroGrainDelegatesToStaticSplit) {
+    thread_pool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    parallel_for(pool, 0, 64, 0, [&](std::size_t i) { ++hits[i]; });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForGrain, OffsetRangeSeesOriginalIndices) {
+    thread_pool pool(4);
+    std::vector<std::size_t> seen(30, 0);
+    parallel_for(pool, 5, 27, 4, [&](std::size_t i) { seen[i] = i; });
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i], (i >= 5 && i < 27) ? i : 0u);
+    }
+}
+
+TEST(ParallelForGrain, PropagatesBodyExceptions) {
+    thread_pool pool(4);
+    const auto boom = [](std::size_t i) {
+        if (i == 33) throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(parallel_for(pool, 0, 100, 8, boom), std::runtime_error);
+    std::atomic<int> calls{0};
+    parallel_for(pool, 0, 10, 2, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(SubmitTask, ReturnsFutureValue) {
+    thread_pool pool(2);
+    auto fut = pool.submit_task([] { return 41 + 1; });
+    EXPECT_EQ(fut.get(), 42);
+    auto void_fut = pool.submit_task([] {});
+    void_fut.get();  // completes without throwing
+}
+
+TEST(SubmitTask, PropagatesExceptionsThroughTheFuture) {
+    thread_pool pool(2);
+    auto fut = pool.submit_task([]() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The pool must remain usable afterwards.
+    EXPECT_EQ(pool.submit_task([] { return 7; }).get(), 7);
+}
+
+TEST(SubmitTask, RunsConcurrentlyWithTheCaller) {
+    thread_pool pool(1);
+    std::atomic<bool> release{false};
+    auto fut = pool.submit_task([&release] {
+        while (!release.load()) std::this_thread::yield();
+        return 5;
+    });
+    // If submit_task ran inline, we would never reach this line.
+    release.store(true);
+    EXPECT_EQ(fut.get(), 5);
+}
+
 TEST(BatchDetector, ReportsRequestedThreadCount) {
     const batch_detector engine(3);
     EXPECT_EQ(engine.threads(), 3u);

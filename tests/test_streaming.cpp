@@ -1,0 +1,405 @@
+// The pipelined streaming subsystem: stream_detector interface, epoch-
+// versioned background model swaps, deterministic-mode bit-identity across
+// pool sizes, and checkpoint -> restore -> replay equivalence.
+#include "subspace/stream_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "engine/tuning.h"
+#include "linalg/ops.h"
+#include "measurement/link_loads.h"
+#include "measurement/stream_checkpoint.h"
+#include "subspace/online.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+std::string temp_checkpoint_path(const char* name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+void expect_same_diagnosis(const diagnosis& a, const diagnosis& b, std::size_t at) {
+    ASSERT_EQ(b.anomalous, a.anomalous) << "bin " << at;
+    ASSERT_EQ(b.spe, a.spe) << "bin " << at;
+    ASSERT_EQ(b.threshold, a.threshold) << "bin " << at;
+    ASSERT_EQ(b.flow.has_value(), a.flow.has_value()) << "bin " << at;
+    if (a.flow) {
+        ASSERT_EQ(*b.flow, *a.flow) << "bin " << at;
+    }
+    ASSERT_EQ(b.magnitude, a.magnitude) << "bin " << at;
+    ASSERT_EQ(b.estimated_bytes, a.estimated_bytes) << "bin " << at;
+}
+
+void expect_same_detection(const detection_result& a, const detection_result& b,
+                           std::size_t at) {
+    ASSERT_EQ(b.anomalous, a.anomalous) << "bin " << at;
+    ASSERT_EQ(b.spe, a.spe) << "bin " << at;
+    ASSERT_EQ(b.threshold, a.threshold) << "bin " << at;
+}
+
+class StreamingFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        topo_ = make_abilene();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+
+        std::mt19937_64 rng(7031);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        const std::size_t t_total = 560;
+        matrix x(n, t_total, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 1e6 * (1.0 + static_cast<double>(j % 11));
+            for (std::size_t ti = 0; ti < t_total; ++ti) {
+                const double diurnal =
+                    1.0 + 0.4 * std::sin(2.0 * 3.14159265 * static_cast<double>(ti) / 144.0);
+                x(j, ti) = std::max(0.0, mean * diurnal + 0.03 * mean * gauss(rng));
+            }
+        }
+        const matrix y_full = link_loads_from_flows(routing_.a, x);
+
+        bootstrap_.assign(400, y_full.cols());
+        for (std::size_t r = 0; r < 400; ++r) bootstrap_.set_row(r, y_full.row(r));
+        stream_.assign(t_total - 400, y_full.cols());
+        for (std::size_t r = 400; r < t_total; ++r) stream_.set_row(r - 400, y_full.row(r));
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix bootstrap_;
+    matrix stream_;
+};
+
+// ---------------------------------------------------------------------------
+// Non-blocking push: the acceptance criterion. A refit the test holds
+// captive must not delay the pushes that arrive while it is in flight --
+// if push waited on the fit, the loop below would deadlock (and time out)
+// because the fit is only released after the loop completes. No wall-clock
+// assertions, so the test cannot flake on a loaded machine.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, SlowBackgroundRefitDoesNotDelayDetection) {
+    thread_pool pool(2);
+    std::atomic<int> refits_started{0};
+    std::atomic<bool> release_fit{false};
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 5;  // trigger quickly
+    cfg.pool = &pool;
+    cfg.mode = refit_mode::eager;
+    cfg.refit_observer = [&refits_started, &release_fit] {
+        ++refits_started;
+        while (!release_fit.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+
+    streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 5; ++r) diag.push(stream_.row(r));  // fires the refit
+    ASSERT_TRUE(diag.refit_pending());
+
+    // These bins arrive while the fit is held captive: every push must
+    // complete against the old model without touching the refit.
+    for (std::size_t r = 5; r < 35; ++r) {
+        diag.push(stream_.row(r));
+        EXPECT_EQ(diag.model_epoch(), 0u) << "swap applied while the fit is still held";
+    }
+    EXPECT_GE(refits_started.load(), 1);
+
+    // Release the fit; the next pushes apply the swap exactly once.
+    release_fit.store(true);
+    diag.drain();
+    diag.push(stream_.row(35));
+    EXPECT_EQ(diag.model_epoch(), 1u);
+    EXPECT_EQ(diag.refit_count(), 1u);
+}
+
+TEST_F(StreamingFixture, DeferredPushesBeforeBoundaryNeverWait) {
+    thread_pool pool(1);
+    std::atomic<bool> release_fit{false};
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 5;
+    cfg.pool = &pool;
+    cfg.mode = refit_mode::deferred;
+    cfg.swap_horizon = 40;
+    cfg.refit_observer = [&release_fit] {
+        while (!release_fit.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+
+    streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 5; ++r) diag.push(stream_.row(r));
+    ASSERT_TRUE(diag.refit_pending());
+
+    // All of these land before the swap boundary at bin 45: none may wait
+    // on the captive fit.
+    for (std::size_t r = 5; r < 40; ++r) diag.push(stream_.row(r));
+    EXPECT_EQ(diag.model_epoch(), 0u);
+    release_fit.store(true);
+    diag.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic mode: the full output sequence is bit-identical for any
+// pool size (including none), for all three stream detectors.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, DeferredModeBitIdenticalAcrossThreadCounts) {
+    streaming_config base;
+    base.window = 400;
+    base.refit_interval = 20;
+    base.mode = refit_mode::deferred;
+    base.swap_horizon = 7;
+
+    streaming_diagnoser reference(bootstrap_, routing_.a, base);  // no pool at all
+    std::vector<diagnosis> expected;
+    for (std::size_t r = 0; r < 70; ++r) expected.push_back(reference.push(stream_.row(r)));
+    EXPECT_EQ(reference.refit_count(), 3u);  // triggers at 20/40/60, swaps at 27/47/67
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        thread_pool pool(threads);
+        streaming_config cfg = base;
+        cfg.pool = &pool;
+        streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+        for (std::size_t r = 0; r < 70; ++r) {
+            const diagnosis d = diag.push(stream_.row(r));
+            expect_same_diagnosis(expected[r], d, r);
+        }
+        EXPECT_EQ(diag.model_epoch(), reference.model_epoch()) << "threads=" << threads;
+        EXPECT_EQ(diag.alarm_count(), reference.alarm_count()) << "threads=" << threads;
+        diag.drain();
+    }
+}
+
+TEST_F(StreamingFixture, TrackingDetectorDeferredFoldsBitIdenticalAcrossThreadCounts) {
+    tracking_detector reference(bootstrap_, 12);  // fully serial
+    std::vector<detection_result> expected;
+    for (std::size_t r = 0; r < 60; ++r) expected.push_back(reference.push(stream_.row(r)));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        thread_pool pool(threads);
+        tracking_detector det(bootstrap_, 12, 0.999, {}, &pool, /*deferred_updates=*/true);
+        for (std::size_t r = 0; r < 60; ++r) {
+            const detection_result d = det.push(stream_.row(r));
+            expect_same_detection(expected[r], d, r);
+        }
+        det.drain();
+        EXPECT_EQ(det.model_epoch(), reference.model_epoch()) << "threads=" << threads;
+        EXPECT_EQ(det.threshold(), reference.threshold()) << "threads=" << threads;
+    }
+}
+
+TEST_F(StreamingFixture, TrackerPooledFoldsBitIdenticalAcrossThreadCounts) {
+    // Engage the pooled rank-1 update at unit-test sizes.
+    const scoped_tuning guard;
+    global_tuning().svd_update_parallel_min_work = 1;
+    global_tuning().svd_parallel_min_rows = 8;
+
+    incremental_pca_tracker reference(bootstrap_, 10);
+    for (std::size_t r = 0; r < 40; ++r) reference.push(stream_.row(r));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        thread_pool pool(threads);
+        incremental_pca_tracker tracker(bootstrap_, 10, &pool);
+        for (std::size_t r = 0; r < 40; ++r) tracker.push(stream_.row(r));
+        ASSERT_EQ(tracker.axes(), reference.axes()) << "threads=" << threads;
+        ASSERT_EQ(tracker.axis_variance(), reference.axis_variance()) << "threads=" << threads;
+        ASSERT_EQ(tracker.running_mean(), reference.running_mean()) << "threads=" << threads;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epochs and the unified interface.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, EpochAdvancesOncePerAppliedSwap) {
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 10;
+    cfg.mode = refit_mode::deferred;
+    cfg.swap_horizon = 3;
+    streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+    std::vector<std::uint64_t> epochs;
+    for (std::size_t r = 0; r < 30; ++r) {
+        diag.push(stream_.row(r));
+        epochs.push_back(diag.model_epoch());
+    }
+    // Triggers at bins 10/20 (processed 10, 20), swaps applied before
+    // testing bins 13 and 23.
+    EXPECT_EQ(epochs[11], 0u);
+    EXPECT_EQ(epochs[13], 1u);
+    EXPECT_EQ(epochs[21], 1u);
+    EXPECT_EQ(epochs[23], 2u);
+}
+
+TEST_F(StreamingFixture, InterfaceCoversAllThreeDetectors) {
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 0;
+    std::vector<std::unique_ptr<stream_detector>> detectors;
+    detectors.push_back(std::make_unique<streaming_diagnoser>(bootstrap_, routing_.a, cfg));
+    detectors.push_back(std::make_unique<tracking_detector>(bootstrap_, 10));
+    detectors.push_back(std::make_unique<incremental_pca_tracker>(bootstrap_, 10));
+
+    for (auto& det : detectors) {
+        EXPECT_EQ(det->dimension(), bootstrap_.cols());
+        for (std::size_t r = 0; r < 10; ++r) det->push_bin(stream_.row(r));
+        EXPECT_EQ(det->processed(), 10u);
+        EXPECT_LE(det->alarm_count(), det->processed());
+        det->drain();
+    }
+    // The maintenance-only tracker advances its epoch every fold and never
+    // alarms.
+    EXPECT_EQ(detectors[2]->model_epoch(), 10u);
+    EXPECT_EQ(detectors[2]->alarm_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint -> restore -> replay: the restored stream must reproduce the
+// exact remaining detection sequence of the uninterrupted run.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, StreamingDiagnoserCheckpointReplaysExactly) {
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 15;
+    cfg.mode = refit_mode::deferred;
+    cfg.swap_horizon = 5;
+
+    streaming_diagnoser live(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 33; ++r) live.push(stream_.row(r));
+
+    const std::string path = temp_checkpoint_path("streaming_diagnoser.ckpt");
+    save_stream_detector(live, path);
+    streaming_diagnoser restored = [&] {
+        std::ifstream in(path, std::ios::binary);
+        return streaming_diagnoser::restore(in);
+    }();
+
+    EXPECT_EQ(restored.processed(), live.processed());
+    EXPECT_EQ(restored.model_epoch(), live.model_epoch());
+    EXPECT_EQ(restored.refit_count(), live.refit_count());
+    for (std::size_t r = 33; r < 80; ++r) {
+        const diagnosis a = live.push(stream_.row(r));
+        const diagnosis b = restored.push(stream_.row(r));
+        expect_same_diagnosis(a, b, r);
+        ASSERT_EQ(restored.model_epoch(), live.model_epoch()) << "bin " << r;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(StreamingFixture, CheckpointWithRefitInFlightStillReplaysExactly) {
+    // Snapshot while a background fit is pending: save() drains it but the
+    // deferred swap boundary must survive the round trip.
+    thread_pool pool(2);
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 20;
+    cfg.pool = &pool;
+    cfg.mode = refit_mode::deferred;
+    cfg.swap_horizon = 10;
+
+    streaming_diagnoser live(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 22; ++r) live.push(stream_.row(r));  // trigger at 20, swap at 30
+
+    const std::string path = temp_checkpoint_path("streaming_pending.ckpt");
+    save_stream_detector(live, path);
+    ASSERT_TRUE(live.refit_pending());
+
+    // Restore with no pool: pendingness and the swap bin are state, not
+    // wiring, so the replay still swaps at bin 30.
+    std::unique_ptr<stream_detector> restored = load_stream_detector(path);
+    EXPECT_EQ(restored->model_epoch(), live.model_epoch());
+    for (std::size_t r = 22; r < 60; ++r) {
+        const diagnosis a = live.push(stream_.row(r));
+        const detection_result b = restored->push_bin(stream_.row(r));
+        ASSERT_EQ(b.anomalous, a.anomalous) << "bin " << r;
+        ASSERT_EQ(b.spe, a.spe) << "bin " << r;
+        ASSERT_EQ(b.threshold, a.threshold) << "bin " << r;
+        ASSERT_EQ(restored->model_epoch(), live.model_epoch()) << "bin " << r;
+    }
+    EXPECT_GE(restored->model_epoch(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(StreamingFixture, TrackingDetectorCheckpointReplaysExactly) {
+    tracking_detector live(bootstrap_, 12);
+    for (std::size_t r = 0; r < 25; ++r) live.push(stream_.row(r));
+
+    const std::string path = temp_checkpoint_path("tracking_detector.ckpt");
+    save_stream_detector(live, path);
+    std::unique_ptr<stream_detector> restored = load_stream_detector(path);
+
+    EXPECT_EQ(restored->processed(), live.processed());
+    EXPECT_EQ(restored->model_epoch(), live.model_epoch());
+    for (std::size_t r = 25; r < 70; ++r) {
+        const detection_result a = live.push(stream_.row(r));
+        const detection_result b = restored->push_bin(stream_.row(r));
+        expect_same_detection(a, b, r);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(StreamingFixture, TrackerCheckpointReplaysExactly) {
+    incremental_pca_tracker live(bootstrap_, 8);
+    for (std::size_t r = 0; r < 20; ++r) live.push(stream_.row(r));
+
+    const std::string path = temp_checkpoint_path("tracker.ckpt");
+    save_stream_detector(live, path);
+    incremental_pca_tracker restored = [&] {
+        std::ifstream in(path, std::ios::binary);
+        return incremental_pca_tracker::restore(in);
+    }();
+
+    ASSERT_EQ(restored.axes(), live.axes());
+    for (std::size_t r = 20; r < 50; ++r) {
+        live.push(stream_.row(r));
+        restored.push(stream_.row(r));
+    }
+    ASSERT_EQ(restored.axes(), live.axes());
+    ASSERT_EQ(restored.axis_variance(), live.axis_variance());
+    ASSERT_EQ(restored.running_mean(), live.running_mean());
+    ASSERT_EQ(restored.sample_count(), live.sample_count());
+    std::remove(path.c_str());
+}
+
+TEST_F(StreamingFixture, CheckpointRejectsGarbage) {
+    const std::string path = temp_checkpoint_path("garbage.ckpt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a checkpoint";
+    }
+    EXPECT_THROW(load_stream_detector(path), std::runtime_error);
+    EXPECT_THROW(load_stream_detector(path + ".missing"), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy blocking mode still behaves exactly as before.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, BlockingModeSwapsAtTheTriggerBin) {
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 10;
+    streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 10; ++r) diag.push(stream_.row(r));
+    EXPECT_EQ(diag.refit_count(), 1u);
+    EXPECT_EQ(diag.model_epoch(), 1u);
+    EXPECT_FALSE(diag.refit_pending());
+}
+
+}  // namespace
+}  // namespace netdiag

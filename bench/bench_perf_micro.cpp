@@ -30,6 +30,7 @@
 #include "linalg/svd.h"
 #include "linalg/svd_update.h"
 #include "measurement/presets.h"
+#include "serve/stream_server.h"
 #include "subspace/diagnoser.h"
 #include "subspace/online.h"
 
@@ -73,6 +74,7 @@ double time_best_ms(int iterations, Fn&& fn) {
 struct thread_timing {
     std::size_t threads = 0;
     double ms = 0.0;
+    double worst_ms = 0.0;  // only meaningful when the benchmark sets has_worst
 };
 
 struct engine_benchmark {
@@ -81,6 +83,10 @@ struct engine_benchmark {
     double serial_ms = 0.0;
     std::vector<thread_timing> parallel;
     bool identical_to_serial = false;
+    // Latency-style benchmarks additionally report the worst single
+    // dispatch (e.g. the slowest push_batch of a multi-stream run).
+    bool has_worst = false;
+    double serial_worst_ms = 0.0;
 };
 
 // Tiles the 1008 x 49 week vertically so the sweep has enough rows to
@@ -340,6 +346,81 @@ engine_benchmark run_streaming_push_sweep(const std::vector<std::size_t>& thread
     return out;
 }
 
+// Multi-stream serving: S independent streaming_diagnoser streams pushed
+// in per-bin batches through the stream_server, sharded over the shared
+// pool. Reported per pool size: total wall clock of the batch loop
+// (aggregate push throughput) and the worst single push_batch dispatch
+// (the per-bin straggler bound, dominated by whichever stream has a refit
+// in flight). "serial" is the no-pool server; deferred refits make every
+// per-stream output bit-identical to it at any pool size, which is the
+// identical flag here.
+engine_benchmark run_multistream_sweep(const std::vector<std::size_t>& thread_counts,
+                                       std::size_t streams, bool quick) {
+    const dataset& ds = sprint1();
+    const std::size_t boot_rows = 144;  // one day of 10-minute bins
+    const std::size_t stagger = 7;      // distinct bootstrap/stream offsets per stream
+    const std::size_t bins =
+        std::min(ds.bin_count() - boot_rows - streams * stagger,
+                 quick ? std::size_t{96} : std::size_t{288});
+
+    const auto run = [&](std::size_t threads, double* total_ms, double* worst_ms,
+                         std::vector<detection_result>* out) {
+        stream_server server({.threads = threads});
+        std::vector<stream_id> ids;
+        for (std::size_t s = 0; s < streams; ++s) {
+            stream_open_config cfg;
+            cfg.kind = stream_kind::diagnoser;
+            cfg.a = ds.routing.a;
+            cfg.bootstrap_y.assign(boot_rows, ds.link_loads.cols());
+            for (std::size_t r = 0; r < boot_rows; ++r) {
+                cfg.bootstrap_y.set_row(r, ds.link_loads.row(s * stagger + r));
+            }
+            cfg.streaming.window = boot_rows;
+            cfg.streaming.refit_interval = quick ? 24 : 48;
+            cfg.streaming.swap_horizon = 8;
+            cfg.streaming.mode = refit_mode::deferred;
+            ids.push_back(server.open_stream(std::move(cfg)));
+        }
+
+        *total_ms = 0.0;
+        *worst_ms = 0.0;
+        std::vector<stream_server::stream_bin> batch(streams);
+        for (std::size_t b = 0; b < bins; ++b) {
+            for (std::size_t s = 0; s < streams; ++s) {
+                batch[s] = {ids[s], ds.link_loads.row(boot_rows + s * stagger + b)};
+            }
+            const auto start = std::chrono::steady_clock::now();
+            std::vector<detection_result> results = server.push_batch(batch);
+            const double ms = elapsed_ms(start);
+            *total_ms += ms;
+            *worst_ms = std::max(*worst_ms, ms);
+            if (out != nullptr) {
+                out->insert(out->end(), results.begin(), results.end());
+            }
+        }
+        server.drain_all();
+    };
+
+    engine_benchmark out;
+    out.name = "multistream_push_" + std::to_string(streams) + "streams";
+    out.items = streams * bins;
+    out.has_worst = true;
+
+    std::vector<detection_result> reference;
+    run(0, &out.serial_ms, &out.serial_worst_ms, &reference);
+
+    out.identical_to_serial = true;
+    for (std::size_t t : thread_counts) {
+        thread_timing timing;
+        timing.threads = t;
+        std::vector<detection_result> trace;
+        run(t, &timing.ms, &timing.worst_ms, &trace);
+        out.identical_to_serial = out.identical_to_serial && same_results(reference, trace);
+        out.parallel.push_back(timing);
+    }
+    return out;
+}
+
 bool write_engine_json(const std::string& path, const std::vector<engine_benchmark>& benches,
                        bool quick) {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -357,15 +438,26 @@ bool write_engine_json(const std::string& path, const std::vector<engine_benchma
         std::fprintf(f, "      \"name\": \"%s\",\n", eb.name.c_str());
         std::fprintf(f, "      \"items\": %zu,\n", eb.items);
         std::fprintf(f, "      \"serial_ms\": %.6f,\n", eb.serial_ms);
+        if (eb.has_worst) {
+            std::fprintf(f, "      \"serial_worst_batch_ms\": %.6f,\n", eb.serial_worst_ms);
+        }
         std::fprintf(f, "      \"identical_to_serial\": %s,\n",
                      eb.identical_to_serial ? "true" : "false");
         std::fprintf(f, "      \"parallel\": [\n");
         for (std::size_t p = 0; p < eb.parallel.size(); ++p) {
             const thread_timing& tt = eb.parallel[p];
             const double speedup = tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0;
-            std::fprintf(f, "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
-                         tt.threads, tt.ms, speedup,
-                         p + 1 < eb.parallel.size() ? "," : "");
+            if (eb.has_worst) {
+                std::fprintf(f,
+                             "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f, "
+                             "\"worst_batch_ms\": %.6f}%s\n",
+                             tt.threads, tt.ms, speedup, tt.worst_ms,
+                             p + 1 < eb.parallel.size() ? "," : "");
+            } else {
+                std::fprintf(f, "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
+                             tt.threads, tt.ms, speedup,
+                             p + 1 < eb.parallel.size() ? "," : "");
+            }
         }
         std::fprintf(f, "      ]\n");
         std::fprintf(f, "    }%s\n", b + 1 < benches.size() ? "," : "");
@@ -400,15 +492,26 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
     benches.push_back(run_spe_sweep(thread_counts, quick));
     benches.push_back(run_injection_sweep(thread_counts, quick));
     benches.push_back(run_streaming_push_sweep(thread_counts, quick));
+    // Streams x pool size: one entry per stream count, pool sizes within.
+    for (const std::size_t streams : quick ? std::vector<std::size_t>{2, 6}
+                                           : std::vector<std::size_t>{4, 16, 32}) {
+        benches.push_back(run_multistream_sweep(thread_counts, streams, quick));
+    }
 
     bool all_identical = true;
     for (const engine_benchmark& eb : benches) {
         std::printf("%-22s %zu items, serial %.3f ms, results %s\n", eb.name.c_str(), eb.items,
                     eb.serial_ms, eb.identical_to_serial ? "bit-identical" : "DIVERGED");
         for (const thread_timing& tt : eb.parallel) {
-            std::printf("    %zu thread%s: %.3f ms (%.2fx)\n", tt.threads,
-                        tt.threads == 1 ? " " : "s", tt.ms,
-                        tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0);
+            if (eb.has_worst) {
+                std::printf("    %zu thread%s: %.3f ms (%.2fx), worst batch %.3f ms\n",
+                            tt.threads, tt.threads == 1 ? " " : "s", tt.ms,
+                            tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0, tt.worst_ms);
+            } else {
+                std::printf("    %zu thread%s: %.3f ms (%.2fx)\n", tt.threads,
+                            tt.threads == 1 ? " " : "s", tt.ms,
+                            tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0);
+            }
         }
         all_identical = all_identical && eb.identical_to_serial;
     }

@@ -2,6 +2,23 @@
 
 namespace netdiag {
 
+namespace detail {
+
+namespace {
+// The pool whose worker_loop is running on this thread, if any. Lets
+// parallel_for detect that it was called from inside a job of the same
+// pool and degrade to a serial loop instead of violating the no-nesting
+// contract (a nested dispatch would park this worker on jobs that may
+// sit behind other parked workers in the queue).
+thread_local const thread_pool* current_worker_pool = nullptr;
+}  // namespace
+
+bool on_worker_of(const thread_pool& pool) noexcept {
+    return current_worker_pool == &pool;
+}
+
+}  // namespace detail
+
 thread_pool::thread_pool(std::size_t threads) {
     if (threads == 0) threads = hardware_threads();
     workers_.reserve(threads);
@@ -33,6 +50,7 @@ std::size_t thread_pool::hardware_threads() noexcept {
 }
 
 void thread_pool::worker_loop() {
+    detail::current_worker_pool = this;
     for (;;) {
         std::function<void()> job;
         {

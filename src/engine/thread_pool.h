@@ -44,15 +44,16 @@ public:
 
     std::size_t size() const noexcept { return workers_.size(); }
 
-    // Enqueues a job for execution on some worker. Jobs must not block on
-    // other jobs in the same pool (no nested parallel_for over one pool).
+    // Enqueues a job for execution on some worker. Jobs must not *wait*
+    // on other jobs in the same pool (a future.get() from inside a job
+    // can deadlock once every worker is parked on such a wait). A
+    // parallel_for over this pool from inside a job is safe: it detects
+    // the nesting and degrades to a serial loop (bit-identical results).
     void submit(std::function<void()> job);
 
     // Enqueues a callable and returns a future for its result. Exceptions
-    // thrown by the task surface at future.get(). The same no-nesting rule
-    // as submit() applies: a task must not wait on another task or run a
-    // parallel_for over this pool, or the pool can deadlock once every
-    // worker is parked on such a wait.
+    // thrown by the task surface at future.get(). The same no-waiting
+    // rule as submit() applies to the task body.
     template <typename Fn>
     std::future<std::invoke_result_t<std::decay_t<Fn>>> submit_task(Fn&& fn) {
         using result_t = std::invoke_result_t<std::decay_t<Fn>>;
@@ -78,6 +79,11 @@ private:
 
 namespace detail {
 
+// True when the calling thread is a worker of `pool` (i.e. we are inside
+// one of its jobs). Defined in thread_pool.cpp next to the thread_local
+// it reads.
+bool on_worker_of(const thread_pool& pool) noexcept;
+
 // Shared completion state for one parallel_for call.
 struct parallel_for_sync {
     std::mutex mu;
@@ -101,9 +107,20 @@ struct parallel_for_sync {
 // run; rethrows the first exception any chunk raised. Empty ranges are a
 // no-op. Results must be written to per-index slots by the body — the
 // chunking itself imposes no ordering on side effects.
+//
+// Called from inside a job of the same pool (e.g. a kernel invoked by a
+// task the multi-stream server sharded onto a worker), the dispatch
+// degrades to a plain serial loop: results are bit-identical either way
+// by the kernels' fixed-block contract, and the alternative — parking
+// this worker on chunks that may be queued behind other parked workers —
+// is the deadlock the no-nesting rule exists to prevent.
 template <typename Body>
 void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, Body&& body) {
     if (begin >= end) return;
+    if (detail::on_worker_of(pool)) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
     const std::size_t count = end - begin;
     const std::size_t chunks = std::min(pool.size(), count);
     const std::size_t base = count / chunks;
@@ -168,6 +185,11 @@ template <typename Body>
 void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, std::size_t grain,
                   Body&& body) {
     if (begin >= end) return;
+    if (detail::on_worker_of(pool)) {
+        // Same serial degradation as the static overload above.
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
     if (grain == 0) {
         parallel_for(pool, begin, end, std::forward<Body>(body));
         return;

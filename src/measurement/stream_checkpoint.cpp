@@ -14,7 +14,18 @@ namespace ckpt {
 namespace {
 
 constexpr std::uint64_t k_magic = 0x314b434453444eull;  // "NDSDCK1" packed
-constexpr std::uint64_t k_format_version = 1;
+// Version 2: streaming_diagnoser records carry the queued-refit window
+// snapshot (the freshest-trigger queue slot) after the pending-refit
+// block. Version-1 files predate that field and are rejected.
+constexpr std::uint64_t k_format_version = 2;
+
+// std::byteswap is C++23; the checkpoint format only needs it for the
+// magic-word endianness probe below.
+constexpr std::uint64_t byteswap_u64(std::uint64_t v) {
+    v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
+    v = ((v & 0x0000ffff0000ffffull) << 16) | ((v >> 16) & 0x0000ffff0000ffffull);
+    return (v << 32) | (v >> 32);
+}
 
 void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
     out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
@@ -105,7 +116,18 @@ void write_header(std::ostream& out, const std::string& type_tag) {
 }
 
 std::string read_header(std::istream& in) {
-    if (read_u64(in) != k_magic) {
+    const std::uint64_t magic = read_u64(in);
+    if (magic == byteswap_u64(k_magic)) {
+        // The file is a checkpoint, but from a host of the opposite byte
+        // order. The format is deliberately host-endian (exact double bit
+        // patterns, for bit-exact replay); reject loudly rather than
+        // replay garbage. See ROADMAP.md for the portable-variant note.
+        throw std::runtime_error(
+            "stream_checkpoint: checkpoint was written on a host with different "
+            "endianness (the format is host-endian by design; re-snapshot on this "
+            "architecture or use the CSV dataset layout for interchange)");
+    }
+    if (magic != k_magic) {
         throw std::runtime_error("stream_checkpoint: bad magic (not a checkpoint file)");
     }
     const std::uint64_t version = read_u64(in);

@@ -7,7 +7,10 @@
 // their exact bit patterns, so a restored stream replays the remaining
 // detection sequence bit-for-bit; the format is host-endian and intended
 // for snapshot/restore on the same architecture, not as an interchange
-// format (dataset archives stay in the CSV layout of persistence.h).
+// format (dataset archives stay in the CSV layout of persistence.h). A
+// checkpoint from a host of the opposite byte order is detected via the
+// byte-swapped magic word and rejected with a clear error instead of
+// silently replaying garbage.
 //
 // The ckpt primitives are exposed so the detectors' save()/restore()
 // implementations (subspace/online.cpp) and tests can share one encoding.

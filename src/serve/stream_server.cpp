@@ -1,0 +1,273 @@
+#include "serve/stream_server.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "measurement/stream_checkpoint.h"
+
+namespace netdiag {
+
+namespace {
+
+constexpr const char* k_manifest_tag = "stream_server_manifest";
+
+std::string checkpoint_filename(stream_id id) {
+    return "stream_" + std::to_string(id) + ".ckpt";
+}
+
+}  // namespace
+
+stream_server::stream_server(stream_server_config cfg) {
+    if (cfg.threads > 0) pool_ = std::make_unique<thread_pool>(cfg.threads);
+}
+
+stream_server::~stream_server() {
+    // Detectors join their own background work on destruction; destroy
+    // them before the pool they run on.
+    std::unique_lock lock(mu_);
+    streams_.clear();
+}
+
+std::unique_ptr<stream_detector> stream_server::build_detector(stream_open_config&& cfg) {
+    switch (cfg.kind) {
+        case stream_kind::diagnoser: {
+            // The server's pool replaces whatever the caller wired in: all
+            // maintenance shares one engine.
+            cfg.streaming.pool = pool_.get();
+            return std::make_unique<streaming_diagnoser>(cfg.bootstrap_y, cfg.a,
+                                                         std::move(cfg.streaming));
+        }
+        case stream_kind::tracking:
+            return std::make_unique<tracking_detector>(cfg.bootstrap_y, cfg.max_rank,
+                                                       cfg.confidence, cfg.separation,
+                                                       pool_.get(), cfg.deferred_updates);
+        case stream_kind::tracker:
+            return std::make_unique<incremental_pca_tracker>(cfg.bootstrap_y, cfg.max_rank,
+                                                             pool_.get());
+    }
+    throw std::invalid_argument("stream_server: unknown stream kind");
+}
+
+stream_id stream_server::open_stream(stream_open_config cfg) {
+    // Build outside the lock: bootstrap fits can be expensive and touch
+    // only the new detector (plus the pool, which is thread-safe).
+    std::unique_ptr<stream_detector> detector = build_detector(std::move(cfg));
+    return adopt_stream(std::move(detector));
+}
+
+stream_id stream_server::adopt_stream(std::unique_ptr<stream_detector> detector) {
+    if (detector == nullptr) {
+        throw std::invalid_argument("stream_server: cannot adopt a null detector");
+    }
+    std::unique_lock lock(mu_);
+    const stream_id id = next_id_++;
+    streams_.emplace(id, std::move(detector));
+    return id;
+}
+
+stream_detector& stream_server::locked_stream(stream_id id) {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) {
+        throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
+    }
+    return *it->second;
+}
+
+const stream_detector& stream_server::locked_stream(stream_id id) const {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) {
+        throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
+    }
+    return *it->second;
+}
+
+void stream_server::close_stream(stream_id id) {
+    // Unpublish under the lock, but drain outside it: joining a
+    // multi-second refit while holding mu_ exclusively would stall every
+    // other stream's push for the whole fit.
+    std::unique_ptr<stream_detector> victim;
+    {
+        std::unique_lock lock(mu_);
+        const auto it = streams_.find(id);
+        if (it == streams_.end()) {
+            throw std::invalid_argument("stream_server: unknown stream id " +
+                                        std::to_string(id));
+        }
+        victim = std::move(it->second);
+        streams_.erase(it);
+    }
+    // Join the stream's background maintenance before teardown so a refit
+    // failure surfaces here instead of being swallowed by the destructor.
+    victim->drain();
+}
+
+detection_result stream_server::push(stream_id id, std::span<const double> y) {
+    std::shared_lock lock(mu_);
+    return locked_stream(id).push_bin(y);
+}
+
+std::vector<detection_result> stream_server::push_batch(std::span<const stream_bin> bins) {
+    std::shared_lock lock(mu_);
+
+    // Group by stream, preserving per-stream batch order. Validation is
+    // all-or-nothing: an unknown id or a width mismatch throws before any
+    // bin is pushed, so a batch that fails validation never leaves
+    // streams partially advanced (which would break their replay parity
+    // unrecoverably). Detector errors surfacing mid-batch are rethrown
+    // only after every group has stopped.
+    struct group {
+        stream_detector* detector = nullptr;
+        std::vector<std::size_t> items;  // indices into bins, in batch order
+    };
+    std::vector<group> groups;
+    std::map<stream_id, std::size_t> group_of;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const auto [it, inserted] = group_of.try_emplace(bins[i].id, groups.size());
+        if (inserted) groups.push_back({&locked_stream(bins[i].id), {}});
+        if (bins[i].y.size() != groups[it->second].detector->dimension()) {
+            throw std::invalid_argument(
+                "stream_server: bin width " + std::to_string(bins[i].y.size()) +
+                " does not match stream " + std::to_string(bins[i].id) + " dimension " +
+                std::to_string(groups[it->second].detector->dimension()));
+        }
+        groups[it->second].items.push_back(i);
+    }
+    std::vector<detection_result> results(bins.size());
+    if (groups.empty()) return results;
+
+    const auto run_group = [&](const group& g) {
+        for (const std::size_t i : g.items) {
+            results[i] = g.detector->push_bin(bins[i].y);
+        }
+    };
+
+    if (pool_ == nullptr || groups.size() == 1) {
+        for (const group& g : groups) run_group(g);
+        return results;
+    }
+
+    // A deferred refit whose swap boundary falls inside this batch would
+    // make a pool worker wait on a pool task; resolve those waits here on
+    // the calling thread first (workers stay free to run the fit), so the
+    // sharded phase below never parks a worker on maintenance that was
+    // already due at batch entry.
+    for (const group& g : groups) {
+        if (auto* diagnoser = dynamic_cast<streaming_diagnoser*>(g.detector)) {
+            diagnoser->prepare_pushes(g.items.size());
+        }
+    }
+
+    // Shard one group per grain-claimed chunk, rotating the starting
+    // group between batches so no stream is systematically served first
+    // (round-robin fairness: a refit-heavy stream holds at most one
+    // worker while the dynamic claiming spreads the rest). One dispatch
+    // at a time: see dispatch_mu_.
+    const std::size_t rotation =
+        shard_rotation_.fetch_add(1, std::memory_order_relaxed) % groups.size();
+    std::lock_guard dispatch(dispatch_mu_);
+    parallel_for(*pool_, 0, groups.size(), /*grain=*/1, [&](std::size_t g) {
+        run_group(groups[(g + rotation) % groups.size()]);
+    });
+    return results;
+}
+
+stream_server::stream_stats stream_server::stats(stream_id id) const {
+    std::shared_lock lock(mu_);
+    const stream_detector& det = locked_stream(id);
+    return {det.dimension(), det.processed(), det.alarm_count(), det.model_epoch()};
+}
+
+const stream_detector& stream_server::stream(stream_id id) const {
+    std::shared_lock lock(mu_);
+    return locked_stream(id);
+}
+
+std::size_t stream_server::stream_count() const {
+    std::shared_lock lock(mu_);
+    return streams_.size();
+}
+
+std::vector<stream_id> stream_server::stream_ids() const {
+    std::shared_lock lock(mu_);
+    std::vector<stream_id> ids;
+    ids.reserve(streams_.size());
+    for (const auto& [id, det] : streams_) ids.push_back(id);
+    return ids;
+}
+
+void stream_server::drain_all() {
+    std::unique_lock lock(mu_);
+    for (auto& [id, det] : streams_) det->drain();
+}
+
+void stream_server::snapshot_all(const std::string& directory) {
+    std::unique_lock lock(mu_);
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec) {
+        throw std::runtime_error("stream_server::snapshot_all: cannot create " + directory +
+                                 ": " + ec.message());
+    }
+    for (auto& [id, det] : streams_) {
+        save_stream_detector(*det, (std::filesystem::path(directory) /
+                                    checkpoint_filename(id)).string());
+    }
+
+    const std::string manifest_path =
+        (std::filesystem::path(directory) / "manifest.ckpt").string();
+    std::ofstream out(manifest_path, std::ios::binary);
+    if (!out) {
+        throw std::runtime_error("stream_server::snapshot_all: cannot open " + manifest_path);
+    }
+    ckpt::write_header(out, k_manifest_tag);
+    ckpt::write_u64(out, next_id_);
+    ckpt::write_u64(out, streams_.size());
+    for (const auto& [id, det] : streams_) ckpt::write_u64(out, id);
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("stream_server::snapshot_all: write failed for " +
+                                 manifest_path);
+    }
+}
+
+void stream_server::restore_all(const std::string& directory) {
+    std::unique_lock lock(mu_);
+    if (!streams_.empty()) {
+        throw std::logic_error("stream_server::restore_all: server already has open streams");
+    }
+
+    const std::string manifest_path =
+        (std::filesystem::path(directory) / "manifest.ckpt").string();
+    std::ifstream in(manifest_path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("stream_server::restore_all: cannot open " + manifest_path);
+    }
+    ckpt::expect_header(in, k_manifest_tag);
+    const std::uint64_t saved_next_id = ckpt::read_u64(in);
+    const std::uint64_t count = ckpt::read_u64(in);
+    if (count > (1u << 20)) {
+        throw std::runtime_error("stream_server::restore_all: malformed manifest stream count");
+    }
+
+    std::map<stream_id, std::unique_ptr<stream_detector>> restored;
+    stream_id max_id = 0;
+    for (std::uint64_t s = 0; s < count; ++s) {
+        const stream_id id = ckpt::read_u64(in);
+        auto detector = load_stream_detector(
+            (std::filesystem::path(directory) / checkpoint_filename(id)).string(),
+            pool_.get());
+        const auto [it, inserted] = restored.emplace(id, std::move(detector));
+        if (!inserted) {
+            throw std::runtime_error("stream_server::restore_all: duplicate stream id " +
+                                     std::to_string(id));
+        }
+        max_id = std::max(max_id, id);
+    }
+    streams_ = std::move(restored);
+    next_id_ = std::max<stream_id>(saved_next_id, max_id + 1);
+}
+
+}  // namespace netdiag

@@ -1,0 +1,209 @@
+// Sharded multi-stream serving front-end: the ROADMAP "multi-stream
+// serving" step. One stream_server owns N independent stream_detector
+// instances -- any mix of streaming_diagnoser / tracking_detector /
+// incremental_pca_tracker, one per PoP / customer / vantage point -- each
+// with its own epoch space, multiplexed over one shared engine
+// thread_pool.
+//
+// Parity guarantee: the server adds routing, never arithmetic. A stream
+// served here produces bit-identical output -- verdicts, SPE, thresholds,
+// epochs -- to the same detector run alone with the same refit mode, for
+// every pool size including none. This holds by construction: per-stream
+// state is only ever touched by one push at a time, per-stream order is
+// the caller's push order, and the PR-3 epoch-versioning discipline makes
+// each detector's output a function of its own input stream alone
+// (deferred refits are independent submit_task's; pooled fits/folds are
+// bit-identical to serial ones).
+//
+// Fairness / backpressure policy:
+//  - push_batch groups the batch by stream (per-stream order preserved)
+//    and shards the groups across the pool with dynamic chunk claiming,
+//    rotating the group order round-robin between batches, so a
+//    refit-heavy stream occupies at most one worker while every other
+//    stream's group proceeds on the rest.
+//  - Per-stream pending-refit work is bounded: a streaming_diagnoser has
+//    at most one refit computing plus one queued freshest-window snapshot
+//    (see subspace/online.h), so a stream that triggers refits faster
+//    than they fit degrades to refitting at fit speed instead of piling
+//    tasks onto the shared pool.
+//  - Before sharding a batch, the server resolves -- on the *calling*
+//    thread -- any refit wait already due within the batch
+//    (streaming_diagnoser::prepare_pushes), so in the common case no pool
+//    worker ever parks on a refit future and a straggling fit delays only
+//    its own stream. (A refit both triggered and falling due inside one
+//    batch can still briefly park its worker; the pool's parallel_for
+//    always leaves a worker free for queued maintenance, so that is a
+//    stall bound, never a deadlock.) Detector kernels that would shard
+//    over the pool (a blocking-mode refit, a pooled rank-1 fold) are safe
+//    to reach from a sharded push: parallel_for detects it is running on
+//    a worker of its own pool and degrades to a serial loop,
+//    bit-identical by the kernels' fixed-block contract.
+//
+// Threading contract: open/close/snapshot/restore are exclusive;
+// push/push_batch/stats may run concurrently with each other from
+// different threads provided no two of them touch the same stream at
+// once (per-stream calls are externally ordered by the caller -- a
+// serving loop naturally has one feed per stream). push_batch itself
+// parallelizes internally, so single-threaded callers already get full
+// pool utilization.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "linalg/matrix.h"
+#include "subspace/online.h"
+#include "subspace/stream_detector.h"
+
+namespace netdiag {
+
+// Identifies one open stream for the lifetime of the server (and across
+// snapshot_all / restore_all round trips). Never reused after close.
+using stream_id = std::uint64_t;
+
+enum class stream_kind {
+    diagnoser,  // streaming_diagnoser: sliding window + periodic refits
+    tracking,   // tracking_detector: SPE detection over rank-1 updates
+    tracker,    // incremental_pca_tracker: maintenance-only axis tracking
+};
+
+// Everything needed to build one stream's detector. The server overrides
+// any pool wiring with its own shared pool.
+struct stream_open_config {
+    stream_kind kind = stream_kind::diagnoser;
+    matrix bootstrap_y;  // initial model fit + window/tracker seed
+
+    // diagnoser only.
+    matrix a;  // routing matrix (links x OD flows)
+    streaming_config streaming;
+
+    // tracking / tracker only.
+    std::size_t max_rank = 10;
+    double confidence = 0.999;       // tracking
+    separation_config separation;    // tracking
+    bool deferred_updates = false;   // tracking: pipeline folds on the pool
+};
+
+struct stream_server_config {
+    // Worker threads in the shared pool. 0 = no pool at all: every push,
+    // refit and fold runs on the calling thread (the deterministic
+    // reference the parity tests compare against).
+    std::size_t threads = 0;
+};
+
+class stream_server {
+public:
+    explicit stream_server(stream_server_config cfg = {});
+
+    // Drains and closes every stream (never throws past the teardown).
+    ~stream_server();
+
+    stream_server(const stream_server&) = delete;
+    stream_server& operator=(const stream_server&) = delete;
+
+    // Builds a detector from cfg wired to the server's pool and registers
+    // it under a fresh id. Throws whatever the detector constructor
+    // throws on a degenerate bootstrap.
+    stream_id open_stream(stream_open_config cfg);
+
+    // Registers an already-built detector (which must be wired to pool()
+    // or to no pool). Throws std::invalid_argument on null.
+    stream_id adopt_stream(std::unique_ptr<stream_detector> detector);
+
+    // Drains the stream's in-flight maintenance and removes it. Other
+    // streams are untouched -- closing a stream never perturbs their
+    // output. Throws std::invalid_argument on an unknown id.
+    void close_stream(stream_id id);
+
+    // Pushes one bin to one stream on the calling thread. Throws
+    // std::invalid_argument on an unknown id or a width mismatch.
+    detection_result push(stream_id id, std::span<const double> y);
+
+    // One batch entry: a bin destined for a stream. The span must stay
+    // valid for the duration of the push_batch call.
+    struct stream_bin {
+        stream_id id = 0;
+        std::span<const double> y;
+    };
+
+    // Pushes a batch, sharding per-stream groups across the pool (round
+    // robin; see the fairness policy above). Entries for the same stream
+    // are applied in batch order. Results are returned in batch order and
+    // are bit-identical for every pool size. Throws std::invalid_argument
+    // if any id is unknown or any bin's width does not match its stream's
+    // dimension -- validated up front, so a batch that fails validation
+    // pushes nothing. (A *detector* error surfacing mid-batch -- e.g. a
+    // background refit that failed -- still propagates after other
+    // streams' bins were applied; only validation is all-or-nothing.)
+    std::vector<detection_result> push_batch(std::span<const stream_bin> bins);
+
+    // Per-stream counters, readable between pushes.
+    struct stream_stats {
+        std::size_t dimension = 0;
+        std::size_t processed = 0;
+        std::size_t alarms = 0;
+        std::uint64_t epoch = 0;
+    };
+    stream_stats stats(stream_id id) const;
+
+    // Read access to a stream's detector (e.g. to downcast for
+    // detector-specific inspection in tests). Throws on unknown id.
+    const stream_detector& stream(stream_id id) const;
+
+    std::size_t stream_count() const;
+    std::vector<stream_id> stream_ids() const;
+
+    // The shared pool, or nullptr when configured with threads == 0.
+    thread_pool* pool() noexcept { return pool_.get(); }
+    std::size_t pool_size() const noexcept { return pool_ ? pool_->size() : 0; }
+
+    // Blocks until no stream has background maintenance in flight.
+    void drain_all();
+
+    // Checkpoints every stream into directory (created if missing):
+    // stream_<id>.ckpt per stream via save_stream_detector, plus a
+    // manifest binding ids to files. Drains first, so the bytes are
+    // independent of pool size and timing. Quiesces the server for its
+    // duration (exclusive lock across the drains and the disk writes) --
+    // it is a maintenance operation, not a serving-path one. Throws
+    // std::runtime_error on I/O failure.
+    void snapshot_all(const std::string& directory);
+
+    // Reopens every stream recorded by snapshot_all under its original
+    // id, wired to this server's pool. The server must have no open
+    // streams. Throws std::runtime_error on a missing/malformed manifest
+    // or checkpoint and std::logic_error when streams are already open.
+    void restore_all(const std::string& directory);
+
+private:
+    stream_detector& locked_stream(stream_id id);
+    const stream_detector& locked_stream(stream_id id) const;
+    std::unique_ptr<stream_detector> build_detector(stream_open_config&& cfg);
+
+    std::unique_ptr<thread_pool> pool_;
+    mutable std::shared_mutex mu_;
+    // Serializes the sharded phase of concurrent push_batch calls. One
+    // batch's parallel_for leaves at least one pool worker free (it
+    // submits at most size-1 helper jobs), which is what guarantees that
+    // maintenance tasks and nested detector kernels queued by the batch
+    // always make progress; two interleaved batch dispatches could park
+    // every worker at once, so they take turns here instead.
+    std::mutex dispatch_mu_;
+    // Ordered so snapshot_all and stream_ids() enumerate deterministically.
+    std::map<stream_id, std::unique_ptr<stream_detector>> streams_;
+    stream_id next_id_ = 1;
+    // Round-robin offset across batches; atomic because concurrent
+    // push_batch calls (shared lock) both advance it.
+    std::atomic<std::size_t> shard_rotation_{0};
+};
+
+}  // namespace netdiag

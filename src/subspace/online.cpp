@@ -104,10 +104,14 @@ void streaming_diagnoser::maybe_apply_swap() {
         apply_swap(take_pending());
         return;
     }
-    // Eager: swap at the first push that finds the fit finished.
+    // Eager: swap at the first push that finds the fit finished. Empty
+    // the ready slot *before* applying: apply_swap may launch a queued
+    // refit, and without a pool that fit lands back in ready_ -- a reset
+    // afterwards would destroy it (and silently drop the queued refit).
     if (ready_.has_value()) {
-        apply_swap(std::move(*ready_));
+        volume_anomaly_diagnoser next = std::move(*ready_);
         ready_.reset();
+        apply_swap(std::move(next));
         return;
     }
     if (inflight_.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
@@ -124,9 +128,19 @@ void streaming_diagnoser::trigger_refit() {
                                             cfg_.separation, cfg_.pool));
         return;
     }
-    // One pending refit at a time; a trigger landing while one is pending
-    // is dropped (deterministically so in deferred mode).
-    if (refit_pending()) return;
+    // One refit computes at a time. A trigger landing while one is pending
+    // queues this trigger's window snapshot -- freshest wins, so a burst
+    // of triggers during one slow fit costs a single extra fit, never an
+    // unbounded backlog -- and the queued fit launches when the pending
+    // swap is applied (deterministically so in deferred mode).
+    if (refit_pending()) {
+        queued_window_ = window_to_matrix(window_);
+        return;
+    }
+    launch_refit(window_to_matrix(window_));
+}
+
+void streaming_diagnoser::launch_refit(matrix&& snapshot) {
     swap_at_ = processed_ + std::max<std::size_t>(cfg_.swap_horizon, 1);
 
     // The task owns copies of everything it reads, so the diagnoser can be
@@ -134,7 +148,7 @@ void streaming_diagnoser::trigger_refit() {
     // fit itself runs serially: a pool task must not run a nested
     // parallel_for over its own pool, and the serial fit is bit-identical
     // to the sharded one anyway.
-    auto fit = [snapshot = window_to_matrix(window_), a = a_, confidence = cfg_.confidence,
+    auto fit = [snapshot = std::move(snapshot), a = a_, confidence = cfg_.confidence,
                 sep = cfg_.separation, observer = cfg_.refit_observer]() {
         if (observer) observer();
         return volume_anomaly_diagnoser(snapshot, a, confidence, sep, nullptr);
@@ -146,6 +160,14 @@ void streaming_diagnoser::trigger_refit() {
         // boundary so results match the pooled runs bit-for-bit.
         ready_ = fit();
     }
+}
+
+void streaming_diagnoser::prepare_pushes(std::size_t bins) {
+    if (cfg_.mode != refit_mode::deferred || !inflight_.valid()) return;
+    // The swap applies at the push whose entry count reaches swap_at_;
+    // the coming pushes enter at processed_ .. processed_ + bins - 1.
+    if (processed_ + bins <= swap_at_) return;
+    ready_ = inflight_.get();
 }
 
 volume_anomaly_diagnoser streaming_diagnoser::take_pending() {
@@ -163,6 +185,15 @@ void streaming_diagnoser::apply_swap(volume_anomaly_diagnoser&& next) {
     diagnoser_ = std::move(next);
     ++epoch_;
     ++refits_;
+    if (queued_window_.has_value()) {
+        // A trigger fired while this refit was pending: start the queued
+        // fit now, against the freshest snapshot captured at that trigger.
+        // The swap boundary is computed from the current processed_ count,
+        // which is deterministic, so the cascade replays exactly.
+        matrix snapshot = std::move(*queued_window_);
+        queued_window_.reset();
+        launch_refit(std::move(snapshot));
+    }
 }
 
 void streaming_diagnoser::drain() {
@@ -195,6 +226,8 @@ void streaming_diagnoser::save(std::ostream& out) {
         ckpt::write_u64(out, swap_at_);
         write_model(out, ready_->model());
     }
+    ckpt::write_flag(out, queued_window_.has_value());
+    if (queued_window_.has_value()) ckpt::write_matrix(out, *queued_window_);
 }
 
 struct streaming_diagnoser::restored_state {
@@ -208,6 +241,7 @@ struct streaming_diagnoser::restored_state {
     std::size_t refits = 0;
     std::size_t since_refit = 0;
     std::optional<volume_anomaly_diagnoser> ready;
+    std::optional<matrix> queued_window;
     std::size_t swap_at = 0;
 };
 
@@ -222,6 +256,7 @@ streaming_diagnoser::streaming_diagnoser(restored_state&& state)
       refits_(state.refits),
       since_refit_(state.since_refit),
       ready_(std::move(state.ready)),
+      queued_window_(std::move(state.queued_window)),
       swap_at_(state.swap_at) {}
 
 streaming_diagnoser streaming_diagnoser::restore(std::istream& in, thread_pool* pool) {
@@ -266,6 +301,8 @@ streaming_diagnoser streaming_diagnoser::restore(std::istream& in, thread_pool* 
         swap_at = ckpt::read_u64(in);
         ready.emplace(read_model(in), a, cfg.confidence);
     }
+    std::optional<matrix> queued_window;
+    if (ckpt::read_flag(in)) queued_window = ckpt::read_matrix(in);
 
     restored_state state{
         .cfg = std::move(cfg),
@@ -278,6 +315,7 @@ streaming_diagnoser streaming_diagnoser::restore(std::istream& in, thread_pool* 
         .refits = refits,
         .since_refit = since_refit,
         .ready = std::move(ready),
+        .queued_window = std::move(queued_window),
         .swap_at = swap_at,
     };
     return streaming_diagnoser(std::move(state));

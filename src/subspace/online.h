@@ -123,7 +123,20 @@ public:
     // True while a background fit is computing or a finished fit awaits
     // its deferred swap boundary.
     bool refit_pending() const noexcept { return inflight_.valid() || ready_.has_value(); }
+    // True when a trigger fired while a refit was pending and its window
+    // snapshot is queued to fit as soon as the pending swap applies.
+    bool refit_queued() const noexcept { return queued_window_.has_value(); }
     const volume_anomaly_diagnoser& current() const noexcept { return diagnoser_; }
+
+    // When a background refit (or a finished one awaiting its deferred
+    // boundary) will swap within the next `bins` pushes, resolves the wait
+    // now on the calling thread: the fit result is collected into the
+    // ready slot so the swap itself never blocks. This is the seam the
+    // multi-stream server uses before sharding a batch across the pool --
+    // a pool worker must never park on a refit future (see
+    // serve/stream_server.h). Deterministic: only *where* the wait
+    // happens moves, never the swap bin. No-op in blocking/eager modes.
+    void prepare_pushes(std::size_t bins);
 
 private:
     struct restored_state;  // defined in online.cpp
@@ -131,6 +144,7 @@ private:
 
     void maybe_apply_swap();
     void trigger_refit();
+    void launch_refit(matrix&& snapshot);
     void apply_swap(volume_anomaly_diagnoser&& next);
     volume_anomaly_diagnoser take_pending();
 
@@ -144,11 +158,16 @@ private:
     std::size_t refits_ = 0;
     std::size_t since_refit_ = 0;
 
-    // Background refit state. At most one refit is pending at a time; a
-    // trigger that fires while one is pending is skipped (deterministic,
-    // since pendingness is itself deterministic in deferred mode).
+    // Background refit state. At most one refit is *computing* at a time;
+    // a trigger that fires while one is pending queues its window snapshot
+    // (freshest wins -- the queue is one slot deep, which is also the
+    // per-stream refit backpressure bound the serving front-end relies
+    // on), and the queued fit launches the moment the pending swap is
+    // applied. Deterministic in deferred mode, since pendingness is itself
+    // deterministic there.
     std::future<volume_anomaly_diagnoser> inflight_;
     std::optional<volume_anomaly_diagnoser> ready_;
+    std::optional<matrix> queued_window_;
     std::size_t swap_at_ = 0;  // deferred: processed_ value at which to swap
 };
 

@@ -134,6 +134,37 @@ TEST(ParallelForGrain, PropagatesBodyExceptions) {
     EXPECT_EQ(calls.load(), 10);
 }
 
+TEST(ParallelFor, NestedDispatchFromAPoolJobDegradesToSerial) {
+    // A parallel_for over a pool, issued from inside one of that pool's
+    // own jobs (a sharded multi-stream push reaching a pooled detector
+    // kernel), must run the range serially on the worker instead of
+    // parking it on nested chunks -- every index exactly once, no
+    // deadlock, for both overloads. Saturate the pool with such jobs so
+    // a real nested dispatch would have no free worker at all.
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        thread_pool pool(threads);
+        const std::size_t jobs = threads * 2;
+        std::vector<std::vector<std::atomic<int>>> hits(jobs);
+        for (auto& h : hits) {
+            h = std::vector<std::atomic<int>>(64);
+        }
+        std::vector<std::future<void>> done;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            done.push_back(pool.submit_task([&pool, &hits, j] {
+                parallel_for(pool, 0, 64, [&](std::size_t i) { ++hits[j][i]; });
+                parallel_for(pool, 0, 64, /*grain=*/8,
+                             [&](std::size_t i) { ++hits[j][i]; });
+            }));
+        }
+        for (auto& f : done) f.get();
+        for (std::size_t j = 0; j < jobs; ++j) {
+            for (std::size_t i = 0; i < 64; ++i) {
+                ASSERT_EQ(hits[j][i].load(), 2) << "threads=" << threads << " job=" << j;
+            }
+        }
+    }
+}
+
 TEST(SubmitTask, ReturnsFutureValue) {
     thread_pool pool(2);
     auto fut = pool.submit_task([] { return 41 + 1; });

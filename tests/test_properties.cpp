@@ -3,11 +3,16 @@
 // of the traffic model, not just the preset datasets.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
 
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "measurement/dataset.h"
+#include "serve/stream_server.h"
 #include "subspace/detectability.h"
 #include "subspace/diagnoser.h"
 #include "topology/builders.h"
@@ -151,6 +156,141 @@ TEST_P(ConfidenceSweep, AlarmCountDecreasesWithConfidence) {
 
 INSTANTIATE_TEST_SUITE_P(Confidences, ConfidenceSweep,
                          ::testing::Values(0.99, 0.995, 0.999, 0.9999));
+
+// ---------------------------------------------------------------------------
+// Multi-stream server invariants: randomized (seeded) push sequences that
+// must hold for any interleaving the server is handed, any mix of stream
+// kinds, and any pool size.
+// ---------------------------------------------------------------------------
+
+// FNV-1a over the exact output bits: two streams producing the same
+// digest saw bit-identical (anomalous, spe, threshold) sequences.
+std::uint64_t fold_detection(std::uint64_t digest, const detection_result& d) {
+    const auto mix = [&digest](std::uint64_t v) {
+        digest ^= v;
+        digest *= 1099511628211ull;
+    };
+    mix(d.anomalous ? 1 : 0);
+    mix(std::bit_cast<std::uint64_t>(d.spe));
+    mix(std::bit_cast<std::uint64_t>(d.threshold));
+    return digest;
+}
+
+class ServerSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    static constexpr std::size_t k_boot = 72;
+
+    void SetUp() override { ds_ = small_dataset(GetParam()); }
+
+    matrix bootstrap(std::size_t offset) const {
+        matrix out(k_boot, ds_.link_loads.cols());
+        for (std::size_t r = 0; r < k_boot; ++r) {
+            out.set_row(r, ds_.link_loads.row(offset + r));
+        }
+        return out;
+    }
+
+    stream_open_config make_config(std::size_t s) const {
+        stream_open_config cfg;
+        cfg.bootstrap_y = bootstrap(s * 11 % 100);
+        switch (s % 3) {
+            case 0:
+                cfg.kind = stream_kind::diagnoser;
+                cfg.a = ds_.routing.a;
+                cfg.streaming.window = k_boot;
+                cfg.streaming.refit_interval = 13;
+                cfg.streaming.swap_horizon = 5;
+                cfg.streaming.mode = refit_mode::deferred;
+                break;
+            case 1:
+                cfg.kind = stream_kind::tracking;
+                cfg.max_rank = 7;
+                break;
+            default:
+                cfg.kind = stream_kind::tracker;
+                cfg.max_rank = 5;
+                break;
+        }
+        return cfg;
+    }
+
+    dataset ds_;
+};
+
+TEST_P(ServerSeedSweep, BinCountsConservedAndEpochsMonotonePerStream) {
+    constexpr std::size_t k_streams = 6;
+    stream_server server({.threads = 2});
+
+    std::vector<stream_id> ids;
+    std::vector<std::size_t> pushed(k_streams, 0);
+    std::vector<std::uint64_t> last_epoch(k_streams, 0);
+    for (std::size_t s = 0; s < k_streams; ++s) ids.push_back(server.open_stream(make_config(s)));
+
+    std::mt19937_64 rng(GetParam() * 7919 + 17);
+    std::vector<std::size_t> cursors(k_streams, k_boot);
+    for (std::size_t step = 0; step < 300; ++step) {
+        const std::size_t s = rng() % k_streams;
+        const std::size_t row = cursors[s];
+        cursors[s] = row + 1 < ds_.bin_count() ? row + 1 : k_boot;
+        if (rng() % 2 == 0) {
+            server.push(ids[s], ds_.link_loads.row(row));
+        } else {
+            const stream_server::stream_bin bin{ids[s], ds_.link_loads.row(row)};
+            server.push_batch(std::span(&bin, 1));
+        }
+        ++pushed[s];
+
+        // Epochs never move backwards, and only maintenance can move them
+        // forwards.
+        const std::uint64_t epoch = server.stats(ids[s]).epoch;
+        EXPECT_GE(epoch, last_epoch[s]) << "seed " << GetParam() << " step " << step;
+        last_epoch[s] = epoch;
+    }
+
+    server.drain_all();
+    for (std::size_t s = 0; s < k_streams; ++s) {
+        const stream_server::stream_stats st = server.stats(ids[s]);
+        EXPECT_EQ(st.processed, pushed[s]) << "seed " << GetParam() << " stream " << s;
+        EXPECT_LE(st.alarms, st.processed) << "seed " << GetParam() << " stream " << s;
+        EXPECT_EQ(st.dimension, ds_.link_loads.cols());
+    }
+}
+
+TEST_P(ServerSeedSweep, ClosingOneStreamNeverPerturbsAnother) {
+    // Two identical runs of a seeded interleaving over three streams; in
+    // the second run the middle stream is closed partway through. The
+    // surviving streams' output digests must match the first run exactly.
+    const auto run = [&](bool close_midway) {
+        stream_server server({.threads = 2});
+        std::vector<stream_id> ids;
+        for (std::size_t s = 0; s < 3; ++s) ids.push_back(server.open_stream(make_config(s)));
+
+        std::vector<std::uint64_t> digests(3, 1469598103934665603ull);  // FNV offset
+        std::vector<std::size_t> cursors(3, k_boot);
+        std::mt19937_64 rng(GetParam() + 5);
+        bool closed = false;
+        for (std::size_t step = 0; step < 240; ++step) {
+            if (close_midway && !closed && step == 120) {
+                server.close_stream(ids[1]);
+                closed = true;
+            }
+            const std::size_t s = rng() % 3;
+            if (s == 1 && closed) continue;  // same rng draws either way
+            const std::size_t row = cursors[s];
+            cursors[s] = row + 1 < ds_.bin_count() ? row + 1 : k_boot;
+            digests[s] = fold_detection(digests[s], server.push(ids[s], ds_.link_loads.row(row)));
+        }
+        server.drain_all();
+        return digests;
+    };
+
+    const std::vector<std::uint64_t> uninterrupted = run(false);
+    const std::vector<std::uint64_t> with_close = run(true);
+    EXPECT_EQ(with_close[0], uninterrupted[0]) << "seed " << GetParam();
+    EXPECT_EQ(with_close[2], uninterrupted[2]) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerSeeds, ServerSeedSweep, ::testing::Values(11, 23, 37));
 
 }  // namespace
 }  // namespace netdiag

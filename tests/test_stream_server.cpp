@@ -1,0 +1,580 @@
+// The sharded multi-stream serving front-end: single-stream parity with
+// standalone detectors for every refit mode and pool size, deterministic
+// many-stream stress under a small pool, batch semantics, and
+// snapshot_all -> restore_all -> replay exactness.
+#include "serve/stream_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "measurement/link_loads.h"
+#include "subspace/online.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+void expect_same_detection(const detection_result& want, const detection_result& got,
+                           const std::string& context) {
+    ASSERT_EQ(got.anomalous, want.anomalous) << context;
+    ASSERT_EQ(got.spe, want.spe) << context;
+    ASSERT_EQ(got.threshold, want.threshold) << context;
+}
+
+// Abilene link loads with a diurnal cycle: enough texture for stable PCA
+// models at small window sizes. Every test slices bootstraps and stream
+// bins out of y_; overlapping slices give each stream a distinct model.
+class StreamServerFixture : public ::testing::Test {
+protected:
+    static constexpr std::size_t k_boot = 60;  // bootstrap rows per stream
+
+    void SetUp() override {
+        topo_ = make_abilene();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+        const std::size_t t_total = 420;
+
+        std::mt19937_64 rng(40417);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        matrix x(n, t_total, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 1e6 * (1.0 + static_cast<double>(j % 13));
+            for (std::size_t t = 0; t < t_total; ++t) {
+                const double diurnal =
+                    1.0 + 0.4 * std::sin(2.0 * 3.14159265 * static_cast<double>(t) / 144.0);
+                x(j, t) = std::max(0.0, mean * diurnal + 0.03 * mean * gauss(rng));
+            }
+        }
+        y_ = link_loads_from_flows(routing_.a, x);
+    }
+
+    matrix bootstrap_slice(std::size_t first_row) const {
+        matrix out(k_boot, y_.cols());
+        for (std::size_t r = 0; r < k_boot; ++r) out.set_row(r, y_.row(first_row + r));
+        return out;
+    }
+
+    streaming_config diagnoser_config(refit_mode mode) const {
+        streaming_config cfg;
+        cfg.window = k_boot;
+        cfg.refit_interval = 9;
+        cfg.swap_horizon = 4;
+        cfg.mode = mode;
+        return cfg;
+    }
+
+    stream_open_config open_config(stream_kind kind, std::size_t boot_offset,
+                                   refit_mode mode = refit_mode::deferred) const {
+        stream_open_config cfg;
+        cfg.kind = kind;
+        cfg.bootstrap_y = bootstrap_slice(boot_offset);
+        if (kind == stream_kind::diagnoser) {
+            cfg.a = routing_.a;
+            cfg.streaming = diagnoser_config(mode);
+        } else {
+            cfg.max_rank = kind == stream_kind::tracking ? 8 : 6;
+        }
+        return cfg;
+    }
+
+    // Standalone (no server, no pool) twin of open_config: the parity
+    // reference every server stream is compared against bit-for-bit.
+    std::unique_ptr<stream_detector> standalone(stream_kind kind, std::size_t boot_offset,
+                                                refit_mode mode = refit_mode::deferred) const {
+        const matrix boot = bootstrap_slice(boot_offset);
+        switch (kind) {
+            case stream_kind::diagnoser:
+                return std::make_unique<streaming_diagnoser>(boot, routing_.a,
+                                                             diagnoser_config(mode));
+            case stream_kind::tracking:
+                return std::make_unique<tracking_detector>(boot, 8);
+            case stream_kind::tracker:
+                return std::make_unique<incremental_pca_tracker>(boot, 6);
+        }
+        return nullptr;
+    }
+
+    std::string temp_dir(const char* name) const {
+        return (std::filesystem::path(::testing::TempDir()) / name).string();
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix y_;
+};
+
+// ---------------------------------------------------------------------------
+// Single-stream parity: the server must be a transparent wrapper.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, DiagnoserParityForEveryRefitModeAndPoolSize) {
+    for (const refit_mode mode :
+         {refit_mode::blocking, refit_mode::deferred, refit_mode::eager}) {
+        // Eager swaps at a timing-dependent bin; draining after every push
+        // pins the swap to the next bin on both sides, making the
+        // comparison exact there too.
+        const bool drain_each = mode == refit_mode::eager;
+        const auto reference = standalone(stream_kind::diagnoser, 0, mode);
+
+        std::vector<detection_result> expected;
+        for (std::size_t r = k_boot; r < k_boot + 40; ++r) {
+            expected.push_back(reference->push_bin(y_.row(r)));
+            if (drain_each) reference->drain();
+        }
+
+        for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+            stream_server server({.threads = threads});
+            const stream_id id =
+                server.open_stream(open_config(stream_kind::diagnoser, 0, mode));
+            for (std::size_t r = k_boot; r < k_boot + 40; ++r) {
+                const detection_result got = server.push(id, y_.row(r));
+                expect_same_detection(expected[r - k_boot], got,
+                                      "mode " + std::to_string(static_cast<int>(mode)) +
+                                          " threads " + std::to_string(threads) + " bin " +
+                                          std::to_string(r));
+                if (drain_each) server.drain_all();
+            }
+            EXPECT_EQ(server.stats(id).epoch, reference->model_epoch())
+                << "threads " << threads;
+            EXPECT_EQ(server.stats(id).alarms, reference->alarm_count())
+                << "threads " << threads;
+        }
+    }
+}
+
+TEST_F(StreamServerFixture, TrackingAndTrackerParityAcrossPoolSizes) {
+    for (const stream_kind kind : {stream_kind::tracking, stream_kind::tracker}) {
+        const auto reference = standalone(kind, 5);
+        std::vector<detection_result> expected;
+        for (std::size_t r = k_boot + 5; r < k_boot + 45; ++r) {
+            expected.push_back(reference->push_bin(y_.row(r)));
+        }
+
+        for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+            stream_server server({.threads = threads});
+            const stream_id id = server.open_stream(open_config(kind, 5));
+            for (std::size_t r = k_boot + 5; r < k_boot + 45; ++r) {
+                const detection_result got = server.push(id, y_.row(r));
+                expect_same_detection(expected[r - k_boot - 5], got,
+                                      "kind " + std::to_string(static_cast<int>(kind)) +
+                                          " threads " + std::to_string(threads));
+            }
+            server.drain_all();
+            EXPECT_EQ(server.stats(id).epoch, reference->model_epoch())
+                << "threads " << threads;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, PushBatchMatchesSequentialPushesBitForBit) {
+    // Three streams of different kinds; batches interleave them and repeat
+    // the same stream within one batch (order within a stream must be the
+    // batch order).
+    for (const std::size_t threads : {0u, 2u}) {
+        stream_server server({.threads = threads});
+        stream_server sequential({.threads = 0});
+        std::vector<stream_id> ids, seq_ids;
+        for (const stream_kind kind :
+             {stream_kind::diagnoser, stream_kind::tracking, stream_kind::tracker}) {
+            ids.push_back(server.open_stream(open_config(kind, 10)));
+            seq_ids.push_back(sequential.open_stream(open_config(kind, 10)));
+        }
+
+        std::size_t cursor = k_boot + 10;
+        for (std::size_t round = 0; round < 12; ++round) {
+            // Batch: two bins for stream 0, one for 1, one for 2.
+            std::vector<stream_server::stream_bin> batch;
+            batch.push_back({ids[0], y_.row(cursor)});
+            batch.push_back({ids[1], y_.row(cursor)});
+            batch.push_back({ids[0], y_.row(cursor + 1)});
+            batch.push_back({ids[2], y_.row(cursor)});
+            const std::vector<detection_result> got = server.push_batch(batch);
+            ASSERT_EQ(got.size(), batch.size());
+
+            std::vector<detection_result> want;
+            want.push_back(sequential.push(seq_ids[0], y_.row(cursor)));
+            want.push_back(sequential.push(seq_ids[1], y_.row(cursor)));
+            want.push_back(sequential.push(seq_ids[0], y_.row(cursor + 1)));
+            want.push_back(sequential.push(seq_ids[2], y_.row(cursor)));
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                expect_same_detection(want[i], got[i],
+                                      "threads " + std::to_string(threads) + " round " +
+                                          std::to_string(round) + " item " +
+                                          std::to_string(i));
+            }
+            cursor += 2;
+        }
+        for (std::size_t s = 0; s < ids.size(); ++s) {
+            EXPECT_EQ(server.stats(ids[s]).processed, sequential.stats(seq_ids[s]).processed);
+            EXPECT_EQ(server.stats(ids[s]).epoch, sequential.stats(seq_ids[s]).epoch);
+        }
+    }
+}
+
+TEST_F(StreamServerFixture, BlockingModeStreamsInPooledBatchesStayBitIdentical) {
+    // A blocking-mode refit that fires inside a sharded batch runs its
+    // fit on a pool worker; the worker-side parallel_for degradation must
+    // keep the result bit-identical to the standalone serial detector and
+    // the batch must complete (no nested-dispatch deadlock). Mix in a
+    // second blocking stream and a tracking stream so the sharded path is
+    // taken and refits land on workers, repeatedly crossing the
+    // refit_interval (9) during the run.
+    const auto ref_a = standalone(stream_kind::diagnoser, 0, refit_mode::blocking);
+    const auto ref_b = standalone(stream_kind::diagnoser, 30, refit_mode::blocking);
+    const auto ref_c = standalone(stream_kind::tracking, 15);
+
+    for (const std::size_t threads : {2u, 8u}) {
+        stream_server server({.threads = threads});
+        const stream_id a =
+            server.open_stream(open_config(stream_kind::diagnoser, 0, refit_mode::blocking));
+        const stream_id b =
+            server.open_stream(open_config(stream_kind::diagnoser, 30, refit_mode::blocking));
+        const stream_id c = server.open_stream(open_config(stream_kind::tracking, 15));
+
+        for (std::size_t r = 0; r < 30; ++r) {
+            const std::vector<stream_server::stream_bin> batch = {
+                {a, y_.row(k_boot + r)},
+                {b, y_.row(k_boot + 30 + r)},
+                {c, y_.row(k_boot + 15 + r)},
+            };
+            const std::vector<detection_result> got = server.push_batch(batch);
+            if (threads == 2) {  // build the reference once, on the first pool size
+                expect_same_detection(ref_a->push_bin(y_.row(k_boot + r)), got[0],
+                                      "a bin " + std::to_string(r));
+                expect_same_detection(ref_b->push_bin(y_.row(k_boot + 30 + r)), got[1],
+                                      "b bin " + std::to_string(r));
+                expect_same_detection(ref_c->push_bin(y_.row(k_boot + 15 + r)), got[2],
+                                      "c bin " + std::to_string(r));
+            }
+        }
+        server.drain_all();
+        EXPECT_EQ(server.stats(a).epoch, ref_a->model_epoch()) << "threads " << threads;
+        EXPECT_EQ(server.stats(b).epoch, ref_b->model_epoch()) << "threads " << threads;
+        EXPECT_EQ(server.stats(a).alarms, ref_a->alarm_count()) << "threads " << threads;
+    }
+}
+
+TEST_F(StreamServerFixture, PushBatchValidatesEveryBinBeforePushingAnything) {
+    stream_server server({.threads = 0});
+    const stream_id id = server.open_stream(open_config(stream_kind::tracker, 0));
+
+    // Unknown id: nothing is pushed.
+    std::vector<stream_server::stream_bin> batch;
+    batch.push_back({id, y_.row(k_boot)});
+    batch.push_back({id + 999, y_.row(k_boot)});
+    EXPECT_THROW(server.push_batch(batch), std::invalid_argument);
+    EXPECT_EQ(server.stats(id).processed, 0u) << "a bin was pushed despite the bad batch";
+
+    // Width mismatch anywhere in the batch: nothing is pushed either --
+    // a partially applied batch would break the stream's replay parity.
+    const std::vector<double> narrow(y_.cols() - 1, 0.0);
+    batch.clear();
+    batch.push_back({id, y_.row(k_boot)});
+    batch.push_back({id, narrow});
+    EXPECT_THROW(server.push_batch(batch), std::invalid_argument);
+    EXPECT_EQ(server.stats(id).processed, 0u) << "a bin was pushed despite the bad width";
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic N-stream stress: 32 streams of mixed kinds over a small
+// pool, interleaved push / push_batch / close / open driven by a fixed
+// seed, every output compared bit-for-bit against standalone shadows.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, ThirtyTwoStreamSeededStressMatchesShadows) {
+    constexpr std::size_t k_streams = 32;
+    stream_server server({.threads = 2});
+
+    struct shadow {
+        stream_id id = 0;
+        std::unique_ptr<stream_detector> twin;
+        std::size_t cursor = 0;  // next y_ row for this stream
+    };
+    std::vector<shadow> live;
+
+    std::size_t next_boot = 0;
+    const auto spawn = [&](stream_kind kind) {
+        const std::size_t boot = next_boot;
+        next_boot = (next_boot + 7) % 150;
+        shadow s;
+        s.id = server.open_stream(open_config(kind, boot));
+        s.twin = standalone(kind, boot);
+        s.cursor = boot + k_boot;
+        live.push_back(std::move(s));
+    };
+
+    const stream_kind kinds[] = {stream_kind::diagnoser, stream_kind::tracking,
+                                 stream_kind::tracker};
+    for (std::size_t s = 0; s < k_streams; ++s) spawn(kinds[s % 3]);
+
+    std::mt19937_64 rng(271828);
+    const auto next_row = [&](shadow& s) {
+        const std::size_t row = s.cursor;
+        s.cursor = row + 1 < y_.rows() ? row + 1 : k_boot;  // wrap, stay in range
+        return row;
+    };
+
+    for (std::size_t step = 0; step < 400; ++step) {
+        const std::uint64_t roll = rng() % 100;
+        if (roll < 55 && !live.empty()) {
+            // Single push to one stream.
+            shadow& s = live[rng() % live.size()];
+            const std::size_t row = next_row(s);
+            const detection_result got = server.push(s.id, y_.row(row));
+            const detection_result want = s.twin->push_bin(y_.row(row));
+            expect_same_detection(want, got, "step " + std::to_string(step));
+        } else if (roll < 85 && !live.empty()) {
+            // Batch across up to 8 distinct streams.
+            const std::size_t batch_streams = 1 + rng() % std::min<std::size_t>(8, live.size());
+            std::vector<std::size_t> picks;
+            for (std::size_t b = 0; b < batch_streams; ++b) picks.push_back(rng() % live.size());
+            std::vector<stream_server::stream_bin> batch;
+            std::vector<std::size_t> rows;
+            for (const std::size_t p : picks) {
+                const std::size_t row = next_row(live[p]);
+                rows.push_back(row);
+                batch.push_back({live[p].id, y_.row(row)});
+            }
+            const std::vector<detection_result> got = server.push_batch(batch);
+            ASSERT_EQ(got.size(), batch.size());
+            for (std::size_t b = 0; b < picks.size(); ++b) {
+                const detection_result want = live[picks[b]].twin->push_bin(y_.row(rows[b]));
+                expect_same_detection(want, got[b],
+                                      "step " + std::to_string(step) + " item " +
+                                          std::to_string(b));
+            }
+        } else if (roll < 92 && live.size() > 4) {
+            // Close one stream; the remaining streams must be unperturbed
+            // (their shadows keep verifying that on every later push).
+            const std::size_t victim = rng() % live.size();
+            server.close_stream(live[victim].id);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        } else {
+            spawn(kinds[rng() % 3]);
+        }
+    }
+
+    server.drain_all();
+    for (shadow& s : live) {
+        s.twin->drain();
+        const stream_server::stream_stats st = server.stats(s.id);
+        EXPECT_EQ(st.processed, s.twin->processed());
+        EXPECT_EQ(st.alarms, s.twin->alarm_count());
+        EXPECT_EQ(st.epoch, s.twin->model_epoch());
+    }
+    EXPECT_EQ(server.stream_count(), live.size());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent callers: the documented threading contract is one pusher
+// per stream; several pusher threads over disjoint stream sets (plus a
+// churn thread opening and closing its own streams) must leave every
+// stream's output bit-identical to a standalone run. This is the
+// server-side data-race surface the ThreadSanitizer CI job exercises.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, ConcurrentPushersOnDisjointStreamsMatchShadows) {
+    constexpr std::size_t k_threads = 4;
+    constexpr std::size_t k_per_thread = 2;
+    constexpr std::size_t k_bins = 40;
+    stream_server server({.threads = 2});
+
+    struct owned_stream {
+        stream_id id = 0;
+        stream_kind kind = stream_kind::tracker;
+        std::size_t boot = 0;
+    };
+    std::vector<std::vector<owned_stream>> owned(k_threads);
+    const stream_kind kinds[] = {stream_kind::diagnoser, stream_kind::tracking,
+                                 stream_kind::tracker};
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        for (std::size_t s = 0; s < k_per_thread; ++s) {
+            const std::size_t n = t * k_per_thread + s;
+            owned[t].push_back({server.open_stream(open_config(kinds[n % 3], n * 9)),
+                                kinds[n % 3], n * 9});
+        }
+    }
+
+    // Each pusher interleaves single pushes and same-thread batches over
+    // its own streams; results are recorded for post-join verification.
+    std::vector<std::vector<detection_result>> recorded(k_threads);
+    std::vector<std::thread> pushers;
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        pushers.emplace_back([&, t] {
+            for (std::size_t b = 0; b < k_bins; ++b) {
+                if (b % 3 == 0) {
+                    // Batch across this thread's streams.
+                    std::vector<stream_server::stream_bin> batch;
+                    for (const owned_stream& os : owned[t]) {
+                        batch.push_back({os.id, y_.row(os.boot + k_boot + b)});
+                    }
+                    const auto results = server.push_batch(batch);
+                    recorded[t].insert(recorded[t].end(), results.begin(), results.end());
+                } else {
+                    for (const owned_stream& os : owned[t]) {
+                        recorded[t].push_back(server.push(os.id, y_.row(os.boot + k_boot + b)));
+                    }
+                }
+            }
+        });
+    }
+    // Churn thread: opens its own short-lived streams, pushes, closes.
+    // Must never perturb the pusher threads' streams.
+    std::thread churn([&] {
+        for (std::size_t round = 0; round < 6; ++round) {
+            const stream_id id = server.open_stream(open_config(stream_kind::tracker, 100));
+            for (std::size_t b = 0; b < 5; ++b) server.push(id, y_.row(100 + k_boot + b));
+            server.close_stream(id);
+        }
+    });
+    for (std::thread& th : pushers) th.join();
+    churn.join();
+    server.drain_all();
+
+    // Verify per-stream sequences against standalone shadows, in the
+    // exact order each pusher recorded them.
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        std::vector<std::unique_ptr<stream_detector>> twins;
+        for (const owned_stream& os : owned[t]) twins.push_back(standalone(os.kind, os.boot));
+        std::size_t cursor = 0;
+        for (std::size_t b = 0; b < k_bins; ++b) {
+            for (std::size_t s = 0; s < owned[t].size(); ++s) {
+                const detection_result want =
+                    twins[s]->push_bin(y_.row(owned[t][s].boot + k_boot + b));
+                expect_same_detection(want, recorded[t][cursor++],
+                                      "thread " + std::to_string(t) + " bin " +
+                                          std::to_string(b) + " stream " + std::to_string(s));
+            }
+        }
+        for (std::size_t s = 0; s < owned[t].size(); ++s) {
+            EXPECT_EQ(server.stats(owned[t][s].id).epoch, twins[s]->model_epoch());
+        }
+    }
+    EXPECT_EQ(server.stream_count(), k_threads * k_per_thread);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot_all -> restore_all -> replay.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, SnapshotAllRestoreAllReplaysExactlyWithRefitInFlight) {
+    const std::string dir = temp_dir("server_snapshot");
+    stream_server original({.threads = 2});
+    std::vector<stream_id> ids;
+    ids.push_back(original.open_stream(open_config(stream_kind::diagnoser, 0)));
+    ids.push_back(original.open_stream(open_config(stream_kind::tracking, 20)));
+    ids.push_back(original.open_stream(open_config(stream_kind::tracker, 40)));
+
+    // Push until the diagnoser has a refit pending but not yet swapped
+    // (trigger at 9, swap at 13): pendingness must survive the round trip.
+    std::vector<std::size_t> cursors = {k_boot, k_boot + 20, k_boot + 40};
+    for (std::size_t r = 0; r < 11; ++r) {
+        for (std::size_t s = 0; s < ids.size(); ++s) {
+            original.push(ids[s], y_.row(cursors[s]++));
+        }
+    }
+    {
+        const auto& diag =
+            dynamic_cast<const streaming_diagnoser&>(original.stream(ids[0]));
+        ASSERT_TRUE(diag.refit_pending());
+    }
+
+    original.snapshot_all(dir);
+
+    // Restore into a server with a *different* pool size: pool wiring is
+    // runtime, not state, and the replay must still be bit-identical.
+    stream_server restored({.threads = 1});
+    restored.restore_all(dir);
+    ASSERT_EQ(restored.stream_count(), 3u);
+    ASSERT_EQ(restored.stream_ids(), original.stream_ids());
+    for (const stream_id id : ids) {
+        EXPECT_EQ(restored.stats(id).processed, original.stats(id).processed);
+        EXPECT_EQ(restored.stats(id).epoch, original.stats(id).epoch);
+    }
+
+    for (std::size_t r = 0; r < 30; ++r) {
+        for (std::size_t s = 0; s < ids.size(); ++s) {
+            const std::size_t row = cursors[s]++;
+            const detection_result want = original.push(ids[s], y_.row(row));
+            const detection_result got = restored.push(ids[s], y_.row(row));
+            expect_same_detection(want, got,
+                                  "stream " + std::to_string(s) + " replay bin " +
+                                      std::to_string(r));
+            ASSERT_EQ(restored.stats(ids[s]).epoch, original.stats(ids[s]).epoch)
+                << "stream " << s << " bin " << r;
+        }
+    }
+    // The diagnoser's pending refit must have swapped during the replay.
+    EXPECT_GE(restored.stats(ids[0]).epoch, 1u);
+
+    // New streams opened after a restore must not collide with restored ids.
+    const stream_id fresh = restored.open_stream(open_config(stream_kind::tracker, 80));
+    for (const stream_id id : ids) EXPECT_NE(fresh, id);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(StreamServerFixture, RestoreAllRequiresAnEmptyServer) {
+    const std::string dir = temp_dir("server_snapshot_nonempty");
+    stream_server a({.threads = 0});
+    a.open_stream(open_config(stream_kind::tracker, 0));
+    a.snapshot_all(dir);
+
+    stream_server b({.threads = 0});
+    b.open_stream(open_config(stream_kind::tracker, 10));
+    EXPECT_THROW(b.restore_all(dir), std::logic_error);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle and error handling.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, UnknownStreamIdThrowsEverywhere) {
+    stream_server server({.threads = 0});
+    EXPECT_THROW(server.push(42, y_.row(0)), std::invalid_argument);
+    EXPECT_THROW(server.close_stream(42), std::invalid_argument);
+    EXPECT_THROW(server.stats(42), std::invalid_argument);
+    EXPECT_THROW(server.stream(42), std::invalid_argument);
+    EXPECT_THROW(server.adopt_stream(nullptr), std::invalid_argument);
+}
+
+TEST_F(StreamServerFixture, StreamIdsAreNeverReused) {
+    stream_server server({.threads = 0});
+    const stream_id a = server.open_stream(open_config(stream_kind::tracker, 0));
+    server.close_stream(a);
+    const stream_id b = server.open_stream(open_config(stream_kind::tracker, 0));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(server.stream_count(), 1u);
+}
+
+TEST_F(StreamServerFixture, AdoptedDetectorServesLikeAnOpenedOne) {
+    stream_server server({.threads = 1});
+    streaming_config cfg = diagnoser_config(refit_mode::deferred);
+    cfg.pool = server.pool();
+    const stream_id id = server.adopt_stream(
+        std::make_unique<streaming_diagnoser>(bootstrap_slice(0), routing_.a, cfg));
+
+    const auto reference = standalone(stream_kind::diagnoser, 0);
+    for (std::size_t r = k_boot; r < k_boot + 25; ++r) {
+        expect_same_detection(reference->push_bin(y_.row(r)), server.push(id, y_.row(r)),
+                              "bin " + std::to_string(r));
+    }
+}
+
+}  // namespace
+}  // namespace netdiag

@@ -5,14 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <random>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -109,6 +114,12 @@ TEST_F(StreamingFixture, SlowBackgroundRefitDoesNotDelayDetection) {
     streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
     for (std::size_t r = 0; r < 5; ++r) diag.push(stream_.row(r));  // fires the refit
     ASSERT_TRUE(diag.refit_pending());
+    // Wait until the worker has actually entered the captive fit, so the
+    // pushes below provably overlap it (on a loaded machine the worker
+    // may lag the submit by many bins, which used to flake this test).
+    while (refits_started.load() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
 
     // These bins arrive while the fit is held captive: every push must
     // complete against the old model without touching the refit.
@@ -387,6 +398,162 @@ TEST_F(StreamingFixture, CheckpointRejectsGarbage) {
 }
 
 // ---------------------------------------------------------------------------
+// Refit triggers during a pending refit: the freshest window snapshot is
+// queued (never dropped), and the queued fit launches at the swap.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamingFixture, SecondBurstDuringSlowRefitStillProducesASwap) {
+    // The refit interval (5) is far shorter than the swap horizon (20), so
+    // triggers at bins 10/15/20 all land while the bin-5 refit is pending.
+    // The first fit is held captive to model a slow refit; the queued
+    // snapshot must still produce a second model swap after it is applied.
+    thread_pool pool(2);
+    std::atomic<int> fits_started{0};
+    std::atomic<bool> release_first_fit{false};
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 5;
+    cfg.swap_horizon = 20;
+    cfg.pool = &pool;
+    cfg.mode = refit_mode::deferred;
+    cfg.refit_observer = [&fits_started, &release_first_fit] {
+        if (fits_started.fetch_add(1) == 0) {
+            while (!release_first_fit.load()) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+        }
+    };
+
+    streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 20; ++r) diag.push(stream_.row(r));
+    // Trigger at bin 5 is computing; triggers at 10/15/20 queued (freshest
+    // wins, so exactly one snapshot is held).
+    ASSERT_TRUE(diag.refit_pending());
+    EXPECT_TRUE(diag.refit_queued());
+    EXPECT_EQ(diag.model_epoch(), 0u);
+
+    release_first_fit.store(true);
+    diag.drain();
+
+    // Swap 1 applies at bin 25 (5 + horizon) and immediately launches the
+    // queued fit, which swaps 20 bins later at bin 45.
+    for (std::size_t r = 20; r < 25; ++r) diag.push(stream_.row(r));
+    EXPECT_EQ(diag.model_epoch(), 0u);
+    diag.push(stream_.row(25));
+    EXPECT_EQ(diag.model_epoch(), 1u);
+    EXPECT_FALSE(diag.refit_queued()) << "queued snapshot should have launched at the swap";
+    ASSERT_TRUE(diag.refit_pending());
+
+    for (std::size_t r = 26; r <= 45; ++r) diag.push(stream_.row(r));
+    EXPECT_EQ(diag.model_epoch(), 2u);
+    EXPECT_EQ(diag.refit_count(), 2u);
+    EXPECT_GE(fits_started.load(), 2);
+    diag.drain();
+}
+
+TEST_F(StreamingFixture, QueuedRefitCascadeIsBitIdenticalAcrossPoolSizes) {
+    // Same geometry (interval < horizon, so every cycle queues a refit)
+    // without captive fits: the cascade of queued launches is part of the
+    // deterministic-replay contract, for any pool size including none.
+    streaming_config base;
+    base.window = 400;
+    base.refit_interval = 5;
+    base.swap_horizon = 20;
+    base.mode = refit_mode::deferred;
+
+    streaming_diagnoser reference(bootstrap_, routing_.a, base);
+    std::vector<diagnosis> expected;
+    std::vector<std::uint64_t> expected_epochs;
+    for (std::size_t r = 0; r < 80; ++r) {
+        expected.push_back(reference.push(stream_.row(r)));
+        expected_epochs.push_back(reference.model_epoch());
+    }
+    // Launches at 5 (swap 25), queued->45, queued->65: three applied swaps.
+    EXPECT_EQ(reference.refit_count(), 3u);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        thread_pool pool(threads);
+        streaming_config cfg = base;
+        cfg.pool = &pool;
+        streaming_diagnoser diag(bootstrap_, routing_.a, cfg);
+        for (std::size_t r = 0; r < 80; ++r) {
+            const diagnosis d = diag.push(stream_.row(r));
+            expect_same_diagnosis(expected[r], d, r);
+            ASSERT_EQ(diag.model_epoch(), expected_epochs[r]) << "threads=" << threads
+                                                              << " bin " << r;
+        }
+        diag.drain();
+    }
+}
+
+TEST_F(StreamingFixture, EagerQueuedRefitSurvivesPoollessRestore) {
+    // Eager mode, refit held captive so a second trigger queues: after a
+    // checkpoint (which drains the captive fit into the ready slot) is
+    // restored *without* a pool, the queued fit runs inline at the swap
+    // and lands back in the ready slot -- the eager swap branch must not
+    // destroy it there (it used to reset the slot after applying, which
+    // silently dropped the queued refit and its paid-for fit).
+    thread_pool pool(2);
+    std::atomic<int> fits{0};
+    std::atomic<bool> release{false};
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 5;
+    cfg.pool = &pool;
+    cfg.mode = refit_mode::eager;
+    cfg.refit_observer = [&fits, &release] {
+        if (fits.fetch_add(1) == 0) {
+            while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    };
+
+    streaming_diagnoser live(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 10; ++r) live.push(stream_.row(r));
+    ASSERT_TRUE(live.refit_queued()) << "second trigger should have queued";
+    release.store(true);
+
+    const std::string path = temp_checkpoint_path("eager_queued.ckpt");
+    save_stream_detector(live, path);  // drains: ready + queued both serialized
+
+    std::unique_ptr<stream_detector> restored = load_stream_detector(path);  // no pool
+    restored->push_bin(stream_.row(10));  // applies swap 1, runs the queued fit inline
+    EXPECT_EQ(restored->model_epoch(), 1u);
+    restored->push_bin(stream_.row(11));  // must find and apply the queued fit's model
+    EXPECT_EQ(restored->model_epoch(), 2u) << "queued refit was dropped at the eager swap";
+    std::remove(path.c_str());
+}
+
+TEST_F(StreamingFixture, QueuedRefitSurvivesCheckpointRoundTrip) {
+    streaming_config cfg;
+    cfg.window = 400;
+    cfg.refit_interval = 5;
+    cfg.swap_horizon = 20;
+    cfg.mode = refit_mode::deferred;
+
+    streaming_diagnoser live(bootstrap_, routing_.a, cfg);
+    for (std::size_t r = 0; r < 12; ++r) live.push(stream_.row(r));
+    ASSERT_TRUE(live.refit_pending());
+    ASSERT_TRUE(live.refit_queued());
+
+    const std::string path = temp_checkpoint_path("queued_refit.ckpt");
+    save_stream_detector(live, path);
+    streaming_diagnoser restored = [&] {
+        std::ifstream in(path, std::ios::binary);
+        return streaming_diagnoser::restore(in);
+    }();
+    EXPECT_TRUE(restored.refit_queued());
+
+    for (std::size_t r = 12; r < 70; ++r) {
+        const diagnosis a = live.push(stream_.row(r));
+        const diagnosis b = restored.push(stream_.row(r));
+        expect_same_diagnosis(a, b, r);
+        ASSERT_EQ(restored.model_epoch(), live.model_epoch()) << "bin " << r;
+    }
+    EXPECT_GE(restored.refit_count(), 2u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Legacy blocking mode still behaves exactly as before.
 // ---------------------------------------------------------------------------
 
@@ -399,6 +566,113 @@ TEST_F(StreamingFixture, BlockingModeSwapsAtTheTriggerBin) {
     EXPECT_EQ(diag.refit_count(), 1u);
     EXPECT_EQ(diag.model_epoch(), 1u);
     EXPECT_FALSE(diag.refit_pending());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint portability: a committed golden fixture either replays
+// bit-exactly or is rejected with a clear endianness error -- the
+// host-endian format documented in ROADMAP.md, regression-tested instead
+// of silently broken.
+// ---------------------------------------------------------------------------
+
+// Fully portable deterministic measurements: raw mt19937_64 output (a
+// specified PRNG) mapped to doubles with exact IEEE arithmetic only -- no
+// std::*_distribution, whose output is implementation-defined.
+matrix golden_measurements(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    matrix y(rows, cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double u =
+                static_cast<double>(rng() >> 11) * 0x1.0p-53;  // exact, in [0, 1)
+            y(r, c) = 1e6 * static_cast<double>(1 + c % 5) * (0.5 + u);
+        }
+    }
+    return y;
+}
+
+std::string golden_fixture_path(const char* name) {
+    return std::string(NETDIAG_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << path
+                              << " (regenerate with NETDIAG_REGEN_GOLDEN=1)";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+constexpr std::size_t k_golden_dim = 6;
+constexpr std::size_t k_golden_boot_rows = 10;
+constexpr std::size_t k_golden_rank = 3;
+constexpr std::size_t k_golden_prefix_bins = 8;   // folded into the fixture
+constexpr std::size_t k_golden_replay_bins = 16;  // replayed by the test
+
+TEST(GoldenCheckpoint, ReplaysBitExactlyOrRejectsForeignEndianness) {
+    const std::string fixture = golden_fixture_path("golden_tracking_detector.ckpt");
+    const std::string after = golden_fixture_path("golden_tracking_detector_after.ckpt");
+    const matrix bins =
+        golden_measurements(k_golden_prefix_bins + k_golden_replay_bins, k_golden_dim, 99);
+
+    if (std::getenv("NETDIAG_REGEN_GOLDEN") != nullptr) {
+        tracking_detector det(golden_measurements(k_golden_boot_rows, k_golden_dim, 1234),
+                              k_golden_rank);
+        for (std::size_t r = 0; r < k_golden_prefix_bins; ++r) det.push(bins.row(r));
+        save_stream_detector(det, fixture);
+        for (std::size_t r = k_golden_prefix_bins; r < bins.rows(); ++r) det.push(bins.row(r));
+        save_stream_detector(det, after);
+        GTEST_SKIP() << "regenerated golden fixtures in " << NETDIAG_TEST_DATA_DIR;
+    }
+
+    if constexpr (std::endian::native != std::endian::little) {
+        // The committed fixtures were written on a little-endian host: a
+        // big-endian build must reject them loudly, not replay garbage.
+        try {
+            load_stream_detector(fixture);
+            FAIL() << "foreign-endian checkpoint was accepted";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("endianness"), std::string::npos)
+                << "rejection should name the endianness mismatch, got: " << e.what();
+        }
+        return;
+    }
+
+    // Little-endian host: the fixture must load and replay the exact
+    // detection sequence. (Bit-exactness across builds assumes IEEE
+    // doubles without FMA contraction in the fold path -- true of the
+    // x86-64 gcc/clang configurations CI exercises.)
+    std::unique_ptr<stream_detector> restored = load_stream_detector(fixture);
+    ASSERT_EQ(restored->dimension(), k_golden_dim);
+    ASSERT_EQ(restored->processed(), k_golden_prefix_bins);
+    for (std::size_t r = k_golden_prefix_bins; r < bins.rows(); ++r) {
+        restored->push_bin(bins.row(r));
+    }
+    std::ostringstream replayed;
+    restored->save(replayed);
+    EXPECT_EQ(replayed.str(), read_file_bytes(after))
+        << "replaying the golden checkpoint no longer reproduces the committed state; "
+           "if the format or the fold arithmetic changed intentionally, regenerate with "
+           "NETDIAG_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenCheckpoint, ByteSwappedMagicIsRejectedWithAnEndiannessError) {
+    // Simulates reading a checkpoint from an opposite-endian host on any
+    // platform: the magic word arrives byte-reversed.
+    std::ostringstream out;
+    ckpt::write_header(out, "tracking_detector");
+    std::string bytes = out.str();
+    std::reverse(bytes.begin(), bytes.begin() + 8);
+
+    std::istringstream in(bytes);
+    try {
+        ckpt::read_header(in);
+        FAIL() << "byte-swapped magic was accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("endianness"), std::string::npos)
+            << "got: " << e.what();
+    }
 }
 
 }  // namespace

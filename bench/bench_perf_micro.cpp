@@ -421,6 +421,123 @@ engine_benchmark run_multistream_sweep(const std::vector<std::size_t>& thread_co
     return out;
 }
 
+// Multi-pusher ingest: P producer threads feed ONE diagnoser stream
+// concurrently through the MPSC inbox edge (block policy, auto-drain),
+// with no caller-side ordering. Reported per pool size: total wall clock
+// from first ingest to the final flush (aggregate fan-in throughput) and
+// the worst single ingest() call (the straggler bound: a producer that
+// wins the drain role pays for applying pending bins, including any
+// refit wait falling due). "serial" is one producer over the no-pool
+// server. The identical flag is the ingest parity contract: every run's
+// applied output -- replayed through a standalone single-pusher detector
+// in the exact sequence order the inbox assigned -- matches bit-for-bit.
+engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_counts,
+                                       std::size_t producers, bool quick) {
+    const dataset& ds = sprint1();
+    const std::size_t boot_rows = 144;  // one day of 10-minute bins
+    const std::size_t bins =
+        std::min(ds.bin_count() - boot_rows, quick ? std::size_t{192} : std::size_t{576});
+
+    matrix bootstrap(boot_rows, ds.link_loads.cols());
+    for (std::size_t r = 0; r < boot_rows; ++r) bootstrap.set_row(r, ds.link_loads.row(r));
+
+    streaming_config stream_cfg;
+    stream_cfg.window = boot_rows;
+    stream_cfg.refit_interval = quick ? 24 : 48;
+    stream_cfg.swap_horizon = 8;
+    stream_cfg.mode = refit_mode::deferred;
+    // Producer interleaving decides the refit windows' row order; pin the
+    // separation rank so no interleaving can produce a model with an
+    // empty residual subspace (which the diagnoser rejects).
+    stream_cfg.separation.fixed_rank = 8;
+
+    struct run_capture {
+        std::vector<detection_result> results;  // in sequence order
+        std::vector<std::size_t> row_of;        // sequence -> dataset row
+    };
+
+    const auto run = [&](std::size_t pool_threads, std::size_t n_producers, double* total_ms,
+                         double* worst_ms) {
+        stream_server server({.threads = pool_threads});
+        run_capture rc;
+        rc.results.reserve(bins);
+        rc.row_of.assign(bins, 0);
+
+        stream_open_config cfg;
+        cfg.kind = stream_kind::diagnoser;
+        cfg.a = ds.routing.a;
+        cfg.bootstrap_y = bootstrap;
+        cfg.streaming = stream_cfg;
+        cfg.ingest.capacity = 512;
+        cfg.ingest.policy = inbox_policy::block;
+        cfg.ingest.sink = [&rc](std::uint64_t, const detection_result& r) {
+            rc.results.push_back(r);
+        };
+        const stream_id id = server.open_stream(std::move(cfg));
+
+        // Disjoint contiguous row slices, one per producer.
+        const std::size_t share = (bins + n_producers - 1) / n_producers;
+        std::vector<std::vector<std::pair<std::uint64_t, std::size_t>>> recorded(n_producers);
+        std::vector<double> worst(n_producers, 0.0);
+
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (std::size_t p = 0; p < n_producers; ++p) {
+            threads.emplace_back([&, p] {
+                const std::size_t begin = p * share;
+                const std::size_t end = std::min(bins, begin + share);
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::size_t row = boot_rows + i;
+                    const auto push_start = std::chrono::steady_clock::now();
+                    const ingest_result r = server.ingest(id, ds.link_loads.row(row));
+                    worst[p] = std::max(worst[p], elapsed_ms(push_start));
+                    if (r.ok()) recorded[p].emplace_back(r.sequence, row);
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+        server.flush_stream(id);
+        *total_ms = elapsed_ms(start);
+        *worst_ms = *std::max_element(worst.begin(), worst.end());
+        server.drain_all();
+
+        for (const auto& rec : recorded) {
+            for (const auto& [seq, row] : rec) rc.row_of[seq] = row;
+        }
+        return rc;
+    };
+
+    // The parity check: a standalone single-pusher detector fed the run's
+    // bins in inbox sequence order must reproduce every result.
+    const auto replay_matches = [&](const run_capture& rc) {
+        if (rc.results.size() != bins) return false;
+        streaming_diagnoser twin(bootstrap, ds.routing.a, stream_cfg);
+        std::vector<detection_result> want;
+        want.reserve(bins);
+        for (std::size_t i = 0; i < bins; ++i) {
+            want.push_back(twin.push_bin(ds.link_loads.row(rc.row_of[i])));
+        }
+        return same_results(want, rc.results);
+    };
+
+    engine_benchmark out;
+    out.name = "multipusher_ingest_" + std::to_string(producers) + "producers";
+    out.items = bins;
+    out.has_worst = true;
+
+    run_capture serial = run(0, 1, &out.serial_ms, &out.serial_worst_ms);
+    out.identical_to_serial = replay_matches(serial);
+
+    for (const std::size_t t : thread_counts) {
+        thread_timing timing;
+        timing.threads = t;
+        run_capture rc = run(t, producers, &timing.ms, &timing.worst_ms);
+        out.identical_to_serial = out.identical_to_serial && replay_matches(rc);
+        out.parallel.push_back(timing);
+    }
+    return out;
+}
+
 bool write_engine_json(const std::string& path, const std::vector<engine_benchmark>& benches,
                        bool quick) {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -497,6 +614,8 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
                                            : std::vector<std::size_t>{4, 16, 32}) {
         benches.push_back(run_multistream_sweep(thread_counts, streams, quick));
     }
+    // Producer fan-in through the MPSC ingest inbox (pool sizes within).
+    benches.push_back(run_multipusher_sweep(thread_counts, /*producers=*/4, quick));
 
     bool all_identical = true;
     for (const engine_benchmark& eb : benches) {

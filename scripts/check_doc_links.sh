@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Checks the documentation for rot, two ways:
+#
+#  1. Intra-repo markdown links [text](path) in README.md and docs/*.md
+#     must point at files (or directories) that exist. External links
+#     (http/https/mailto) and pure anchors (#...) are skipped; a
+#     relative link is resolved against the file that contains it.
+#
+#  2. Inline file references -- `src/...`, `tests/...`, `bench/...`,
+#     `examples/...`, `scripts/...`, `docs/...` paths mentioned anywhere
+#     in the checked documents -- must exist, so a refactor that moves a
+#     file fails CI until the docs follow.
+#
+# Usage: scripts/check_doc_links.sh   (from anywhere inside the repo)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+docs=(README.md)
+while IFS= read -r f; do docs+=("$f"); done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+failures=0
+
+fail() {
+    echo "FAIL: $1"
+    failures=$((failures + 1))
+}
+
+for doc in "${docs[@]}"; do
+    [ -f "$doc" ] || { fail "$doc: checked document is missing"; continue; }
+    doc_dir="$(dirname "$doc")"
+
+    # --- markdown links ---------------------------------------------------
+    # Extract every ](target) occurrence; tolerate several per line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"          # strip an anchor suffix
+        [ -n "$path" ] || continue
+        if [ ! -e "$doc_dir/$path" ] && [ ! -e "$path" ]; then
+            fail "$doc: broken link ($target)"
+        fi
+    done < <(grep -o ']([^)]*)' "$doc" 2>/dev/null | sed 's/^](//; s/)$//')
+
+    # --- inline file references ------------------------------------------
+    # Paths under the source trees, with a file extension; directory
+    # references (trailing /) are checked as directories.
+    while IFS= read -r ref; do
+        if [ ! -e "$ref" ]; then
+            fail "$doc: stale file reference ($ref)"
+        fi
+    done < <(grep -oE '\b(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./-]*[A-Za-z0-9_](\.[A-Za-z0-9]+)?' "$doc" 2>/dev/null | sort -u)
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo
+    echo "$failures documentation reference(s) are broken."
+    echo "Fix the doc (or the file layout) so README.md and docs/ stay accurate."
+    exit 1
+fi
+
+echo "doc links OK (${#docs[@]} documents checked)"

@@ -45,6 +45,17 @@ struct tuning {
     // cost is non-uniform (identification only runs on anomalous rows), so
     // rows are claimed in chunks of this many from a shared counter.
     std::size_t diagnose_grain = 16;
+
+    // serve/stream_server.cpp -- multi-pusher ingest inboxes (the
+    // engine/mpsc_inbox.h rings). Capacity is the default per-stream ring
+    // size when stream_open_config::ingest.capacity is 0 (rounded up to a
+    // power of two); the drain burst is how many pending bins a drainer
+    // applies per prepare_pushes() resolution, bounding how far a refit
+    // wait can be resolved ahead of the bins that need it. Both are pure
+    // scheduling knobs: they move where waits and drains happen, never
+    // which bin sequence a stream's detector sees.
+    std::size_t ingest_inbox_capacity = 1024;
+    std::size_t ingest_drain_burst = 64;
 };
 
 // The process-wide tuning block. Defaults match the previously hardcoded

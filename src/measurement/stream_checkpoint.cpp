@@ -14,10 +14,16 @@ namespace ckpt {
 namespace {
 
 constexpr std::uint64_t k_magic = 0x314b434453444eull;  // "NDSDCK1" packed
+// Version 3: the stream_server's per-stream records became containers
+// that carry the ingest-inbox configuration, counters and residue around
+// the nested detector record (tag "server_stream"); detector record
+// layouts are unchanged from version 2, so version-2 files still load.
 // Version 2: streaming_diagnoser records carry the queued-refit window
 // snapshot (the freshest-trigger queue slot) after the pending-refit
 // block. Version-1 files predate that field and are rejected.
-constexpr std::uint64_t k_format_version = 2;
+// Byte-level spec: docs/CHECKPOINT_FORMAT.md.
+constexpr std::uint64_t k_format_version = 3;
+constexpr std::uint64_t k_min_format_version = 2;
 
 // std::byteswap is C++23; the checkpoint format only needs it for the
 // magic-word endianness probe below.
@@ -115,7 +121,7 @@ void write_header(std::ostream& out, const std::string& type_tag) {
     write_string(out, type_tag);
 }
 
-std::string read_header(std::istream& in) {
+header_info read_header_info(std::istream& in) {
     const std::uint64_t magic = read_u64(in);
     if (magic == byteswap_u64(k_magic)) {
         // The file is a checkpoint, but from a host of the opposite byte
@@ -131,12 +137,20 @@ std::string read_header(std::istream& in) {
         throw std::runtime_error("stream_checkpoint: bad magic (not a checkpoint file)");
     }
     const std::uint64_t version = read_u64(in);
-    if (version != k_format_version) {
-        throw std::runtime_error("stream_checkpoint: unsupported format version " +
-                                 std::to_string(version));
+    if (version < k_min_format_version || version > k_format_version) {
+        throw std::runtime_error(
+            "stream_checkpoint: unsupported format version " + std::to_string(version) +
+            " (supported: " + std::to_string(k_min_format_version) + ".." +
+            std::to_string(k_format_version) + ")");
     }
-    return read_string(in);
+    return {read_string(in), version};
 }
+
+std::string read_header(std::istream& in) { return read_header_info(in).type_tag; }
+
+std::uint64_t format_version() noexcept { return k_format_version; }
+
+std::uint64_t min_supported_format_version() noexcept { return k_min_format_version; }
 
 void expect_header(std::istream& in, const std::string& type_tag) {
     const std::string tag = read_header(in);
@@ -159,10 +173,15 @@ std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
                                                       thread_pool* pool) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("load_stream_detector: cannot open " + path);
+    return load_stream_detector(in, pool);
+}
+
+std::unique_ptr<stream_detector> load_stream_detector(std::istream& in, thread_pool* pool) {
+    const std::istream::pos_type start = in.tellg();
     const std::string tag = ckpt::read_header(in);
-    // restore() re-validates its own header, so rewind to the start.
+    // restore() re-validates its own header, so rewind to the record start.
     in.clear();
-    in.seekg(0);
+    in.seekg(start);
     if (tag == "streaming_diagnoser") {
         return std::make_unique<streaming_diagnoser>(streaming_diagnoser::restore(in, pool));
     }

@@ -47,12 +47,31 @@ std::string read_string(std::istream& in);
 std::vector<double> read_vec(std::istream& in);
 matrix read_matrix(std::istream& in);
 
-// Magic + format version + the detector type tag.
+// Magic + format version + the record type tag.
 void write_header(std::ostream& out, const std::string& type_tag);
-// Reads and validates the header, returning the type tag.
+
+// Parsed header: the record type tag plus the format version the file
+// was written with (any supported version; see format_version()).
+struct header_info {
+    std::string type_tag;
+    std::uint64_t version = 0;
+};
+
+// Reads and validates the header -- magic (with the byte-swapped
+// foreign-endianness rejection), version in the supported range --
+// returning tag and version.
+header_info read_header_info(std::istream& in);
+// read_header_info, returning only the tag.
 std::string read_header(std::istream& in);
 // Reads the header and throws unless the tag matches (restore guards).
 void expect_header(std::istream& in, const std::string& type_tag);
+
+// The version write_header stamps on new records (currently 3) and the
+// oldest version read_header still accepts (currently 2; version-1 files
+// predate the queued-refit slot and are rejected). The byte-level spec
+// of every version lives in docs/CHECKPOINT_FORMAT.md.
+std::uint64_t format_version() noexcept;
+std::uint64_t min_supported_format_version() noexcept;
 
 }  // namespace ckpt
 
@@ -67,6 +86,13 @@ void save_stream_detector(stream_detector& detector, const std::string& path);
 // here. Throws std::runtime_error on I/O failure, an unknown tag, or
 // malformed content.
 std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
+                                                      thread_pool* pool = nullptr);
+
+// Same, reading a detector record from the stream's current position --
+// the seam for container records that nest a detector record after their
+// own fields (the stream_server's format-v3 per-stream checkpoints). The
+// stream must be seekable across the record header.
+std::unique_ptr<stream_detector> load_stream_detector(std::istream& in,
                                                       thread_pool* pool = nullptr);
 
 }  // namespace netdiag

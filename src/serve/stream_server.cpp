@@ -1,11 +1,15 @@
 #include "serve/stream_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "engine/tuning.h"
 #include "measurement/stream_checkpoint.h"
 
 namespace netdiag {
@@ -13,6 +17,10 @@ namespace netdiag {
 namespace {
 
 constexpr const char* k_manifest_tag = "stream_server_manifest";
+// Format-v3 per-stream container: ingest inbox config + counters +
+// residue wrapped around the nested detector record. See
+// docs/CHECKPOINT_FORMAT.md.
+constexpr const char* k_server_stream_tag = "server_stream";
 
 std::string checkpoint_filename(stream_id id) {
     return "stream_" + std::to_string(id) + ".ckpt";
@@ -20,13 +28,76 @@ std::string checkpoint_filename(stream_id id) {
 
 }  // namespace
 
+// One served stream: the detector plus its concurrent ingest edge. The
+// per-entry lock decouples ingest from the server-wide map lock (mu_):
+// ingest holds mu_ only for the id lookup, then works under this lock,
+// so a drain that waits at a refit boundary never stalls opens/closes or
+// other streams' ingests. Lifecycle: close_stream/snapshot_all take the
+// entry lock exclusively to quiesce the ingest edge; ingest/flush take it
+// shared. The draining flag is the single-drainer role: whoever wins the
+// exchange applies pending bins in sequence order, everyone else returns
+// after enqueueing.
+struct stream_server::stream_entry {
+    std::unique_ptr<stream_detector> detector;
+    ingest_options opts;  // capacity holds the effective (rounded) ring size
+    std::unique_ptr<mpsc_inbox<vec>> inbox;
+    mutable std::shared_mutex mu;
+    // The single-drainer role. All operations on this flag (and the
+    // inbox's position words) are seq_cst: the lost-drain re-checks and
+    // flush's "empty and nobody draining" exit combine the two variables,
+    // which is only sound in one total order -- with weaker orders a
+    // thread could observe a drainer's pop yet a stale role flag and
+    // return while the last bin is still mid-apply.
+    std::atomic<bool> draining{false};
+    std::atomic<bool> closing{false};
+    // Threads parked in wait_for_drain_role (close/snapshot/drain_all/
+    // set_ingest_sink). Opportunistic auto-drains yield to them: under
+    // sustained ingest the role is otherwise held almost continuously by
+    // alternating producers, and a maintenance op could starve for
+    // minutes waiting for a free window.
+    std::atomic<std::size_t> role_waiters{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> applied{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    // RAII release of an already-acquired drain role (close_stream is the
+    // one holder that never releases: it adopts the role for teardown).
+    class drain_role {
+    public:
+        explicit drain_role(stream_entry& e) : e_(e) {}
+        ~drain_role() { e_.draining.store(false, std::memory_order_seq_cst); }
+        drain_role(const drain_role&) = delete;
+        drain_role& operator=(const drain_role&) = delete;
+
+    private:
+        stream_entry& e_;
+    };
+};
+
+std::shared_ptr<stream_server::stream_entry> stream_server::make_entry(
+    std::unique_ptr<stream_detector> detector, ingest_options&& opts,
+    std::uint64_t start_sequence) {
+    auto entry = std::make_shared<stream_server::stream_entry>();
+    entry->detector = std::move(detector);
+    entry->opts = std::move(opts);
+    const std::size_t capacity = entry->opts.capacity != 0
+                                     ? entry->opts.capacity
+                                     : global_tuning().ingest_inbox_capacity;
+    entry->inbox = std::make_unique<mpsc_inbox<vec>>(capacity, entry->opts.policy,
+                                                     start_sequence);
+    entry->opts.capacity = entry->inbox->capacity();
+    return entry;
+}
+
 stream_server::stream_server(stream_server_config cfg) {
     if (cfg.threads > 0) pool_ = std::make_unique<thread_pool>(cfg.threads);
 }
 
 stream_server::~stream_server() {
     // Detectors join their own background work on destruction; destroy
-    // them before the pool they run on.
+    // them before the pool they run on. Pending inbox bins are dropped
+    // (documented): snapshot_all or close_stream preserves them.
     std::unique_lock lock(mu_);
     streams_.clear();
 }
@@ -54,41 +125,51 @@ std::unique_ptr<stream_detector> stream_server::build_detector(stream_open_confi
 stream_id stream_server::open_stream(stream_open_config cfg) {
     // Build outside the lock: bootstrap fits can be expensive and touch
     // only the new detector (plus the pool, which is thread-safe).
+    ingest_options ingest = std::move(cfg.ingest);
     std::unique_ptr<stream_detector> detector = build_detector(std::move(cfg));
-    return adopt_stream(std::move(detector));
+    return register_stream(std::move(detector), std::move(ingest));
 }
 
-stream_id stream_server::adopt_stream(std::unique_ptr<stream_detector> detector) {
+stream_id stream_server::adopt_stream(std::unique_ptr<stream_detector> detector,
+                                      ingest_options ingest) {
     if (detector == nullptr) {
         throw std::invalid_argument("stream_server: cannot adopt a null detector");
     }
+    return register_stream(std::move(detector), std::move(ingest));
+}
+
+stream_id stream_server::register_stream(std::unique_ptr<stream_detector> detector,
+                                         ingest_options&& ingest) {
+    auto entry = make_entry(std::move(detector), std::move(ingest), /*start_sequence=*/0);
     std::unique_lock lock(mu_);
     const stream_id id = next_id_++;
-    streams_.emplace(id, std::move(detector));
+    streams_.emplace(id, std::move(entry));
     return id;
 }
 
-stream_detector& stream_server::locked_stream(stream_id id) {
+std::shared_ptr<stream_server::stream_entry> stream_server::find_entry(stream_id id) const {
+    std::shared_lock lock(mu_);
     const auto it = streams_.find(id);
-    if (it == streams_.end()) {
-        throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
-    }
-    return *it->second;
+    return it == streams_.end() ? nullptr : it->second;
 }
 
-const stream_detector& stream_server::locked_stream(stream_id id) const {
-    const auto it = streams_.find(id);
-    if (it == streams_.end()) {
+std::shared_ptr<stream_server::stream_entry> stream_server::entry_or_throw(
+    stream_id id) const {
+    std::shared_ptr<stream_entry> entry = find_entry(id);
+    if (entry == nullptr) {
         throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
     }
-    return *it->second;
+    return entry;
 }
 
 void stream_server::close_stream(stream_id id) {
-    // Unpublish under the lock, but drain outside it: joining a
-    // multi-second refit while holding mu_ exclusively would stall every
-    // other stream's push for the whole fit.
-    std::unique_ptr<stream_detector> victim;
+    // Serialize with the other maintenance ops; unpublish under the map
+    // lock, everything else outside it: joining a multi-second refit (or
+    // draining a deep inbox) while holding mu_ exclusively would stall
+    // every other stream -- and deadlock against a drainer whose sink
+    // reads the server (see maint_mu_).
+    std::lock_guard maintenance(maint_mu_);
+    std::shared_ptr<stream_entry> victim;
     {
         std::unique_lock lock(mu_);
         const auto it = streams_.find(id);
@@ -99,14 +180,34 @@ void stream_server::close_stream(stream_id id) {
         victim = std::move(it->second);
         streams_.erase(it);
     }
+    // Stop the concurrent edge: new ingests bounce off the map lookup,
+    // producers blocked on a full inbox wake and return stream_closed,
+    // in-flight ingests either finish enqueueing (their bins are drained
+    // below) or observe the closing flag.
+    victim->closing.store(true, std::memory_order_release);
+    victim->inbox->close();
+    // Take the drain role -- waiting out an active drainer -- and keep it
+    // for good: after this point no late auto-drain can touch the
+    // detector. Then wait for in-flight enqueues (shared holders of the
+    // entry lock) and apply every pending bin in sequence order: a
+    // non-empty inbox is drained before the stream disappears.
+    wait_for_drain_role(*victim, /*bail_on_closing=*/false);
+    {
+        std::unique_lock entry_lock(victim->mu);
+        apply_pending(*victim, /*yield_to_waiters=*/false);
+    }
     // Join the stream's background maintenance before teardown so a refit
     // failure surfaces here instead of being swallowed by the destructor.
-    victim->drain();
+    victim->detector->drain();
 }
 
 detection_result stream_server::push(stream_id id, std::span<const double> y) {
     std::shared_lock lock(mu_);
-    return locked_stream(id).push_bin(y);
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) {
+        throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
+    }
+    return it->second->detector->push_bin(y);
 }
 
 std::vector<detection_result> stream_server::push_batch(std::span<const stream_bin> bins) {
@@ -126,7 +227,14 @@ std::vector<detection_result> stream_server::push_batch(std::span<const stream_b
     std::map<stream_id, std::size_t> group_of;
     for (std::size_t i = 0; i < bins.size(); ++i) {
         const auto [it, inserted] = group_of.try_emplace(bins[i].id, groups.size());
-        if (inserted) groups.push_back({&locked_stream(bins[i].id), {}});
+        if (inserted) {
+            const auto entry_it = streams_.find(bins[i].id);
+            if (entry_it == streams_.end()) {
+                throw std::invalid_argument("stream_server: unknown stream id " +
+                                            std::to_string(bins[i].id));
+            }
+            groups.push_back({entry_it->second->detector.get(), {}});
+        }
         if (bins[i].y.size() != groups[it->second].detector->dimension()) {
             throw std::invalid_argument(
                 "stream_server: bin width " + std::to_string(bins[i].y.size()) +
@@ -154,11 +262,7 @@ std::vector<detection_result> stream_server::push_batch(std::span<const stream_b
     // the calling thread first (workers stay free to run the fit), so the
     // sharded phase below never parks a worker on maintenance that was
     // already due at batch entry.
-    for (const group& g : groups) {
-        if (auto* diagnoser = dynamic_cast<streaming_diagnoser*>(g.detector)) {
-            diagnoser->prepare_pushes(g.items.size());
-        }
-    }
+    for (const group& g : groups) g.detector->prepare_pushes(g.items.size());
 
     // Shard one group per grain-claimed chunk, rotating the starting
     // group between batches so no stream is systematically served first
@@ -174,15 +278,243 @@ std::vector<detection_result> stream_server::push_batch(std::span<const stream_b
     return results;
 }
 
+namespace {
+
+// Spin-then-sleep backoff for the role-wait loops: cheap yields first,
+// then millisecond sleeps, so a waiter behind a drainer that is parked
+// at a refit swap boundary (which can last a full model fit) does not
+// burn a core for the duration.
+void role_wait_backoff(std::size_t spin) {
+    if (spin < 64) {
+        std::this_thread::yield();
+    } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+}  // namespace
+
+// Blocks until the calling thread holds the stream's drain role.
+// Returns false without acquiring when bail_on_closing is set and
+// close_stream owns the stream (close takes the role and never releases
+// it, so waiting would hang forever).
+bool stream_server::wait_for_drain_role(stream_entry& e, bool bail_on_closing) {
+    e.role_waiters.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t spin = 0;; ++spin) {
+        if (!e.draining.exchange(true, std::memory_order_seq_cst)) {
+            e.role_waiters.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (bail_on_closing && e.closing.load(std::memory_order_acquire)) {
+            e.role_waiters.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
+        role_wait_backoff(spin);
+    }
+}
+
+// Pops and applies every pending bin in sequence order. Caller must hold
+// the drain role (the draining flag). With yield_to_waiters (the
+// opportunistic auto-drain path) the loop returns early when a
+// maintenance op is parked in wait_for_drain_role, so it can take the
+// role promptly; the remaining bins are applied by a later ingest or
+// flush_stream. Maintenance's own applies (close_stream) pass false and
+// always run to empty.
+void stream_server::apply_pending(stream_entry& e, bool yield_to_waiters) {
+    vec bin;
+    std::uint64_t seq = 0;
+    std::size_t stall = 0;
+    for (;;) {
+        if (yield_to_waiters && e.role_waiters.load(std::memory_order_relaxed) > 0) return;
+        const std::size_t pending = e.inbox->approx_size();
+        if (pending == 0) return;
+        const std::size_t burst =
+            std::min(pending, std::max<std::size_t>(global_tuning().ingest_drain_burst, 1));
+        // Resolve refit waits falling due within this burst here, on the
+        // drainer's (caller) thread -- never on a pool worker.
+        e.detector->prepare_pushes(burst);
+        std::size_t popped = 0;
+        for (std::size_t i = 0; i < burst; ++i) {
+            if (!e.inbox->try_pop(bin, seq)) break;
+            ++popped;
+            detection_result result;
+            try {
+                result = e.detector->push_bin(bin);
+            } catch (...) {
+                // The bin was consumed but never applied (e.g. a failed
+                // background refit surfacing here); account for it so the
+                // accepted == applied + dropped + pending invariant
+                // survives the error.
+                e.dropped.fetch_add(1, std::memory_order_relaxed);
+                throw;
+            }
+            e.applied.fetch_add(1, std::memory_order_relaxed);
+            if (e.opts.sink) e.opts.sink(seq, result);
+        }
+        if (popped == 0) {
+            // approx_size counted a ticket whose cell the producer has
+            // not published yet; give it time instead of spinning hot.
+            role_wait_backoff(stall++);
+        } else {
+            stall = 0;
+        }
+    }
+}
+
+// Claims the per-stream drain role and applies pending bins until the
+// inbox is observed empty; returns immediately when another drainer is
+// active (or close_stream owns the stream -- close applies the residue
+// itself). The re-check loop closes the window where a producer enqueues
+// after the drainer's last pop but before the role release.
+void stream_server::drain_entry(stream_entry& e) {
+    while (!e.inbox->empty()) {
+        if (e.role_waiters.load(std::memory_order_relaxed) > 0) return;  // yield
+        if (e.draining.exchange(true, std::memory_order_seq_cst)) return;
+        stream_entry::drain_role role(e);
+        apply_pending(e, /*yield_to_waiters=*/true);
+    }
+}
+
+ingest_result stream_server::ingest(stream_id id, std::span<const double> y) {
+    const std::span<const double> one[] = {y};
+    return ingest_batch(id, one);
+}
+
+ingest_result stream_server::ingest_batch(stream_id id,
+                                          std::span<const std::span<const double>> ys) {
+    const std::shared_ptr<stream_entry> e = find_entry(id);
+    if (e == nullptr) return {ingest_error::unknown_stream, 0, 0};
+
+    // Validate and stage the payloads before touching the entry lock.
+    {
+        std::shared_lock guard(e->mu);
+        if (e->closing.load(std::memory_order_acquire)) {
+            return {ingest_error::stream_closed, 0, 0};
+        }
+        const std::size_t dim = e->detector->dimension();
+        for (const std::span<const double>& y : ys) {
+            if (y.size() != dim) {
+                e->rejected.fetch_add(ys.size(), std::memory_order_relaxed);
+                return {ingest_error::width_mismatch, 0, 0};
+            }
+        }
+        if (ys.empty()) return {ingest_error::ok, e->inbox->next_sequence(), 0};
+        if (ys.size() > e->inbox->capacity()) {
+            // A run longer than the ring can never fit; report it as the
+            // error it is instead of letting push_n throw (the concurrent
+            // edge's contract is error codes, not exceptions).
+            e->rejected.fetch_add(ys.size(), std::memory_order_relaxed);
+            return {ingest_error::inbox_full, 0, 0};
+        }
+    }
+
+    std::vector<vec> items;
+    items.reserve(ys.size());
+    for (const std::span<const double>& y : ys) items.emplace_back(y.begin(), y.end());
+
+    // The entry lock guards only the closing-check + enqueue attempt (so
+    // a close/snapshot can quiesce enqueues). The block-policy wait
+    // happens OUTSIDE it -- a producer parked on a full ring must never
+    // hold the lock a snapshot/set_ingest_sink needs to quiesce the
+    // stream -- and the drain at the end runs outside it too, since its
+    // sink may call back into the server.
+    ingest_result out;
+    for (;;) {
+        bool must_wait = false;
+        {
+            std::shared_lock guard(e->mu);
+            if (e->closing.load(std::memory_order_acquire)) {
+                return {ingest_error::stream_closed, 0, 0};
+            }
+            const auto pushed = e->inbox->try_push_n(std::span<vec>(items));
+            if (pushed.dropped > 0) {
+                e->dropped.fetch_add(pushed.dropped, std::memory_order_relaxed);
+            }
+            switch (pushed.status) {
+                case inbox_push_status::accepted:
+                    e->accepted.fetch_add(ys.size(), std::memory_order_relaxed);
+                    out = {ingest_error::ok, pushed.sequence, ys.size()};
+                    break;
+                case inbox_push_status::closed:
+                    return {ingest_error::stream_closed, 0, 0};
+                case inbox_push_status::full:
+                    if (e->opts.policy != inbox_policy::block) {
+                        e->rejected.fetch_add(ys.size(), std::memory_order_relaxed);
+                        return {ingest_error::inbox_full, 0, 0};
+                    }
+                    must_wait = true;
+                    break;
+            }
+        }
+        if (!must_wait) break;
+        // Full under the block policy: an auto-drain producer first tries
+        // to make room itself (without it, every producer could end up
+        // parked here with a full ring and no drainer anywhere -- a
+        // successful enqueue is otherwise the only drain trigger) and
+        // retries immediately when that freed space; it only parks when
+        // the ring is still full (another drainer holds the role, or a
+        // maintenance op does). Accumulate-mode (auto_drain off) streams
+        // rely on flush_stream, as documented.
+        if (e->opts.auto_drain) {
+            drain_entry(*e);
+            if (!e->inbox->empty()) e->inbox->wait_for_space();
+        } else {
+            e->inbox->wait_for_space();
+        }
+    }
+    if (e->opts.auto_drain) drain_entry(*e);
+    return out;
+}
+
+void stream_server::flush_stream(stream_id id) {
+    const std::shared_ptr<stream_entry> e = entry_or_throw(id);
+    for (std::size_t spin = 0;; ++spin) {
+        // A concurrent close_stream applies the residue itself (and owns
+        // the drain role until teardown): nothing left for us.
+        if (e->closing.load(std::memory_order_acquire)) return;
+        drain_entry(*e);
+        // Done only when the inbox is empty AND no drainer is mid-apply
+        // (an active drainer may have popped the last bin but not pushed
+        // it through the detector yet).
+        if (e->inbox->empty() && !e->draining.load(std::memory_order_seq_cst)) return;
+        role_wait_backoff(spin);
+    }
+}
+
+ingest_stats stream_server::ingest_statistics(stream_id id) const {
+    const std::shared_ptr<stream_entry> e = entry_or_throw(id);
+    ingest_stats st;
+    st.accepted = e->accepted.load(std::memory_order_relaxed);
+    st.applied = e->applied.load(std::memory_order_relaxed);
+    st.dropped = e->dropped.load(std::memory_order_relaxed);
+    st.rejected = e->rejected.load(std::memory_order_relaxed);
+    st.pending = e->inbox->approx_size();
+    st.next_sequence = e->inbox->next_sequence();
+    return st;
+}
+
+void stream_server::set_ingest_sink(stream_id id, ingest_sink sink) {
+    const std::shared_ptr<stream_entry> e = entry_or_throw(id);
+    // Quiesce the ingest edge for the swap: the entry lock stops new
+    // enqueues, the drain role waits out an active drainer (so the swap
+    // cannot race a sink invocation).
+    std::unique_lock guard(e->mu);
+    if (!wait_for_drain_role(*e, /*bail_on_closing=*/true)) {
+        throw std::invalid_argument("stream_server: stream " + std::to_string(id) +
+                                    " is closing");
+    }
+    stream_entry::drain_role role(*e);
+    e->opts.sink = std::move(sink);
+}
+
 stream_server::stream_stats stream_server::stats(stream_id id) const {
-    std::shared_lock lock(mu_);
-    const stream_detector& det = locked_stream(id);
+    const std::shared_ptr<stream_entry> e = entry_or_throw(id);
+    const stream_detector& det = *e->detector;
     return {det.dimension(), det.processed(), det.alarm_count(), det.model_epoch()};
 }
 
 const stream_detector& stream_server::stream(stream_id id) const {
-    std::shared_lock lock(mu_);
-    return locked_stream(id);
+    return *entry_or_throw(id)->detector;
 }
 
 std::size_t stream_server::stream_count() const {
@@ -194,26 +526,101 @@ std::vector<stream_id> stream_server::stream_ids() const {
     std::shared_lock lock(mu_);
     std::vector<stream_id> ids;
     ids.reserve(streams_.size());
-    for (const auto& [id, det] : streams_) ids.push_back(id);
+    for (const auto& [id, entry] : streams_) ids.push_back(id);
     return ids;
 }
 
 void stream_server::drain_all() {
-    std::unique_lock lock(mu_);
-    for (auto& [id, det] : streams_) det->drain();
+    // Same shape as snapshot_all: never hold mu_ while waiting for a
+    // drainer to retire (its sink may read the server), and take each
+    // stream's drain role before joining its detector -- a caller-thread
+    // auto-drain may be inside push_bin, touching the same maintenance
+    // state detector->drain() consumes.
+    std::lock_guard maintenance(maint_mu_);
+    std::vector<std::shared_ptr<stream_entry>> entries;
+    {
+        std::shared_lock lock(mu_);
+        entries.reserve(streams_.size());
+        for (auto& [id, entry] : streams_) entries.push_back(entry);
+    }
+    for (const std::shared_ptr<stream_entry>& entry : entries) {
+        if (!wait_for_drain_role(*entry, /*bail_on_closing=*/true)) continue;
+        stream_entry::drain_role role(*entry);
+        std::unique_lock lock(mu_);  // exclude ordered-edge pushes during the join
+        entry->detector->drain();
+    }
 }
 
 void stream_server::snapshot_all(const std::string& directory) {
-    std::unique_lock lock(mu_);
+    // Serialize with close/restore/other snapshots, then work from a
+    // copy of the stream map so mu_ is never held while waiting for a
+    // stream to quiesce (an in-flight drain's sink may read the server;
+    // see maint_mu_). Closes cannot run concurrently (they take
+    // maint_mu_ too), so every copied entry stays valid; streams opened
+    // after the copy are simply not part of this snapshot.
+    std::lock_guard maintenance(maint_mu_);
+    std::vector<std::pair<stream_id, std::shared_ptr<stream_entry>>> entries;
+    stream_id next_id = 0;
+    {
+        std::shared_lock lock(mu_);
+        entries.assign(streams_.begin(), streams_.end());
+        next_id = next_id_;
+    }
+
     std::error_code ec;
     std::filesystem::create_directories(directory, ec);
     if (ec) {
         throw std::runtime_error("stream_server::snapshot_all: cannot create " + directory +
                                  ": " + ec.message());
     }
-    for (auto& [id, det] : streams_) {
-        save_stream_detector(*det, (std::filesystem::path(directory) /
-                                    checkpoint_filename(id)).string());
+    for (auto& [id, entry] : entries) {
+        // Quiesce this stream: the entry lock stops new enqueues, the
+        // drain role waits out an active drainer (without holding mu_,
+        // so the drainer's sink can still read the server), and the
+        // save below runs under mu_ exclusive to exclude ordered-edge
+        // pushes. The inbox is snapshotted as residue, NOT drained, so
+        // the restored server resumes from exactly this state.
+        std::unique_lock entry_lock(entry->mu);
+        wait_for_drain_role(*entry, /*bail_on_closing=*/false);
+        stream_entry::drain_role role(*entry);
+        // Join background maintenance outside mu_ (a refit can take a
+        // while); save() re-drains anything that slips in before the
+        // exclusive section.
+        entry->detector->drain();
+
+        const std::string path =
+            (std::filesystem::path(directory) / checkpoint_filename(id)).string();
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            throw std::runtime_error("stream_server::snapshot_all: cannot open " + path);
+        }
+        ckpt::write_header(out, k_server_stream_tag);
+        ckpt::write_u64(out, entry->inbox->capacity());
+        ckpt::write_u64(out, static_cast<std::uint64_t>(entry->opts.policy));
+        ckpt::write_flag(out, entry->opts.auto_drain);
+        ckpt::write_u64(out, entry->accepted.load(std::memory_order_relaxed));
+        ckpt::write_u64(out, entry->applied.load(std::memory_order_relaxed));
+        ckpt::write_u64(out, entry->dropped.load(std::memory_order_relaxed));
+        ckpt::write_u64(out, entry->rejected.load(std::memory_order_relaxed));
+        ckpt::write_u64(out, entry->inbox->next_sequence());
+        const auto residue = entry->inbox->snapshot_items();
+        ckpt::write_u64(out, residue.size());
+        for (const auto& [seq, bin] : residue) ckpt::write_vec(out, bin);
+        // Serialize the detector to memory under mu_ exclusive (this is
+        // what excludes ordered-edge pushes on this stream) and do the
+        // disk write after releasing it, so a slow disk never stalls the
+        // other streams' pushes.
+        std::ostringstream detector_bytes(std::ios::binary);
+        {
+            std::unique_lock lock(mu_);
+            entry->detector->save(detector_bytes);
+        }
+        const std::string bytes = detector_bytes.str();
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            throw std::runtime_error("stream_server::snapshot_all: write failed for " + path);
+        }
     }
 
     const std::string manifest_path =
@@ -223,9 +630,9 @@ void stream_server::snapshot_all(const std::string& directory) {
         throw std::runtime_error("stream_server::snapshot_all: cannot open " + manifest_path);
     }
     ckpt::write_header(out, k_manifest_tag);
-    ckpt::write_u64(out, next_id_);
-    ckpt::write_u64(out, streams_.size());
-    for (const auto& [id, det] : streams_) ckpt::write_u64(out, id);
+    ckpt::write_u64(out, next_id);
+    ckpt::write_u64(out, entries.size());
+    for (const auto& [id, entry] : entries) ckpt::write_u64(out, id);
     out.flush();
     if (!out) {
         throw std::runtime_error("stream_server::snapshot_all: write failed for " +
@@ -234,6 +641,7 @@ void stream_server::snapshot_all(const std::string& directory) {
 }
 
 void stream_server::restore_all(const std::string& directory) {
+    std::lock_guard maintenance(maint_mu_);
     std::unique_lock lock(mu_);
     if (!streams_.empty()) {
         throw std::logic_error("stream_server::restore_all: server already has open streams");
@@ -241,25 +649,87 @@ void stream_server::restore_all(const std::string& directory) {
 
     const std::string manifest_path =
         (std::filesystem::path(directory) / "manifest.ckpt").string();
-    std::ifstream in(manifest_path, std::ios::binary);
-    if (!in) {
+    std::ifstream manifest(manifest_path, std::ios::binary);
+    if (!manifest) {
         throw std::runtime_error("stream_server::restore_all: cannot open " + manifest_path);
     }
-    ckpt::expect_header(in, k_manifest_tag);
-    const std::uint64_t saved_next_id = ckpt::read_u64(in);
-    const std::uint64_t count = ckpt::read_u64(in);
+    ckpt::expect_header(manifest, k_manifest_tag);
+    const std::uint64_t saved_next_id = ckpt::read_u64(manifest);
+    const std::uint64_t count = ckpt::read_u64(manifest);
     if (count > (1u << 20)) {
         throw std::runtime_error("stream_server::restore_all: malformed manifest stream count");
     }
 
-    std::map<stream_id, std::unique_ptr<stream_detector>> restored;
+    std::map<stream_id, std::shared_ptr<stream_entry>> restored;
     stream_id max_id = 0;
     for (std::uint64_t s = 0; s < count; ++s) {
-        const stream_id id = ckpt::read_u64(in);
-        auto detector = load_stream_detector(
-            (std::filesystem::path(directory) / checkpoint_filename(id)).string(),
-            pool_.get());
-        const auto [it, inserted] = restored.emplace(id, std::move(detector));
+        const stream_id id = ckpt::read_u64(manifest);
+        const std::string path =
+            (std::filesystem::path(directory) / checkpoint_filename(id)).string();
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            throw std::runtime_error("stream_server::restore_all: cannot open " + path);
+        }
+
+        ingest_options opts;
+        std::uint64_t accepted = 0, applied = 0, dropped = 0, rejected = 0;
+        std::uint64_t next_sequence = 0;
+        std::vector<vec> residue;
+        std::unique_ptr<stream_detector> detector;
+
+        const std::istream::pos_type start = in.tellg();
+        const ckpt::header_info hdr = ckpt::read_header_info(in);
+        if (hdr.type_tag == k_server_stream_tag) {
+            opts.capacity = ckpt::read_u64(in);
+            if (opts.capacity == 0 || opts.capacity > mpsc_inbox<vec>::k_max_capacity) {
+                throw std::runtime_error(
+                    "stream_server::restore_all: malformed inbox capacity in " + path);
+            }
+            const std::uint64_t policy = ckpt::read_u64(in);
+            if (policy > static_cast<std::uint64_t>(inbox_policy::drop_oldest)) {
+                throw std::runtime_error(
+                    "stream_server::restore_all: malformed ingest policy in " + path);
+            }
+            opts.policy = static_cast<inbox_policy>(policy);
+            opts.auto_drain = ckpt::read_flag(in);
+            accepted = ckpt::read_u64(in);
+            applied = ckpt::read_u64(in);
+            dropped = ckpt::read_u64(in);
+            rejected = ckpt::read_u64(in);
+            next_sequence = ckpt::read_u64(in);
+            const std::uint64_t residue_count = ckpt::read_u64(in);
+            if (residue_count > opts.capacity || residue_count > next_sequence) {
+                throw std::runtime_error(
+                    "stream_server::restore_all: malformed inbox residue in " + path);
+            }
+            residue.reserve(residue_count);
+            for (std::uint64_t r = 0; r < residue_count; ++r) {
+                residue.push_back(ckpt::read_vec(in));
+            }
+            detector = load_stream_detector(in, pool_.get());
+        } else {
+            // A format-v2 (pre-inbox) directory: the per-stream file is a
+            // raw detector record. Restore with an empty default inbox.
+            in.clear();
+            in.seekg(start);
+            detector = load_stream_detector(in, pool_.get());
+        }
+
+        auto entry = make_entry(std::move(detector), std::move(opts),
+                                next_sequence - residue.size());
+        for (vec& bin : residue) {
+            if (bin.size() != entry->detector->dimension()) {
+                throw std::runtime_error(
+                    "stream_server::restore_all: inbox residue width mismatch in " + path);
+            }
+            entry->inbox->push(std::move(bin));
+        }
+        entry->accepted.store(accepted, std::memory_order_relaxed);
+        entry->applied.store(applied, std::memory_order_relaxed);
+        entry->dropped.store(dropped, std::memory_order_relaxed);
+        entry->rejected.store(rejected, std::memory_order_relaxed);
+
+        const auto [it, inserted] = restored.emplace(id, std::move(entry));
         if (!inserted) {
             throw std::runtime_error("stream_server::restore_all: duplicate stream id " +
                                      std::to_string(id));

@@ -1,21 +1,49 @@
-// Sharded multi-stream serving front-end: the ROADMAP "multi-stream
-// serving" step. One stream_server owns N independent stream_detector
-// instances -- any mix of streaming_diagnoser / tracking_detector /
+// Sharded multi-stream serving front-end with concurrent-by-construction
+// ingest. One stream_server owns N independent stream_detector instances
+// -- any mix of streaming_diagnoser / tracking_detector /
 // incremental_pca_tracker, one per PoP / customer / vantage point -- each
 // with its own epoch space, multiplexed over one shared engine
-// thread_pool.
+// thread_pool, and (since the MPSC-inbox change) each with its own
+// bounded ingest inbox so any number of collector threads can feed one
+// stream without caller-side ordering.
 //
 // Parity guarantee: the server adds routing, never arithmetic. A stream
 // served here produces bit-identical output -- verdicts, SPE, thresholds,
 // epochs -- to the same detector run alone with the same refit mode, for
-// every pool size including none. This holds by construction: per-stream
-// state is only ever touched by one push at a time, per-stream order is
-// the caller's push order, and the PR-3 epoch-versioning discipline makes
-// each detector's output a function of its own input stream alone
-// (deferred refits are independent submit_task's; pooled fits/folds are
-// bit-identical to serial ones).
+// every pool size including none. For the ordered push/push_batch API the
+// reference order is the caller's push order; for the ingest API it is
+// the *sequence order the inbox assigned at enqueue* (returned from
+// ingest(), reported to the sink): replaying those bins through a
+// standalone single-pusher detector in sequence order reproduces every
+// served output bit-for-bit. This holds by construction: per-stream state
+// is only ever touched by one drainer (or one ordered pusher) at a time,
+// and the PR-3 epoch-versioning discipline makes each detector's output a
+// function of its own input sequence alone.
 //
-// Fairness / backpressure policy:
+// Two ingest edges per stream -- pick one at a time:
+//  - push()/push_batch(): the ordered edge. One externally-ordered pusher
+//    per stream (a serving loop with one feed per stream); results are
+//    returned synchronously.
+//  - ingest()/ingest_batch(): the concurrent edge. Any number of
+//    producer threads enqueue bins into the stream's bounded MPSC inbox
+//    (engine/mpsc_inbox.h); each accepted bin gets a monotone sequence at
+//    enqueue, and a single drainer at a time applies bins in sequence
+//    order through the detector, delivering each result to the stream's
+//    optional ingest sink. With auto_drain (the default) the draining is
+//    done opportunistically by ingesting callers (one of them claims the
+//    per-stream drain role, the rest return immediately after enqueue);
+//    with auto_drain off, bins accumulate until flush_stream(). Draining
+//    always happens on caller threads, never on pool workers, so an
+//    inbox drain may safely wait at a deferred refit's swap boundary
+//    without risking the engine's no-waiting-in-jobs rule.
+//    Backpressure when an inbox is full is per-stream policy: block
+//    (wait for the drainer), reject (ingest returns inbox_full), or
+//    drop_oldest (evict the oldest pending bin; newest data wins).
+//    Mixing the two edges *concurrently* on the same stream is a
+//    contract violation (the ordered edge bypasses the inbox); mixing
+//    them sequentially -- quiesce, then switch -- is fine.
+//
+// Fairness / backpressure policy (ordered edge):
 //  - push_batch groups the batch by stream (per-stream order preserved)
 //    and shards the groups across the pool with dynamic chunk claiming,
 //    rotating the group order round-robin between batches, so a
@@ -27,30 +55,46 @@
 //    than they fit degrades to refitting at fit speed instead of piling
 //    tasks onto the shared pool.
 //  - Before sharding a batch, the server resolves -- on the *calling*
-//    thread -- any refit wait already due within the batch
-//    (streaming_diagnoser::prepare_pushes), so in the common case no pool
-//    worker ever parks on a refit future and a straggling fit delays only
-//    its own stream. (A refit both triggered and falling due inside one
-//    batch can still briefly park its worker; the pool's parallel_for
-//    always leaves a worker free for queued maintenance, so that is a
-//    stall bound, never a deadlock.) Detector kernels that would shard
-//    over the pool (a blocking-mode refit, a pooled rank-1 fold) are safe
-//    to reach from a sharded push: parallel_for detects it is running on
-//    a worker of its own pool and degrades to a serial loop,
-//    bit-identical by the kernels' fixed-block contract.
+//    thread -- any refit wait already due within the batch (the
+//    stream_detector::prepare_pushes drain hook), so in the common case
+//    no pool worker ever parks on a refit future and a straggling fit
+//    delays only its own stream. (A refit both triggered and falling due
+//    inside one batch can still briefly park its worker; the pool's
+//    parallel_for always leaves a worker free for queued maintenance, so
+//    that is a stall bound, never a deadlock.) Detector kernels that
+//    would shard over the pool (a blocking-mode refit, a pooled rank-1
+//    fold) are safe to reach from a sharded push: parallel_for detects it
+//    is running on a worker of its own pool and degrades to a serial
+//    loop, bit-identical by the kernels' fixed-block contract.
 //
-// Threading contract: open/close/snapshot/restore are exclusive;
-// push/push_batch/stats may run concurrently with each other from
-// different threads provided no two of them touch the same stream at
-// once (per-stream calls are externally ordered by the caller -- a
-// serving loop naturally has one feed per stream). push_batch itself
-// parallelizes internally, so single-threaded callers already get full
-// pool utilization.
+// Threading contract: open/close/snapshot/restore serialize against each
+// other (a maintenance mutex); push/push_batch/stats may run concurrently
+// with each other from different threads provided no two of them touch
+// the same stream at once. ingest/ingest_batch/flush_stream may run
+// concurrently from any number of threads against any streams (that is
+// their point), but not concurrently with push/push_batch on the *same*
+// stream. An ingest sink may safely call the server's read accessors
+// (stats/stream/ingest_statistics): drains hold only the per-stream
+// drain role while applying, never a server-wide lock, and maintenance
+// operations never hold the server-wide lock while waiting for a drain
+// to finish. Do not call ingest or flush_stream from a job running on
+// the server's own pool (the drain may wait on a refit future; caller
+// threads may, workers must not), and quiesce all API calls before
+// destroying the server.
+//
+// Checkpointing: snapshot_all writes format-v3 per-stream records that
+// carry the ingest inbox's configuration and *residue* (pending,
+// not-yet-applied bins) next to the detector state, so a server
+// snapshotted with non-empty inboxes restores to exactly that state and
+// the replay -- residue first, in sequence order, then new bins -- stays
+// bit-exact. See docs/CHECKPOINT_FORMAT.md and
+// measurement/stream_checkpoint.h.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +103,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/mpsc_inbox.h"
 #include "engine/thread_pool.h"
 #include "linalg/matrix.h"
 #include "subspace/online.h"
@@ -76,6 +121,51 @@ enum class stream_kind {
     tracker,    // incremental_pca_tracker: maintenance-only axis tracking
 };
 
+// Receives every inbox-applied bin's result, on the drainer's thread, in
+// sequence order. Runtime wiring like the pool: not serialized by
+// checkpoints (re-attach with set_ingest_sink after restore_all).
+using ingest_sink = std::function<void(std::uint64_t sequence, const detection_result&)>;
+
+// Per-stream ingest-inbox configuration.
+struct ingest_options {
+    // Ring capacity; 0 selects global_tuning().ingest_inbox_capacity.
+    // Rounded up to a power of two.
+    std::size_t capacity = 0;
+    inbox_policy policy = inbox_policy::block;
+    // true: ingesting callers opportunistically drain (one at a time).
+    // false: bins accumulate until flush_stream() or close_stream().
+    bool auto_drain = true;
+    ingest_sink sink;
+};
+
+enum class ingest_error {
+    ok = 0,
+    unknown_stream,  // no such id
+    width_mismatch,  // a bin's width differs from the stream's dimension
+    inbox_full,      // reject policy and the ring is full (nothing enqueued)
+    stream_closed,   // close_stream ran while this ingest was in flight
+};
+
+struct ingest_result {
+    ingest_error error = ingest_error::ok;
+    std::uint64_t sequence = 0;  // first sequence of the accepted run
+    std::uint64_t accepted = 0;  // bins enqueued (0 on error)
+    bool ok() const noexcept { return error == ingest_error::ok; }
+};
+
+// Per-stream ingest counters. Conservation invariant (between drains):
+// accepted == applied + dropped + pending -- it holds even when an apply
+// throws (the consumed bin is counted as dropped).
+struct ingest_stats {
+    std::uint64_t accepted = 0;   // bins enqueued successfully
+    std::uint64_t applied = 0;    // bins drained through the detector
+    std::uint64_t dropped = 0;    // bins evicted by drop_oldest, or
+                                  // consumed by an apply that threw
+    std::uint64_t rejected = 0;   // bins refused (full / width mismatch)
+    std::uint64_t pending = 0;    // bins sitting in the inbox now
+    std::uint64_t next_sequence = 0;
+};
+
 // Everything needed to build one stream's detector. The server overrides
 // any pool wiring with its own shared pool.
 struct stream_open_config {
@@ -91,6 +181,10 @@ struct stream_open_config {
     double confidence = 0.999;       // tracking
     separation_config separation;    // tracking
     bool deferred_updates = false;   // tracking: pipeline folds on the pool
+
+    // Ingest inbox wiring (concurrent edge); defaults give a blocking
+    // auto-drained inbox of tuning-default capacity.
+    ingest_options ingest;
 };
 
 struct stream_server_config {
@@ -104,7 +198,9 @@ class stream_server {
 public:
     explicit stream_server(stream_server_config cfg = {});
 
-    // Drains and closes every stream (never throws past the teardown).
+    // Joins every stream's in-flight maintenance and destroys the
+    // streams (never throws past the teardown). Pending inbox bins are
+    // discarded: snapshot_all or close_stream first if they matter.
     ~stream_server();
 
     stream_server(const stream_server&) = delete;
@@ -117,12 +213,18 @@ public:
 
     // Registers an already-built detector (which must be wired to pool()
     // or to no pool). Throws std::invalid_argument on null.
-    stream_id adopt_stream(std::unique_ptr<stream_detector> detector);
+    stream_id adopt_stream(std::unique_ptr<stream_detector> detector,
+                           ingest_options ingest = {});
 
-    // Drains the stream's in-flight maintenance and removes it. Other
-    // streams are untouched -- closing a stream never perturbs their
-    // output. Throws std::invalid_argument on an unknown id.
+    // Unpublishes the stream, wakes any producer blocked on its inbox
+    // (their ingest returns stream_closed), applies every pending inbox
+    // bin in sequence order, drains the detector's in-flight maintenance
+    // and removes it. Other streams are untouched -- closing a stream
+    // never perturbs their output. Throws std::invalid_argument on an
+    // unknown id.
     void close_stream(stream_id id);
+
+    // --- Ordered edge -----------------------------------------------------
 
     // Pushes one bin to one stream on the calling thread. Throws
     // std::invalid_argument on an unknown id or a width mismatch.
@@ -146,6 +248,38 @@ public:
     // streams' bins were applied; only validation is all-or-nothing.)
     std::vector<detection_result> push_batch(std::span<const stream_bin> bins);
 
+    // --- Concurrent (inbox) edge ------------------------------------------
+
+    // Enqueues one bin into the stream's inbox; any number of threads may
+    // ingest into the same stream concurrently. The returned sequence is
+    // the stream-monotone position the bin will be applied at. Errors are
+    // reported as distinct ingest_error values, never exceptions --
+    // except detector errors surfacing from an auto-drain (a failed
+    // background refit), which propagate like push() would.
+    ingest_result ingest(stream_id id, std::span<const double> y);
+
+    // Enqueues a run of bins with consecutive sequences (no other
+    // producer interleaves the run), all-or-nothing under the reject
+    // policy. Width is validated for every bin before anything enqueues;
+    // a run longer than the stream's ring capacity returns inbox_full
+    // under every policy (it can never fit).
+    ingest_result ingest_batch(stream_id id, std::span<const std::span<const double>> ys);
+
+    // Applies every bin currently pending in the stream's inbox (waiting
+    // for an active drainer to hand over if necessary). Returns when the
+    // inbox has been observed empty with no drain in progress. Throws
+    // std::invalid_argument on an unknown id; rethrows detector errors.
+    void flush_stream(stream_id id);
+
+    // Counters for the ingest edge, readable at any time.
+    ingest_stats ingest_statistics(stream_id id) const;
+
+    // Re-attaches the runtime sink (e.g. after restore_all). Quiesces the
+    // stream's ingest edge for the swap.
+    void set_ingest_sink(stream_id id, ingest_sink sink);
+
+    // --- Observation ------------------------------------------------------
+
     // Per-stream counters, readable between pushes.
     struct stream_stats {
         std::size_t dimension = 0;
@@ -166,40 +300,73 @@ public:
     thread_pool* pool() noexcept { return pool_.get(); }
     std::size_t pool_size() const noexcept { return pool_ ? pool_->size() : 0; }
 
-    // Blocks until no stream has background maintenance in flight.
+    // Blocks until no stream has background maintenance in flight. Does
+    // not drain ingest inboxes (use flush_stream for that); waits out an
+    // active inbox drainer per stream first, so it cannot race one.
     void drain_all();
 
+    // --- Checkpointing ----------------------------------------------------
+
     // Checkpoints every stream into directory (created if missing):
-    // stream_<id>.ckpt per stream via save_stream_detector, plus a
-    // manifest binding ids to files. Drains first, so the bytes are
-    // independent of pool size and timing. Quiesces the server for its
-    // duration (exclusive lock across the drains and the disk writes) --
-    // it is a maintenance operation, not a serving-path one. Throws
+    // stream_<id>.ckpt per stream -- a format-v3 record carrying the
+    // ingest inbox configuration, counters and residue (pending bins are
+    // saved, NOT drained) around the detector state -- plus a manifest
+    // binding ids to files. Detector maintenance is drained first, so the
+    // bytes are independent of pool size and timing. Quiesces each
+    // stream in turn (its ingest edge via the entry lock + drain role,
+    // its ordered edge via the server lock around the save) rather than
+    // freezing the whole server at once, so an in-flight drain whose
+    // sink calls back into the server can always finish. Streams opened
+    // concurrently with the snapshot may or may not be included; streams
+    // cannot close mid-snapshot (maintenance ops serialize). Throws
     // std::runtime_error on I/O failure.
     void snapshot_all(const std::string& directory);
 
     // Reopens every stream recorded by snapshot_all under its original
-    // id, wired to this server's pool. The server must have no open
-    // streams. Throws std::runtime_error on a missing/malformed manifest
-    // or checkpoint and std::logic_error when streams are already open.
+    // id, wired to this server's pool, with its inbox residue re-enqueued
+    // under the original sequence numbers. Directories written by the
+    // format-v2 (pre-inbox) snapshot_all restore too, with empty default
+    // inboxes. The server must have no open streams. Throws
+    // std::runtime_error on a missing/malformed manifest or checkpoint
+    // and std::logic_error when streams are already open.
     void restore_all(const std::string& directory);
 
 private:
-    stream_detector& locked_stream(stream_id id);
-    const stream_detector& locked_stream(stream_id id) const;
+    struct stream_entry;
+
+    static std::shared_ptr<stream_entry> make_entry(std::unique_ptr<stream_detector> detector,
+                                                    ingest_options&& opts,
+                                                    std::uint64_t start_sequence);
+    std::shared_ptr<stream_entry> find_entry(stream_id id) const;
+    std::shared_ptr<stream_entry> entry_or_throw(stream_id id) const;
+    static void apply_pending(stream_entry& e, bool yield_to_waiters);
+    static void drain_entry(stream_entry& e);
+    static bool wait_for_drain_role(stream_entry& e, bool bail_on_closing);
     std::unique_ptr<stream_detector> build_detector(stream_open_config&& cfg);
+    stream_id register_stream(std::unique_ptr<stream_detector> detector,
+                              ingest_options&& ingest);
 
     std::unique_ptr<thread_pool> pool_;
     mutable std::shared_mutex mu_;
+    // Serializes the maintenance operations (close_stream, snapshot_all,
+    // restore_all) against each other WITHOUT holding mu_ across their
+    // waits: a drain in flight may invoke an ingest sink that calls the
+    // server's read accessors (mu_ shared), so a maintenance op that held
+    // mu_ exclusive while waiting for that drain to retire would
+    // deadlock. Lock order: maint_mu_ -> (entry lock / drain role) ->
+    // mu_; nothing acquires an entry lock or a drain role while holding
+    // mu_.
+    std::mutex maint_mu_;
     // Serializes the sharded phase of concurrent push_batch calls. One
     // batch's parallel_for leaves at least one pool worker free (it
     // submits at most size-1 helper jobs), which is what guarantees that
     // maintenance tasks and nested detector kernels queued by the batch
     // always make progress; two interleaved batch dispatches could park
-    // every worker at once, so they take turns here instead.
+    // every worker at once, so they take turns here instead. (Ingest
+    // drains never run on pool workers, so they are outside this budget.)
     std::mutex dispatch_mu_;
     // Ordered so snapshot_all and stream_ids() enumerate deterministically.
-    std::map<stream_id, std::unique_ptr<stream_detector>> streams_;
+    std::map<stream_id, std::shared_ptr<stream_entry>> streams_;
     stream_id next_id_ = 1;
     // Round-robin offset across batches; atomic because concurrent
     // push_batch calls (shared lock) both advance it.

@@ -131,12 +131,13 @@ public:
     // When a background refit (or a finished one awaiting its deferred
     // boundary) will swap within the next `bins` pushes, resolves the wait
     // now on the calling thread: the fit result is collected into the
-    // ready slot so the swap itself never blocks. This is the seam the
-    // multi-stream server uses before sharding a batch across the pool --
-    // a pool worker must never park on a refit future (see
+    // ready slot so the swap itself never blocks. This is the
+    // stream_detector drain hook the multi-stream server calls before
+    // sharding a batch across the pool and before an ingest-inbox drain
+    // burst -- a pool worker must never park on a refit future (see
     // serve/stream_server.h). Deterministic: only *where* the wait
     // happens moves, never the swap bin. No-op in blocking/eager modes.
-    void prepare_pushes(std::size_t bins);
+    void prepare_pushes(std::size_t bins) override;
 
 private:
     struct restored_state;  // defined in online.cpp

@@ -10,7 +10,9 @@
 //      against the serial path, so this doubles as a smoke test.
 //      Flags: --quick (small shapes, for CI smoke),
 //             --engine-json=PATH (default BENCH_engine.json),
-//             --engine-only (skip the google-benchmark suite).
+//             --engine-only (skip the google-benchmark suite),
+//             --tuning-profile=PATH (apply a bench_autotune profile to
+//             global_tuning() before the sweeps; see docs/TUNING.md).
 //   2. The google-benchmark microbenchmark suite (compiled only when the
 //      dependency is available; all remaining flags are forwarded to it).
 #include <algorithm>
@@ -751,6 +753,14 @@ int main(int argc, char** argv) {
             engine_only = true;
         } else if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
             json_path = argv[i] + 14;
+        } else if (std::strncmp(argv[i], "--tuning-profile=", 17) == 0) {
+            try {
+                global_tuning() = tuning::load_profile(std::string(argv[i] + 17));
+                std::printf("applied tuning profile %s\n", argv[i] + 17);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "bench_perf_micro: %s\n", e.what());
+                return 1;
+            }
         } else {
             forwarded.push_back(argv[i]);
         }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "engine/tuning.h"
 #include "linalg/error.h"
@@ -124,34 +125,43 @@ void tridiagonalize(matrix& v, std::vector<double>& d, std::vector<double>& e) {
     e[0] = 0.0;
 }
 
-// Applies a batch of Givens rotations to every row of v. Rotation j acts
-// on columns (i, i + 1) with i = hi - 1 - j, in that order — the exact
-// per-element arithmetic the classic interleaved loop performs, so batching
-// (and row-sharding across the pool) changes nothing numerically.
-void apply_rotation_batch(matrix& v, std::size_t hi, const std::vector<double>& rot_c,
+// Applies a batch of Givens rotations to the transposed eigenvector
+// accumulator vt (row j of vt = column j of v). Rotation j acts on vt rows
+// (i, i + 1) with i = hi - 1 - j, in that order, as one contiguous
+// simd::rotate_pair per rotation. Each matrix element sees the same
+// rotations in the same order as the classic per-row interleaved loop, so
+// the arithmetic is bit-identical; sharding splits the element-wise
+// columns, so the pool cannot change it either.
+void apply_rotation_batch(matrix& vt, std::size_t hi, const std::vector<double>& rot_c,
                           const std::vector<double>& rot_s, thread_pool* pool) {
-    const std::size_t n = v.rows();
-    const auto apply_row = [&](std::size_t k) {
+    const std::size_t n = vt.cols();
+    const auto apply_columns = [&](std::size_t lo, std::size_t len) {
         for (std::size_t j = 0; j < rot_c.size(); ++j) {
             const std::size_t i = hi - 1 - j;
-            const double h = v(k, i + 1);
-            v(k, i + 1) = rot_s[j] * v(k, i) + rot_c[j] * h;
-            v(k, i) = rot_c[j] * v(k, i) - rot_s[j] * h;
+            simd::rotate_pair(vt.row(i).data() + lo, vt.row(i + 1).data() + lo, len, rot_c[j],
+                              rot_s[j]);
         }
     };
-    if (pool != nullptr && rot_c.size() * n >= global_tuning().ql_parallel_min_work) {
-        parallel_for(*pool, 0, n, apply_row);
+    if (pool != nullptr && parallel_hardware_ok() &&
+        rot_c.size() * n >= global_tuning().ql_parallel_min_work) {
+        const std::size_t chunks =
+            std::min<std::size_t>(4 * pool->size(), (n + 255) / 256);
+        const std::size_t width = (n + chunks - 1) / chunks;
+        parallel_for(*pool, 0, chunks, [&](std::size_t c) {
+            const std::size_t lo = c * width;
+            if (lo < n) apply_columns(lo, std::min(n, lo + width) - lo);
+        });
     } else {
-        for (std::size_t k = 0; k < n; ++k) apply_row(k);
+        apply_columns(0, n);
     }
 }
 
 // Implicit-shift QL iteration on the tridiagonal (d, e), accumulating the
-// rotations into v. Classic tql2 recurrence; the per-iteration rotation
-// sequence only depends on (d, e), so it is recorded first and applied to
-// v as one row-parallel batch.
-void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e, thread_pool* pool) {
-    const std::size_t n = v.rows();
+// rotations into the transposed eigenvector matrix vt. Classic tql2
+// recurrence; the per-iteration rotation sequence only depends on (d, e),
+// so it is recorded first and applied to vt as one batch per iteration.
+void ql_iterate(matrix& vt, std::vector<double>& d, std::vector<double>& e, thread_pool* pool) {
+    const std::size_t n = vt.rows();
     for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
     e[n - 1] = 0.0;
 
@@ -207,7 +217,7 @@ void ql_iterate(matrix& v, std::vector<double>& d, std::vector<double>& e, threa
                     rot_c.push_back(c);
                     rot_s.push_back(s);
                 }
-                apply_rotation_batch(v, m, rot_c, rot_s, pool);
+                apply_rotation_batch(vt, m, rot_c, rot_s, pool);
                 p = -s * s2 * c3 * el1 * e[l] / dl1;
                 e[l] = s * p;
                 d[l] = c * p;
@@ -258,8 +268,11 @@ sym_eigen_result sym_eigen(const matrix& a, thread_pool* pool) {
     std::vector<double> d(n, 0.0);
     std::vector<double> e(n, 0.0);
     tridiagonalize(v, d, e);
-    ql_iterate(v, d, e, pool);
-    return sorted_descending(std::move(d), v);
+    // QL works on the transpose so each Givens rotation is a contiguous
+    // pair-of-rows update; the copies are exact, so results are unchanged.
+    matrix vt = transpose(v);
+    ql_iterate(vt, d, e, pool);
+    return sorted_descending(std::move(d), transpose(vt));
 }
 
 sym_eigen_result sym_eigen_jacobi(const matrix& a) { return sym_eigen_jacobi(a, nullptr); }
@@ -270,8 +283,14 @@ sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool) {
     if (n == 0) return {};
 
     matrix w = a;
-    matrix v = matrix::identity(n);
+    // Rotations are accumulated into the transpose (row j = eigenvector j)
+    // so both the w update and the accumulator update run as contiguous
+    // simd::rotate_pair calls; w stays symmetric bit-exactly, so reading
+    // its rows where the classic loop read columns changes nothing.
+    matrix vt = matrix::identity(n);
     const double total_scale = std::max(frobenius_norm(w), 1e-300);
+    const bool shard =
+        pool != nullptr && parallel_hardware_ok() && n >= detail::jacobi_parallel_min_dim();
 
     for (int sweep = 0; sweep < k_max_jacobi_sweeps; ++sweep) {
         double off = 0.0;
@@ -281,7 +300,7 @@ sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool) {
         if (std::sqrt(off) <= 1e-14 * total_scale) {
             std::vector<double> d(n);
             for (std::size_t i = 0; i < n; ++i) d[i] = w(i, i);
-            return sorted_descending(std::move(d), v);
+            return sorted_descending(std::move(d), transpose(vt));
         }
 
         for (std::size_t p = 0; p < n; ++p) {
@@ -296,31 +315,37 @@ sym_eigen_result sym_eigen_jacobi(const matrix& a, thread_pool* pool) {
 
                 const double app = w(p, p);
                 const double aqq = w(q, q);
+
+                // Rotate rows p and q of w and vt over a column range, then
+                // re-mirror the rotated entries onto columns p and q. The
+                // four entries at the row intersections get closed-form
+                // values afterwards, so the garbage the row rotation leaves
+                // there is never read.
+                const auto update_columns = [&](std::size_t lo, std::size_t len) {
+                    simd::rotate_pair(w.row(p).data() + lo, w.row(q).data() + lo, len, c, s);
+                    simd::rotate_pair(vt.row(p).data() + lo, vt.row(q).data() + lo, len, c, s);
+                    for (std::size_t k = lo; k < lo + len; ++k) {
+                        if (k == p || k == q) continue;
+                        w(k, p) = w(p, k);
+                        w(k, q) = w(q, k);
+                    }
+                };
+                if (shard) {
+                    const std::size_t chunks =
+                        std::min<std::size_t>(4 * pool->size(), (n + 255) / 256);
+                    const std::size_t width = (n + chunks - 1) / chunks;
+                    parallel_for(*pool, 0, chunks, [&](std::size_t chunk) {
+                        const std::size_t lo = chunk * width;
+                        if (lo < n) update_columns(lo, std::min(n, lo + width) - lo);
+                    });
+                } else {
+                    update_columns(0, n);
+                }
+
                 w(p, p) = c * c * app - 2.0 * s * c * apq + s * s * aqq;
                 w(q, q) = s * s * app + 2.0 * s * c * apq + c * c * aqq;
                 w(p, q) = 0.0;
                 w(q, p) = 0.0;
-                // Each k touches only row/column entries indexed by k, so
-                // the update is row-shardable with identical arithmetic.
-                const auto update_row = [&](std::size_t k) {
-                    if (k != p && k != q) {
-                        const double akp = w(k, p);
-                        const double akq = w(k, q);
-                        w(k, p) = c * akp - s * akq;
-                        w(p, k) = w(k, p);
-                        w(k, q) = s * akp + c * akq;
-                        w(q, k) = w(k, q);
-                    }
-                    const double vkp = v(k, p);
-                    const double vkq = v(k, q);
-                    v(k, p) = c * vkp - s * vkq;
-                    v(k, q) = s * vkp + c * vkq;
-                };
-                if (pool != nullptr && n >= detail::jacobi_parallel_min_dim()) {
-                    parallel_for(*pool, 0, n, update_row);
-                } else {
-                    for (std::size_t k = 0; k < n; ++k) update_row(k);
-                }
             }
         }
     }

@@ -5,22 +5,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 
 namespace netdiag {
-
-namespace {
-
-// Block shape for parallel_column_covariance: at least this many rows per
-// partial-Gram block, and at most this many blocks (each partial is an
-// m x m matrix, so the block count bounds the temporary memory at
-// 64 * m^2 doubles regardless of the row count). Both are functions of
-// the input shape only — never of the thread count — so the reduction
-// order is fixed.
-constexpr std::size_t k_covariance_min_row_block = 256;
-constexpr std::size_t k_covariance_max_blocks = 64;
-
-}  // namespace
 
 matrix multiply(const matrix& a, const matrix& b) {
     if (a.cols() != b.rows()) throw std::invalid_argument("multiply: inner dimensions differ");
@@ -30,9 +19,7 @@ matrix multiply(const matrix& a, const matrix& b) {
         for (std::size_t k = 0; k < a.cols(); ++k) {
             const double aik = a(i, k);
             if (aik == 0.0) continue;
-            const auto brow = b.row(k);
-            const auto crow = c.row(i);
-            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+            simd::axpy(aik, b.row(k).data(), c.row(i).data(), b.cols());
         }
     }
     return c;
@@ -51,8 +38,7 @@ vec multiply_transposed(const matrix& a, std::span<const double> x) {
     for (std::size_t i = 0; i < a.rows(); ++i) {
         const double xi = x[i];
         if (xi == 0.0) continue;
-        const auto arow = a.row(i);
-        for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+        simd::axpy(xi, a.row(i).data(), y.data(), a.cols());
     }
     return y;
 }
@@ -72,7 +58,7 @@ matrix gram(const matrix& a) {
         for (std::size_t i = 0; i < a.cols(); ++i) {
             const double ri = row[i];
             if (ri == 0.0) continue;
-            for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * row[j];
+            simd::axpy(ri, row.data() + i, g.row(i).data() + i, a.cols() - i);
         }
     }
     for (std::size_t i = 0; i < a.cols(); ++i) {
@@ -116,7 +102,7 @@ matrix column_covariance(const matrix& y) {
         for (std::size_t i = 0; i < y.cols(); ++i) {
             const double ci = centered[i];
             if (ci == 0.0) continue;
-            for (std::size_t j = i; j < y.cols(); ++j) cov(i, j) += ci * centered[j];
+            simd::axpy(ci, centered.data() + i, cov.row(i).data() + i, y.cols() - i);
         }
     }
     const double scale_factor = 1.0 / static_cast<double>(y.rows() - 1);
@@ -143,9 +129,14 @@ matrix blocked_covariance(const matrix& y, const vec* means, thread_pool* pool,
     const std::size_t t = y.rows();
     const std::size_t m = y.cols();
 
-    const std::size_t row_block = std::max(k_covariance_min_row_block,
-                                           (t + k_covariance_max_blocks - 1) /
-                                               k_covariance_max_blocks);
+    // Block shape: at least covariance_row_block_min rows per partial-Gram
+    // block, at most covariance_max_blocks blocks (each partial is m x m,
+    // so the cap bounds temporary memory). Both knobs are functions of the
+    // input shape only — never the thread count — so the reduction order
+    // is fixed (numerical contract; see docs/TUNING.md).
+    const std::size_t min_block = std::max<std::size_t>(global_tuning().covariance_row_block_min, 1);
+    const std::size_t max_blocks = std::max<std::size_t>(global_tuning().covariance_max_blocks, 1);
+    const std::size_t row_block = std::max(min_block, (t + max_blocks - 1) / max_blocks);
     const std::size_t blocks = (t + row_block - 1) / row_block;
     std::vector<matrix> partial(blocks);
 
@@ -165,12 +156,12 @@ matrix blocked_covariance(const matrix& y, const vec* means, thread_pool* pool,
             for (std::size_t i = 0; i < m; ++i) {
                 const double ci = row[i];
                 if (ci == 0.0) continue;
-                for (std::size_t j = i; j < m; ++j) acc(i, j) += ci * row[j];
+                simd::axpy(ci, row.data() + i, acc.row(i).data() + i, m - i);
             }
         }
     };
 
-    if (pool != nullptr && blocks > 1) {
+    if (pool != nullptr && parallel_hardware_ok() && blocks > 1) {
         parallel_for(*pool, 0, blocks, accumulate_block);
     } else {
         for (std::size_t b = 0; b < blocks; ++b) accumulate_block(b);

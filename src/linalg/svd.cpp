@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "engine/tuning.h"
 #include "linalg/error.h"
@@ -17,59 +18,77 @@ namespace {
 
 constexpr int k_max_sweeps = 60;
 
-// One-sided Jacobi on a tall (or square) matrix: rows >= cols.
-// Orthogonalizes the columns of work in place, accumulating rotations in v.
+// One-sided Jacobi, cache-blocked and vectorized. The matrix arrives
+// transposed: wt is m x t with row j holding column j of the original tall
+// matrix, and vt is m x m with row j holding column j of the accumulated
+// rotation matrix. That layout makes every column moment a contiguous
+// simd::dot3 and every rotation a contiguous simd::rotate_pair — in the
+// row-major original, column p and column q only ever met one cache line
+// at a time.
 //
-// The (alpha, beta, gamma) column moments are accumulated over fixed row
-// blocks whose partials are combined in block order, and the rotation
-// applications are element-wise independent per row, so the whole
-// procedure performs identical arithmetic for every pool size (including
-// no pool). The block width comes from tuning, so the serial kernel
-// reassociates the moment sums relative to a plain single-pass loop only
-// when rows exceed one block (last-ulps; tolerance-covered).
-void jacobi_orthogonalize(matrix& work, matrix& v, thread_pool* pool) {
-    const std::size_t t = work.rows();
-    const std::size_t m = work.cols();
+// Pairs are scheduled round-robin (the circle method): each round pairs
+// every column exactly once with all pairs disjoint, so one pool dispatch
+// covers m/2 independent rotations, instead of the two dispatches per
+// single rotation the previous cyclic sweep paid. Disjoint pairs touch
+// disjoint rows of wt and vt, so execution order within a round cannot
+// affect the result: pooled runs of any size are bit-identical to serial.
+//
+// The (alpha, beta, gamma) moments are accumulated over fixed column
+// blocks of width tuning.svd_row_block combined in block order (and in
+// fixed 4-lane order within a block — see engine/simd.h), so the
+// reassociation pattern is a function of the problem shape only.
+void jacobi_orthogonalize_cols(matrix& wt, matrix& vt, thread_pool* pool) {
+    const std::size_t m = wt.rows();
+    if (m < 2) return;
+    const std::size_t t = wt.cols();
     const double eps = 1e-15;
 
     const std::size_t block = std::max<std::size_t>(global_tuning().svd_row_block, 1);
     const std::size_t blocks = (t + block - 1) / block;
-    const bool shard = pool != nullptr && t >= global_tuning().svd_parallel_min_rows;
-    std::vector<double> partial(3 * blocks, 0.0);
+    const bool shard = pool != nullptr && parallel_hardware_ok() &&
+                       t >= global_tuning().svd_parallel_min_rows;
+
+    // Round-robin schedule: M players (a phantom "bye" pads odd m), player
+    // 0 fixed, the rest rotating one slot per round. M - 1 rounds visit
+    // every unordered pair exactly once.
+    const std::size_t M = (m % 2 == 0) ? m : m + 1;
+    std::vector<std::size_t> players(M);
+    std::iota(players.begin(), players.end(), std::size_t{0});
+
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(M / 2);
+    std::vector<char> rotated(M / 2, 0);
 
     for (int sweep = 0; sweep < k_max_sweeps; ++sweep) {
         bool converged = true;
-        for (std::size_t p = 0; p < m; ++p) {
-            for (std::size_t q = p + 1; q < m; ++q) {
-                const auto moments_block = [&](std::size_t b) {
-                    const std::size_t lo = b * block;
-                    const std::size_t hi = std::min(t, lo + block);
-                    double a = 0.0, bb = 0.0, g = 0.0;
-                    for (std::size_t r = lo; r < hi; ++r) {
-                        const double wp = work(r, p);
-                        const double wq = work(r, q);
-                        a += wp * wp;
-                        bb += wq * wq;
-                        g += wp * wq;
-                    }
-                    partial[3 * b] = a;
-                    partial[3 * b + 1] = bb;
-                    partial[3 * b + 2] = g;
-                };
-                if (shard && blocks > 1) {
-                    parallel_for(*pool, 0, blocks, moments_block);
-                } else {
-                    for (std::size_t b = 0; b < blocks; ++b) moments_block(b);
-                }
+        for (std::size_t round = 0; round + 1 < M; ++round) {
+            pairs.clear();
+            for (std::size_t i = 0; i < M / 2; ++i) {
+                std::size_t p = players[i];
+                std::size_t q = players[M - 1 - i];
+                if (p >= m || q >= m) continue;  // the bye sits this round out
+                if (p > q) std::swap(p, q);
+                pairs.emplace_back(p, q);
+            }
+
+            const auto rotate_pair_job = [&](std::size_t idx) {
+                const auto [p, q] = pairs[idx];
+                const double* wp = wt.row(p).data();
+                const double* wq = wt.row(q).data();
                 double alpha = 0.0, beta = 0.0, gamma = 0.0;
                 for (std::size_t b = 0; b < blocks; ++b) {
-                    alpha += partial[3 * b];
-                    beta += partial[3 * b + 1];
-                    gamma += partial[3 * b + 2];
+                    const std::size_t lo = b * block;
+                    const std::size_t len = std::min(t, lo + block) - lo;
+                    double a, bb, g;
+                    simd::dot3(wp + lo, wq + lo, len, a, bb, g);
+                    alpha += a;
+                    beta += bb;
+                    gamma += g;
                 }
 
-                if (std::abs(gamma) <= eps * std::sqrt(alpha * beta) || gamma == 0.0) continue;
-                converged = false;
+                rotated[idx] = 0;
+                if (std::abs(gamma) <= eps * std::sqrt(alpha * beta) || gamma == 0.0) return;
+                rotated[idx] = 1;
 
                 const double zeta = (beta - alpha) / (2.0 * gamma);
                 const double sign = zeta >= 0.0 ? 1.0 : -1.0;
@@ -77,31 +96,23 @@ void jacobi_orthogonalize(matrix& work, matrix& v, thread_pool* pool) {
                 const double cos = 1.0 / std::sqrt(1.0 + tan * tan);
                 const double sin = cos * tan;
 
-                const auto rotate_work_row = [&](std::size_t r) {
-                    const double wp = work(r, p);
-                    const double wq = work(r, q);
-                    work(r, p) = cos * wp - sin * wq;
-                    work(r, q) = sin * wp + cos * wq;
-                };
-                if (shard) {
-                    parallel_for(*pool, 0, t, rotate_work_row);
-                } else {
-                    for (std::size_t r = 0; r < t; ++r) rotate_work_row(r);
-                }
-                // v is m x m; m <= t here, and typically far smaller, so its
-                // rotation is only worth sharding for very wide problems.
-                const auto rotate_v_row = [&](std::size_t r) {
-                    const double vp = v(r, p);
-                    const double vq = v(r, q);
-                    v(r, p) = cos * vp - sin * vq;
-                    v(r, q) = sin * vp + cos * vq;
-                };
-                if (pool != nullptr && m >= global_tuning().svd_parallel_min_rows) {
-                    parallel_for(*pool, 0, m, rotate_v_row);
-                } else {
-                    for (std::size_t r = 0; r < m; ++r) rotate_v_row(r);
-                }
+                simd::rotate_pair(wt.row(p).data(), wt.row(q).data(), t, cos, sin);
+                simd::rotate_pair(vt.row(p).data(), vt.row(q).data(), m, cos, sin);
+            };
+
+            if (shard && pairs.size() > 1) {
+                parallel_for(*pool, 0, pairs.size(), rotate_pair_job);
+            } else {
+                for (std::size_t i = 0; i < pairs.size(); ++i) rotate_pair_job(i);
             }
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+                if (rotated[i] != 0) converged = false;
+            }
+
+            // Advance the schedule: slot 0 is fixed, slots 1..M-1 rotate.
+            std::size_t carry = players[M - 1];
+            for (std::size_t i = M - 1; i > 1; --i) players[i] = players[i - 1];
+            players[1] = carry;
         }
         if (converged) return;
     }
@@ -138,28 +149,35 @@ svd_result svd_tall(const matrix& a, thread_pool* pool) {
     const std::size_t t = a.rows();
     const std::size_t m = a.cols();
 
-    matrix work = a;
-    matrix v = matrix::identity(m);
-    jacobi_orthogonalize(work, v, pool);
+    // Column-contiguous working copies (see jacobi_orthogonalize_cols).
+    matrix wt(m, t);
+    for (std::size_t r = 0; r < t; ++r) {
+        const auto arow = a.row(r);
+        for (std::size_t j = 0; j < m; ++j) wt(j, r) = arow[j];
+    }
+    matrix vt = matrix::identity(m);
+    jacobi_orthogonalize_cols(wt, vt, pool);
 
-    // Singular values are the column norms of the rotated matrix.
+    // Singular values are the norms of the rotated columns (= wt rows);
+    // normalizing a row in place turns it into the matching column of u.
     std::vector<double> s(m);
     std::vector<bool> zero_col(m, false);
-    matrix u(t, m, 0.0);
     double smax = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
-        double n2 = 0.0;
-        for (std::size_t r = 0; r < t; ++r) n2 += work(r, j) * work(r, j);
-        s[j] = std::sqrt(n2);
+        const double* wj = wt.row(j).data();
+        s[j] = std::sqrt(simd::dot(wj, wj, t));
         smax = std::max(smax, s[j]);
     }
     for (std::size_t j = 0; j < m; ++j) {
         if (s[j] <= 1e-14 * std::max(smax, 1e-300)) {
             s[j] = 0.0;
             zero_col[j] = true;
+            const auto wj = wt.row(j);
+            std::fill(wj.begin(), wj.end(), 0.0);
             continue;
         }
-        for (std::size_t r = 0; r < t; ++r) u(r, j) = work(r, j) / s[j];
+        const auto wj = wt.row(j);
+        for (std::size_t r = 0; r < t; ++r) wj[r] /= s[j];
     }
 
     // Order by descending singular value.
@@ -176,8 +194,10 @@ svd_result svd_tall(const matrix& a, thread_pool* pool) {
     for (std::size_t j = 0; j < m; ++j) {
         out.s[j] = s[order[j]];
         zero_sorted[j] = zero_col[order[j]];
-        for (std::size_t r = 0; r < t; ++r) out.u(r, j) = u(r, order[j]);
-        for (std::size_t r = 0; r < m; ++r) out.v(r, j) = v(r, order[j]);
+        const double* uj = wt.row(order[j]).data();
+        for (std::size_t r = 0; r < t; ++r) out.u(r, j) = uj[r];
+        const double* vj = vt.row(order[j]).data();
+        for (std::size_t r = 0; r < m; ++r) out.v(r, j) = vj[r];
     }
     complete_orthonormal_columns(out.u, zero_sorted);
     return out;

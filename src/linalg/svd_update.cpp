@@ -30,8 +30,9 @@ right_svd append_row(const right_svd& current, std::span<const double> y, std::s
     if (y.size() != m) throw std::invalid_argument("append_row: row size mismatch");
     if (max_rank == 0) throw std::invalid_argument("append_row: max_rank must be positive");
 
-    const bool shard =
-        pool != nullptr && m * std::max<std::size_t>(k, 1) >= global_tuning().svd_update_parallel_min_work;
+    const bool shard = pool != nullptr && parallel_hardware_ok() &&
+                       m * std::max<std::size_t>(k, 1) >=
+                           global_tuning().svd_update_parallel_min_work;
 
     // Split y into its component inside span(V) and the residual direction.
     // p[j] is an independent dot over column j and resid[r] folds the k

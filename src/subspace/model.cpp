@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
 #include "engine/tuning.h"
 #include "subspace/qstat.h"
@@ -79,24 +80,24 @@ vec subspace_model::project_direction_residual(std::span<const double> direction
 
     const std::size_t k_link_block = std::max<std::size_t>(global_tuning().link_block, 1);
     const std::size_t blocks = (m + k_link_block - 1) / k_link_block;
-    const bool shard =
-        pool != nullptr && m >= global_tuning().parallel_min_links && blocks > 1;
+    const bool shard = pool != nullptr && parallel_hardware_ok() &&
+                       m >= global_tuning().parallel_min_links && blocks > 1;
 
     // Stage 1: coefficients c = P^T x, accumulated per link block.
     vec coeffs(rank_, 0.0);
     if (blocks == 1) {
         // Common case (m <= block width): plain dots, no partial buffer.
         for (std::size_t k = 0; k < rank_; ++k) {
-            coeffs[k] = dot(normal_axes_t_.row(k), direction);
+            coeffs[k] = simd::dot(normal_axes_t_.row(k).data(), direction.data(), m);
         }
     } else {
         vec partial(blocks * rank_, 0.0);
         const auto accumulate_block = [&](std::size_t b) {
             const std::size_t begin = b * k_link_block;
             const std::size_t len = std::min(m, begin + k_link_block) - begin;
-            const auto x = direction.subspan(begin, len);
             for (std::size_t k = 0; k < rank_; ++k) {
-                partial[b * rank_ + k] = dot(normal_axes_t_.row(k).subspan(begin, len), x);
+                partial[b * rank_ + k] = simd::dot(normal_axes_t_.row(k).data() + begin,
+                                                   direction.data() + begin, len);
             }
         };
         if (shard) {
@@ -109,14 +110,14 @@ vec subspace_model::project_direction_residual(std::span<const double> direction
         }
     }
 
-    // Stage 2: out = x - P c, element-wise over the same blocks.
+    // Stage 2: out = x - P c, element-wise over the same blocks (axpy with
+    // -c_k performs the identical subtract per element).
     const auto subtract_block = [&](std::size_t b) {
         const std::size_t begin = b * k_link_block;
-        const std::size_t end = std::min(m, begin + k_link_block);
+        const std::size_t len = std::min(m, begin + k_link_block) - begin;
         for (std::size_t k = 0; k < rank_; ++k) {
-            const double ck = coeffs[k];
-            const auto axis = normal_axes_t_.row(k);
-            for (std::size_t i = begin; i < end; ++i) out[i] -= ck * axis[i];
+            simd::axpy(-coeffs[k], normal_axes_t_.row(k).data() + begin, out.data() + begin,
+                       len);
         }
     };
     if (shard) {
@@ -131,7 +132,8 @@ vec subspace_model::spe_series(const matrix& y, thread_pool* pool) const {
     if (y.cols() != dimension()) throw std::invalid_argument("spe_series: column count mismatch");
     vec out(y.rows(), 0.0);
     const std::size_t work = y.rows() * dimension() * std::max<std::size_t>(rank_, 1);
-    if (pool != nullptr && work >= global_tuning().spe_series_min_work) {
+    if (pool != nullptr && parallel_hardware_ok() &&
+        work >= global_tuning().spe_series_min_work) {
         parallel_for(*pool, 0, y.rows(), [&](std::size_t r) { out[r] = spe(y.row(r)); });
     } else {
         for (std::size_t r = 0; r < y.rows(); ++r) out[r] = spe(y.row(r));

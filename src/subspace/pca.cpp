@@ -4,20 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/simd.h"
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/ops.h"
 #include "measurement/centering.h"
 
 namespace netdiag {
-
-namespace {
-
-// Minimum per-axis projection work (t * m multiply-adds) before sharding
-// the axis loop across the pool pays for the dispatch.
-constexpr std::size_t k_projection_parallel_min_work = 1u << 18;
-
-}  // namespace
 
 double pca_model::variance_fraction(std::size_t i) const {
     if (i >= axis_variance.size()) {
@@ -83,14 +77,17 @@ pca_model fit_pca(const matrix& y, thread_pool* pool) {
     const auto project_axis = [&](std::size_t i) {
         const vec axis = model.principal_axes.column(i);
         vec u(t, 0.0);
-        for (std::size_t r = 0; r < t; ++r) u[r] = dot(centered.centered.row(r), axis);
+        for (std::size_t r = 0; r < t; ++r) {
+            u[r] = simd::dot(centered.centered.row(r).data(), axis.data(), m);
+        }
         const double n = norm(u);
         if (n > 0.0) {
             for (double& v : u) v /= n;
         }
         model.projections.set_column(i, u);
     };
-    if (pool != nullptr && t * m >= k_projection_parallel_min_work) {
+    if (pool != nullptr && parallel_hardware_ok() &&
+        t * m >= global_tuning().pca_projection_min_work) {
         parallel_for(*pool, 0, m, project_axis);
     } else {
         for (std::size_t i = 0; i < m; ++i) project_axis(i);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "engine/tuning.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/ops.h"
 #include "measurement/centering.h"
@@ -295,6 +296,14 @@ TEST_F(BatchParityFixture, InjectionSweepMatchesSerialBitForBit) {
 // relative to the plain serial kernels, within rounding.
 // ---------------------------------------------------------------------------
 
+// The parallel_min_hardware floor (default 2) downgrades every pooled call
+// to serial on single-core hosts, which would make these parity tests
+// compare serial against serial; lower it so the sharded paths really run.
+struct force_sharding {
+    scoped_tuning guard;
+    force_sharding() { global_tuning().parallel_min_hardware = 1; }
+};
+
 matrix random_measurements(std::size_t t, std::size_t m, std::uint64_t seed) {
     std::mt19937_64 rng(seed);
     std::normal_distribution<double> gauss(0.0, 1.0);
@@ -311,6 +320,7 @@ matrix random_measurements(std::size_t t, std::size_t m, std::uint64_t seed) {
 TEST(ParallelFit, ColumnCovarianceBitIdenticalAcrossThreadCounts) {
     // 600 rows -> 3 fixed blocks: the block reduction must not depend on
     // the pool size at all.
+    const force_sharding sharding;
     const matrix y = random_measurements(600, 24, 41);
     const matrix base = parallel_column_covariance(y, nullptr);
     for (std::size_t threads : k_thread_counts) {
@@ -339,6 +349,7 @@ TEST(ParallelFit, SymEigenBitIdenticalAcrossThreadCounts) {
     // full-length rotation batch carries ~n^2 = 176k > 131k of work, so
     // the sharded rotation batches really run; they must reproduce the
     // serial result exactly.
+    const force_sharding sharding;
     const matrix cov = parallel_column_covariance(random_measurements(500, 420, 43), nullptr);
     const sym_eigen_result serial = sym_eigen(cov);
     for (std::size_t threads : k_thread_counts) {
@@ -353,6 +364,7 @@ TEST(ParallelFit, SymEigenJacobiBitIdenticalAcrossThreadCounts) {
     // Jacobi's per-rotation dispatch only amortizes at n >= 2048 — far too
     // slow to eigensolve in a unit test — so the gate is lowered through
     // its test seam to actually drive the sharded row updates here.
+    const force_sharding sharding;
     const matrix cov = parallel_column_covariance(random_measurements(300, 130, 44), nullptr);
     const sym_eigen_result serial = sym_eigen_jacobi(cov);
 
@@ -377,6 +389,7 @@ TEST(ParallelFit, CenteredCovarianceMatchesColumnCovariancePath) {
     // fit_pca feeds center_columns output straight into the Gram; the two
     // entry points must agree bit-for-bit because they accumulate means
     // identically.
+    const force_sharding sharding;
     const matrix y = random_measurements(600, 24, 51);
     const matrix via_raw = parallel_column_covariance(y, nullptr);
     const centering_result centered = center_columns(y);
@@ -390,6 +403,7 @@ TEST(ParallelFit, CenteredCovarianceMatchesColumnCovariancePath) {
 }
 
 TEST(ParallelFit, FitPcaBitIdenticalAcrossThreadCounts) {
+    const force_sharding sharding;
     const matrix y = random_measurements(700, 40, 45);
     const pca_model serial = fit_pca(y);
     for (std::size_t threads : k_thread_counts) {
@@ -403,6 +417,7 @@ TEST(ParallelFit, FitPcaBitIdenticalAcrossThreadCounts) {
 }
 
 TEST(ParallelFit, SubspaceFitBitIdenticalAcrossThreadCounts) {
+    const force_sharding sharding;
     const matrix y = random_measurements(500, 32, 46);
     const subspace_model serial = subspace_model::fit(y);
     for (std::size_t threads : k_thread_counts) {
@@ -443,6 +458,7 @@ subspace_model wide_lowrank_model(std::size_t m, std::size_t rank, std::uint64_t
 }
 
 TEST(LowRankResidual, LinkShardedProjectionBitIdenticalAcrossThreadCounts) {
+    const force_sharding sharding;
     const std::size_t m = 1536;  // > the 1024-link parallel gate, 6 blocks
     const subspace_model model = wide_lowrank_model(m, 3, 47);
     std::mt19937_64 rng(48);
@@ -461,6 +477,7 @@ TEST(LowRankResidual, LinkShardedProjectionBitIdenticalAcrossThreadCounts) {
 }
 
 TEST(LowRankResidual, LinkShardedProjectionMatchesDenseProjector) {
+    const force_sharding sharding;
     const std::size_t m = 1536;
     const subspace_model model = wide_lowrank_model(m, 3, 49);
     std::mt19937_64 rng(50);
@@ -478,6 +495,7 @@ TEST(LowRankResidual, LinkShardedProjectionMatchesDenseProjector) {
 }
 
 TEST_F(BatchParityFixture, ModelSpeSeriesWithPoolMatchesSerialBitForBit) {
+    const force_sharding sharding;
     const vec serial = diagnoser_->model().spe_series(ds_->link_loads);
     for (std::size_t threads : k_thread_counts) {
         thread_pool pool(threads);

@@ -217,6 +217,7 @@ TEST_F(StreamingFixture, TrackerPooledFoldsBitIdenticalAcrossThreadCounts) {
     const scoped_tuning guard;
     global_tuning().svd_update_parallel_min_work = 1;
     global_tuning().svd_parallel_min_rows = 8;
+    global_tuning().parallel_min_hardware = 1;
 
     incremental_pca_tracker reference(bootstrap_, 10);
     for (std::size_t r = 0; r < 40; ++r) reference.push(stream_.row(r));

@@ -146,6 +146,7 @@ TEST(SvdParallel, BitIdenticalAcrossThreadCountsAboveGate) {
     // blocks in play.
     const scoped_tuning guard;
     global_tuning().svd_parallel_min_rows = 1024;
+    global_tuning().parallel_min_hardware = 1;
 
     const matrix a = random_matrix(1200, 24, 77);
     const svd_result serial = svd(a);
@@ -160,6 +161,7 @@ TEST(SvdParallel, BitIdenticalAtUnitTestSizesThroughTheTuningSeam) {
     const scoped_tuning guard;
     global_tuning().svd_parallel_min_rows = 4;
     global_tuning().svd_row_block = 16;
+    global_tuning().parallel_min_hardware = 1;
 
     for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{60, 9},
                                     std::pair<std::size_t, std::size_t>{9, 60},

@@ -114,6 +114,7 @@ TEST(SvdUpdate, ZeroMaxRankThrows) {
 TEST(SvdUpdateParallel, RightSvdOfBitIdenticalAcrossThreadCounts) {
     const scoped_tuning guard;
     global_tuning().svd_parallel_min_rows = 8;
+    global_tuning().parallel_min_hardware = 1;
 
     const matrix y = random_matrix(90, 12, 41);
     const right_svd serial = right_svd_of(y);
@@ -128,6 +129,7 @@ TEST(SvdUpdateParallel, RightSvdOfBitIdenticalAcrossThreadCounts) {
 TEST(SvdUpdateParallel, AppendRowBitIdenticalAcrossThreadCounts) {
     const scoped_tuning guard;
     global_tuning().svd_update_parallel_min_work = 1;
+    global_tuning().parallel_min_hardware = 1;
 
     const matrix y = random_matrix(60, 20, 42);
     const right_svd base = right_svd_of(y);
@@ -146,6 +148,7 @@ TEST(SvdUpdateParallel, AppendRowBitIdenticalAcrossThreadCounts) {
 TEST(SvdUpdateParallel, ChainedUpdatesBitIdenticalAcrossThreadCounts) {
     const scoped_tuning guard;
     global_tuning().svd_update_parallel_min_work = 1;
+    global_tuning().parallel_min_hardware = 1;
 
     const matrix y = random_matrix(30, 10, 44);
     std::mt19937_64 rng(45);

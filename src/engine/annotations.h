@@ -1,0 +1,93 @@
+// Clang Thread Safety Analysis attribute macros (no-ops off clang).
+//
+// The serving stack's concurrency contracts -- which fields a mutex
+// guards, which functions require the caller to hold a lock or a logical
+// role, which locks a function must NOT hold when it waits -- were
+// previously prose in header comments, enforced only when a dynamic tool
+// (TSan, the parity tests) happened to hit the bad interleaving. These
+// macros attach the same contracts to the declarations themselves so
+// clang's -Wthread-safety pass checks them on every compile; see
+// docs/STATIC_ANALYSIS.md for the full catalog and suppression policy.
+//
+// Use the annotated wrapper types in engine/sync.h rather than raw
+// std::mutex: the standard library types carry no capability attributes
+// (libstdc++ has none at all), so GUARDED_BY(a_std_mutex) would be
+// rejected by the analysis.
+//
+// Naming follows the canonical clang mutex.h macro set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a NETDIAG_
+// prefix.
+#pragma once
+
+#if defined(__clang__)
+#define NETDIAG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NETDIAG_THREAD_ANNOTATION(x)  // not a clang build: annotations vanish
+#endif
+
+// --- type annotations ------------------------------------------------------
+
+// Marks a class as a capability (lockable). The string names the kind in
+// diagnostics ("mutex", "shared_mutex", "role").
+#define NETDIAG_CAPABILITY(x) NETDIAG_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define NETDIAG_SCOPED_CAPABILITY NETDIAG_THREAD_ANNOTATION(scoped_lockable)
+
+// --- data annotations ------------------------------------------------------
+
+// The field may only be accessed while holding capability x (shared for
+// reads, exclusive for writes).
+#define NETDIAG_GUARDED_BY(x) NETDIAG_THREAD_ANNOTATION(guarded_by(x))
+
+// Same, for the data a pointer/smart-pointer field points at.
+#define NETDIAG_PT_GUARDED_BY(x) NETDIAG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Documented lock-ordering edges (checked under -Wthread-safety-beta;
+// always valid documentation).
+#define NETDIAG_ACQUIRED_BEFORE(...) NETDIAG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NETDIAG_ACQUIRED_AFTER(...) NETDIAG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// --- function annotations --------------------------------------------------
+
+// The caller must hold the capability (exclusively / at least shared).
+#define NETDIAG_REQUIRES(...) NETDIAG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NETDIAG_REQUIRES_SHARED(...) \
+    NETDIAG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the capability. On a constructor or
+// member function of a capability class, an empty argument list means
+// `this`.
+#define NETDIAG_ACQUIRE(...) NETDIAG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NETDIAG_ACQUIRE_SHARED(...) \
+    NETDIAG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define NETDIAG_RELEASE(...) NETDIAG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NETDIAG_RELEASE_SHARED(...) \
+    NETDIAG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability only when it returns the given
+// value (first argument).
+#define NETDIAG_TRY_ACQUIRE(...) NETDIAG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define NETDIAG_TRY_ACQUIRE_SHARED(...) \
+    NETDIAG_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability -- the anti-deadlock edge: a
+// function that may park (a drain-role wait, a condvar wait) is annotated
+// NETDIAG_EXCLUDES(the_lock_a_waiter_might_need).
+#define NETDIAG_EXCLUDES(...) NETDIAG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Tells the analysis the capability IS held here without acquiring it --
+// the seam for logical roles established by protocol (a single-pusher
+// contract) rather than by a lock operation the analysis can see.
+#define NETDIAG_ASSERT_CAPABILITY(x) NETDIAG_THREAD_ANNOTATION(assert_capability(x))
+#define NETDIAG_ASSERT_SHARED_CAPABILITY(x) \
+    NETDIAG_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define NETDIAG_RETURN_CAPABILITY(x) NETDIAG_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Every use must carry a comment explaining why the
+// analysis cannot see the invariant (suppression policy:
+// docs/STATIC_ANALYSIS.md#suppression-policy).
+#define NETDIAG_NO_THREAD_SAFETY_ANALYSIS NETDIAG_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -36,16 +36,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "engine/sync.h"
 
 namespace netdiag {
 
@@ -104,7 +104,7 @@ public:
 
     // Enqueues one item under the configured policy. The item is moved
     // from only when the push is accepted.
-    push_result push(T value) {
+    [[nodiscard]] push_result push(T value) NETDIAG_EXCLUDES(wait_mu_) {
         std::span<T> one(&value, 1);
         return push_n(one);
     }
@@ -114,27 +114,29 @@ public:
     // the reject policy nothing is enqueued. Throws std::invalid_argument
     // when the run is larger than the ring itself. An empty run is
     // accepted with sequence == next_sequence() and enqueues nothing.
-    push_result push_n(std::span<T> values) { return push_impl(values, /*may_wait=*/true); }
+    [[nodiscard]] push_result push_n(std::span<T> values) NETDIAG_EXCLUDES(wait_mu_) {
+        return push_impl(values, /*may_wait=*/true);
+    }
 
     // push_n that never blocks: under the block policy a full ring
     // returns status full instead of waiting, so a caller can place the
     // wait itself (wait_for_space) without holding its own locks across
     // it -- the stream_server does exactly that so a parked producer can
     // never wedge a snapshot.
-    push_result try_push_n(std::span<T> values) {
+    [[nodiscard]] push_result try_push_n(std::span<T> values) NETDIAG_EXCLUDES(wait_mu_) {
         return push_impl(values, /*may_wait=*/false);
     }
 
     // The producer-side wait of the block policy: parks briefly (bounded
     // by a ~1ms timeout) until a pop or close() makes another attempt
     // worthwhile. Callers loop try_push_n / wait_for_space.
-    void wait_for_space() {
-        std::unique_lock<std::mutex> lock(wait_mu_);
+    void wait_for_space() NETDIAG_EXCLUDES(wait_mu_) {
+        sync::mutex_lock lock(wait_mu_);
         waiters_.fetch_add(1, std::memory_order_relaxed);
         // Timed wait instead of a tracked predicate: the producer re-runs
         // its reservation after every wakeup anyway, so a (rare) missed
         // notification costs one timeout, never a hang.
-        space_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        (void)space_cv_.wait_for(lock, std::chrono::milliseconds(1));
         waiters_.fetch_sub(1, std::memory_order_relaxed);
     }
 
@@ -149,7 +151,7 @@ public:
     // see my role flag -- needs the single total order; acquire/release
     // alone orders nothing between the two variables. The cost is noise
     // next to what callers do with each item.
-    bool try_pop(T& out, std::uint64_t& sequence) {
+    [[nodiscard]] bool try_pop(T& out, std::uint64_t& sequence) NETDIAG_EXCLUDES(wait_mu_) {
         std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
         cell* c = nullptr;
         for (;;) {
@@ -174,7 +176,7 @@ public:
         if (waiters_.load(std::memory_order_relaxed) > 0) {
             // Pair the notification with the waiter's lock so a producer
             // between its failed reservation and its wait cannot miss it.
-            { std::lock_guard<std::mutex> lock(wait_mu_); }
+            { sync::mutex_lock lock(wait_mu_); }
             space_cv_.notify_all();
         }
         return true;
@@ -199,9 +201,9 @@ public:
 
     // Wakes blocked producers and makes every further push return
     // status closed. Pending items remain poppable.
-    void close() {
+    void close() NETDIAG_EXCLUDES(wait_mu_) {
         closed_.store(true, std::memory_order_release);
-        { std::lock_guard<std::mutex> lock(wait_mu_); }
+        { sync::mutex_lock lock(wait_mu_); }
         space_cv_.notify_all();
     }
 
@@ -228,7 +230,7 @@ private:
         T value{};
     };
 
-    push_result push_impl(std::span<T> values, bool may_wait) {
+    push_result push_impl(std::span<T> values, bool may_wait) NETDIAG_EXCLUDES(wait_mu_) {
         if (values.size() > capacity_) {
             throw std::invalid_argument("mpsc_inbox: batch larger than ring capacity");
         }
@@ -267,7 +269,7 @@ private:
     // only ever advances, so a stale read can under-report free space
     // (producing a spurious full, resolved by the policy loop) but never
     // over-report it.
-    bool try_reserve(std::size_t count, std::uint64_t* out_pos) {
+    [[nodiscard]] bool try_reserve(std::size_t count, std::uint64_t* out_pos) {
         std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
         for (;;) {
             const std::uint64_t deq = dequeue_pos_.load(std::memory_order_acquire);
@@ -310,8 +312,8 @@ private:
     std::atomic<std::uint64_t> dequeue_pos_{0};
     std::atomic<bool> closed_{false};
     std::atomic<std::size_t> waiters_{0};
-    std::mutex wait_mu_;
-    std::condition_variable space_cv_;
+    sync::mutex wait_mu_;
+    sync::condition_variable space_cv_;
 };
 
 }  // namespace netdiag

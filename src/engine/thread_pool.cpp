@@ -29,7 +29,7 @@ thread_pool::thread_pool(std::size_t threads) {
 
 thread_pool::~thread_pool() {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::mutex_lock lock(mu_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -38,7 +38,7 @@ thread_pool::~thread_pool() {
 
 void thread_pool::submit(std::function<void()> job) {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::mutex_lock lock(mu_);
         jobs_.push(std::move(job));
     }
     cv_.notify_one();
@@ -54,8 +54,10 @@ void thread_pool::worker_loop() {
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            sync::mutex_lock lock(mu_);
+            // Manual predicate loop: the analysis checks a wait lambda as a
+            // separate function that does not hold mu_ (see engine/sync.h).
+            while (!stop_ && jobs_.empty()) cv_.wait(lock);
             if (jobs_.empty()) return;  // stop_ set and queue drained
             job = std::move(jobs_.front());
             jobs_.pop();

@@ -17,18 +17,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "engine/sync.h"
 
 namespace netdiag {
 
@@ -49,7 +49,7 @@ public:
     // can deadlock once every worker is parked on such a wait). A
     // parallel_for over this pool from inside a job is safe: it detects
     // the nesting and degrades to a serial loop (bit-identical results).
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) NETDIAG_EXCLUDES(mu_);
 
     // Enqueues a callable and returns a future for its result. Exceptions
     // thrown by the task surface at future.get(). The same no-waiting
@@ -68,13 +68,13 @@ public:
     static std::size_t hardware_threads() noexcept;
 
 private:
-    void worker_loop();
+    void worker_loop() NETDIAG_EXCLUDES(mu_);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> jobs_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    sync::mutex mu_;
+    sync::condition_variable cv_;
+    std::queue<std::function<void()>> jobs_ NETDIAG_GUARDED_BY(mu_);
+    bool stop_ NETDIAG_GUARDED_BY(mu_) = false;
 };
 
 namespace detail {
@@ -86,13 +86,13 @@ bool on_worker_of(const thread_pool& pool) noexcept;
 
 // Shared completion state for one parallel_for call.
 struct parallel_for_sync {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::size_t pending = 0;
-    std::exception_ptr first_error;
+    sync::mutex mu;
+    sync::condition_variable done_cv;
+    std::size_t pending NETDIAG_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error NETDIAG_GUARDED_BY(mu);
 
-    void finish_one(std::exception_ptr error) {
-        std::lock_guard<std::mutex> lock(mu);
+    void finish_one(std::exception_ptr error) NETDIAG_EXCLUDES(mu) {
+        sync::mutex_lock lock(mu);
         if (error && !first_error) first_error = std::move(error);
         if (--pending == 0) done_cv.notify_one();
     }
@@ -131,20 +131,23 @@ void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, Body&& 
         return;
     }
 
-    detail::parallel_for_sync sync;
-    sync.pending = chunks - 1;
+    detail::parallel_for_sync completion;
+    {
+        sync::mutex_lock lock(completion.mu);
+        completion.pending = chunks - 1;
+    }
 
     std::size_t chunk_begin = begin + base + (extra > 0 ? 1 : 0);  // skip chunk 0
     for (std::size_t c = 1; c < chunks; ++c) {
         const std::size_t chunk_end = chunk_begin + base + (c < extra ? 1 : 0);
-        const auto run_chunk = [&body, &sync, chunk_begin, chunk_end] {
+        const auto run_chunk = [&body, &completion, chunk_begin, chunk_end] {
             std::exception_ptr error;
             try {
                 for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
             } catch (...) {
                 error = std::current_exception();
             }
-            sync.finish_one(std::move(error));
+            completion.finish_one(std::move(error));
         };
         try {
             pool.submit(run_chunk);
@@ -166,9 +169,10 @@ void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, Body&& 
         local_error = std::current_exception();
     }
 
-    std::unique_lock<std::mutex> lock(sync.mu);
-    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
-    const std::exception_ptr error = sync.first_error ? sync.first_error : local_error;
+    sync::mutex_lock lock(completion.mu);
+    while (completion.pending != 0) completion.done_cv.wait(lock);
+    const std::exception_ptr error =
+        completion.first_error ? completion.first_error : local_error;
     if (error) std::rethrow_exception(error);
 }
 
@@ -214,17 +218,20 @@ void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, std::si
         return;
     }
 
-    detail::parallel_for_sync sync;
-    sync.pending = helpers;
+    detail::parallel_for_sync completion;
+    {
+        sync::mutex_lock lock(completion.mu);
+        completion.pending = helpers;
+    }
     for (std::size_t h = 0; h < helpers; ++h) {
-        const auto run_helper = [&drain_chunks, &sync] {
+        const auto run_helper = [&drain_chunks, &completion] {
             std::exception_ptr error;
             try {
                 drain_chunks();
             } catch (...) {
                 error = std::current_exception();
             }
-            sync.finish_one(std::move(error));
+            completion.finish_one(std::move(error));
         };
         try {
             pool.submit(run_helper);
@@ -242,9 +249,10 @@ void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end, std::si
         local_error = std::current_exception();
     }
 
-    std::unique_lock<std::mutex> lock(sync.mu);
-    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
-    const std::exception_ptr error = sync.first_error ? sync.first_error : local_error;
+    sync::mutex_lock lock(completion.mu);
+    while (completion.pending != 0) completion.done_cv.wait(lock);
+    const std::exception_ptr error =
+        completion.first_error ? completion.first_error : local_error;
     if (error) std::rethrow_exception(error);
 }
 

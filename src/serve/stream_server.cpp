@@ -1,14 +1,13 @@
 #include "serve/stream_server.h"
 
 #include <algorithm>
-#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
+#include "engine/backoff.h"
 #include "engine/tuning.h"
 #include "measurement/stream_checkpoint.h"
 
@@ -41,8 +40,17 @@ struct stream_server::stream_entry {
     std::unique_ptr<stream_detector> detector;
     ingest_options opts;  // capacity holds the effective (rounded) ring size
     std::unique_ptr<mpsc_inbox<vec>> inbox;
-    mutable std::shared_mutex mu;
-    // The single-drainer role. All operations on this flag (and the
+    mutable sync::shared_mutex mu;
+    // The single-drainer role as a capability the analysis can track:
+    // whoever owns the draining flag below holds drain_cap, and only
+    // holders may run apply_pending or touch the sink. The flag (not the
+    // capability, which is a zero-size no-op) is what changes hands at
+    // runtime.
+    sync::role drain_cap;
+    // Applied-bin callback, invoked only by the drainer; hoisted out of
+    // opts so the analysis can pin it to the role capability.
+    ingest_sink sink NETDIAG_GUARDED_BY(drain_cap);
+    // The single-drainer role flag. All operations on this flag (and the
     // inbox's position words) are seq_cst: the lost-drain re-checks and
     // flush's "empty and nobody draining" exit combine the two variables,
     // which is only sound in one total order -- with weaker orders a
@@ -63,16 +71,36 @@ struct stream_server::stream_entry {
 
     // RAII release of an already-acquired drain role (close_stream is the
     // one holder that never releases: it adopts the role for teardown).
-    class drain_role {
+    // The adopt shape: the constructor REQUIRES the capability instead of
+    // acquiring it, the destructor releases it -- acquisition happened in
+    // try_claim_drain_role / wait_for_drain_role.
+    class NETDIAG_SCOPED_CAPABILITY drain_role {
     public:
-        explicit drain_role(stream_entry& e) : e_(e) {}
-        ~drain_role() { e_.draining.store(false, std::memory_order_seq_cst); }
+        explicit drain_role(stream_entry& e) NETDIAG_REQUIRES(e.drain_cap) : e_(e) {}
+        ~drain_role() NETDIAG_RELEASE() {
+            e_.drain_cap.release();
+            e_.draining.store(false, std::memory_order_seq_cst);
+        }
         drain_role(const drain_role&) = delete;
         drain_role& operator=(const drain_role&) = delete;
 
     private:
         stream_entry& e_;
     };
+
+    // One attempt at the role: wins iff nobody held the draining flag.
+    static bool try_claim_drain_role(stream_entry& e) NETDIAG_TRY_ACQUIRE(true, e.drain_cap) {
+        if (e.draining.exchange(true, std::memory_order_seq_cst)) return false;
+        e.drain_cap.acquire();  // no-op: the exchange above won the role
+        return true;
+    }
+
+    static bool wait_for_drain_role(stream_entry& e, bool bail_on_closing)
+        NETDIAG_TRY_ACQUIRE(true, e.drain_cap);
+    static void acquire_drain_role(stream_entry& e) NETDIAG_ACQUIRE(e.drain_cap);
+    static void apply_pending(stream_entry& e, bool yield_to_waiters)
+        NETDIAG_REQUIRES(e.drain_cap);
+    static void drain_entry(stream_entry& e) NETDIAG_EXCLUDES(e.drain_cap);
 };
 
 std::shared_ptr<stream_server::stream_entry> stream_server::make_entry(
@@ -81,6 +109,10 @@ std::shared_ptr<stream_server::stream_entry> stream_server::make_entry(
     auto entry = std::make_shared<stream_server::stream_entry>();
     entry->detector = std::move(detector);
     entry->opts = std::move(opts);
+    // The entry is freshly built and unpublished: no drainer can exist
+    // yet, so this thread holds the drain role by construction.
+    entry->drain_cap.assert_held();
+    entry->sink = std::move(entry->opts.sink);
     const std::size_t capacity = entry->opts.capacity != 0
                                      ? entry->opts.capacity
                                      : global_tuning().ingest_inbox_capacity;
@@ -98,7 +130,7 @@ stream_server::~stream_server() {
     // Detectors join their own background work on destruction; destroy
     // them before the pool they run on. Pending inbox bins are dropped
     // (documented): snapshot_all or close_stream preserves them.
-    std::unique_lock lock(mu_);
+    sync::exclusive_lock lock(mu_);
     streams_.clear();
 }
 
@@ -141,14 +173,14 @@ stream_id stream_server::adopt_stream(std::unique_ptr<stream_detector> detector,
 stream_id stream_server::register_stream(std::unique_ptr<stream_detector> detector,
                                          ingest_options&& ingest) {
     auto entry = make_entry(std::move(detector), std::move(ingest), /*start_sequence=*/0);
-    std::unique_lock lock(mu_);
+    sync::exclusive_lock lock(mu_);
     const stream_id id = next_id_++;
     streams_.emplace(id, std::move(entry));
     return id;
 }
 
 std::shared_ptr<stream_server::stream_entry> stream_server::find_entry(stream_id id) const {
-    std::shared_lock lock(mu_);
+    sync::shared_lock lock(mu_);
     const auto it = streams_.find(id);
     return it == streams_.end() ? nullptr : it->second;
 }
@@ -168,10 +200,10 @@ void stream_server::close_stream(stream_id id) {
     // draining a deep inbox) while holding mu_ exclusively would stall
     // every other stream -- and deadlock against a drainer whose sink
     // reads the server (see maint_mu_).
-    std::lock_guard maintenance(maint_mu_);
+    sync::mutex_lock maintenance(maint_mu_);
     std::shared_ptr<stream_entry> victim;
     {
-        std::unique_lock lock(mu_);
+        sync::exclusive_lock lock(mu_);
         const auto it = streams_.find(id);
         if (it == streams_.end()) {
             throw std::invalid_argument("stream_server: unknown stream id " +
@@ -191,18 +223,22 @@ void stream_server::close_stream(stream_id id) {
     // detector. Then wait for in-flight enqueues (shared holders of the
     // entry lock) and apply every pending bin in sequence order: a
     // non-empty inbox is drained before the stream disappears.
-    wait_for_drain_role(*victim, /*bail_on_closing=*/false);
+    stream_entry::acquire_drain_role(*victim);
     {
-        std::unique_lock entry_lock(victim->mu);
-        apply_pending(*victim, /*yield_to_waiters=*/false);
+        sync::exclusive_lock entry_lock(victim->mu);
+        stream_entry::apply_pending(*victim, /*yield_to_waiters=*/false);
     }
     // Join the stream's background maintenance before teardown so a refit
     // failure surfaces here instead of being swallowed by the destructor.
     victim->detector->drain();
+    // The role is adopted permanently: the draining flag stays set so no
+    // late auto-drain can ever touch the dying detector. Balance the
+    // acquire for the analysis only -- this compiles to nothing.
+    victim->drain_cap.release();
 }
 
 detection_result stream_server::push(stream_id id, std::span<const double> y) {
-    std::shared_lock lock(mu_);
+    sync::shared_lock lock(mu_);
     const auto it = streams_.find(id);
     if (it == streams_.end()) {
         throw std::invalid_argument("stream_server: unknown stream id " + std::to_string(id));
@@ -211,7 +247,7 @@ detection_result stream_server::push(stream_id id, std::span<const double> y) {
 }
 
 std::vector<detection_result> stream_server::push_batch(std::span<const stream_bin> bins) {
-    std::shared_lock lock(mu_);
+    sync::shared_lock lock(mu_);
 
     // Group by stream, preserving per-stream batch order. Validation is
     // all-or-nothing: an unknown id or a width mismatch throws before any
@@ -271,45 +307,38 @@ std::vector<detection_result> stream_server::push_batch(std::span<const stream_b
     // at a time: see dispatch_mu_.
     const std::size_t rotation =
         shard_rotation_.fetch_add(1, std::memory_order_relaxed) % groups.size();
-    std::lock_guard dispatch(dispatch_mu_);
+    sync::mutex_lock dispatch(dispatch_mu_);
     parallel_for(*pool_, 0, groups.size(), /*grain=*/1, [&](std::size_t g) {
         run_group(groups[(g + rotation) % groups.size()]);
     });
     return results;
 }
 
-namespace {
-
-// Spin-then-sleep backoff for the role-wait loops: cheap yields first,
-// then millisecond sleeps, so a waiter behind a drainer that is parked
-// at a refit swap boundary (which can last a full model fit) does not
-// burn a core for the duration.
-void role_wait_backoff(std::size_t spin) {
-    if (spin < 64) {
-        std::this_thread::yield();
-    } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-}
-
-}  // namespace
-
 // Blocks until the calling thread holds the stream's drain role.
 // Returns false without acquiring when bail_on_closing is set and
 // close_stream owns the stream (close takes the role and never releases
 // it, so waiting would hang forever).
-bool stream_server::wait_for_drain_role(stream_entry& e, bool bail_on_closing) {
+bool stream_server::stream_entry::wait_for_drain_role(stream_entry& e, bool bail_on_closing) {
     e.role_waiters.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t spin = 0;; ++spin) {
         if (!e.draining.exchange(true, std::memory_order_seq_cst)) {
             e.role_waiters.fetch_sub(1, std::memory_order_relaxed);
+            e.drain_cap.acquire();  // no-op: the exchange won the role
             return true;
         }
         if (bail_on_closing && e.closing.load(std::memory_order_acquire)) {
             e.role_waiters.fetch_sub(1, std::memory_order_relaxed);
             return false;
         }
-        role_wait_backoff(spin);
+        spin_then_sleep_backoff(spin);
+    }
+}
+
+// wait_for_drain_role in the shape the analysis accepts for an
+// unconditional acquire (with bail_on_closing off it can only return
+// true, so the loop body never runs twice).
+void stream_server::stream_entry::acquire_drain_role(stream_entry& e) {
+    while (!wait_for_drain_role(e, /*bail_on_closing=*/false)) {
     }
 }
 
@@ -320,7 +349,7 @@ bool stream_server::wait_for_drain_role(stream_entry& e, bool bail_on_closing) {
 // role promptly; the remaining bins are applied by a later ingest or
 // flush_stream. Maintenance's own applies (close_stream) pass false and
 // always run to empty.
-void stream_server::apply_pending(stream_entry& e, bool yield_to_waiters) {
+void stream_server::stream_entry::apply_pending(stream_entry& e, bool yield_to_waiters) {
     vec bin;
     std::uint64_t seq = 0;
     std::size_t stall = 0;
@@ -349,12 +378,12 @@ void stream_server::apply_pending(stream_entry& e, bool yield_to_waiters) {
                 throw;
             }
             e.applied.fetch_add(1, std::memory_order_relaxed);
-            if (e.opts.sink) e.opts.sink(seq, result);
+            if (e.sink) e.sink(seq, result);
         }
         if (popped == 0) {
             // approx_size counted a ticket whose cell the producer has
             // not published yet; give it time instead of spinning hot.
-            role_wait_backoff(stall++);
+            spin_then_sleep_backoff(stall++);
         } else {
             stall = 0;
         }
@@ -366,11 +395,11 @@ void stream_server::apply_pending(stream_entry& e, bool yield_to_waiters) {
 // active (or close_stream owns the stream -- close applies the residue
 // itself). The re-check loop closes the window where a producer enqueues
 // after the drainer's last pop but before the role release.
-void stream_server::drain_entry(stream_entry& e) {
+void stream_server::stream_entry::drain_entry(stream_entry& e) {
     while (!e.inbox->empty()) {
         if (e.role_waiters.load(std::memory_order_relaxed) > 0) return;  // yield
-        if (e.draining.exchange(true, std::memory_order_seq_cst)) return;
-        stream_entry::drain_role role(e);
+        if (!try_claim_drain_role(e)) return;
+        drain_role role(e);
         apply_pending(e, /*yield_to_waiters=*/true);
     }
 }
@@ -387,7 +416,7 @@ ingest_result stream_server::ingest_batch(stream_id id,
 
     // Validate and stage the payloads before touching the entry lock.
     {
-        std::shared_lock guard(e->mu);
+        sync::shared_lock guard(e->mu);
         if (e->closing.load(std::memory_order_acquire)) {
             return {ingest_error::stream_closed, 0, 0};
         }
@@ -422,7 +451,7 @@ ingest_result stream_server::ingest_batch(stream_id id,
     for (;;) {
         bool must_wait = false;
         {
-            std::shared_lock guard(e->mu);
+            sync::shared_lock guard(e->mu);
             if (e->closing.load(std::memory_order_acquire)) {
                 return {ingest_error::stream_closed, 0, 0};
             }
@@ -456,13 +485,13 @@ ingest_result stream_server::ingest_batch(stream_id id,
         // maintenance op does). Accumulate-mode (auto_drain off) streams
         // rely on flush_stream, as documented.
         if (e->opts.auto_drain) {
-            drain_entry(*e);
+            stream_entry::drain_entry(*e);
             if (!e->inbox->empty()) e->inbox->wait_for_space();
         } else {
             e->inbox->wait_for_space();
         }
     }
-    if (e->opts.auto_drain) drain_entry(*e);
+    if (e->opts.auto_drain) stream_entry::drain_entry(*e);
     return out;
 }
 
@@ -472,12 +501,12 @@ void stream_server::flush_stream(stream_id id) {
         // A concurrent close_stream applies the residue itself (and owns
         // the drain role until teardown): nothing left for us.
         if (e->closing.load(std::memory_order_acquire)) return;
-        drain_entry(*e);
+        stream_entry::drain_entry(*e);
         // Done only when the inbox is empty AND no drainer is mid-apply
         // (an active drainer may have popped the last bin but not pushed
         // it through the detector yet).
         if (e->inbox->empty() && !e->draining.load(std::memory_order_seq_cst)) return;
-        role_wait_backoff(spin);
+        spin_then_sleep_backoff(spin);
     }
 }
 
@@ -498,13 +527,13 @@ void stream_server::set_ingest_sink(stream_id id, ingest_sink sink) {
     // Quiesce the ingest edge for the swap: the entry lock stops new
     // enqueues, the drain role waits out an active drainer (so the swap
     // cannot race a sink invocation).
-    std::unique_lock guard(e->mu);
-    if (!wait_for_drain_role(*e, /*bail_on_closing=*/true)) {
+    sync::exclusive_lock guard(e->mu);
+    if (!stream_entry::wait_for_drain_role(*e, /*bail_on_closing=*/true)) {
         throw std::invalid_argument("stream_server: stream " + std::to_string(id) +
                                     " is closing");
     }
     stream_entry::drain_role role(*e);
-    e->opts.sink = std::move(sink);
+    e->sink = std::move(sink);
 }
 
 stream_server::stream_stats stream_server::stats(stream_id id) const {
@@ -536,17 +565,17 @@ void stream_server::drain_all() {
     // stream's drain role before joining its detector -- a caller-thread
     // auto-drain may be inside push_bin, touching the same maintenance
     // state detector->drain() consumes.
-    std::lock_guard maintenance(maint_mu_);
+    sync::mutex_lock maintenance(maint_mu_);
     std::vector<std::shared_ptr<stream_entry>> entries;
     {
-        std::shared_lock lock(mu_);
+        sync::shared_lock lock(mu_);
         entries.reserve(streams_.size());
         for (auto& [id, entry] : streams_) entries.push_back(entry);
     }
     for (const std::shared_ptr<stream_entry>& entry : entries) {
-        if (!wait_for_drain_role(*entry, /*bail_on_closing=*/true)) continue;
+        if (!stream_entry::wait_for_drain_role(*entry, /*bail_on_closing=*/true)) continue;
         stream_entry::drain_role role(*entry);
-        std::unique_lock lock(mu_);  // exclude ordered-edge pushes during the join
+        sync::exclusive_lock lock(mu_);  // exclude ordered-edge pushes during the join
         entry->detector->drain();
     }
 }
@@ -558,11 +587,11 @@ void stream_server::snapshot_all(const std::string& directory) {
     // see maint_mu_). Closes cannot run concurrently (they take
     // maint_mu_ too), so every copied entry stays valid; streams opened
     // after the copy are simply not part of this snapshot.
-    std::lock_guard maintenance(maint_mu_);
+    sync::mutex_lock maintenance(maint_mu_);
     std::vector<std::pair<stream_id, std::shared_ptr<stream_entry>>> entries;
     stream_id next_id = 0;
     {
-        std::shared_lock lock(mu_);
+        sync::shared_lock lock(mu_);
         entries.assign(streams_.begin(), streams_.end());
         next_id = next_id_;
     }
@@ -580,8 +609,8 @@ void stream_server::snapshot_all(const std::string& directory) {
         // save below runs under mu_ exclusive to exclude ordered-edge
         // pushes. The inbox is snapshotted as residue, NOT drained, so
         // the restored server resumes from exactly this state.
-        std::unique_lock entry_lock(entry->mu);
-        wait_for_drain_role(*entry, /*bail_on_closing=*/false);
+        sync::exclusive_lock entry_lock(entry->mu);
+        stream_entry::acquire_drain_role(*entry);
         stream_entry::drain_role role(*entry);
         // Join background maintenance outside mu_ (a refit can take a
         // while); save() re-drains anything that slips in before the
@@ -612,7 +641,7 @@ void stream_server::snapshot_all(const std::string& directory) {
         // other streams' pushes.
         std::ostringstream detector_bytes(std::ios::binary);
         {
-            std::unique_lock lock(mu_);
+            sync::exclusive_lock lock(mu_);
             entry->detector->save(detector_bytes);
         }
         const std::string bytes = detector_bytes.str();
@@ -641,8 +670,8 @@ void stream_server::snapshot_all(const std::string& directory) {
 }
 
 void stream_server::restore_all(const std::string& directory) {
-    std::lock_guard maintenance(maint_mu_);
-    std::unique_lock lock(mu_);
+    sync::mutex_lock maintenance(maint_mu_);
+    sync::exclusive_lock lock(mu_);
     if (!streams_.empty()) {
         throw std::logic_error("stream_server::restore_all: server already has open streams");
     }
@@ -722,7 +751,7 @@ void stream_server::restore_all(const std::string& directory) {
                 throw std::runtime_error(
                     "stream_server::restore_all: inbox residue width mismatch in " + path);
             }
-            entry->inbox->push(std::move(bin));
+            (void)entry->inbox->push(std::move(bin));
         }
         entry->accepted.store(accepted, std::memory_order_relaxed);
         entry->applied.store(applied, std::memory_order_relaxed);

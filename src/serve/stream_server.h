@@ -97,13 +97,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "engine/mpsc_inbox.h"
+#include "engine/sync.h"
 #include "engine/thread_pool.h"
 #include "linalg/matrix.h"
 #include "subspace/online.h"
@@ -209,12 +208,12 @@ public:
     // Builds a detector from cfg wired to the server's pool and registers
     // it under a fresh id. Throws whatever the detector constructor
     // throws on a degenerate bootstrap.
-    stream_id open_stream(stream_open_config cfg);
+    [[nodiscard]] stream_id open_stream(stream_open_config cfg);
 
     // Registers an already-built detector (which must be wired to pool()
     // or to no pool). Throws std::invalid_argument on null.
-    stream_id adopt_stream(std::unique_ptr<stream_detector> detector,
-                           ingest_options ingest = {});
+    [[nodiscard]] stream_id adopt_stream(std::unique_ptr<stream_detector> detector,
+                                         ingest_options ingest = {});
 
     // Unpublishes the stream, wakes any producer blocked on its inbox
     // (their ingest returns stream_closed), applies every pending inbox
@@ -256,14 +255,15 @@ public:
     // reported as distinct ingest_error values, never exceptions --
     // except detector errors surfacing from an auto-drain (a failed
     // background refit), which propagate like push() would.
-    ingest_result ingest(stream_id id, std::span<const double> y);
+    [[nodiscard]] ingest_result ingest(stream_id id, std::span<const double> y);
 
     // Enqueues a run of bins with consecutive sequences (no other
     // producer interleaves the run), all-or-nothing under the reject
     // policy. Width is validated for every bin before anything enqueues;
     // a run longer than the stream's ring capacity returns inbox_full
     // under every policy (it can never fit).
-    ingest_result ingest_batch(stream_id id, std::span<const std::span<const double>> ys);
+    [[nodiscard]] ingest_result ingest_batch(stream_id id,
+                                             std::span<const std::span<const double>> ys);
 
     // Applies every bin currently pending in the stream's inbox (waiting
     // for an active drainer to hand over if necessary). Returns when the
@@ -272,7 +272,7 @@ public:
     void flush_stream(stream_id id);
 
     // Counters for the ingest edge, readable at any time.
-    ingest_stats ingest_statistics(stream_id id) const;
+    [[nodiscard]] ingest_stats ingest_statistics(stream_id id) const;
 
     // Re-attaches the runtime sink (e.g. after restore_all). Quiesces the
     // stream's ingest edge for the swap.
@@ -339,15 +339,12 @@ private:
                                                     std::uint64_t start_sequence);
     std::shared_ptr<stream_entry> find_entry(stream_id id) const;
     std::shared_ptr<stream_entry> entry_or_throw(stream_id id) const;
-    static void apply_pending(stream_entry& e, bool yield_to_waiters);
-    static void drain_entry(stream_entry& e);
-    static bool wait_for_drain_role(stream_entry& e, bool bail_on_closing);
     std::unique_ptr<stream_detector> build_detector(stream_open_config&& cfg);
     stream_id register_stream(std::unique_ptr<stream_detector> detector,
                               ingest_options&& ingest);
 
     std::unique_ptr<thread_pool> pool_;
-    mutable std::shared_mutex mu_;
+    mutable sync::shared_mutex mu_;
     // Serializes the maintenance operations (close_stream, snapshot_all,
     // restore_all) against each other WITHOUT holding mu_ across their
     // waits: a drain in flight may invoke an ingest sink that calls the
@@ -356,7 +353,7 @@ private:
     // deadlock. Lock order: maint_mu_ -> (entry lock / drain role) ->
     // mu_; nothing acquires an entry lock or a drain role while holding
     // mu_.
-    std::mutex maint_mu_;
+    sync::mutex maint_mu_ NETDIAG_ACQUIRED_BEFORE(mu_);
     // Serializes the sharded phase of concurrent push_batch calls. One
     // batch's parallel_for leaves at least one pool worker free (it
     // submits at most size-1 helper jobs), which is what guarantees that
@@ -364,10 +361,10 @@ private:
     // always make progress; two interleaved batch dispatches could park
     // every worker at once, so they take turns here instead. (Ingest
     // drains never run on pool workers, so they are outside this budget.)
-    std::mutex dispatch_mu_;
+    sync::mutex dispatch_mu_;
     // Ordered so snapshot_all and stream_ids() enumerate deterministically.
-    std::map<stream_id, std::shared_ptr<stream_entry>> streams_;
-    stream_id next_id_ = 1;
+    std::map<stream_id, std::shared_ptr<stream_entry>> streams_ NETDIAG_GUARDED_BY(mu_);
+    stream_id next_id_ NETDIAG_GUARDED_BY(mu_) = 1;
     // Round-robin offset across batches; atomic because concurrent
     // push_batch calls (shared lock) both advance it.
     std::atomic<std::size_t> shard_rotation_{0};

@@ -76,6 +76,8 @@ streaming_diagnoser::~streaming_diagnoser() {
 }
 
 diagnosis streaming_diagnoser::push(std::span<const double> y) {
+    // Single-pusher contract: see pusher_cap_ in the header.
+    pusher_cap_.assert_held();
     maybe_apply_swap();
     const diagnosis d = diagnoser_.diagnose(y);
     ++processed_;
@@ -163,6 +165,7 @@ void streaming_diagnoser::launch_refit(matrix&& snapshot) {
 }
 
 void streaming_diagnoser::prepare_pushes(std::size_t bins) {
+    pusher_cap_.assert_held();
     if (cfg_.mode != refit_mode::deferred || !inflight_.valid()) return;
     // The swap applies at the push whose entry count reaches swap_at_;
     // the coming pushes enter at processed_ .. processed_ + bins - 1.
@@ -197,10 +200,12 @@ void streaming_diagnoser::apply_swap(volume_anomaly_diagnoser&& next) {
 }
 
 void streaming_diagnoser::drain() {
+    pusher_cap_.assert_held();
     if (inflight_.valid()) ready_ = inflight_.get();
 }
 
 void streaming_diagnoser::save(std::ostream& out) {
+    pusher_cap_.assert_held();
     drain();
     ckpt::write_header(out, "streaming_diagnoser");
     ckpt::write_u64(out, cfg_.window);
@@ -449,7 +454,10 @@ void tracking_detector::join_fold() {
     if (fold_inflight_.valid()) fold_inflight_.get();
 }
 
-void tracking_detector::drain() { join_fold(); }
+void tracking_detector::drain() {
+    pusher_cap_.assert_held();
+    join_fold();
+}
 
 void tracking_detector::refresh_threshold() {
     // Eigenvalue spectrum estimate: tracked values for the top axes, the
@@ -488,16 +496,19 @@ detection_result tracking_detector::test_current(std::span<const double> y) cons
 }
 
 detection_result tracking_detector::test(std::span<const double> y) {
+    pusher_cap_.assert_held();
     join_fold();
     return test_current(y);
 }
 
 double tracking_detector::threshold() {
+    pusher_cap_.assert_held();
     join_fold();
     return threshold_;
 }
 
 const incremental_pca_tracker& tracking_detector::tracker() {
+    pusher_cap_.assert_held();
     join_fold();
     return tracker_;
 }
@@ -511,6 +522,8 @@ void tracking_detector::fold(std::span<const double> y) {
 }
 
 detection_result tracking_detector::push(std::span<const double> y) {
+    // Single-pusher contract: see pusher_cap_ in the header.
+    pusher_cap_.assert_held();
     // Bin t is tested against the model of bins < t -- exactly the serial
     // ordering -- while the fold of bin t may overlap the caller's gap to
     // bin t+1. The join above bounds the pipeline at one fold of lag.
@@ -532,6 +545,7 @@ detection_result tracking_detector::push(std::span<const double> y) {
 }
 
 void tracking_detector::save(std::ostream& out) {
+    pusher_cap_.assert_held();
     join_fold();
     ckpt::write_header(out, "tracking_detector");
     ckpt::write_flag(out, deferred_updates_);

@@ -32,6 +32,7 @@
 #include <optional>
 #include <span>
 
+#include "engine/sync.h"
 #include "linalg/matrix.h"
 #include "linalg/svd_update.h"
 #include "linalg/vector_ops.h"
@@ -121,11 +122,18 @@ public:
     // Applied refits (== model_epoch()).
     std::size_t refit_count() const noexcept { return refits_; }
     // True while a background fit is computing or a finished fit awaits
-    // its deferred swap boundary.
-    bool refit_pending() const noexcept { return inflight_.valid() || ready_.has_value(); }
+    // its deferred swap boundary. Push-thread only, like every accessor of
+    // the deferred-refit state (the single-pusher contract below).
+    bool refit_pending() const noexcept {
+        pusher_cap_.assert_held();
+        return inflight_.valid() || ready_.has_value();
+    }
     // True when a trigger fired while a refit was pending and its window
     // snapshot is queued to fit as soon as the pending swap applies.
-    bool refit_queued() const noexcept { return queued_window_.has_value(); }
+    bool refit_queued() const noexcept {
+        pusher_cap_.assert_held();
+        return queued_window_.has_value();
+    }
     const volume_anomaly_diagnoser& current() const noexcept { return diagnoser_; }
 
     // When a background refit (or a finished one awaiting its deferred
@@ -143,21 +151,29 @@ private:
     struct restored_state;  // defined in online.cpp
     explicit streaming_diagnoser(restored_state&& state);
 
-    void maybe_apply_swap();
-    void trigger_refit();
-    void launch_refit(matrix&& snapshot);
-    void apply_swap(volume_anomaly_diagnoser&& next);
-    volume_anomaly_diagnoser take_pending();
+    void maybe_apply_swap() NETDIAG_REQUIRES(pusher_cap_);
+    void trigger_refit() NETDIAG_REQUIRES(pusher_cap_);
+    void launch_refit(matrix&& snapshot) NETDIAG_REQUIRES(pusher_cap_);
+    void apply_swap(volume_anomaly_diagnoser&& next) NETDIAG_REQUIRES(pusher_cap_);
+    volume_anomaly_diagnoser take_pending() NETDIAG_REQUIRES(pusher_cap_);
+
+    // The single-pusher contract as a capability: push/push_bin/drain/
+    // save/prepare_pushes must come from one thread at a time (the
+    // stream_detector contract), so the window and the deferred-refit
+    // slots below are confined to whoever plays that role. Entry points
+    // assert it; the background fit task touches none of these fields
+    // (it only fulfills the future inflight_ refers to).
+    sync::role pusher_cap_;
 
     streaming_config cfg_;
     matrix a_;
-    std::deque<vec> window_;
+    std::deque<vec> window_ NETDIAG_GUARDED_BY(pusher_cap_);
     volume_anomaly_diagnoser diagnoser_;
     std::uint64_t epoch_ = 0;
     std::size_t processed_ = 0;
     std::size_t alarms_ = 0;
     std::size_t refits_ = 0;
-    std::size_t since_refit_ = 0;
+    std::size_t since_refit_ NETDIAG_GUARDED_BY(pusher_cap_) = 0;
 
     // Background refit state. At most one refit is *computing* at a time;
     // a trigger that fires while one is pending queues its window snapshot
@@ -166,10 +182,11 @@ private:
     // on), and the queued fit launches the moment the pending swap is
     // applied. Deterministic in deferred mode, since pendingness is itself
     // deterministic there.
-    std::future<volume_anomaly_diagnoser> inflight_;
-    std::optional<volume_anomaly_diagnoser> ready_;
-    std::optional<matrix> queued_window_;
-    std::size_t swap_at_ = 0;  // deferred: processed_ value at which to swap
+    std::future<volume_anomaly_diagnoser> inflight_ NETDIAG_GUARDED_BY(pusher_cap_);
+    std::optional<volume_anomaly_diagnoser> ready_ NETDIAG_GUARDED_BY(pusher_cap_);
+    std::optional<matrix> queued_window_ NETDIAG_GUARDED_BY(pusher_cap_);
+    // deferred: processed_ value at which to swap
+    std::size_t swap_at_ NETDIAG_GUARDED_BY(pusher_cap_) = 0;
 };
 
 // Rank-1 principal-axis tracker. Maintains (approximately) the top
@@ -284,9 +301,17 @@ private:
                       bool deferred_updates);
 
     detection_result test_current(std::span<const double> y) const;
+    // Runs on the push thread (inline mode) or on a pool worker (deferred
+    // mode) -- but never concurrently with itself or a test: push joins
+    // the previous fold first. Deliberately outside the pusher capability.
     void fold(std::span<const double> y);
-    void join_fold();
+    void join_fold() NETDIAG_REQUIRES(pusher_cap_);
     void refresh_threshold();
+
+    // Single-pusher contract (see streaming_diagnoser::pusher_cap_):
+    // guards the fold pipeline handle so only the pushing role can join
+    // or replace the in-flight fold.
+    sync::role pusher_cap_;
 
     incremental_pca_tracker tracker_;
     double confidence_ = 0.999;
@@ -301,7 +326,7 @@ private:
     std::atomic<std::uint64_t> epoch_{0};
     thread_pool* pool_ = nullptr;
     bool deferred_updates_ = false;
-    std::future<void> fold_inflight_;
+    std::future<void> fold_inflight_ NETDIAG_GUARDED_BY(pusher_cap_);
 };
 
 }  // namespace netdiag

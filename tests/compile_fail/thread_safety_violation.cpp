@@ -1,0 +1,28 @@
+// Deliberately mis-locked code. This translation unit must NOT compile
+// under clang with -Wthread-safety -Werror=thread-safety: `hits` is
+// guarded by `mu`, and both accesses below touch it without holding the
+// lock. The lint.thread_safety_compile_fail ctest entry builds this
+// target and asserts the build fails, proving the annotation layer in
+// engine/annotations.h is live rather than decorative.
+//
+// Under gcc the annotations expand to nothing and this file compiles
+// cleanly, so the test is only registered for clang builds.
+#include "engine/annotations.h"
+#include "engine/sync.h"
+
+namespace {
+
+struct counter {
+    netdiag::sync::mutex mu;
+    int hits NETDIAG_GUARDED_BY(mu) = 0;
+
+    void bump_without_lock() { ++hits; }  // error: writing hits requires mu
+};
+
+}  // namespace
+
+int main() {
+    counter c;
+    c.bump_without_lock();
+    return c.hits;  // error: reading hits requires mu
+}

@@ -102,14 +102,16 @@ TEST(MpscInbox, PushNIsAllOrNothingWithConsecutiveSequences) {
     EXPECT_THROW(
         {
             std::vector<int> too_big(9, 0);
-            inbox.push_n(std::span<int>(too_big));
+            (void)inbox.push_n(std::span<int>(too_big));
         },
         std::invalid_argument);
 }
 
 TEST(MpscInbox, DropOldestEvictsExactlyTheOldest) {
     mpsc_inbox<int> inbox(4, inbox_policy::drop_oldest);
-    for (int i = 0; i < 4; ++i) inbox.push(i);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_EQ(inbox.push(i).status, inbox_push_status::accepted);
+    }
     const auto r = inbox.push(4);
     ASSERT_EQ(r.status, inbox_push_status::accepted);
     EXPECT_EQ(r.sequence, 4u);
@@ -124,8 +126,8 @@ TEST(MpscInbox, DropOldestEvictsExactlyTheOldest) {
 
 TEST(MpscInbox, CloseWakesBlockedProducers) {
     mpsc_inbox<int> inbox(2, inbox_policy::block);
-    inbox.push(0);
-    inbox.push(1);
+    ASSERT_EQ(inbox.push(0).status, inbox_push_status::accepted);
+    ASSERT_EQ(inbox.push(1).status, inbox_push_status::accepted);
     std::atomic<int> status{-1};
     std::thread producer([&] {
         const auto r = inbox.push(2);  // blocks: ring is full
@@ -942,7 +944,7 @@ TEST_F(IngestFixture, FailedApplyCountsTheBinSoStatsStayConserved) {
     ASSERT_TRUE(server.ingest(id, y_.row(k_boot + 1)).ok());
     // Bin 3 triggers the blocking refit, whose observer throws inside the
     // auto-drain; the error propagates to the ingesting caller.
-    EXPECT_THROW(server.ingest(id, y_.row(k_boot + 2)), std::runtime_error);
+    EXPECT_THROW((void)server.ingest(id, y_.row(k_boot + 2)), std::runtime_error);
 
     const ingest_stats st = server.ingest_statistics(id);
     EXPECT_EQ(st.accepted, 3u);
@@ -958,7 +960,7 @@ TEST_F(IngestFixture, MalformedInboxCapacityInCheckpointIsRejected) {
         stream_server server({.threads = 0});
         ingest_options ingest;
         ingest.capacity = 8;
-        server.open_stream(
+        (void)server.open_stream(
             open_config(stream_kind::tracker, 0, refit_mode::deferred, std::move(ingest)));
         server.snapshot_all(dir);
     }

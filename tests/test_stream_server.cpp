@@ -531,11 +531,11 @@ TEST_F(StreamServerFixture, SnapshotAllRestoreAllReplaysExactlyWithRefitInFlight
 TEST_F(StreamServerFixture, RestoreAllRequiresAnEmptyServer) {
     const std::string dir = temp_dir("server_snapshot_nonempty");
     stream_server a({.threads = 0});
-    a.open_stream(open_config(stream_kind::tracker, 0));
+    (void)a.open_stream(open_config(stream_kind::tracker, 0));
     a.snapshot_all(dir);
 
     stream_server b({.threads = 0});
-    b.open_stream(open_config(stream_kind::tracker, 10));
+    (void)b.open_stream(open_config(stream_kind::tracker, 10));
     EXPECT_THROW(b.restore_all(dir), std::logic_error);
     std::filesystem::remove_all(dir);
 }
@@ -550,7 +550,7 @@ TEST_F(StreamServerFixture, UnknownStreamIdThrowsEverywhere) {
     EXPECT_THROW(server.close_stream(42), std::invalid_argument);
     EXPECT_THROW(server.stats(42), std::invalid_argument);
     EXPECT_THROW(server.stream(42), std::invalid_argument);
-    EXPECT_THROW(server.adopt_stream(nullptr), std::invalid_argument);
+    EXPECT_THROW((void)server.adopt_stream(nullptr), std::invalid_argument);
 }
 
 TEST_F(StreamServerFixture, StreamIdsAreNeverReused) {

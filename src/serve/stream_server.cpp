@@ -751,7 +751,14 @@ void stream_server::restore_all(const std::string& directory) {
                 throw std::runtime_error(
                     "stream_server::restore_all: inbox residue width mismatch in " + path);
             }
-            (void)entry->inbox->push(std::move(bin));
+            // The residue count was validated against the inbox capacity
+            // above, so a rejected push means the checkpoint lied about
+            // one of them -- losing the bin silently would desync the
+            // replay sequence from the restored counters.
+            if (entry->inbox->push(std::move(bin)).status != inbox_push_status::accepted) {
+                throw std::runtime_error(
+                    "stream_server::restore_all: inbox rejected checkpoint residue in " + path);
+            }
         }
         entry->accepted.store(accepted, std::memory_order_relaxed);
         entry->applied.store(applied, std::memory_order_relaxed);

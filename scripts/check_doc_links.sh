@@ -46,12 +46,17 @@ for doc in "${docs[@]}"; do
 
     # --- inline file references ------------------------------------------
     # Paths under the source trees, with a file extension; directory
-    # references (trailing /) are checked as directories.
+    # references (trailing /) are checked as directories. External URLs
+    # are blanked first so a path-shaped segment inside one (e.g.
+    # .../docs/Foo.html on an upstream site) is not mistaken for a repo
+    # path.
     while IFS= read -r ref; do
         if [ ! -e "$ref" ]; then
             fail "$doc: stale file reference ($ref)"
         fi
-    done < <(grep -oE '\b(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./-]*[A-Za-z0-9_](\.[A-Za-z0-9]+)?' "$doc" 2>/dev/null | sort -u)
+    done < <(sed -E 's#(https?|mailto)://?[^ )]*# #g' "$doc" 2>/dev/null \
+        | grep -oE '\b(src|tests|bench|examples|scripts|docs|tools)/[A-Za-z0-9_./-]*[A-Za-z0-9_](\.[A-Za-z0-9]+)?' \
+        | sort -u)
 done
 
 if [ "$failures" -ne 0 ]; then

@@ -1,0 +1,8 @@
+// Fixture: src/engine/ is the one place thread primitives are allowed,
+// so this real std::thread must NOT be reported.
+#include <thread>
+
+void run_detached_probe() {
+    std::thread probe([] {});
+    probe.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: spawning a raw std::thread outside src/engine/ must trip R1.
+#include <thread>
+
+void fan_out() {
+    std::thread worker([] {});
+    worker.join();
+}

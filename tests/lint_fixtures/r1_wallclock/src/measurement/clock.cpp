@@ -1,0 +1,6 @@
+// Fixture: reading a wall clock outside src/engine/ must trip R1.
+#include <chrono>
+
+long long stamp() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Fixture: std::fma in a kernel file must trip R2 (contraction contract).
+#include <cmath>
+
+double dot_step(double a, double b, double acc) {
+    return std::fma(a, b, acc);
+}

@@ -1,0 +1,9 @@
+// Fixture: reducing over an unordered container in a kernel file must
+// trip R2 -- traversal order is unspecified, so the sum order is too.
+#include <unordered_map>
+
+double total(const std::unordered_map<int, double>& cells) {
+    double sum = 0.0;
+    for (const auto& [key, value] : cells) sum += value;
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: `mystery_block` is a knob with no row in docs/TUNING.md, so
+// R3 must fire. `documented_block` has one and must stay quiet.
+#pragma once
+#include <cstddef>
+
+namespace netdiag {
+
+struct tuning {
+    std::size_t documented_block = 128;
+    std::size_t mystery_block = 64;
+};
+
+}  // namespace netdiag

@@ -1,0 +1,13 @@
+// Fixture: `totally_new_failure` has no backticked mention in README.md,
+// so R4 must fire. `inbox_full` is documented there and must stay quiet.
+#pragma once
+
+namespace netdiag {
+
+enum class ingest_error {
+    ok = 0,
+    inbox_full,
+    totally_new_failure,
+};
+
+}  // namespace netdiag

@@ -1,0 +1,337 @@
+// netdiag-lint: repo-contract checker for rules no generic tool knows.
+//
+// The codebase carries determinism contracts that are documented in
+// docs/ARCHITECTURE.md and docs/TUNING.md but that neither the compiler
+// nor clang-tidy can enforce, because they are about *this* repo's layout:
+//
+//  R1  Determinism / layering: src/ outside src/engine/ must not reach for
+//      thread primitives (std::thread, std::async, std::this_thread),
+//      C randomness (rand/srand) or wall clocks (system_clock,
+//      steady_clock, gettimeofday, ...). Threading funnels through the
+//      engine (thread_pool, mpsc_inbox, backoff.h); anything time- or
+//      randomness-dependent would break the bit-identical replay
+//      guarantee the serving stack advertises.
+//  R2  Kernel purity: the numeric kernels (src/linalg/, engine/simd.h,
+//      subspace/model.cpp, subspace/pca.cpp) must not call std::fma --
+//      the -ffp-contract=off contract demands the same double rounding
+//      everywhere -- and must not iterate unordered containers, whose
+//      traversal order would feed reductions in nondeterministic order.
+//  R3  Tuning doc parity: every knob declared in engine/tuning.h must be
+//      documented (backticked) in docs/TUNING.md.
+//  R4  Error-code doc parity: every ingest_error enumerator (except ok)
+//      must appear (backticked) in README.md's backpressure section.
+//
+// Scanning is token-based on comment- and string-stripped source, so a
+// comment saying "no std::thread here" does not trip R1. A rule whose
+// anchor (src/, tuning.h, the enum, ...) is absent under --root is
+// skipped: the test fixtures under tests/lint_fixtures/ rely on that to
+// exercise one rule at a time.
+//
+// Exit status: 0 clean, 1 violations (one "file:line: [rule] ..." line
+// each), 2 usage or I/O error. Run via scripts/netdiag_lint.sh or the
+// lint.* ctest entries.
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct violation {
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+// Replaces comments, string literals and char literals with spaces,
+// preserving line structure so reported line numbers match the source.
+// Handles //, /* */, "..." and '...' with escapes, and R"( ... )" raw
+// strings with an optional delimiter.
+std::vector<std::string> stripped_lines(const std::string& text) {
+    std::vector<std::string> lines(1);
+    enum class state { code, line_comment, block_comment, string, chr, raw_string };
+    state st = state::code;
+    std::string raw_close;  // e.g. )delim" for the active raw string
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '\n') {
+            if (st == state::line_comment) st = state::code;
+            lines.emplace_back();
+            continue;
+        }
+        switch (st) {
+            case state::code:
+                if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+                    st = state::line_comment;
+                } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+                    st = state::block_comment;
+                    ++i;
+                    lines.back() += "  ";
+                } else if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"' &&
+                           (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                                       text[i - 1] != '_'))) {
+                    // R"delim( ... )delim"
+                    std::size_t open = text.find('(', i + 2);
+                    if (open == std::string::npos) {
+                        lines.back() += c;
+                        break;
+                    }
+                    raw_close = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                    st = state::raw_string;
+                    for (std::size_t k = i; k <= open; ++k) lines.back() += ' ';
+                    i = open;
+                } else if (c == '"') {
+                    st = state::string;
+                    lines.back() += ' ';
+                } else if (c == '\'') {
+                    st = state::chr;
+                    lines.back() += ' ';
+                } else {
+                    lines.back() += c;
+                }
+                break;
+            case state::line_comment:
+                break;
+            case state::block_comment:
+                if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+                    st = state::code;
+                    ++i;
+                }
+                break;
+            case state::string:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    st = state::code;
+                }
+                lines.back() += ' ';
+                break;
+            case state::chr:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    st = state::code;
+                }
+                lines.back() += ' ';
+                break;
+            case state::raw_string:
+                if (text.compare(i, raw_close.size(), raw_close) == 0) {
+                    st = state::code;
+                    i += raw_close.size() - 1;
+                }
+                lines.back() += ' ';
+                break;
+        }
+    }
+    return lines;
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `token` occurs in `line` bounded by non-identifier characters.
+// A preceding ':' is a boundary on purpose: 'fma' must still match inside
+// 'std::fma(' and 'rand' inside 'std::rand('.
+bool has_token(const std::string& line, const std::string& token) {
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= line.size() || !ident_char(line[end]);
+        if (left_ok && right_ok) return true;
+        pos += 1;
+    }
+    return false;
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool is_source_file(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+// Path of `p` relative to `root`, with forward slashes.
+std::string rel(const fs::path& root, const fs::path& p) {
+    std::string s = p.lexically_relative(root).generic_string();
+    return s;
+}
+
+// --- R1: determinism / layering --------------------------------------------
+
+const char* const k_r1_tokens[] = {
+    "std::thread",      "std::jthread",     "std::async",
+    "std::this_thread", "rand",             "srand",
+    "system_clock",     "steady_clock",     "high_resolution_clock",
+    "gettimeofday",     "clock_gettime",    "timespec_get",
+};
+
+void check_r1(const fs::path& root, const std::string& relpath,
+              const std::vector<std::string>& lines, std::vector<violation>& out) {
+    (void)root;
+    if (relpath.rfind("src/engine/", 0) == 0) return;  // the one allowed home
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        for (const char* token : k_r1_tokens) {
+            if (has_token(lines[i], token)) {
+                out.push_back({relpath, i + 1, "R1",
+                               std::string("'") + token +
+                                   "' outside src/engine/ -- thread primitives, randomness "
+                                   "and wall clocks must funnel through the engine layer"});
+            }
+        }
+    }
+}
+
+// --- R2: kernel purity ------------------------------------------------------
+
+bool is_kernel_file(const std::string& relpath) {
+    return relpath.rfind("src/linalg/", 0) == 0 || relpath == "src/engine/simd.h" ||
+           relpath == "src/subspace/model.cpp" || relpath == "src/subspace/pca.cpp";
+}
+
+const char* const k_r2_tokens[] = {"fma", "unordered_map", "unordered_set"};
+
+void check_r2(const std::string& relpath, const std::vector<std::string>& lines,
+              std::vector<violation>& out) {
+    if (!is_kernel_file(relpath)) return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        for (const char* token : k_r2_tokens) {
+            if (has_token(lines[i], token)) {
+                out.push_back({relpath, i + 1, "R2",
+                               std::string("'") + token +
+                                   "' in a kernel file -- breaks the fixed-order, "
+                                   "contraction-free bit-identical reduction contract"});
+            }
+        }
+    }
+}
+
+// --- R3 / R4: doc parity ----------------------------------------------------
+
+bool doc_mentions(const std::string& doc, const std::string& name) {
+    return doc.find("`" + name + "`") != std::string::npos;
+}
+
+void check_r3(const fs::path& root, std::vector<violation>& out) {
+    const auto tuning = read_file(root / "src/engine/tuning.h");
+    if (!tuning) return;  // rule skipped: no tuning header under this root
+    const auto doc = read_file(root / "docs/TUNING.md");
+    const std::vector<std::string> lines = stripped_lines(*tuning);
+
+    const std::regex knob_re(R"(^\s*std::size_t\s+(\w+)\s*=)");
+    bool in_struct = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& line = lines[i];
+        if (!in_struct) {
+            if (line.find("struct tuning") != std::string::npos) in_struct = true;
+            continue;
+        }
+        if (line.find("};") != std::string::npos) break;
+        std::smatch m;
+        if (std::regex_search(line, m, knob_re)) {
+            const std::string knob = m[1];
+            if (!doc || !doc_mentions(*doc, knob)) {
+                out.push_back({"src/engine/tuning.h", i + 1, "R3",
+                               "knob '" + knob + "' is not documented in docs/TUNING.md"});
+            }
+        }
+    }
+}
+
+void check_r4(const fs::path& root, std::vector<violation>& out) {
+    const auto header = read_file(root / "src/serve/stream_server.h");
+    if (!header) return;  // rule skipped: no serving header under this root
+    const auto readme = read_file(root / "README.md");
+    const std::vector<std::string> lines = stripped_lines(*header);
+
+    const std::regex enumerator_re(R"(^\s*([a-zA-Z_]\w*)\s*(=[^,]*)?,?\s*$)");
+    bool in_enum = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& line = lines[i];
+        if (!in_enum) {
+            if (line.find("enum class ingest_error") != std::string::npos) in_enum = true;
+            continue;
+        }
+        if (line.find("};") != std::string::npos) break;
+        std::smatch m;
+        if (std::regex_match(line, m, enumerator_re)) {
+            const std::string name = m[1];
+            if (name == "ok") continue;  // success is not a backpressure row
+            if (!readme || !doc_mentions(*readme, name)) {
+                out.push_back({"src/serve/stream_server.h", i + 1, "R4",
+                               "ingest_error::" + name +
+                                   " is missing from README.md's backpressure table"});
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fs::path root;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else {
+            std::cerr << "usage: netdiag_lint --root <repo-root>\n";
+            return 2;
+        }
+    }
+    if (root.empty() || !fs::exists(root)) {
+        std::cerr << "netdiag_lint: --root missing or does not exist\n";
+        return 2;
+    }
+
+    std::vector<violation> violations;
+
+    const fs::path src = root / "src";
+    if (fs::exists(src)) {
+        std::vector<fs::path> files;
+        for (const auto& entry : fs::recursive_directory_iterator(src)) {
+            if (entry.is_regular_file() && is_source_file(entry.path())) {
+                files.push_back(entry.path());
+            }
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path& file : files) {
+            const auto text = read_file(file);
+            if (!text) {
+                std::cerr << "netdiag_lint: cannot read " << file << "\n";
+                return 2;
+            }
+            const std::vector<std::string> lines = stripped_lines(*text);
+            const std::string relpath = rel(root, file);
+            check_r1(root, relpath, lines, violations);
+            check_r2(relpath, lines, violations);
+        }
+    }
+    check_r3(root, violations);
+    check_r4(root, violations);
+
+    for (const violation& v : violations) {
+        std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+    }
+    if (violations.empty()) {
+        std::cout << "netdiag_lint: clean (" << root.generic_string() << ")\n";
+        return 0;
+    }
+    std::cout << "netdiag_lint: " << violations.size() << " violation(s)\n";
+    return 1;
+}

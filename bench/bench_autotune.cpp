@@ -15,11 +15,13 @@
 //
 // Gate probes need real concurrency: on a host below the
 // parallel_min_hardware floor they are skipped and the defaults recorded.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/batch_detector.h"
@@ -31,6 +33,7 @@
 #include "linalg/svd.h"
 #include "linalg/svd_update.h"
 #include "measurement/presets.h"
+#include "serve/stream_server.h"
 #include "subspace/diagnoser.h"
 #include "subspace/model.h"
 
@@ -338,6 +341,66 @@ int main(int argc, char** argv) {
             report.detail = buf;
             reports.push_back(report);
         }
+
+        // Role-wait backoff: argmin over a contended drain-role workload
+        // (two producers fan into one stream, so the loser of every role
+        // exchange sits in spin_then_sleep_backoff). Swept one knob at a
+        // time with the other at its default.
+        {
+            const matrix boot = random_matrix(64, 16, 23);
+            const int rounds = quick ? 128 : 512;
+            const auto contended_ingest_ms = [&] {
+                stream_server server({.threads = 0});
+                stream_open_config cfg;
+                cfg.kind = stream_kind::tracker;
+                cfg.bootstrap_y = boot;
+                cfg.max_rank = 4;
+                cfg.ingest.capacity = 64;
+                cfg.ingest.policy = inbox_policy::block;
+                const stream_id id = server.open_stream(std::move(cfg));
+                std::vector<std::thread> producers;
+                const auto start = std::chrono::steady_clock::now();
+                for (int p = 0; p < 2; ++p) {
+                    producers.emplace_back([&] {
+                        for (int i = 0; i < rounds; ++i) {
+                            (void)server.ingest(id, boot.row(i % boot.rows()));
+                        }
+                    });
+                }
+                for (std::thread& t : producers) t.join();
+                server.flush_stream(id);
+                return elapsed_ms(start);
+            };
+            const auto sweep_backoff = [&](const char* name, std::size_t tuning::*member,
+                                           const std::vector<std::size_t>& candidates) {
+                knob_report report;
+                report.name = name;
+                report.fallback = tuning{}.*member;
+                report.measured = true;
+                double best_ms = 0.0;
+                for (const std::size_t value : candidates) {
+                    const scoped_tuning guard;
+                    global_tuning().*member = value;
+                    double ms = contended_ingest_ms();
+                    for (int i = 1; i < iterations; ++i) {
+                        ms = std::min(ms, contended_ingest_ms());
+                    }
+                    if (report.chosen == 0 || ms < best_ms) {
+                        best_ms = ms;
+                        report.chosen = value;
+                    }
+                }
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "argmin over contended ingest, %.3f ms",
+                              best_ms);
+                report.detail = buf;
+                reports.push_back(report);
+            };
+            sweep_backoff("role_wait_spin_yields", &tuning::role_wait_spin_yields,
+                          {8, 64, 256});
+            sweep_backoff("role_wait_sleep_us", &tuning::role_wait_sleep_us,
+                          {200, 1000, 4000});
+        }
     } else {
         std::printf("host below the parallel_min_hardware floor (%zu hardware thread%s): "
                     "gate probes skipped, defaults recorded.\n",
@@ -369,6 +432,8 @@ int main(int argc, char** argv) {
         else if (r.name == "jacobi_parallel_min_dim") tuned.jacobi_parallel_min_dim = r.chosen;
         else if (r.name == "svd_update_parallel_min_work") tuned.svd_update_parallel_min_work = r.chosen;
         else if (r.name == "diagnose_grain") tuned.diagnose_grain = r.chosen;
+        else if (r.name == "role_wait_spin_yields") tuned.role_wait_spin_yields = r.chosen;
+        else if (r.name == "role_wait_sleep_us") tuned.role_wait_sleep_us = r.chosen;
     }
 
     try {

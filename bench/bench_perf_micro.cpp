@@ -73,10 +73,19 @@ double time_best_ms(int iterations, Fn&& fn) {
     return best;
 }
 
+// Per-stream ingest-to-applied latency digest, copied straight out of
+// ingest_statistics() at the end of a run.
+struct latency_digest {
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+};
+
 struct thread_timing {
     std::size_t threads = 0;
     double ms = 0.0;
     double worst_ms = 0.0;  // only meaningful when the benchmark sets has_worst
+    latency_digest latency{};  // only meaningful when the benchmark sets has_latency
 };
 
 struct engine_benchmark {
@@ -89,6 +98,10 @@ struct engine_benchmark {
     // dispatch (e.g. the slowest push_batch of a multi-stream run).
     bool has_worst = false;
     double serial_worst_ms = 0.0;
+    // Ingest benchmarks additionally report the ingest-to-applied
+    // latency digest (enqueue staging to detector apply, per bin).
+    bool has_latency = false;
+    latency_digest serial_latency;
 };
 
 // Tiles the 1008 x 49 week vertically so the sweep has enough rows to
@@ -426,15 +439,23 @@ engine_benchmark run_multistream_sweep(const std::vector<std::size_t>& thread_co
 // Multi-pusher ingest: P producer threads feed ONE diagnoser stream
 // concurrently through the MPSC inbox edge (block policy, auto-drain),
 // with no caller-side ordering. Reported per pool size: total wall clock
-// from first ingest to the final flush (aggregate fan-in throughput) and
+// from first ingest to the final flush (aggregate fan-in throughput),
 // the worst single ingest() call (the straggler bound: a producer that
 // wins the drain role pays for applying pending bins, including any
-// refit wait falling due). "serial" is one producer over the no-pool
-// server. The identical flag is the ingest parity contract: every run's
-// applied output -- replayed through a standalone single-pusher detector
-// in the exact sequence order the inbox assigned -- matches bit-for-bit.
+// refit wait falling due), and the per-bin ingest-to-applied latency
+// digest from ingest_statistics(). "serial" is one producer over the
+// no-pool server. The identical flag is the ingest parity contract:
+// every run's applied output -- replayed through a standalone
+// single-pusher detector in the exact sequence order the inbox assigned
+// -- matches bit-for-bit. With `pooled` the stream opts into dedicated
+// pooled drainer tasks under a park budget of 2; the no-pool serial leg
+// and the 1-thread leg (budget clamps to 0 there) exercise the
+// caller-drain fallback, so the parity contract covers the mode switch
+// itself.
 engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_counts,
-                                       std::size_t producers, bool quick) {
+                                       std::size_t producers, bool quick, bool pooled) {
+    scoped_tuning tuned;
+    if (pooled) global_tuning().pool_park_budget = 2;
     const dataset& ds = sprint1();
     const std::size_t boot_rows = 144;  // one day of 10-minute bins
     const std::size_t bins =
@@ -459,7 +480,7 @@ engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_co
     };
 
     const auto run = [&](std::size_t pool_threads, std::size_t n_producers, double* total_ms,
-                         double* worst_ms) {
+                         double* worst_ms, latency_digest* latency) {
         stream_server server({.threads = pool_threads});
         run_capture rc;
         rc.results.reserve(bins);
@@ -472,6 +493,7 @@ engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_co
         cfg.streaming = stream_cfg;
         cfg.ingest.capacity = 512;
         cfg.ingest.policy = inbox_policy::block;
+        cfg.ingest.pooled_drainer = pooled;
         cfg.ingest.sink = [&rc](std::uint64_t, const detection_result& r) {
             rc.results.push_back(r);
         };
@@ -501,6 +523,10 @@ engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_co
         server.flush_stream(id);
         *total_ms = elapsed_ms(start);
         *worst_ms = *std::max_element(worst.begin(), worst.end());
+        const ingest_stats st = server.ingest_statistics(id);
+        latency->p50_ms = st.latency_p50_ms;
+        latency->p99_ms = st.latency_p99_ms;
+        latency->max_ms = st.latency_max_ms;
         server.drain_all();
 
         for (const auto& rec : recorded) {
@@ -523,17 +549,19 @@ engine_benchmark run_multipusher_sweep(const std::vector<std::size_t>& thread_co
     };
 
     engine_benchmark out;
-    out.name = "multipusher_ingest_" + std::to_string(producers) + "producers";
+    out.name = "multipusher_ingest_" + std::to_string(producers) + "producers" +
+               (pooled ? "_pooled" : "");
     out.items = bins;
     out.has_worst = true;
+    out.has_latency = true;
 
-    run_capture serial = run(0, 1, &out.serial_ms, &out.serial_worst_ms);
+    run_capture serial = run(0, 1, &out.serial_ms, &out.serial_worst_ms, &out.serial_latency);
     out.identical_to_serial = replay_matches(serial);
 
     for (const std::size_t t : thread_counts) {
         thread_timing timing;
         timing.threads = t;
-        run_capture rc = run(t, producers, &timing.ms, &timing.worst_ms);
+        run_capture rc = run(t, producers, &timing.ms, &timing.worst_ms, &timing.latency);
         out.identical_to_serial = out.identical_to_serial && replay_matches(rc);
         out.parallel.push_back(timing);
     }
@@ -560,23 +588,33 @@ bool write_engine_json(const std::string& path, const std::vector<engine_benchma
         if (eb.has_worst) {
             std::fprintf(f, "      \"serial_worst_batch_ms\": %.6f,\n", eb.serial_worst_ms);
         }
+        if (eb.has_latency) {
+            std::fprintf(f, "      \"ingest_latency_p50_ms\": %.6f,\n",
+                         eb.serial_latency.p50_ms);
+            std::fprintf(f, "      \"ingest_latency_p99_ms\": %.6f,\n",
+                         eb.serial_latency.p99_ms);
+            std::fprintf(f, "      \"ingest_latency_max_ms\": %.6f,\n",
+                         eb.serial_latency.max_ms);
+        }
         std::fprintf(f, "      \"identical_to_serial\": %s,\n",
                      eb.identical_to_serial ? "true" : "false");
         std::fprintf(f, "      \"parallel\": [\n");
         for (std::size_t p = 0; p < eb.parallel.size(); ++p) {
             const thread_timing& tt = eb.parallel[p];
             const double speedup = tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0;
+            std::fprintf(f, "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f",
+                         tt.threads, tt.ms, speedup);
             if (eb.has_worst) {
-                std::fprintf(f,
-                             "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f, "
-                             "\"worst_batch_ms\": %.6f}%s\n",
-                             tt.threads, tt.ms, speedup, tt.worst_ms,
-                             p + 1 < eb.parallel.size() ? "," : "");
-            } else {
-                std::fprintf(f, "        {\"threads\": %zu, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
-                             tt.threads, tt.ms, speedup,
-                             p + 1 < eb.parallel.size() ? "," : "");
+                std::fprintf(f, ", \"worst_batch_ms\": %.6f", tt.worst_ms);
             }
+            if (eb.has_latency) {
+                std::fprintf(f,
+                             ", \"ingest_latency_p50_ms\": %.6f, "
+                             "\"ingest_latency_p99_ms\": %.6f, "
+                             "\"ingest_latency_max_ms\": %.6f",
+                             tt.latency.p50_ms, tt.latency.p99_ms, tt.latency.max_ms);
+            }
+            std::fprintf(f, "}%s\n", p + 1 < eb.parallel.size() ? "," : "");
         }
         std::fprintf(f, "      ]\n");
         std::fprintf(f, "    }%s\n", b + 1 < benches.size() ? "," : "");
@@ -616,8 +654,14 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
                                            : std::vector<std::size_t>{4, 16, 32}) {
         benches.push_back(run_multistream_sweep(thread_counts, streams, quick));
     }
-    // Producer fan-in through the MPSC ingest inbox (pool sizes within).
-    benches.push_back(run_multipusher_sweep(thread_counts, /*producers=*/4, quick));
+    // Producer fan-in through the MPSC ingest inbox (pool sizes within):
+    // once draining on producer threads, once with pooled drainer tasks
+    // under a park budget, so the JSON carries an ingest-to-applied
+    // latency digest for both modes side by side.
+    benches.push_back(
+        run_multipusher_sweep(thread_counts, /*producers=*/4, quick, /*pooled=*/false));
+    benches.push_back(
+        run_multipusher_sweep(thread_counts, /*producers=*/4, quick, /*pooled=*/true));
 
     bool all_identical = true;
     for (const engine_benchmark& eb : benches) {
@@ -632,6 +676,11 @@ bool run_engine_comparison(const std::string& json_path, bool quick) {
                 std::printf("    %zu thread%s: %.3f ms (%.2fx)\n", tt.threads,
                             tt.threads == 1 ? " " : "s", tt.ms,
                             tt.ms > 0.0 ? eb.serial_ms / tt.ms : 0.0);
+            }
+            if (eb.has_latency) {
+                std::printf("        ingest-to-applied p50 %.3f ms, p99 %.3f ms, "
+                            "max %.3f ms\n",
+                            tt.latency.p50_ms, tt.latency.p99_ms, tt.latency.max_ms);
             }
         }
         all_identical = all_identical && eb.identical_to_serial;

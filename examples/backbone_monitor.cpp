@@ -147,10 +147,13 @@ int main() {
                     return;
                 }
             }
-            server.flush_stream(ids[f]);
         });
     }
     for (std::thread& c : collectors) c.join();
+    // Shutdown: one call applies every feed's residual bins (including
+    // anything a pooled drainer is still working through), then join the
+    // background refits so the final report reflects a settled server.
+    server.flush_all();
     server.drain_all();
 
     // Report, capped like a NOC console would be: the weekend regime

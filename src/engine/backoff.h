@@ -15,15 +15,22 @@
 #include <cstddef>
 #include <thread>
 
+#include "engine/tuning.h"
+
 namespace netdiag {
 
 // Call with an iteration counter that starts at 0 and increments per
-// retry; reset it whenever the awaited condition makes progress.
+// retry; reset it whenever the awaited condition makes progress. The
+// yield count and sleep duration are tuning knobs (`role_wait_spin_yields`
+// and `role_wait_sleep_us`, see docs/TUNING.md) so bench_autotune can
+// sweep them alongside the drainer/budget knobs; both are pure
+// scheduling -- they move latency, never results.
 inline void spin_then_sleep_backoff(std::size_t spin) {
-    if (spin < 64) {
+    if (spin < global_tuning().role_wait_spin_yields) {
         std::this_thread::yield();
     } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(global_tuning().role_wait_sleep_us));
     }
 }
 

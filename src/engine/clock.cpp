@@ -1,0 +1,25 @@
+#include "engine/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace netdiag {
+
+namespace {
+std::atomic<tick_source_fn> g_tick_source{nullptr};
+}  // namespace
+
+std::uint64_t monotone_now_ns() noexcept {
+    const tick_source_fn fn = g_tick_source.load(std::memory_order_acquire);
+    if (fn != nullptr) return fn();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+tick_source_fn set_tick_source(tick_source_fn fn) noexcept {
+    return g_tick_source.exchange(fn, std::memory_order_acq_rel);
+}
+
+}  // namespace netdiag

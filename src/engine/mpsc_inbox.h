@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "engine/sync.h"
+#include "engine/thread_pool.h"
 
 namespace netdiag {
 
@@ -129,8 +130,11 @@ public:
 
     // The producer-side wait of the block policy: parks briefly (bounded
     // by a ~1ms timeout) until a pop or close() makes another attempt
-    // worthwhile. Callers loop try_push_n / wait_for_space.
+    // worthwhile. Callers loop try_push_n / wait_for_space. A blocking
+    // boundary: on a pool worker this is only legal under a park permit
+    // (engine/thread_pool.h).
     void wait_for_space() NETDIAG_EXCLUDES(wait_mu_) {
+        thread_pool::assert_wait_allowed();
         sync::mutex_lock lock(wait_mu_);
         waiters_.fetch_add(1, std::memory_order_relaxed);
         // Timed wait instead of a tracked predicate: the producer re-runs

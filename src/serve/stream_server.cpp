@@ -1,6 +1,7 @@
 #include "serve/stream_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,8 +9,10 @@
 #include <utility>
 
 #include "engine/backoff.h"
+#include "engine/clock.h"
 #include "engine/tuning.h"
 #include "measurement/stream_checkpoint.h"
+#include "stats/histogram.h"
 
 namespace netdiag {
 
@@ -37,9 +40,19 @@ std::string checkpoint_filename(stream_id id) {
 // exchange applies pending bins in sequence order, everyone else returns
 // after enqueueing.
 struct stream_server::stream_entry {
+    // What travels through the inbox: the measurement plus the monotone
+    // tick of its enqueue staging, so the drainer can charge the full
+    // ingest-to-applied interval (including any block-policy wait and
+    // queueing delay) to the latency histogram. Ticks are runtime-only:
+    // checkpoints serialize the payload and restamp at restore.
+    struct ingest_item {
+        vec y;
+        std::uint64_t enqueue_tick = 0;
+    };
+
     std::unique_ptr<stream_detector> detector;
     ingest_options opts;  // capacity holds the effective (rounded) ring size
-    std::unique_ptr<mpsc_inbox<vec>> inbox;
+    std::unique_ptr<mpsc_inbox<ingest_item>> inbox;
     mutable sync::shared_mutex mu;
     // The single-drainer role as a capability the analysis can track:
     // whoever owns the draining flag below holds drain_cap, and only
@@ -68,6 +81,61 @@ struct stream_server::stream_entry {
     std::atomic<std::uint64_t> applied{0};
     std::atomic<std::uint64_t> dropped{0};
     std::atomic<std::uint64_t> rejected{0};
+    // One pooled drainer task in flight per stream at most: producers
+    // race on this flag, the loser knows a task is already scheduled (or
+    // running) and returns right after enqueueing. The task clears it
+    // after releasing the drain role and re-checks the inbox, so a
+    // producer that enqueued between the last pop and the clear either
+    // sees the flag still set or wins it and schedules the next task --
+    // the same lost-drain re-check shape as drain_entry.
+    std::atomic<bool> drainer_scheduled{false};
+    // A detector error thrown inside a pooled drainer task has no caller
+    // to propagate to; it parks here (first error wins) and rethrows on
+    // the stream's next ingest or flush_stream, mirroring where a
+    // caller-thread auto-drain would have thrown.
+    std::atomic<bool> drain_error_set{false};
+    sync::mutex error_mu;
+    std::exception_ptr drain_error NETDIAG_GUARDED_BY(error_mu);
+    // Ingest-to-applied latency accounting, written by the drainer per
+    // applied bin, read by ingest_statistics. A dedicated mutex (never
+    // held across detector or inbox calls) rather than the drain role:
+    // readers are not drainers. Histogram domain is log2(latency_ns)
+    // with quarter-log2 buckets -- fixed memory, ~19% worst-case
+    // relative slack on the reported percentile, exact max kept aside.
+    sync::mutex latency_mu;
+    histogram latency_hist NETDIAG_GUARDED_BY(latency_mu);
+    std::uint64_t latency_count NETDIAG_GUARDED_BY(latency_mu) = 0;
+    std::uint64_t latency_max_ns NETDIAG_GUARDED_BY(latency_mu) = 0;
+
+    void record_latency(std::uint64_t enqueue_tick, std::uint64_t now)
+        NETDIAG_EXCLUDES(latency_mu) {
+        const std::uint64_t ns = now > enqueue_tick ? now - enqueue_tick : 0;
+        sync::mutex_lock lock(latency_mu);
+        latency_hist.record(std::log2(static_cast<double>(std::max<std::uint64_t>(ns, 1))));
+        ++latency_count;
+        latency_max_ns = std::max(latency_max_ns, ns);
+    }
+
+    void park_drain_error(std::exception_ptr error) NETDIAG_EXCLUDES(error_mu) {
+        sync::mutex_lock lock(error_mu);
+        if (!drain_error) {
+            drain_error = std::move(error);
+            drain_error_set.store(true, std::memory_order_release);
+        }
+    }
+
+    // Rethrows (once) an error a pooled drainer parked. The atomic flag
+    // keeps the common path lock-free.
+    void rethrow_parked_drain_error() NETDIAG_EXCLUDES(error_mu) {
+        if (!drain_error_set.load(std::memory_order_acquire)) return;
+        std::exception_ptr error;
+        {
+            sync::mutex_lock lock(error_mu);
+            error = std::exchange(drain_error, nullptr);
+            drain_error_set.store(false, std::memory_order_release);
+        }
+        if (error) std::rethrow_exception(error);
+    }
 
     // RAII release of an already-acquired drain role (close_stream is the
     // one holder that never releases: it adopts the role for teardown).
@@ -101,6 +169,8 @@ struct stream_server::stream_entry {
     static void apply_pending(stream_entry& e, bool yield_to_waiters)
         NETDIAG_REQUIRES(e.drain_cap);
     static void drain_entry(stream_entry& e) NETDIAG_EXCLUDES(e.drain_cap);
+    static void run_pooled_drainer(stream_entry& e, const thread_pool::park_permit& permit)
+        NETDIAG_EXCLUDES(e.drain_cap);
 };
 
 std::shared_ptr<stream_server::stream_entry> stream_server::make_entry(
@@ -116,9 +186,16 @@ std::shared_ptr<stream_server::stream_entry> stream_server::make_entry(
     const std::size_t capacity = entry->opts.capacity != 0
                                      ? entry->opts.capacity
                                      : global_tuning().ingest_inbox_capacity;
-    entry->inbox = std::make_unique<mpsc_inbox<vec>>(capacity, entry->opts.policy,
-                                                     start_sequence);
+    entry->inbox = std::make_unique<mpsc_inbox<stream_entry::ingest_item>>(
+        capacity, entry->opts.policy, start_sequence);
     entry->opts.capacity = entry->inbox->capacity();
+    // log2(ns) domain, quarter-log2 buckets: covers 1ns..2^40ns (~18min)
+    // with 160 fixed bins. The entry is unpublished; the lock is for the
+    // static analysis, not for contention.
+    {
+        sync::mutex_lock lock(entry->latency_mu);
+        entry->latency_hist = histogram{0.0, 40.0, std::vector<std::size_t>(160, 0)};
+    }
     return entry;
 }
 
@@ -350,7 +427,7 @@ void stream_server::stream_entry::acquire_drain_role(stream_entry& e) {
 // flush_stream. Maintenance's own applies (close_stream) pass false and
 // always run to empty.
 void stream_server::stream_entry::apply_pending(stream_entry& e, bool yield_to_waiters) {
-    vec bin;
+    ingest_item bin;
     std::uint64_t seq = 0;
     std::size_t stall = 0;
     for (;;) {
@@ -360,7 +437,8 @@ void stream_server::stream_entry::apply_pending(stream_entry& e, bool yield_to_w
         const std::size_t burst =
             std::min(pending, std::max<std::size_t>(global_tuning().ingest_drain_burst, 1));
         // Resolve refit waits falling due within this burst here, on the
-        // drainer's (caller) thread -- never on a pool worker.
+        // drainer's thread -- a caller thread, or a pooled drainer task
+        // running under a park permit.
         e.detector->prepare_pushes(burst);
         std::size_t popped = 0;
         for (std::size_t i = 0; i < burst; ++i) {
@@ -368,7 +446,7 @@ void stream_server::stream_entry::apply_pending(stream_entry& e, bool yield_to_w
             ++popped;
             detection_result result;
             try {
-                result = e.detector->push_bin(bin);
+                result = e.detector->push_bin(bin.y);
             } catch (...) {
                 // The bin was consumed but never applied (e.g. a failed
                 // background refit surfacing here); account for it so the
@@ -378,6 +456,7 @@ void stream_server::stream_entry::apply_pending(stream_entry& e, bool yield_to_w
                 throw;
             }
             e.applied.fetch_add(1, std::memory_order_relaxed);
+            e.record_latency(bin.enqueue_tick, monotone_now_ns());
             if (e.sink) e.sink(seq, result);
         }
         if (popped == 0) {
@@ -404,6 +483,77 @@ void stream_server::stream_entry::drain_entry(stream_entry& e) {
     }
 }
 
+// Body of a pooled drainer task. Runs on a pool worker under a park
+// permit, so the blocking boundaries inside apply_pending (a deferred
+// swap join, a refit wait) are legal here -- that is the whole point:
+// the producer returns after enqueueing and this task absorbs the wait.
+// Exactly one such task exists per stream (drainer_scheduled); it drains
+// until the inbox is observed empty, handing the flag back between
+// rounds so the scheduling race with producers has the same lost-drain
+// shape as drain_entry.
+void stream_server::stream_entry::run_pooled_drainer(stream_entry& e,
+                                                     const thread_pool::park_permit& permit) {
+    thread_pool::parked_job_scope scope(permit);
+    for (;;) {
+        if (!wait_for_drain_role(e, /*bail_on_closing=*/true)) {
+            // close_stream owns the role for good and applies the residue
+            // itself; drainer_scheduled staying set on a dying stream is
+            // harmless (the entry is unpublished).
+            return;
+        }
+        bool errored = false;
+        {
+            drain_role role(e);
+            try {
+                apply_pending(e, /*yield_to_waiters=*/true);
+            } catch (...) {
+                e.park_drain_error(std::current_exception());
+                errored = true;
+            }
+        }
+        e.drainer_scheduled.store(false, std::memory_order_seq_cst);
+        if (errored) return;
+        if (e.inbox->empty()) return;
+        // Bins remain: either a producer enqueued after our last pop (and
+        // saw the flag still set), or apply_pending yielded to a parked
+        // maintenance op. Re-arm and go again -- unless a producer beat
+        // us to the flag and scheduled the next task.
+        if (e.drainer_scheduled.exchange(true, std::memory_order_seq_cst)) return;
+    }
+}
+
+// Tries to delegate a stream's auto-drain to a dedicated pool task.
+// Returns true when no caller-thread drain is needed (a task is now, or
+// was already, responsible for the pending bins -- or the inbox is
+// empty); false sends the caller down the classic self-drain path. The
+// permit is acquired BEFORE submitting: a task that had to acquire it
+// inside the pool could fail there, with no caller left to fall back on.
+bool stream_server::maybe_schedule_pooled_drainer(const std::shared_ptr<stream_entry>& e) {
+    if (!e->opts.pooled_drainer || pool_ == nullptr || pool_->park_budget() == 0) {
+        return false;
+    }
+    if (e->inbox->empty()) return true;
+    if (e->drainer_scheduled.exchange(true, std::memory_order_seq_cst)) return true;
+    thread_pool::park_permit permit = pool_->try_acquire_park_permit();
+    if (!permit) {
+        // Budget spent by other streams' drainers: drain on the caller.
+        e->drainer_scheduled.store(false, std::memory_order_seq_cst);
+        return false;
+    }
+    // std::function requires copyable callables; the move-only permit
+    // rides in a shared_ptr and releases itself when the task retires.
+    auto shared_permit = std::make_shared<thread_pool::park_permit>(std::move(permit));
+    try {
+        pool_->submit([e, shared_permit] {
+            stream_entry::run_pooled_drainer(*e, *shared_permit);
+        });
+    } catch (...) {
+        e->drainer_scheduled.store(false, std::memory_order_seq_cst);
+        return false;  // permit released by shared_permit's destructor
+    }
+    return true;
+}
+
 ingest_result stream_server::ingest(stream_id id, std::span<const double> y) {
     const std::span<const double> one[] = {y};
     return ingest_batch(id, one);
@@ -413,6 +563,10 @@ ingest_result stream_server::ingest_batch(stream_id id,
                                           std::span<const std::span<const double>> ys) {
     const std::shared_ptr<stream_entry> e = find_entry(id);
     if (e == nullptr) return {ingest_error::unknown_stream, 0, 0};
+    // A pooled drainer task had nobody to throw to; its parked detector
+    // error surfaces on the stream's next ingest, exactly where a
+    // caller-thread auto-drain would have thrown it.
+    e->rethrow_parked_drain_error();
 
     // Validate and stage the payloads before touching the entry lock.
     {
@@ -437,9 +591,15 @@ ingest_result stream_server::ingest_batch(stream_id id,
         }
     }
 
-    std::vector<vec> items;
+    // One stamp for the whole batch, taken at staging: a block-policy
+    // retry keeps the original stamp, so the reported latency charges the
+    // full wait for ring space to the bins that waited.
+    std::vector<stream_entry::ingest_item> items;
     items.reserve(ys.size());
-    for (const std::span<const double>& y : ys) items.emplace_back(y.begin(), y.end());
+    const std::uint64_t enqueue_tick = monotone_now_ns();
+    for (const std::span<const double>& y : ys) {
+        items.push_back({vec(y.begin(), y.end()), enqueue_tick});
+    }
 
     // The entry lock guards only the closing-check + enqueue attempt (so
     // a close/snapshot can quiesce enqueues). The block-policy wait
@@ -455,18 +615,29 @@ ingest_result stream_server::ingest_batch(stream_id id,
             if (e->closing.load(std::memory_order_acquire)) {
                 return {ingest_error::stream_closed, 0, 0};
             }
-            const auto pushed = e->inbox->try_push_n(std::span<vec>(items));
+            // Count the batch accepted BEFORE the push and roll back on
+            // the outcomes that didn't take it. With the add after the
+            // push, a drainer could apply these bins (applied +=) while
+            // accepted still excluded them, and ingest_statistics would
+            // observe accepted < applied + dropped -- the conservation
+            // identity broken mid-flight. Counting first errs the other
+            // way (bins briefly pending before they are visible), which
+            // the derived pending absorbs by construction.
+            e->accepted.fetch_add(ys.size(), std::memory_order_seq_cst);
+            const auto pushed =
+                e->inbox->try_push_n(std::span<stream_entry::ingest_item>(items));
             if (pushed.dropped > 0) {
                 e->dropped.fetch_add(pushed.dropped, std::memory_order_relaxed);
             }
             switch (pushed.status) {
                 case inbox_push_status::accepted:
-                    e->accepted.fetch_add(ys.size(), std::memory_order_relaxed);
                     out = {ingest_error::ok, pushed.sequence, ys.size()};
                     break;
                 case inbox_push_status::closed:
+                    e->accepted.fetch_sub(ys.size(), std::memory_order_seq_cst);
                     return {ingest_error::stream_closed, 0, 0};
                 case inbox_push_status::full:
+                    e->accepted.fetch_sub(ys.size(), std::memory_order_seq_cst);
                     if (e->opts.policy != inbox_policy::block) {
                         e->rejected.fetch_add(ys.size(), std::memory_order_relaxed);
                         return {ingest_error::inbox_full, 0, 0};
@@ -491,48 +662,102 @@ ingest_result stream_server::ingest_batch(stream_id id,
             e->inbox->wait_for_space();
         }
     }
-    if (e->opts.auto_drain) stream_entry::drain_entry(*e);
+    // Pooled mode hands the drain to a dedicated pool task so this call
+    // returns as soon as the bins are enqueued; when the budget is spent
+    // (or pooled mode is off) the producer drains on its own thread as
+    // before -- the fallback is what keeps progress independent of the
+    // pool's state.
+    if (e->opts.auto_drain) {
+        if (!maybe_schedule_pooled_drainer(e)) stream_entry::drain_entry(*e);
+    }
     return out;
 }
 
 void stream_server::flush_stream(stream_id id) {
     const std::shared_ptr<stream_entry> e = entry_or_throw(id);
     for (std::size_t spin = 0;; ++spin) {
+        // Surface a pooled drainer's parked error instead of reporting a
+        // clean flush: the erroring drainer dropped its bin and retired,
+        // so the empty-and-idle exit below could otherwise succeed.
+        e->rethrow_parked_drain_error();
         // A concurrent close_stream applies the residue itself (and owns
         // the drain role until teardown): nothing left for us.
         if (e->closing.load(std::memory_order_acquire)) return;
         stream_entry::drain_entry(*e);
         // Done only when the inbox is empty AND no drainer is mid-apply
         // (an active drainer may have popped the last bin but not pushed
-        // it through the detector yet).
-        if (e->inbox->empty() && !e->draining.load(std::memory_order_seq_cst)) return;
+        // it through the detector yet). Re-check for a parked error at
+        // the exit: the drainer may have erred and retired between this
+        // iteration's check above and drain_entry's role handoff.
+        if (e->inbox->empty() && !e->draining.load(std::memory_order_seq_cst)) {
+            e->rethrow_parked_drain_error();
+            return;
+        }
         spin_then_sleep_backoff(spin);
+    }
+}
+
+void stream_server::flush_all() {
+    // Snapshot the id list once; a flush_stream in the loop may run
+    // arbitrarily long, and streams opened meanwhile are not this call's
+    // responsibility (same copy-then-work shape as drain_all).
+    for (const stream_id id : stream_ids()) {
+        try {
+            flush_stream(id);
+        } catch (const std::invalid_argument&) {
+            // Closed between the listing and the flush: close applied the
+            // residue itself, which is exactly what a flush wants.
+        }
     }
 }
 
 ingest_stats stream_server::ingest_statistics(stream_id id) const {
     const std::shared_ptr<stream_entry> e = entry_or_throw(id);
     ingest_stats st;
-    st.accepted = e->accepted.load(std::memory_order_relaxed);
-    st.applied = e->applied.load(std::memory_order_relaxed);
-    st.dropped = e->dropped.load(std::memory_order_relaxed);
-    st.rejected = e->rejected.load(std::memory_order_relaxed);
-    st.pending = e->inbox->approx_size();
+    // The shared entry lock pins the reads against close/snapshot
+    // quiesce; producers and the drainer still run. Conservation holds
+    // regardless: pending is DERIVED from the counters rather than read
+    // from the ring, and producers count accepted before their bins are
+    // visible (see ingest_batch), so reading applied and dropped first
+    // and accepted last can only overestimate pending, never drive the
+    // identity negative. The saturation below covers the one remaining
+    // skew (a producer's rollback between our reads).
+    sync::shared_lock guard(e->mu);
+    st.applied = e->applied.load(std::memory_order_seq_cst);
+    st.dropped = e->dropped.load(std::memory_order_seq_cst);
+    st.rejected = e->rejected.load(std::memory_order_seq_cst);
+    st.accepted = e->accepted.load(std::memory_order_seq_cst);
+    const std::uint64_t settled = st.applied + st.dropped;
+    st.pending = st.accepted > settled ? st.accepted - settled : 0;
     st.next_sequence = e->inbox->next_sequence();
+    {
+        sync::mutex_lock latency(e->latency_mu);
+        st.latency_count = e->latency_count;
+        if (e->latency_count > 0) {
+            // Histogram buckets hold log2(ns); the percentile is the
+            // bucket's upper edge, so the exponentiated value is an upper
+            // bound on the true sample quantile. The max is exact.
+            st.latency_p50_ms = std::exp2(e->latency_hist.percentile(0.50)) / 1e6;
+            st.latency_p99_ms = std::exp2(e->latency_hist.percentile(0.99)) / 1e6;
+            st.latency_max_ms = static_cast<double>(e->latency_max_ns) / 1e6;
+        }
+    }
     return st;
 }
 
 void stream_server::set_ingest_sink(stream_id id, ingest_sink sink) {
     const std::shared_ptr<stream_entry> e = entry_or_throw(id);
-    // Quiesce the ingest edge for the swap: the entry lock stops new
-    // enqueues, the drain role waits out an active drainer (so the swap
-    // cannot race a sink invocation).
-    sync::exclusive_lock guard(e->mu);
+    // Quiesce the ingest edge for the swap: the drain role waits out an
+    // active drainer first (so the swap cannot race a sink invocation,
+    // and so we never wait for the role while holding the entry lock the
+    // drainer's sink may need -- see snapshot_all), then the entry lock
+    // stops new enqueues.
     if (!stream_entry::wait_for_drain_role(*e, /*bail_on_closing=*/true)) {
         throw std::invalid_argument("stream_server: stream " + std::to_string(id) +
                                     " is closing");
     }
     stream_entry::drain_role role(*e);
+    sync::exclusive_lock guard(e->mu);
     e->sink = std::move(sink);
 }
 
@@ -603,15 +828,19 @@ void stream_server::snapshot_all(const std::string& directory) {
                                  ": " + ec.message());
     }
     for (auto& [id, entry] : entries) {
-        // Quiesce this stream: the entry lock stops new enqueues, the
-        // drain role waits out an active drainer (without holding mu_,
-        // so the drainer's sink can still read the server), and the
-        // save below runs under mu_ exclusive to exclude ordered-edge
-        // pushes. The inbox is snapshotted as residue, NOT drained, so
-        // the restored server resumes from exactly this state.
-        sync::exclusive_lock entry_lock(entry->mu);
+        // Quiesce this stream: the drain role waits out an active drainer
+        // FIRST (holding neither mu_ nor the entry lock -- the drainer's
+        // sink may read the server, and ingest_statistics takes the entry
+        // lock shared, so waiting for the role while holding it exclusive
+        // would deadlock against our own sink), then the entry lock stops
+        // new enqueues, and the save below runs under mu_ exclusive to
+        // exclude ordered-edge pushes. The inbox is snapshotted as
+        // residue, NOT drained, so the restored server resumes from
+        // exactly this state. Lock order everywhere: drain role, then
+        // entry lock (close_stream follows it too).
         stream_entry::acquire_drain_role(*entry);
         stream_entry::drain_role role(*entry);
+        sync::exclusive_lock entry_lock(entry->mu);
         // Join background maintenance outside mu_ (a refit can take a
         // while); save() re-drains anything that slips in before the
         // exclusive section.
@@ -632,9 +861,12 @@ void stream_server::snapshot_all(const std::string& directory) {
         ckpt::write_u64(out, entry->dropped.load(std::memory_order_relaxed));
         ckpt::write_u64(out, entry->rejected.load(std::memory_order_relaxed));
         ckpt::write_u64(out, entry->inbox->next_sequence());
+        // Enqueue ticks are runtime-only: residue serializes the payload
+        // and restore_all restamps, so a checkpointed bin's latency is
+        // charged from the restore, not across the downtime.
         const auto residue = entry->inbox->snapshot_items();
         ckpt::write_u64(out, residue.size());
-        for (const auto& [seq, bin] : residue) ckpt::write_vec(out, bin);
+        for (const auto& [seq, bin] : residue) ckpt::write_vec(out, bin.y);
         // Serialize the detector to memory under mu_ exclusive (this is
         // what excludes ordered-edge pushes on this stream) and do the
         // disk write after releasing it, so a slow disk never stalls the
@@ -710,7 +942,8 @@ void stream_server::restore_all(const std::string& directory) {
         const ckpt::header_info hdr = ckpt::read_header_info(in);
         if (hdr.type_tag == k_server_stream_tag) {
             opts.capacity = ckpt::read_u64(in);
-            if (opts.capacity == 0 || opts.capacity > mpsc_inbox<vec>::k_max_capacity) {
+            if (opts.capacity == 0 ||
+                opts.capacity > mpsc_inbox<stream_entry::ingest_item>::k_max_capacity) {
                 throw std::runtime_error(
                     "stream_server::restore_all: malformed inbox capacity in " + path);
             }
@@ -746,6 +979,7 @@ void stream_server::restore_all(const std::string& directory) {
 
         auto entry = make_entry(std::move(detector), std::move(opts),
                                 next_sequence - residue.size());
+        const std::uint64_t restamp_tick = monotone_now_ns();
         for (vec& bin : residue) {
             if (bin.size() != entry->detector->dimension()) {
                 throw std::runtime_error(
@@ -755,7 +989,9 @@ void stream_server::restore_all(const std::string& directory) {
             // above, so a rejected push means the checkpoint lied about
             // one of them -- losing the bin silently would desync the
             // replay sequence from the restored counters.
-            if (entry->inbox->push(std::move(bin)).status != inbox_push_status::accepted) {
+            if (entry->inbox
+                    ->push(stream_entry::ingest_item{std::move(bin), restamp_tick})
+                    .status != inbox_push_status::accepted) {
                 throw std::runtime_error(
                     "stream_server::restore_all: inbox rejected checkpoint residue in " + path);
             }

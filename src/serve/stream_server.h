@@ -33,9 +33,18 @@
 //    done opportunistically by ingesting callers (one of them claims the
 //    per-stream drain role, the rest return immediately after enqueue);
 //    with auto_drain off, bins accumulate until flush_stream(). Draining
-//    always happens on caller threads, never on pool workers, so an
-//    inbox drain may safely wait at a deferred refit's swap boundary
-//    without risking the engine's no-waiting-in-jobs rule.
+//    happens on caller threads by default; with pooled_drainer set, an
+//    ingest that finds work schedules a dedicated drainer task on the
+//    server's pool instead (claiming the same per-stream drain role), so
+//    ingest-to-applied latency decouples from the producers' call
+//    cadence. A pooled drainer may wait at a deferred refit's swap
+//    boundary because it runs under one of the pool's park permits --
+//    the bounded parked-worker budget (engine/thread_pool.h) that
+//    replaced the old hard no-waiting-in-jobs rule. When no permit is
+//    available (budget exhausted, zero, or no pool) the ingest falls
+//    back to caller-thread draining, so enabling the flag never costs
+//    liveness -- and never changes results: which thread drains is
+//    invisible to the sequence-order replay parity above.
 //    Backpressure when an inbox is full is per-stream policy: block
 //    (wait for the drainer), reject (ingest returns inbox_full), or
 //    drop_oldest (evict the oldest pending bin; newest data wins).
@@ -79,8 +88,10 @@
 // operations never hold the server-wide lock while waiting for a drain
 // to finish. Do not call ingest or flush_stream from a job running on
 // the server's own pool (the drain may wait on a refit future; caller
-// threads may, workers must not), and quiesce all API calls before
-// destroying the server.
+// threads may, and the server's own pooled drainer tasks may because
+// they hold a park permit, but ordinary jobs must not -- the pool's
+// assert_wait_allowed() enforces this at runtime), and quiesce all API
+// calls before destroying the server.
 //
 // Checkpointing: snapshot_all writes format-v3 per-stream records that
 // carry the ingest inbox's configuration and *residue* (pending,
@@ -134,6 +145,14 @@ struct ingest_options {
     // true: ingesting callers opportunistically drain (one at a time).
     // false: bins accumulate until flush_stream() or close_stream().
     bool auto_drain = true;
+    // With auto_drain: enqueue-side drains are handed to a dedicated
+    // task on the server's pool (under a park permit from the pool's
+    // parked-worker budget) instead of running on the ingesting caller.
+    // Falls back to caller-thread draining whenever no permit or pool is
+    // available; never affects results, only who pays the drain latency.
+    // Runtime wiring like the sink: not serialized by checkpoints, so a
+    // restored stream drains on caller threads.
+    bool pooled_drainer = false;
     ingest_sink sink;
 };
 
@@ -152,17 +171,35 @@ struct ingest_result {
     bool ok() const noexcept { return error == ingest_error::ok; }
 };
 
-// Per-stream ingest counters. Conservation invariant (between drains):
+// Per-stream ingest counters. Conservation invariant:
 // accepted == applied + dropped + pending -- it holds even when an apply
-// throws (the consumed bin is counted as dropped).
+// throws (the consumed bin is counted as dropped), and it holds in every
+// snapshot ingest_statistics() returns, not just between drains: pending
+// is *derived* as accepted - applied - dropped from a read ordering that
+// makes the difference non-negative, so a concurrent drain can never be
+// observed mid-violation. Consequence of the derivation: a bin a drainer
+// has popped but not yet pushed through the detector still counts as
+// pending (it is not yet applied), so pending can exceed the ring's
+// instantaneous occupancy by the one in-flight bin.
 struct ingest_stats {
     std::uint64_t accepted = 0;   // bins enqueued successfully
     std::uint64_t applied = 0;    // bins drained through the detector
     std::uint64_t dropped = 0;    // bins evicted by drop_oldest, or
                                   // consumed by an apply that threw
     std::uint64_t rejected = 0;   // bins refused (full / width mismatch)
-    std::uint64_t pending = 0;    // bins sitting in the inbox now
+    std::uint64_t pending = 0;    // accepted - applied - dropped
     std::uint64_t next_sequence = 0;
+    // Ingest-to-applied latency: monotone-clock interval from a bin's
+    // enqueue into the inbox to the completion of its detector apply,
+    // over this stream's applied bins. Percentiles come from a fixed
+    // log2-domain histogram (stats/histogram.h) -- each reported value
+    // is the upper edge of its quarter-log2 bucket, an upper bound with
+    // <= ~19% relative slack -- while max is exact. All zero until the
+    // first bin is applied.
+    std::uint64_t latency_count = 0;  // bins the histogram has seen
+    double latency_p50_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_max_ms = 0.0;
 };
 
 // Everything needed to build one stream's detector. The server overrides
@@ -271,6 +308,14 @@ public:
     // std::invalid_argument on an unknown id; rethrows detector errors.
     void flush_stream(stream_id id);
 
+    // flush_stream over every open stream (drain-role-correct: each
+    // stream is flushed through the same claim/hand-over protocol as
+    // flush_stream, so it composes with concurrent drains, producers and
+    // pooled drainer tasks). Streams closed concurrently are skipped;
+    // streams opened concurrently may or may not be flushed. Rethrows
+    // detector errors like flush_stream.
+    void flush_all();
+
     // Counters for the ingest edge, readable at any time.
     [[nodiscard]] ingest_stats ingest_statistics(stream_id id) const;
 
@@ -339,6 +384,11 @@ private:
                                                     std::uint64_t start_sequence);
     std::shared_ptr<stream_entry> find_entry(stream_id id) const;
     std::shared_ptr<stream_entry> entry_or_throw(stream_id id) const;
+    // Hands an auto-drain to a pooled drainer task when the stream opted
+    // in and a park permit is available. Returns false when the caller
+    // must drain itself (no pool, zero budget, permits exhausted, or the
+    // submission failed).
+    bool maybe_schedule_pooled_drainer(const std::shared_ptr<stream_entry>& e);
     std::unique_ptr<stream_detector> build_detector(stream_open_config&& cfg);
     stream_id register_stream(std::unique_ptr<stream_detector> detector,
                               ingest_options&& ingest);
@@ -355,12 +405,15 @@ private:
     // mu_.
     sync::mutex maint_mu_ NETDIAG_ACQUIRED_BEFORE(mu_);
     // Serializes the sharded phase of concurrent push_batch calls. One
-    // batch's parallel_for leaves at least one pool worker free (it
-    // submits at most size-1 helper jobs), which is what guarantees that
+    // batch's parallel_for submits at most size-1-park_budget helper
+    // jobs, which together with the pool's park budget (at most
+    // park_budget workers parked in pooled drainer tasks) leaves at
+    // least one worker free -- that shared accounting is what guarantees
     // maintenance tasks and nested detector kernels queued by the batch
     // always make progress; two interleaved batch dispatches could park
-    // every worker at once, so they take turns here instead. (Ingest
-    // drains never run on pool workers, so they are outside this budget.)
+    // every worker at once, so they take turns here instead. (Caller-
+    // thread ingest drains are outside this budget entirely; pooled
+    // drainers are inside it via their park permits.)
     sync::mutex dispatch_mu_;
     // Ordered so snapshot_all and stream_ids() enumerate deterministically.
     std::map<stream_id, std::shared_ptr<stream_entry>> streams_ NETDIAG_GUARDED_BY(mu_);

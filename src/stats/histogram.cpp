@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -13,6 +14,29 @@ double histogram::bin_center(std::size_t i) const {
 
 std::size_t histogram::total() const {
     return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+void histogram::record(double x) {
+    if (counts.empty()) throw std::logic_error("histogram::record: no bins");
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / bin_width());
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+}
+
+double histogram::percentile(double q) const {
+    const std::size_t n = total();
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank: the k'th smallest sample with k in [1, n].
+    const auto rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))));
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= rank) return lo + (static_cast<double>(i) + 1.0) * bin_width();
+    }
+    return hi;  // unreachable: seen reaches n >= rank in the loop
 }
 
 histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {

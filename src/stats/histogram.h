@@ -20,6 +20,19 @@ struct histogram {
     // Center of bin i.
     double bin_center(std::size_t i) const;
     std::size_t total() const;
+
+    // Adds one sample, clamping values outside [lo, hi] into the closest
+    // edge bin (same rule as make_histogram). The incremental face used
+    // by the serving layer's latency accounting. Undefined on a
+    // default-constructed histogram with no bins.
+    void record(double x);
+
+    // Value at quantile q in [0, 1] by nearest rank over the binned
+    // counts: the upper edge of the bin containing the ceil(q * total)'th
+    // smallest sample -- an upper bound on the true sample quantile,
+    // which is the conservative direction for latency SLOs. Returns 0.0
+    // when the histogram is empty.
+    double percentile(double q) const;
 };
 
 // Histogram of xs over [lo, hi] with bins equal-width bins. Values outside

@@ -170,6 +170,9 @@ void streaming_diagnoser::prepare_pushes(std::size_t bins) {
     // The swap applies at the push whose entry count reaches swap_at_;
     // the coming pushes enter at processed_ .. processed_ + bins - 1.
     if (processed_ + bins <= swap_at_) return;
+    // The deferred swap boundary is a blocking wait on a pool task: legal
+    // on a caller thread, and on a pool worker only under a park permit.
+    thread_pool::assert_wait_allowed();
     ready_ = inflight_.get();
 }
 
@@ -181,6 +184,7 @@ volume_anomaly_diagnoser streaming_diagnoser::take_pending() {
     }
     // The boundary arrived before the fit finished: this is the one place
     // the push path may wait, and only for the remainder of the fit.
+    thread_pool::assert_wait_allowed();
     return inflight_.get();
 }
 
@@ -201,7 +205,10 @@ void streaming_diagnoser::apply_swap(volume_anomaly_diagnoser&& next) {
 
 void streaming_diagnoser::drain() {
     pusher_cap_.assert_held();
-    if (inflight_.valid()) ready_ = inflight_.get();
+    if (inflight_.valid()) {
+        thread_pool::assert_wait_allowed();
+        ready_ = inflight_.get();
+    }
 }
 
 void streaming_diagnoser::save(std::ostream& out) {
@@ -451,7 +458,10 @@ tracking_detector::~tracking_detector() {
 }
 
 void tracking_detector::join_fold() {
-    if (fold_inflight_.valid()) fold_inflight_.get();
+    if (fold_inflight_.valid()) {
+        thread_pool::assert_wait_allowed();
+        fold_inflight_.get();
+    }
 }
 
 void tracking_detector::drain() {

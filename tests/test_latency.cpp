@@ -1,0 +1,359 @@
+// Ingest-to-applied latency accounting and the parked-worker budget: the
+// histogram percentile edges the serving layer leans on, the engine's
+// monotone clock shim (deterministic latency under an injected tick
+// source), the thread_pool park-permit protocol, and the budget's
+// no-deadlock guarantee (pooled drainers parked at a deferred swap
+// boundary cannot starve push_batch of workers). This binary runs under
+// the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/clock.h"
+#include "engine/thread_pool.h"
+#include "engine/tuning.h"
+#include "measurement/link_loads.h"
+#include "serve/stream_server.h"
+#include "stats/histogram.h"
+#include "topology/builders.h"
+#include "topology/routing.h"
+
+namespace netdiag {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram: the incremental record/percentile face.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramPercentile, EmptyHistogramReportsZeroAtEveryQuantile) {
+    const histogram h{0.0, 10.0, std::vector<std::size_t>(10, 0)};
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(HistogramPercentile, RecordOnHistogramWithNoBinsThrows) {
+    histogram h;
+    EXPECT_THROW(h.record(0.5), std::logic_error);
+}
+
+TEST(HistogramPercentile, SingleSampleReportsItsBucketUpperEdgeAtEveryQuantile) {
+    histogram h{0.0, 10.0, std::vector<std::size_t>(10, 0)};
+    h.record(3.2);  // bin 3, covering (3, 4]
+    // Nearest rank maps every quantile of a one-sample histogram to that
+    // sample's bucket; the reported value is the bucket's upper edge (an
+    // upper bound on the true sample, the conservative side for SLOs).
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(HistogramPercentile, RecordClampsOutOfRangeSamplesIntoTheEdgeBins) {
+    histogram h{0.0, 10.0, std::vector<std::size_t>(10, 0)};
+    h.record(-123.0);
+    h.record(456.0);
+    EXPECT_EQ(h.counts.front(), 1u);
+    EXPECT_EQ(h.counts.back(), 1u);
+    EXPECT_EQ(h.total(), 2u);
+    // A saturated histogram (every further sample beyond hi) pins every
+    // upper quantile to the top edge -- it reports "at least hi", never
+    // a made-up value past the domain.
+    for (int i = 0; i < 100; ++i) h.record(1e9);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramPercentile, NearestRankWalksTheCumulativeCounts) {
+    histogram h{0.0, 4.0, std::vector<std::size_t>(4, 0)};
+    for (int i = 0; i < 3; ++i) h.record(1.5);  // bin 1 -> upper edge 2.0
+    h.record(2.5);                              // bin 2 -> upper edge 3.0
+    // ranks: ceil(q * 4); samples 1..3 live in bin 1, sample 4 in bin 2.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.76), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monotone clock shim.
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_fake_ticks{0};
+std::uint64_t fake_ticks() { return g_fake_ticks.load(std::memory_order_relaxed); }
+
+TEST(MonotoneClock, DefaultSourceNeverGoesBackwards) {
+    const std::uint64_t a = monotone_now_ns();
+    const std::uint64_t b = monotone_now_ns();
+    EXPECT_LE(a, b);
+}
+
+TEST(MonotoneClock, ScopedTickSourceOverridesAndRestores) {
+    g_fake_ticks.store(42, std::memory_order_relaxed);
+    {
+        const scoped_tick_source scoped(&fake_ticks);
+        EXPECT_EQ(monotone_now_ns(), 42u);
+        g_fake_ticks.store(43, std::memory_order_relaxed);
+        EXPECT_EQ(monotone_now_ns(), 43u);
+    }
+    // Restored to the steady clock: readings advance past any small
+    // sentinel immediately.
+    EXPECT_NE(monotone_now_ns(), 43u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic ingest-to-applied latency under an injected tick source.
+// ---------------------------------------------------------------------------
+
+constexpr double k_bucket_slack = 1.1892071150027210667;  // 2^(1/4), quarter-log2 bins
+
+TEST(IngestLatency, ExactUnderInjectedTickSource) {
+    const scoped_tick_source scoped(&fake_ticks);
+    g_fake_ticks.store(1'000'000, std::memory_order_relaxed);
+
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(0.5, 1.5);
+    matrix boot(60, 8);
+    for (std::size_t i = 0; i < boot.size(); ++i) boot.data()[i] = dist(rng);
+
+    stream_server server({.threads = 0});
+    stream_open_config cfg;
+    cfg.kind = stream_kind::tracker;
+    cfg.bootstrap_y = boot;
+    cfg.max_rank = 4;
+    cfg.ingest.capacity = 16;
+    cfg.ingest.auto_drain = false;  // accumulate, so WE control the apply time
+    const stream_id id = server.open_stream(std::move(cfg));
+
+    EXPECT_EQ(server.ingest_statistics(id).latency_count, 0u);
+    EXPECT_EQ(server.ingest_statistics(id).latency_max_ms, 0.0);
+
+    for (std::size_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(server.ingest(id, boot.row(i)).ok());
+    }
+    // Every bin applies exactly 5 ms after its enqueue staging.
+    g_fake_ticks.fetch_add(5'000'000, std::memory_order_relaxed);
+    server.flush_stream(id);
+
+    ingest_stats st = server.ingest_statistics(id);
+    EXPECT_EQ(st.latency_count, 5u);
+    EXPECT_DOUBLE_EQ(st.latency_max_ms, 5.0);  // the max is exact
+    // Percentiles are quarter-log2 bucket upper edges: an upper bound on
+    // the true value within one bucket width.
+    EXPECT_GE(st.latency_p50_ms, 5.0);
+    EXPECT_LE(st.latency_p50_ms, 5.0 * k_bucket_slack + 1e-9);
+    EXPECT_GE(st.latency_p99_ms, 5.0);
+    EXPECT_LE(st.latency_p99_ms, 5.0 * k_bucket_slack + 1e-9);
+
+    // A straggler: one more bin held for 100 ms dominates max and p99 but
+    // leaves the median in the 5 ms bucket.
+    ASSERT_TRUE(server.ingest(id, boot.row(5)).ok());
+    g_fake_ticks.fetch_add(100'000'000, std::memory_order_relaxed);
+    server.flush_stream(id);
+
+    st = server.ingest_statistics(id);
+    EXPECT_EQ(st.latency_count, 6u);
+    EXPECT_DOUBLE_EQ(st.latency_max_ms, 100.0);
+    EXPECT_GE(st.latency_p99_ms, 100.0);
+    EXPECT_LE(st.latency_p99_ms, 100.0 * k_bucket_slack + 1e-9);
+    EXPECT_GE(st.latency_p50_ms, 5.0);
+    EXPECT_LE(st.latency_p50_ms, 5.0 * k_bucket_slack + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Park-permit protocol on the pool itself.
+// ---------------------------------------------------------------------------
+
+TEST(ParkBudget, BudgetClampsToLeaveOneWorkerUnparked) {
+    {
+        const thread_pool pool(3);
+        EXPECT_EQ(pool.park_budget(), 0u) << "default budget must be off";
+    }
+    const scoped_tuning tuned;
+    global_tuning().pool_park_budget = 8;
+    const thread_pool wide(3);
+    EXPECT_EQ(wide.park_budget(), 2u);
+    const thread_pool narrow(1);
+    EXPECT_EQ(narrow.park_budget(), 0u);
+}
+
+TEST(ParkBudget, PermitsExhaustAtTheBudgetAndComeBackOnRelease) {
+    const scoped_tuning tuned;
+    global_tuning().pool_park_budget = 2;
+    thread_pool pool(4);
+    ASSERT_EQ(pool.park_budget(), 2u);
+
+    thread_pool::park_permit a = pool.try_acquire_park_permit();
+    thread_pool::park_permit b = pool.try_acquire_park_permit();
+    EXPECT_TRUE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_FALSE(static_cast<bool>(pool.try_acquire_park_permit()))
+        << "third permit must be refused at budget 2";
+
+    a.reset();
+    thread_pool::park_permit c = pool.try_acquire_park_permit();
+    EXPECT_TRUE(static_cast<bool>(c)) << "released permit must be reusable";
+}
+
+TEST(ParkBudget, AssertWaitAllowedGatesPoolJobsOnly) {
+    // Caller threads are never restricted.
+    EXPECT_NO_THROW(thread_pool::assert_wait_allowed());
+
+    const scoped_tuning tuned;
+    global_tuning().pool_park_budget = 1;
+    thread_pool pool(2);
+
+    // A pool job without a permit hits the runtime gate.
+    std::promise<bool> bare_threw;
+    pool.submit([&bare_threw] {
+        try {
+            thread_pool::assert_wait_allowed();
+            bare_threw.set_value(false);
+        } catch (const std::logic_error&) {
+            bare_threw.set_value(true);
+        }
+    });
+    EXPECT_TRUE(bare_threw.get_future().get());
+
+    // The same wait is legal under a permit-backed parked scope, and the
+    // permission ends with the scope.
+    thread_pool::park_permit permit = pool.try_acquire_park_permit();
+    ASSERT_TRUE(static_cast<bool>(permit));
+    std::promise<bool> scoped_ok;
+    pool.submit([&scoped_ok, &permit] {
+        bool ok = true;
+        {
+            const thread_pool::parked_job_scope scope(permit);
+            try {
+                thread_pool::assert_wait_allowed();
+            } catch (const std::logic_error&) {
+                ok = false;
+            }
+        }
+        try {
+            thread_pool::assert_wait_allowed();
+            ok = false;  // must throw again outside the scope
+        } catch (const std::logic_error&) {
+        }
+        scoped_ok.set_value(ok);
+    });
+    EXPECT_TRUE(scoped_ok.get_future().get());
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion vs push_batch: the no-deadlock invariant end to end.
+// ---------------------------------------------------------------------------
+
+class LatencyServerFixture : public ::testing::Test {
+protected:
+    static constexpr std::size_t k_boot = 60;
+
+    void SetUp() override {
+        topo_ = make_abilene();
+        routing_ = build_routing(topo_);
+        const std::size_t n = routing_.flow_count();
+        const std::size_t t_total = 300;
+
+        std::mt19937_64 rng(90210);
+        std::normal_distribution<double> gauss(0.0, 1.0);
+        matrix x(n, t_total, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double mean = 1e6 * (1.0 + static_cast<double>(j % 11));
+            for (std::size_t t = 0; t < t_total; ++t) {
+                x(j, t) = std::max(0.0, mean + 0.05 * mean * gauss(rng));
+            }
+        }
+        y_ = link_loads_from_flows(routing_.a, x);
+    }
+
+    matrix bootstrap_slice() const {
+        matrix out(k_boot, y_.cols());
+        for (std::size_t r = 0; r < k_boot; ++r) out.set_row(r, y_.row(r));
+        return out;
+    }
+
+    stream_open_config diagnoser_config(bool pooled) const {
+        stream_open_config cfg;
+        cfg.kind = stream_kind::diagnoser;
+        cfg.a = routing_.a;
+        cfg.bootstrap_y = bootstrap_slice();
+        cfg.streaming.window = k_boot;
+        cfg.streaming.refit_interval = 9;
+        cfg.streaming.swap_horizon = 4;
+        cfg.streaming.mode = refit_mode::deferred;
+        cfg.streaming.separation.fixed_rank = 6;
+        cfg.ingest.capacity = 64;
+        cfg.ingest.policy = inbox_policy::block;
+        cfg.ingest.pooled_drainer = pooled;
+        return cfg;
+    }
+
+    topology topo_{"unset"};
+    routing_result routing_;
+    matrix y_;
+};
+
+TEST_F(LatencyServerFixture, ParkedPooledDrainersCannotDeadlockPushBatch) {
+    // The whole budget is spent on pooled drainers for two streams whose
+    // deferred refits keep parking them at swap-join boundaries, while
+    // the ordered edge keeps dispatching push_batch across two more
+    // streams on the same pool. The budget arithmetic (helpers <= size -
+    // 1 - budget, parked <= budget) must leave a worker free for the
+    // refits the parked drainers are waiting on -- completion of this
+    // test IS the assertion.
+    const scoped_tuning tuned;
+    global_tuning().pool_park_budget = 2;
+    stream_server server({.threads = 4});
+
+    const stream_id pooled_a = server.open_stream(diagnoser_config(/*pooled=*/true));
+    const stream_id pooled_b = server.open_stream(diagnoser_config(/*pooled=*/true));
+    const stream_id ordered_c = server.open_stream(diagnoser_config(/*pooled=*/false));
+    const stream_id ordered_d = server.open_stream(diagnoser_config(/*pooled=*/false));
+
+    constexpr std::size_t k_bins = 60;
+    std::vector<std::thread> producers;
+    for (const stream_id id : {pooled_a, pooled_b}) {
+        producers.emplace_back([&, id] {
+            for (std::size_t i = 0; i < k_bins; ++i) {
+                ASSERT_TRUE(server.ingest(id, y_.row(k_boot + i)).ok());
+            }
+        });
+    }
+
+    // Ordered-edge batches racing the parked drainers for pool workers.
+    for (std::size_t i = 0; i < k_bins; ++i) {
+        const stream_server::stream_bin bins[] = {{ordered_c, y_.row(k_boot + i)},
+                                                  {ordered_d, y_.row(k_boot + i)}};
+        const auto results = server.push_batch(bins);
+        ASSERT_EQ(results.size(), 2u);
+    }
+
+    for (std::thread& t : producers) t.join();
+    server.flush_all();
+    server.drain_all();
+
+    for (const stream_id id : {pooled_a, pooled_b}) {
+        const ingest_stats st = server.ingest_statistics(id);
+        EXPECT_EQ(st.accepted, k_bins);
+        EXPECT_EQ(st.applied, k_bins);
+        EXPECT_EQ(st.pending, 0u);
+        EXPECT_EQ(st.accepted, st.applied + st.dropped + st.pending)
+            << "conservation violated";
+        EXPECT_EQ(st.latency_count, k_bins);
+        EXPECT_GE(st.latency_max_ms, 0.0);
+        EXPECT_LE(st.latency_p50_ms, st.latency_p99_ms);
+    }
+    EXPECT_EQ(server.stats(ordered_c).processed, k_bins);
+    EXPECT_EQ(server.stats(ordered_d).processed, k_bins);
+}
+
+}  // namespace
+}  // namespace netdiag

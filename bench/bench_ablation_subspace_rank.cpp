@@ -21,7 +21,7 @@ netdiag::diagnosis_scorecard score_with_rank(const netdiag::dataset& ds,
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds.injected) {
         if (std::abs(ev.amplitude_bytes) >= bench::cutoff_for(ds)) {
-            truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
         }
     }
     return score_diagnoses(diagnoser.diagnose_all(ds.link_loads), truths);
@@ -41,14 +41,14 @@ int main() {
         std::size_t used = 0;
         const diagnosis_scorecard card = score_with_rank(ds, r, used);
         table.add_row({"fixed", std::to_string(used),
-                       format_ratio(card.detected_count, card.truth_count),
+                       format_ratio(card.detected_bin_count, card.truth_bin_count),
                        format_ratio(card.false_alarm_count, card.normal_bin_count),
                        format_ratio(card.identified_count, card.detected_count)});
     }
     std::size_t rule_rank = 0;
     const diagnosis_scorecard rule = score_with_rank(ds, std::nullopt, rule_rank);
     table.add_row({"3-sigma rule", std::to_string(rule_rank),
-                   format_ratio(rule.detected_count, rule.truth_count),
+                   format_ratio(rule.detected_bin_count, rule.truth_bin_count),
                    format_ratio(rule.false_alarm_count, rule.normal_bin_count),
                    format_ratio(rule.identified_count, rule.detected_count)});
     std::printf("%s\n", table.str().c_str());

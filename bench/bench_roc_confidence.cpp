@@ -21,7 +21,7 @@ int main() {
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds.injected) {
         if (std::abs(ev.amplitude_bytes) >= bench::cutoff_for(ds)) {
-            truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
         }
     }
 
@@ -33,7 +33,7 @@ int main() {
         const diagnosis_scorecard card = score_diagnoses(diagnoses, truths);
         table.add_row({format_fixed(confidence * 100.0, 2) + "%",
                        format_scientific(diagnoser.detector().threshold(), 2),
-                       format_ratio(card.detected_count, card.truth_count),
+                       format_ratio(card.detected_bin_count, card.truth_bin_count),
                        format_ratio(card.false_alarm_count, card.normal_bin_count),
                        format_percent(card.false_alarm_rate(), 2)});
     }

@@ -1,0 +1,202 @@
+// bench_scenarios: the adversary-scenario x detector evaluation matrix.
+//
+// Runs every catalogue scenario (scenarios/catalog.h) against every
+// detector (scenarios/evaluate.h) and scores each cell with the unified
+// eval-layer accounting: ROC area over the evaluation bins, bin-level
+// detection / false-alarm rates, per-anomaly identification rate, signed
+// quantification error, and detection delay against the episode labels.
+//
+// Every cell emits a canonical DIGEST line (bench::output_digest) so
+// scripts/check_bench_digests.sh can pin the whole matrix against
+// bench/golden_digests.txt, and the matrix is appended to the engine
+// JSON report as a "scenarios" section.
+//
+//   Flags: --quick              (smaller series, for CI smoke; digest
+//                                names gain a scenario_quick_ prefix)
+//          --engine-json=PATH   (default BENCH_engine.json; merged into
+//                                an existing report, replacing any
+//                                previous scenarios section)
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenarios/catalog.h"
+#include "scenarios/evaluate.h"
+
+namespace netdiag {
+namespace {
+
+struct matrix_cell {
+    std::string scenario;
+    std::string detector;
+    scenario_cell_score score;
+};
+
+std::string format_or_dash(double v, int precision) {
+    return std::isnan(v) ? "-" : format_fixed(v, precision);
+}
+
+void digest_cell(const matrix_cell& cell, bool quick) {
+    std::string name = quick ? "scenario_quick_" : "scenario_";
+    name += cell.scenario;
+    name += '.';
+    name += cell.detector;
+    bench::output_digest digest(name);
+    const diagnosis_scorecard& card = cell.score.card;
+    digest.add("auc", cell.score.auc);
+    digest.add("truth_bins", card.truth_bin_count);
+    digest.add("detected_bins", card.detected_bin_count);
+    digest.add("false_alarms", card.false_alarm_count);
+    digest.add("normal_bins", card.normal_bin_count);
+    digest.add("truths", card.truth_count);
+    digest.add("detected", card.detected_count);
+    digest.add("identified", card.identified_count);
+    // NaN-able values go through a presence flag so the canonical text
+    // never contains "nan".
+    const bool has_quant = card.identified_count > 0 && !std::isnan(card.quantification_error);
+    digest.add("has_quant", has_quant);
+    if (has_quant) digest.add("quant", card.quantification_error);
+    digest.add("labels_scored", cell.score.delay.labels_scored);
+    digest.add("labels_detected", cell.score.delay.labels_detected);
+    const bool has_delay = cell.score.delay.labels_detected > 0;
+    digest.add("has_delay", has_delay);
+    if (has_delay) digest.add("mean_delay", cell.score.delay.mean_delay_bins);
+    digest.print();
+}
+
+// Appends (or replaces) the scenarios section of the engine JSON report.
+// The section is spliced in before the report's final closing brace; a
+// previous section written by this bench is cut at its own marker first,
+// so re-runs stay idempotent. A missing or empty report gets a fresh one.
+bool write_scenarios_json(const std::string& path, const std::vector<matrix_cell>& cells,
+                          bool quick) {
+    static const char* marker = ",\n  \"scenarios\":";
+
+    std::string existing;
+    if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+        char buffer[4096];
+        std::size_t got = 0;
+        while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+            existing.append(buffer, got);
+        }
+        std::fclose(in);
+    }
+    const char* joiner = marker;
+    if (const std::size_t at = existing.find(marker); at != std::string::npos) {
+        existing.erase(at);
+    } else if (const std::size_t brace = existing.rfind('}'); brace != std::string::npos) {
+        existing.erase(brace);
+        while (!existing.empty() && (existing.back() == '\n' || existing.back() == ' ')) {
+            existing.pop_back();
+        }
+    } else {
+        existing.clear();
+        existing.push_back('{');
+        joiner = marker + 1;  // nothing precedes the section, so no comma
+    }
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_scenarios: cannot open %s for writing\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "%s%s {\n", existing.c_str(), joiner);
+    std::fprintf(f, "    \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "    \"cells\": [\n");
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+        const matrix_cell& cell = cells[k];
+        const diagnosis_scorecard& card = cell.score.card;
+        std::fprintf(f, "      {\"scenario\": \"%s\", \"detector\": \"%s\", ",
+                     cell.scenario.c_str(), cell.detector.c_str());
+        std::fprintf(f, "\"auc\": %.6f, \"detection_rate\": %.6f, \"false_alarm_rate\": %.6f, ",
+                     cell.score.auc, card.detection_rate(), card.false_alarm_rate());
+        std::fprintf(f, "\"truth_bins\": %zu, \"detected_bins\": %zu, ", card.truth_bin_count,
+                     card.detected_bin_count);
+        std::fprintf(f, "\"identified\": %zu, \"detected\": %zu, ", card.identified_count,
+                     card.detected_count);
+        if (card.identified_count > 0 && !std::isnan(card.quantification_error)) {
+            std::fprintf(f, "\"quantification_error\": %.6f, ", card.quantification_error);
+        } else {
+            std::fprintf(f, "\"quantification_error\": null, ");
+        }
+        if (cell.score.delay.labels_detected > 0) {
+            std::fprintf(f, "\"mean_delay_bins\": %.4f, ", cell.score.delay.mean_delay_bins);
+        } else {
+            std::fprintf(f, "\"mean_delay_bins\": null, ");
+        }
+        std::fprintf(f, "\"labels_detected\": %zu, \"labels_scored\": %zu}%s\n",
+                     cell.score.delay.labels_detected, cell.score.delay.labels_scored,
+                     k + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+int run_matrix(bool quick, const std::string& json_path) {
+    scenario_config cfg;
+    if (quick) {
+        cfg.train_bins = 288;
+        cfg.eval_bins = 144;
+    }
+
+    bench::print_header("Adversary scenarios x detectors",
+                        "scenario-level evaluation of Sections 6-7 (detect / identify / "
+                        "quantify, ROC, online deployment)");
+    std::printf("config: train %zu bins, eval %zu bins%s\n\n", cfg.train_bins, cfg.eval_bins,
+                quick ? " (quick)" : "");
+
+    text_table table({"scenario", "detector", "auc", "det", "fa", "ident", "quant", "delay",
+                      "episodes"});
+    std::vector<matrix_cell> cells;
+    for (const std::string& scenario : scenario_names()) {
+        const scenario_dataset sd = build_scenario(scenario, cfg);
+        for (const std::string& detector : scenario_detector_names()) {
+            const detector_run run = run_scenario_detector(detector, sd);
+            matrix_cell cell{scenario, detector, score_scenario_run(sd, run)};
+            const diagnosis_scorecard& card = cell.score.card;
+            table.add_row({scenario, detector, format_fixed(cell.score.auc, 3),
+                           format_percent(card.detection_rate()),
+                           format_percent(card.false_alarm_rate()),
+                           card.detected_count > 0 ? format_percent(card.identification_rate())
+                                                   : "-",
+                           format_or_dash(card.quantification_error, 2),
+                           format_or_dash(cell.score.delay.mean_delay_bins, 1),
+                           format_ratio(cell.score.delay.labels_detected,
+                                        cell.score.delay.labels_scored)});
+            cells.push_back(std::move(cell));
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    for (const matrix_cell& cell : cells) digest_cell(cell, quick);
+    if (!write_scenarios_json(json_path, cells, quick)) return 1;
+    std::printf("\nscenario section written to %s (%zu cells)\n", json_path.c_str(),
+                cells.size());
+    return 0;
+}
+
+}  // namespace
+}  // namespace netdiag
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string json_path = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
+            json_path = argv[i] + 14;
+        } else {
+            std::fprintf(stderr, "bench_scenarios: unrecognized flag %s\n", argv[i]);
+            return 1;
+        }
+    }
+    return netdiag::run_matrix(quick, json_path);
+}

@@ -48,7 +48,7 @@ int main() {
             table.add_row(
                 {method == truth_method::fourier ? "Fourier" : "EWMA", sets[k].name,
                  format_scientific(r.cutoff, 1),
-                 format_ratio(r.card.detected_count, r.card.truth_count),
+                 format_ratio(r.card.detected_bin_count, r.card.truth_bin_count),
                  format_ratio(r.card.false_alarm_count, r.card.normal_bin_count),
                  format_ratio(r.card.identified_count, r.card.detected_count),
                  std::isnan(r.card.quantification_error)

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Golden-output replay harness for the figure benches.
+# Golden-output replay harness for the digest-emitting benches.
 #
-# Every bench_fig* binary ends its run with a canonical "DIGEST <name>
-# <hash>" line: an order-sensitive FNV-1a over its key numeric results,
-# rounded to 6 significant digits (see bench::output_digest). This script
-# runs all of them, collects those lines, and diffs them against the
-# checked-in golden file -- so a change that silently shifts any reproduced
-# number fails CI, while formatting-only changes do not.
+# Every bench below ends its run with canonical "DIGEST <name> <hash>"
+# lines: an order-sensitive FNV-1a over its key numeric results, rounded
+# to 6 significant digits (see bench::output_digest). This script runs
+# them, collects those lines, and diffs them against the checked-in golden
+# file -- so a change that silently shifts any reproduced number fails CI,
+# while formatting-only changes do not.
+#
+# bench_scenarios runs in --quick mode here (hence the scenario_quick_
+# digest names): the golden file pins the CI-sized scenario matrix.
 #
 # Usage:
-#   scripts/check_bench_digests.sh [build_dir]            # verify (CI)
-#   scripts/check_bench_digests.sh [build_dir] --update   # regenerate golden
+#   scripts/check_bench_digests.sh [build_dir]                 # verify all (CI)
+#   scripts/check_bench_digests.sh [build_dir] --update        # regenerate golden
+#   scripts/check_bench_digests.sh [build_dir] --only <bench>  # verify one bench's
+#                                                              # lines against golden
 set -euo pipefail
 
 build_dir="${1:-build}"
 mode="${2:-check}"
+only_bench="${3:-}"
 golden="$(dirname "$0")/../bench/golden_digests.txt"
 
 benches=(
@@ -28,7 +34,23 @@ benches=(
     bench_fig8_injection_time
     bench_fig9_rate_vs_flowsize
     bench_fig10_basis_comparison
+    bench_scenarios
 )
+
+bench_args() {
+    case "$1" in
+        bench_scenarios) echo "--quick --engine-json=/dev/null" ;;
+        *) echo "" ;;
+    esac
+}
+
+if [[ "$mode" == "--only" ]]; then
+    if [[ -z "$only_bench" ]]; then
+        echo "check_bench_digests: --only needs a bench name" >&2
+        exit 2
+    fi
+    benches=("$only_bench")
+fi
 
 actual="$(mktemp)"
 trap 'rm -f "$actual"' EXIT
@@ -40,7 +62,8 @@ for bench in "${benches[@]}"; do
         exit 2
     fi
     echo "running $bench..." >&2
-    "$bin" | grep '^DIGEST ' >> "$actual" || {
+    # shellcheck disable=SC2046
+    "$bin" $(bench_args "$bench") | grep '^DIGEST ' >> "$actual" || {
         echo "check_bench_digests: $bench produced no DIGEST line" >&2
         exit 2
     }
@@ -53,11 +76,32 @@ if [[ "$mode" == "--update" ]]; then
     exit 0
 fi
 
+if [[ "$mode" == "--only" ]]; then
+    # Compare only the golden lines whose digest names this bench emits.
+    subset="$(mktemp)"
+    trap 'rm -f "$actual" "$subset"' EXIT
+    awk 'NR == FNR { want[$2] = 1; next } $2 in want' "$actual" "$golden" > "$subset"
+    if [[ ! -s "$subset" ]]; then
+        echo "check_bench_digests: golden file has no lines for $only_bench;" >&2
+        echo "regenerate with: scripts/check_bench_digests.sh $build_dir --update" >&2
+        exit 1
+    fi
+    if ! diff -u "$subset" "$actual"; then
+        echo "" >&2
+        echo "check_bench_digests: $only_bench output drifted from the golden digests." >&2
+        echo "If the change is intentional, regenerate with:" >&2
+        echo "    scripts/check_bench_digests.sh $build_dir --update" >&2
+        exit 1
+    fi
+    echo "$only_bench digests match the golden file."
+    exit 0
+fi
+
 if ! diff -u "$golden" "$actual"; then
     echo "" >&2
-    echo "check_bench_digests: figure-bench output drifted from the golden digests." >&2
+    echo "check_bench_digests: bench output drifted from the golden digests." >&2
     echo "If the change is intentional, regenerate with:" >&2
     echo "    scripts/check_bench_digests.sh $build_dir --update" >&2
     exit 1
 fi
-echo "all figure-bench digests match the golden file."
+echo "all bench digests match the golden file."

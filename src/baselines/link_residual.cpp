@@ -22,6 +22,26 @@ matrix fourier_link_residuals(const matrix& y, const fourier_config& cfg) {
     return out;
 }
 
+matrix holt_winters_link_residuals(const matrix& y, const holt_winters_config& cfg) {
+    matrix out(y.rows(), y.cols());
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+        const vec column = y.column(c);
+        const vec forecast = holt_winters_forecast(column, cfg);
+        for (std::size_t r = 0; r < y.rows(); ++r) out(r, c) = column[r] - forecast[r];
+    }
+    return out;
+}
+
+matrix wavelet_link_residuals(const matrix& y, std::size_t coarse_levels) {
+    matrix out(y.rows(), y.cols());
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+        const vec column = y.column(c);
+        const vec smooth = wavelet_smooth(column, coarse_levels);
+        for (std::size_t r = 0; r < y.rows(); ++r) out(r, c) = column[r] - smooth[r];
+    }
+    return out;
+}
+
 vec residual_norm_series(const matrix& residuals) {
     vec out(residuals.rows(), 0.0);
     for (std::size_t r = 0; r < residuals.rows(); ++r) {

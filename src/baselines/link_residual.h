@@ -9,6 +9,8 @@
 
 #include "baselines/ewma.h"
 #include "baselines/fourier.h"
+#include "baselines/holt_winters.h"
+#include "baselines/wavelet.h"
 #include "linalg/matrix.h"
 
 namespace netdiag {
@@ -18,6 +20,13 @@ matrix ewma_link_residuals(const matrix& y, const ewma_config& cfg = {});
 
 // Residual matrix: y - per-column Fourier fit (t x m).
 matrix fourier_link_residuals(const matrix& y, const fourier_config& cfg = {});
+
+// Residual matrix: y - per-column Holt-Winters one-step forecast (t x m).
+// Requires y.rows() >= 2 * cfg.season_length (see holt_winters_forecast).
+matrix holt_winters_link_residuals(const matrix& y, const holt_winters_config& cfg = {});
+
+// Residual matrix: y - per-column wavelet low-frequency model (t x m).
+matrix wavelet_link_residuals(const matrix& y, std::size_t coarse_levels = 5);
 
 // Squared norm of each residual row: one value per timestep.
 vec residual_norm_series(const matrix& residuals);

@@ -1,0 +1,42 @@
+#include "eval/delay.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netdiag {
+
+std::optional<std::size_t> detection_delay(const std::vector<bool>& alarms,
+                                           const delay_label& label) {
+    if (label.onset >= alarms.size()) {
+        throw std::invalid_argument("detection_delay: onset outside alarm series");
+    }
+    if (label.duration == 0) {
+        throw std::invalid_argument("detection_delay: zero-duration label");
+    }
+    const std::size_t end = std::min(alarms.size(), label.onset + label.duration);
+    for (std::size_t t = label.onset; t < end; ++t) {
+        if (alarms[t]) return t - label.onset;
+    }
+    return std::nullopt;
+}
+
+delay_summary score_detection_delay(const std::vector<bool>& alarms,
+                                    std::span<const delay_label> labels) {
+    delay_summary out;
+    double delay_sum = 0.0;
+    for (const delay_label& label : labels) {
+        const std::optional<std::size_t> d = detection_delay(alarms, label);
+        ++out.labels_scored;
+        if (d) {
+            ++out.labels_detected;
+            delay_sum += static_cast<double>(*d);
+        }
+    }
+    out.mean_delay_bins = out.labels_detected > 0
+                              ? delay_sum / static_cast<double>(out.labels_detected)
+                              : std::numeric_limits<double>::quiet_NaN();
+    return out;
+}
+
+}  // namespace netdiag

@@ -1,0 +1,48 @@
+// Detection-delay scoring for labeled anomaly episodes.
+//
+// The scorecards in eval/metrics.h treat every bin independently; for
+// scenarios with temporal structure (a DDoS ramp, a pulsing flood, a worm
+// cascade) the operational question is *how many bins after onset* the
+// first alarm fires. This scorer answers it against labels of the form
+// (onset bin, duration in bins).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace netdiag {
+
+// A labeled episode to score delay against. Bins are indices into the
+// alarm series handed to the scorers below.
+struct delay_label {
+    std::size_t onset = 0;     // first bin of the episode
+    std::size_t duration = 0;  // bins the episode spans (may clip at the end)
+};
+
+// Delay of the first alarm *inside* the label's window [onset,
+// min(onset + duration, alarms.size())), in bins after onset: 0 means the
+// onset bin itself alarmed. Alarms strictly before the labeled onset do
+// not count -- an early alarm is a false alarm against this label, not a
+// negative delay (the detector cannot have seen the episode yet), so the
+// scorer keeps scanning for the first alarm at or after onset. Returns
+// nullopt when no alarm fires inside the window (a missed episode).
+// Throws std::invalid_argument when onset lies outside the alarm series
+// or duration is zero.
+std::optional<std::size_t> detection_delay(const std::vector<bool>& alarms,
+                                           const delay_label& label);
+
+// Aggregate over a label set.
+struct delay_summary {
+    std::size_t labels_scored = 0;    // labels with a non-empty window
+    std::size_t labels_detected = 0;  // of those, an alarm fired in-window
+    double mean_delay_bins = 0.0;     // over detected labels; NaN when none
+};
+
+// Scores every label; labels whose window is empty after clipping are
+// excluded from labels_scored. Same exceptions as detection_delay.
+delay_summary score_detection_delay(const std::vector<bool>& alarms,
+                                    std::span<const delay_label> labels);
+
+}  // namespace netdiag

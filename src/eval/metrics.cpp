@@ -8,9 +8,9 @@
 namespace netdiag {
 
 double diagnosis_scorecard::detection_rate() const {
-    return truth_count == 0 ? 0.0
-                            : static_cast<double>(detected_count) /
-                                  static_cast<double>(truth_count);
+    return truth_bin_count == 0 ? 0.0
+                                : static_cast<double>(detected_bin_count) /
+                                      static_cast<double>(truth_bin_count);
 }
 
 double diagnosis_scorecard::false_alarm_rate() const {
@@ -38,6 +38,7 @@ diagnosis_scorecard score_diagnoses(const std::vector<diagnosis>& per_bin,
 
     diagnosis_scorecard card;
     card.truth_count = truths.size();
+    card.truth_bin_count = by_bin.size();
     card.normal_bin_count = per_bin.size() - by_bin.size();
 
     double error_sum = 0.0;
@@ -51,15 +52,16 @@ diagnosis_scorecard score_diagnoses(const std::vector<diagnosis>& per_bin,
             continue;
         }
         if (!d.anomalous) continue;
-        // All truth anomalies at this bin count as detected by the single
-        // network-level alarm (the paper's accounting: bins are the unit).
+        // Detection is per bin (one network-level alarm covers every truth
+        // anomaly at t); identification stays per anomaly.
+        ++card.detected_bin_count;
         card.detected_count += it->second.size();
         for (const true_anomaly* a : it->second) {
             if (d.flow && *d.flow == a->flow) {
                 ++card.identified_count;
-                if (a->size_bytes > 0.0) {
-                    error_sum += std::abs(std::abs(d.estimated_bytes) - a->size_bytes) /
-                                 a->size_bytes;
+                if (a->size_bytes != 0.0) {
+                    error_sum += std::abs(d.estimated_bytes - a->size_bytes) /
+                                 std::abs(a->size_bytes);
                     ++error_count;
                 }
             }

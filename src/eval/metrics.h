@@ -1,11 +1,19 @@
 // Diagnosis scoring (Section 6.1).
 //
-//   detection rate       fraction of true anomalies detected
+//   detection rate       fraction of truth *bins* that trigger a detection
 //   false alarm rate     fraction of normal bins that trigger a detection
-//   identification rate  fraction of detected anomalies whose flow is
-//                        correctly named
-//   quantification error mean |estimate - truth| / truth over correctly
-//                        identified anomalies
+//   identification rate  fraction of detected truth anomalies whose flow
+//                        is correctly named
+//   quantification error mean |estimate - truth| / |truth| over correctly
+//                        identified anomalies, with the *signed* estimate
+//                        compared against the signed truth size
+//
+// Denominator semantics: detection is counted in bins, matching
+// eval/roc.cpp -- a bin carrying several true anomalies is one detection
+// opportunity, because the detector raises a single network-level alarm
+// per bin (the paper's accounting). Identification and quantification are
+// counted per *anomaly*: every truth anomaly at an alarmed bin is a
+// separate naming opportunity.
 #pragma once
 
 #include <cstddef>
@@ -17,15 +25,21 @@
 namespace netdiag {
 
 struct diagnosis_scorecard {
-    std::size_t truth_count = 0;       // significant true anomalies
-    std::size_t detected_count = 0;    // of those, how many were flagged
-    std::size_t identified_count = 0;  // of detected, correct flow named
-    std::size_t false_alarm_count = 0; // flagged bins with no true anomaly
-    std::size_t normal_bin_count = 0;  // bins with no true anomaly
-    double quantification_error = 0.0; // mean abs relative error; NaN if none
+    std::size_t truth_count = 0;        // true anomalies (several may share a bin)
+    std::size_t truth_bin_count = 0;    // bins carrying at least one true anomaly
+    std::size_t detected_bin_count = 0; // of those bins, how many were flagged
+    std::size_t detected_count = 0;     // true anomalies at flagged bins
+    std::size_t identified_count = 0;   // of detected, correct flow named
+    std::size_t false_alarm_count = 0;  // flagged bins with no true anomaly
+    std::size_t normal_bin_count = 0;   // bins with no true anomaly
+    double quantification_error = 0.0;  // mean abs relative error; NaN if none
 
+    // detected_bin_count / truth_bin_count: the same bin-denominator
+    // accounting compute_roc uses, so scorecards and ROC points agree
+    // when several anomalies share a bin.
     double detection_rate() const;
     double false_alarm_rate() const;
+    // identified_count / detected_count (per-anomaly accounting).
     double identification_rate() const;
 };
 
@@ -33,8 +47,12 @@ struct diagnosis_scorecard {
 // volume_anomaly_diagnoser::diagnose_all) against the significant truth
 // set. A detection at bin t is true when some truth anomaly lives at t;
 // identification is correct when the named flow matches a truth anomaly
-// at that bin. Throws std::invalid_argument when truths reference bins
-// outside the diagnosis range.
+// at that bin. Truth sizes are signed (negative for traffic drops):
+// quantification compares the diagnosis' signed byte estimate against the
+// signed truth, so a wrong-sign estimate of the right magnitude scores a
+// 200% error rather than a perfect one. Zero-size truths are excluded
+// from the quantification mean. Throws std::invalid_argument when truths
+// reference bins outside the diagnosis range.
 diagnosis_scorecard score_diagnoses(const std::vector<diagnosis>& per_bin,
                                     const std::vector<true_anomaly>& truths);
 

@@ -63,6 +63,56 @@ std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
     return out;
 }
 
+std::vector<roc_point> score_series_roc(std::span<const double> scores,
+                                        const std::vector<bool>& truth_bins,
+                                        std::size_t threshold_count) {
+    if (scores.empty()) throw std::invalid_argument("score_series_roc: empty score series");
+    if (scores.size() != truth_bins.size()) {
+        throw std::invalid_argument("score_series_roc: scores/truth_bins length mismatch");
+    }
+    if (threshold_count == 0) {
+        throw std::invalid_argument("score_series_roc: threshold_count must be positive");
+    }
+
+    std::size_t truth_count = 0;
+    for (bool b : truth_bins) truth_count += b ? 1 : 0;
+    const std::size_t normal_count = scores.size() - truth_count;
+
+    std::vector<double> sorted(scores.begin(), scores.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<roc_point> out(threshold_count);
+    for (std::size_t k = 0; k < threshold_count; ++k) {
+        const double quantile =
+            threshold_count == 1
+                ? 0.5
+                : static_cast<double>(k) / static_cast<double>(threshold_count - 1);
+        const std::size_t idx = static_cast<std::size_t>(
+            quantile * static_cast<double>(sorted.size() - 1) + 0.5);
+        roc_point p;
+        p.confidence = quantile;
+        p.threshold = sorted[idx];
+        std::size_t detected = 0;
+        std::size_t false_alarms = 0;
+        for (std::size_t t = 0; t < scores.size(); ++t) {
+            if (scores[t] <= p.threshold) continue;
+            if (truth_bins[t]) {
+                ++detected;
+            } else {
+                ++false_alarms;
+            }
+        }
+        p.detection_rate = truth_count > 0 ? static_cast<double>(detected) /
+                                                 static_cast<double>(truth_count)
+                                           : 0.0;
+        p.false_alarm_rate = normal_count > 0 ? static_cast<double>(false_alarms) /
+                                                    static_cast<double>(normal_count)
+                                              : 0.0;
+        out[k] = p;
+    }
+    return out;
+}
+
 double roc_auc(std::span<const roc_point> points) {
     if (points.empty()) throw std::invalid_argument("roc_auc: no points");
 

@@ -22,6 +22,9 @@ struct roc_point {
 
 // One point per requested confidence, in the given order. y is the full
 // measurement matrix (time x links); truths the significant anomaly set.
+// Detection is counted in *bins*: several truth anomalies sharing a bin
+// are one detection opportunity, the same denominator semantics as
+// diagnosis_scorecard::detection_rate() (see eval/metrics.h).
 // Throws std::invalid_argument for empty confidences, values outside
 // (0, 1), or truths referencing bins beyond y's rows.
 //
@@ -33,6 +36,19 @@ std::vector<roc_point> compute_roc(const subspace_model& model, const matrix& y,
                                    const std::vector<true_anomaly>& truths,
                                    std::span<const double> confidences,
                                    thread_pool* pool = nullptr);
+
+// Detector-agnostic ROC over a precomputed per-bin anomaly score series
+// (an SPE series, a link-residual norm series, ...): sweeps
+// threshold_count thresholds drawn from the score series' own quantiles
+// and counts score > threshold as a detection. truth_bins flags the bins
+// carrying at least one true anomaly (same length as scores; bin
+// denominator semantics as above). roc_point::confidence carries the
+// quantile fraction, roc_point::threshold the score value. Deterministic
+// for a fixed input. Throws std::invalid_argument on empty scores, a
+// length mismatch, or threshold_count == 0.
+std::vector<roc_point> score_series_roc(std::span<const double> scores,
+                                        const std::vector<bool>& truth_bins,
+                                        std::size_t threshold_count = 33);
 
 // Area under the ROC curve via trapezoidal integration over the curve's
 // (false_alarm_rate, detection_rate) points, after sorting by false alarm

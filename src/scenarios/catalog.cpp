@@ -1,0 +1,159 @@
+#include "scenarios/catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenarios/shapes.h"
+
+namespace netdiag {
+
+namespace {
+
+// Peaks are fractions of the network-wide mean offered load, so scenarios
+// keep their relative severity under any gravity rescaling.
+scenario_dataset build_ddos_ramp(const scenario_config& cfg) {
+    scenario_builder b("ddos_ramp", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t victim = b.flows_by_mean()[0];
+    const std::size_t duration = std::max<std::size_t>(4, e / 3);
+    b.add_episode("ddos_ramp", victim, cfg.train_bins + e / 6, ramp_then_hold(duration, 0.4),
+                  0.12 * b.total_mean_bytes());
+    return b.finish();
+}
+
+scenario_dataset build_pulsing_flood(const scenario_config& cfg) {
+    scenario_builder b("pulsing_flood", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t victim = b.flows_by_mean()[1];
+    const std::size_t period = std::max<std::size_t>(6, e / 24);
+    const std::size_t on_bins = std::max<std::size_t>(2, period / 3);
+    b.add_episode("pulsing_flood", victim, cfg.train_bins + e / 8,
+                  pulse_train(std::max<std::size_t>(period, e / 2), period, on_bins),
+                  0.14 * b.total_mean_bytes());
+    return b.finish();
+}
+
+scenario_dataset build_scan_flood(const scenario_config& cfg) {
+    scenario_builder b("scan_flood", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t origin = b.routing().pairs[b.flows_by_mean()[2]].origin;
+    const auto envelope = constant_shape(std::max<std::size_t>(3, e / 4));
+    const double per_flow = 0.018 * b.total_mean_bytes();
+    for (std::size_t f : b.flows_from(origin)) {
+        b.add_episode("scan_flood", f, cfg.train_bins + e / 3, envelope, per_flow);
+    }
+    return b.finish();
+}
+
+scenario_dataset build_flash_crowd(const scenario_config& cfg) {
+    scenario_builder b("flash_crowd", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t dest = b.routing().pairs[b.flows_by_mean()[3]].destination;
+    const std::size_t duration = std::max<std::size_t>(6, e / 4);
+    const auto envelope =
+        flash_crowd_shape(duration, 3, std::max(2.0, static_cast<double>(duration) / 5.0));
+    for (std::size_t f : b.flows_into(dest)) {
+        // Surges scale with each flow's own popularity, as real flash
+        // crowds do.
+        b.add_episode("flash_crowd", f, cfg.train_bins + e / 2, envelope,
+                      1.2 * b.flow_means()[f]);
+    }
+    return b.finish();
+}
+
+scenario_dataset build_worm_cascade(const scenario_config& cfg) {
+    scenario_builder b("worm_cascade", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t waves = 4;
+    const std::size_t gap = std::max<std::size_t>(2, e / 24);
+    const std::size_t onset0 = cfg.train_bins + e / 5;
+    const std::size_t tail = std::max<std::size_t>(4, e / 8);
+    const std::size_t end = onset0 + waves * gap + tail;
+    const std::size_t patient_zero = b.routing().pairs[b.flows_by_mean()[0]].origin;
+    for (std::size_t w = 0; w < waves; ++w) {
+        const std::size_t origin = (patient_zero + w) % b.pop_count();
+        const std::size_t onset = onset0 + w * gap;
+        const auto envelope = constant_shape(end - onset);
+        const double per_flow =
+            0.0035 * b.total_mean_bytes() * static_cast<double>(w + 1);
+        for (std::size_t f : b.flows_from(origin)) {
+            b.add_episode("worm_cascade", f, onset, envelope, per_flow);
+        }
+    }
+    return b.finish();
+}
+
+scenario_dataset build_reroute_shift(const scenario_config& cfg) {
+    scenario_builder b("reroute_shift", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const std::size_t from = b.flows_by_mean()[0];
+    const od_pair pair = b.routing().pairs[from];
+    std::size_t alt_dest = (pair.destination + 1) % b.pop_count();
+    if (alt_dest == pair.origin) alt_dest = (alt_dest + 1) % b.pop_count();
+    const std::size_t to = b.routing().flow_index(pair.origin, alt_dest);
+    b.shift_traffic("reroute_shift", from, to, cfg.train_bins + e / 3,
+                    std::max<std::size_t>(4, e / 4), 0.5);
+    return b.finish();
+}
+
+scenario_dataset build_sampling_noise(const scenario_config& cfg) {
+    scenario_builder b("sampling_noise", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const auto ranked = b.flows_by_mean();
+    const double peak = 0.10 * b.total_mean_bytes();
+    const std::size_t spike_bins[4] = {1, 2, 1, 3};
+    for (std::size_t k = 0; k < 4; ++k) {
+        b.add_episode("sampling_noise", ranked[k], cfg.train_bins + (k + 1) * e / 6,
+                      constant_shape(spike_bins[k]), peak);
+    }
+    sampling_config sampler;
+    sampler.rate = 0.01;  // Abilene-style 1% random packet sampling
+    sampler.seed = cfg.seed + 1;
+    return b.finish(sampling_kind::random, sampler);
+}
+
+scenario_dataset build_coordinated_multi_od(const scenario_config& cfg) {
+    scenario_builder b("coordinated_multi_od", cfg);
+    const std::size_t e = cfg.eval_bins;
+    const auto ranked = b.flows_by_mean();
+    const auto envelope = constant_shape(std::max<std::size_t>(3, e / 12));
+    // Each burst is individually near the detection threshold; only their
+    // coincidence makes the network-wide residual unmistakable.
+    const double per_flow = 0.05 * b.total_mean_bytes();
+    for (std::size_t k = 5; k < 9; ++k) {
+        b.add_episode("coordinated_multi_od", ranked[k], cfg.train_bins + e / 2, envelope,
+                      per_flow);
+    }
+    return b.finish();
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+    static const std::vector<std::string> names{
+        "ddos_ramp",     "pulsing_flood",  "scan_flood",     "flash_crowd",
+        "worm_cascade",  "reroute_shift",  "sampling_noise", "coordinated_multi_od",
+    };
+    return names;
+}
+
+scenario_dataset build_scenario(const std::string& name, const scenario_config& cfg) {
+    if (name == "ddos_ramp") return build_ddos_ramp(cfg);
+    if (name == "pulsing_flood") return build_pulsing_flood(cfg);
+    if (name == "scan_flood") return build_scan_flood(cfg);
+    if (name == "flash_crowd") return build_flash_crowd(cfg);
+    if (name == "worm_cascade") return build_worm_cascade(cfg);
+    if (name == "reroute_shift") return build_reroute_shift(cfg);
+    if (name == "sampling_noise") return build_sampling_noise(cfg);
+    if (name == "coordinated_multi_od") return build_coordinated_multi_od(cfg);
+    throw std::invalid_argument("build_scenario: unknown scenario '" + name + "'");
+}
+
+std::vector<scenario_dataset> build_all_scenarios(const scenario_config& cfg) {
+    std::vector<scenario_dataset> out;
+    out.reserve(scenario_names().size());
+    for (const std::string& name : scenario_names()) out.push_back(build_scenario(name, cfg));
+    return out;
+}
+
+}  // namespace netdiag

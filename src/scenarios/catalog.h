@@ -1,0 +1,40 @@
+// The adversary-scenario catalogue (see docs/SCENARIOS.md).
+//
+// Eight named scenarios exercise the detectors along different axes:
+//   ddos_ramp            slow linear ramp to a sustained flood on the
+//                        top flow (detection-delay stress)
+//   pulsing_flood        shrew-style on/off pulses that defeat per-bin
+//                        temporal baselines
+//   scan_flood           many small constant additions on every flow out
+//                        of one origin (spatially spread, per-flow tiny)
+//   flash_crowd          legitimate-looking surge into one destination,
+//                        fast rise and heavy-tailed decay
+//   worm_cascade         staged origin-by-origin spread with growing
+//                        per-wave amplitude across many OD flows
+//   reroute_shift        half of the top flow's traffic moves to a
+//                        sibling OD pair (paired drop + surge, signed
+//                        quantification stress)
+//   sampling_noise       moderate spikes measured through random packet
+//                        sampling (measurement-noise degradation)
+//   coordinated_multi_od four simultaneous bursts, each individually
+//                        near the detection threshold
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace netdiag {
+
+// Canonical scenario order (the bench matrix row order).
+const std::vector<std::string>& scenario_names();
+
+// Builds one catalogue scenario. Throws std::invalid_argument for an
+// unknown name; propagates scenario_config validation.
+scenario_dataset build_scenario(const std::string& name, const scenario_config& cfg = {});
+
+// Builds the whole catalogue in canonical order.
+std::vector<scenario_dataset> build_all_scenarios(const scenario_config& cfg = {});
+
+}  // namespace netdiag

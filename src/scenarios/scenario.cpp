@@ -1,0 +1,213 @@
+#include "scenarios/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "measurement/link_loads.h"
+#include "topology/builders.h"
+
+namespace netdiag {
+
+void scenario_config::validate() const {
+    if (train_bins < 2) {
+        throw std::invalid_argument("scenario_config: train_bins must be at least 2");
+    }
+    if (eval_bins < 48) {
+        throw std::invalid_argument("scenario_config: eval_bins must be at least 48");
+    }
+    if (!(bin_seconds > 0.0)) {
+        throw std::invalid_argument("scenario_config: bin_seconds must be positive");
+    }
+    if (!(magnitude_scale >= 0.0) || !std::isfinite(magnitude_scale)) {
+        throw std::invalid_argument(
+            "scenario_config: magnitude_scale must be non-negative and finite");
+    }
+}
+
+scenario_builder::scenario_builder(std::string name, const scenario_config& cfg)
+    : name_(std::move(name)), cfg_(cfg) {
+    cfg_.validate();
+    topo_ = make_abilene();
+    routing_ = build_routing(topo_);
+    pops_ = topo_.pop_count();
+    means_ = gravity_flow_means(pops_, gravity_config{});
+    total_mean_bytes_ = std::accumulate(means_.begin(), means_.end(), 0.0);
+
+    traffic_config tc;
+    tc.bins = cfg_.total_bins();
+    tc.bin_seconds = cfg_.bin_seconds;
+    tc.anomaly_count = 0;  // episodes are the only ground truth
+    tc.seed = cfg_.seed;
+    clean_od_ = generate_od_traffic(means_, tc).x;
+    delta_ = matrix(clean_od_.rows(), clean_od_.cols());
+}
+
+std::vector<std::size_t> scenario_builder::flows_by_mean() const {
+    std::vector<std::size_t> order(means_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return means_[a] > means_[b]; });
+    return order;
+}
+
+std::vector<std::size_t> scenario_builder::flows_from(std::size_t origin) const {
+    std::vector<std::size_t> out;
+    for (std::size_t f = 0; f < routing_.pairs.size(); ++f) {
+        if (routing_.pairs[f].origin == origin) out.push_back(f);
+    }
+    return out;
+}
+
+std::vector<std::size_t> scenario_builder::flows_into(std::size_t destination) const {
+    std::vector<std::size_t> out;
+    for (std::size_t f = 0; f < routing_.pairs.size(); ++f) {
+        if (routing_.pairs[f].destination == destination) out.push_back(f);
+    }
+    return out;
+}
+
+void scenario_builder::add_episode(const std::string& kind, std::size_t flow, std::size_t onset,
+                                   std::span<const double> weights, double peak_bytes) {
+    if (flow >= flow_count()) {
+        throw std::invalid_argument("scenario_builder: flow out of range");
+    }
+    if (weights.empty()) {
+        throw std::invalid_argument("scenario_builder: empty episode envelope");
+    }
+    if (onset + weights.size() > total_bins()) {
+        throw std::invalid_argument("scenario_builder: episode runs past the series end");
+    }
+    const double peak = peak_bytes * cfg_.magnitude_scale;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        delta_(flow, onset + k) += weights[k] * peak;
+    }
+    labels_.push_back({kind, flow, onset, weights.size(), peak});
+}
+
+void scenario_builder::shift_traffic(const std::string& kind, std::size_t from_flow,
+                                     std::size_t to_flow, std::size_t onset,
+                                     std::size_t duration, double fraction) {
+    if (from_flow >= flow_count() || to_flow >= flow_count()) {
+        throw std::invalid_argument("scenario_builder: flow out of range");
+    }
+    if (from_flow == to_flow) {
+        throw std::invalid_argument("scenario_builder: shift needs two distinct flows");
+    }
+    if (duration == 0 || onset + duration > total_bins()) {
+        throw std::invalid_argument("scenario_builder: shift window outside the series");
+    }
+    if (!(fraction >= 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument("scenario_builder: shift fraction outside [0, 1]");
+    }
+    const double scale = fraction * cfg_.magnitude_scale;
+    for (std::size_t t = onset; t < onset + duration; ++t) {
+        const double moved = scale * clean_od_(from_flow, t);
+        delta_(from_flow, t) -= moved;
+        delta_(to_flow, t) += moved;
+    }
+    const double typical = scale * means_[from_flow];
+    labels_.push_back({kind, from_flow, onset, duration, -typical});
+    labels_.push_back({kind, to_flow, onset, duration, typical});
+}
+
+scenario_dataset scenario_builder::finish(sampling_kind sampling,
+                                          const sampling_config& sampler) {
+    if (finished_) {
+        throw std::logic_error("scenario_builder: finish called twice");
+    }
+    finished_ = true;
+
+    // Apply the deltas with a floor at zero bytes and record what actually
+    // landed, in time order (matching the generator's truth ordering).
+    matrix od = clean_od_;
+    std::vector<true_anomaly> truth;
+    for (std::size_t t = 0; t < od.cols(); ++t) {
+        for (std::size_t f = 0; f < od.rows(); ++f) {
+            const double d = delta_(f, t);
+            if (d == 0.0) continue;
+            const double perturbed = std::max(0.0, clean_od_(f, t) + d);
+            od(f, t) = perturbed;
+            truth.push_back({f, t, perturbed - clean_od_(f, t)});
+        }
+    }
+
+    matrix measured = od;
+    switch (sampling) {
+        case sampling_kind::none:
+            break;
+        case sampling_kind::periodic:
+            measured = sample_periodic(od, sampler);
+            break;
+        case sampling_kind::random:
+            measured = sample_random(od, sampler);
+            break;
+    }
+
+    scenario_dataset out;
+    out.name = name_;
+    out.train_bins = cfg_.train_bins;
+    out.labels = labels_;
+    out.truth = std::move(truth);
+    out.data.name = name_;
+    out.data.period_label = "scenario";
+    out.data.topo = topo_;
+    out.data.routing = routing_;
+    out.data.od_flows = std::move(measured);
+    out.data.link_loads = link_loads_from_flows(out.data.routing.a, out.data.od_flows);
+    out.data.bin_seconds = cfg_.bin_seconds;
+    return out;
+}
+
+std::vector<bool> eval_truth_mask(const scenario_dataset& sd) {
+    std::vector<bool> mask(sd.eval_bins(), false);
+    for (const true_anomaly& a : sd.truth) {
+        if (a.t >= sd.train_bins) mask[a.t - sd.train_bins] = true;
+    }
+    return mask;
+}
+
+std::vector<true_anomaly> eval_truths(const scenario_dataset& sd) {
+    std::vector<true_anomaly> out;
+    for (const true_anomaly& a : sd.truth) {
+        if (a.t >= sd.train_bins) out.push_back({a.flow, a.t - sd.train_bins, a.size_bytes});
+    }
+    return out;
+}
+
+std::vector<delay_label> eval_delay_labels(const scenario_dataset& sd) {
+    std::vector<delay_label> out;
+    for (const scenario_label& label : sd.labels) {
+        if (label.peak_bytes == 0.0 || label.duration == 0) continue;
+        const std::size_t end = label.onset + label.duration;
+        if (end <= sd.train_bins) continue;  // entirely inside the training region
+        const std::size_t onset = label.onset >= sd.train_bins ? label.onset - sd.train_bins : 0;
+        out.push_back({onset, end - sd.train_bins - onset});
+    }
+    return out;
+}
+
+namespace {
+
+matrix link_load_rows(const scenario_dataset& sd, std::size_t first, std::size_t count) {
+    const matrix& y = sd.data.link_loads;
+    matrix out(count, y.cols());
+    for (std::size_t r = 0; r < count; ++r) {
+        for (std::size_t c = 0; c < y.cols(); ++c) out(r, c) = y(first + r, c);
+    }
+    return out;
+}
+
+}  // namespace
+
+matrix train_link_loads(const scenario_dataset& sd) {
+    return link_load_rows(sd, 0, sd.train_bins);
+}
+
+matrix eval_link_loads(const scenario_dataset& sd) {
+    return link_load_rows(sd, sd.train_bins, sd.eval_bins());
+}
+
+}  // namespace netdiag

@@ -1,0 +1,157 @@
+// Labeled adversary scenarios on top of the traffic pipeline.
+//
+// A scenario is a deterministic dataset whose evaluation region carries
+// injected adversarial episodes -- DDoS ramps, pulsing floods, scan
+// floods, flash crowds, worm cascades, reroutes -- with machine-readable
+// ground truth at two granularities:
+//   - labels: one entry per episode (kind, primary flow, onset bin,
+//     duration, signed peak bytes), driving detection-delay scoring;
+//   - truth:  one entry per perturbed (flow, bin) cell with the signed
+//     byte delta actually applied after clamping, driving the bin-level
+//     detection / identification / quantification scorecards and ROC.
+//
+// Composition reuses the existing layers end to end: topology ->
+// build_routing -> gravity_flow_means -> generate_od_traffic (clean, no
+// injected anomalies) -> episode deltas on OD flows -> optional packet
+// sampling -> link_loads_from_flows. The first train_bins bins stay clean
+// so detectors can fit a model; episodes live in the evaluation region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/delay.h"
+#include "eval/ground_truth.h"
+#include "linalg/matrix.h"
+#include "measurement/dataset.h"
+
+namespace netdiag {
+
+// One labeled episode. Onset/duration are in absolute bins of the full
+// series; peak_bytes is the signed per-bin peak of the envelope (zero for
+// deliberate zero-magnitude labels, which produce no truth cells).
+struct scenario_label {
+    std::string kind;
+    std::size_t flow = 0;
+    std::size_t onset = 0;
+    std::size_t duration = 0;
+    double peak_bytes = 0.0;
+};
+
+// A built scenario: the dataset plus its ground truth. truth entries use
+// absolute bin indices and the *applied* signed delta -- when clamping at
+// zero bytes truncated a traffic drop, the truth records what actually
+// reached the measurements, not the requested delta.
+struct scenario_dataset {
+    std::string name;
+    dataset data;
+    std::size_t train_bins = 0;
+    std::vector<scenario_label> labels;
+    std::vector<true_anomaly> truth;
+
+    std::size_t eval_bins() const noexcept { return data.bin_count() - train_bins; }
+};
+
+// Sizing knobs shared by every catalogue scenario. Defaults give four
+// clean days to train on (enough for a full daily Holt-Winters season
+// plus its warm-up) and two adversarial days to evaluate; the bench quick
+// mode shrinks both. Episode onsets and durations are derived from
+// eval_bins, so the catalogue scales with the config.
+struct scenario_config {
+    std::size_t train_bins = 576;
+    std::size_t eval_bins = 288;
+    double bin_seconds = 600.0;
+    std::uint64_t seed = 97;
+    // Global multiplier on every episode's peak bytes (0 produces labeled
+    // episodes with no traffic perturbation at all).
+    double magnitude_scale = 1.0;
+
+    std::size_t total_bins() const noexcept { return train_bins + eval_bins; }
+    // Throws std::invalid_argument when train_bins < 2 (no model can fit),
+    // eval_bins < 48 (the catalogue's episodes need room), bin_seconds is
+    // not positive, or magnitude_scale is negative or non-finite.
+    void validate() const;
+};
+
+// Composes one scenario. Construction generates the clean Abilene-shaped
+// traffic; add_episode / shift_traffic accumulate signed deltas; finish()
+// clamps, optionally samples, and assembles the dataset plus truth.
+class scenario_builder {
+public:
+    scenario_builder(std::string name, const scenario_config& cfg);
+
+    const scenario_config& config() const noexcept { return cfg_; }
+    const routing_result& routing() const noexcept { return routing_; }
+    const std::vector<double>& flow_means() const noexcept { return means_; }
+    std::size_t flow_count() const noexcept { return means_.size(); }
+    std::size_t pop_count() const noexcept { return pops_; }
+    std::size_t total_bins() const noexcept { return cfg_.total_bins(); }
+    // Network-wide mean offered load per bin (sum of flow means).
+    double total_mean_bytes() const noexcept { return total_mean_bytes_; }
+
+    // Flow indices sorted by descending mean rate (ties by index).
+    std::vector<std::size_t> flows_by_mean() const;
+    // All flows leaving `origin` / entering `destination`, in flow order.
+    std::vector<std::size_t> flows_from(std::size_t origin) const;
+    std::vector<std::size_t> flows_into(std::size_t destination) const;
+
+    // Adds weights[k] * peak_bytes * magnitude_scale to bin onset + k of
+    // the flow and records one label. Weights may include zeros (pulse
+    // gaps), which produce no truth cells. Throws std::invalid_argument
+    // when the flow is out of range, weights are empty, or the window runs
+    // past the series end.
+    void add_episode(const std::string& kind, std::size_t flow, std::size_t onset,
+                     std::span<const double> weights, double peak_bytes);
+
+    // Moves `fraction` of from_flow's *clean* traffic onto to_flow over
+    // [onset, onset + duration): a route change seen from the OD matrix.
+    // Records one label per side (negative peak on the drained flow).
+    // Throws std::invalid_argument for fraction outside [0, 1], equal
+    // flows, or a window past the series end.
+    void shift_traffic(const std::string& kind, std::size_t from_flow, std::size_t to_flow,
+                       std::size_t onset, std::size_t duration, double fraction);
+
+    // Clamps perturbed flows at zero, applies the requested sampling, and
+    // builds link loads consistent with the (sampled) OD flows. The truth
+    // records applied pre-sampling deltas: sampling noise degrades the
+    // *measurements*, never the labels. Callable once
+    // (std::logic_error on reuse).
+    scenario_dataset finish(sampling_kind sampling = sampling_kind::none,
+                            const sampling_config& sampler = {});
+
+private:
+    std::string name_;
+    scenario_config cfg_;
+    topology topo_;
+    routing_result routing_;
+    std::vector<double> means_;
+    double total_mean_bytes_ = 0.0;
+    std::size_t pops_ = 0;
+    matrix clean_od_;  // flows x bins, before any episode
+    matrix delta_;     // requested signed deltas, same shape
+    std::vector<scenario_label> labels_;
+    bool finished_ = false;
+};
+
+// Truth mask over the evaluation region: entry k is true when absolute
+// bin train_bins + k carries at least one truth cell.
+std::vector<bool> eval_truth_mask(const scenario_dataset& sd);
+
+// Truth entries re-based to evaluation coordinates (absolute bin minus
+// train_bins); entries inside the training region are dropped.
+std::vector<true_anomaly> eval_truths(const scenario_dataset& sd);
+
+// Delay labels in evaluation coordinates. Zero-magnitude labels carry no
+// detectable traffic and are excluded; labels straddling the train/eval
+// boundary clip their window to the evaluation region, and labels that
+// end before it are dropped.
+std::vector<delay_label> eval_delay_labels(const scenario_dataset& sd);
+
+// Link-load row slices: bins [0, train_bins) and [train_bins, end).
+matrix train_link_loads(const scenario_dataset& sd);
+matrix eval_link_loads(const scenario_dataset& sd);
+
+}  // namespace netdiag

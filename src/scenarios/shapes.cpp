@@ -1,0 +1,72 @@
+#include "scenarios/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netdiag {
+
+namespace {
+
+void require_duration(std::size_t duration, const char* who) {
+    if (duration == 0) {
+        throw std::invalid_argument(std::string(who) + ": zero duration");
+    }
+}
+
+}  // namespace
+
+std::vector<double> constant_shape(std::size_t duration) {
+    require_duration(duration, "constant_shape");
+    return std::vector<double>(duration, 1.0);
+}
+
+std::vector<double> ramp_then_hold(std::size_t duration, double ramp_fraction) {
+    require_duration(duration, "ramp_then_hold");
+    if (!(ramp_fraction > 0.0 && ramp_fraction <= 1.0)) {
+        throw std::invalid_argument("ramp_then_hold: ramp_fraction outside (0, 1]");
+    }
+    const std::size_t ramp_bins = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(ramp_fraction * static_cast<double>(duration))));
+    std::vector<double> out(duration, 1.0);
+    for (std::size_t k = 0; k < std::min(ramp_bins, duration); ++k) {
+        out[k] = static_cast<double>(k + 1) / static_cast<double>(ramp_bins);
+    }
+    return out;
+}
+
+std::vector<double> pulse_train(std::size_t duration, std::size_t period, std::size_t on_bins) {
+    require_duration(duration, "pulse_train");
+    if (on_bins == 0 || period == 0 || on_bins > period) {
+        throw std::invalid_argument("pulse_train: need 0 < on_bins <= period");
+    }
+    std::vector<double> out(duration, 0.0);
+    for (std::size_t k = 0; k < duration; ++k) {
+        if (k % period < on_bins) out[k] = 1.0;
+    }
+    return out;
+}
+
+std::vector<double> flash_crowd_shape(std::size_t duration, std::size_t rise_bins,
+                                      double half_life_bins) {
+    require_duration(duration, "flash_crowd_shape");
+    if (rise_bins == 0 || rise_bins > duration) {
+        throw std::invalid_argument("flash_crowd_shape: need 0 < rise_bins <= duration");
+    }
+    if (!(half_life_bins > 0.0) || !std::isfinite(half_life_bins)) {
+        throw std::invalid_argument("flash_crowd_shape: half life must be positive and finite");
+    }
+    std::vector<double> out(duration, 0.0);
+    for (std::size_t k = 0; k < rise_bins; ++k) {
+        out[k] = static_cast<double>(k + 1) / static_cast<double>(rise_bins);
+    }
+    const double decay = std::pow(0.5, 1.0 / half_life_bins);
+    double level = 1.0;
+    for (std::size_t k = rise_bins; k < duration; ++k) {
+        level *= decay;
+        out[k] = level;
+    }
+    return out;
+}
+
+}  // namespace netdiag

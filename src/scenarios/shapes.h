@@ -1,0 +1,36 @@
+// Temporal envelopes for adversary scenarios.
+//
+// Every scenario episode is a per-bin weight sequence in [0, 1] scaled by
+// a signed peak byte count (see scenarios/scenario.h). The shapes here
+// cover the attack morphologies of the scenario catalogue: linear DDoS
+// ramps, on/off pulsing floods, flash-crowd rise-and-decay, and flat
+// additions for scan floods and coordinated bursts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netdiag {
+
+// All-ones envelope: a constant addition over `duration` bins. Throws
+// std::invalid_argument on zero duration (as do all shapes below).
+std::vector<double> constant_shape(std::size_t duration);
+
+// Linear rise from 1/ramp_bins to 1 over the first `ramp_fraction` of the
+// window, then a hold at 1: the classic DDoS ramp-up. ramp_fraction must
+// lie in (0, 1]; a fraction that rounds to zero bins ramps over one bin.
+std::vector<double> ramp_then_hold(std::size_t duration, double ramp_fraction);
+
+// On/off pulse train: repeating periods of `period` bins whose first
+// `on_bins` are 1 and the rest 0, truncated to `duration`. Models pulsing
+// (shrew-style) floods that defeat per-bin rate limits. Requires
+// 0 < on_bins <= period.
+std::vector<double> pulse_train(std::size_t duration, std::size_t period, std::size_t on_bins);
+
+// Flash-crowd envelope: linear rise to 1 over `rise_bins`, then geometric
+// decay with the given half-life (in bins) -- fast onset, heavy tail.
+// Requires 0 < rise_bins <= duration and a positive, finite half-life.
+std::vector<double> flash_crowd_shape(std::size_t duration, std::size_t rise_bins,
+                                      double half_life_bins);
+
+}  // namespace netdiag

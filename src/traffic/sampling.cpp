@@ -3,8 +3,29 @@
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <string>
 
 namespace netdiag {
+
+namespace {
+
+// Binomial sampling draws counts through an integer-typed distribution, so
+// a packet count must survive llround without overflow. Past this bound
+// the normal approximation is used regardless of the expected sample
+// count: with this many packets the binomial is indistinguishable from
+// its Gaussian limit anyway, and the cast would be undefined behaviour.
+constexpr double k_max_exact_packets = 9.0e15;  // < 2^53, exact in a double
+
+void check_truth_cell(double truth, std::size_t i, std::size_t j) {
+    if (!std::isfinite(truth) || truth < 0.0) {
+        throw std::invalid_argument("sampling: bytes_per_bin(" + std::to_string(i) + ", " +
+                                    std::to_string(j) +
+                                    ") is negative or non-finite; true byte counts must be "
+                                    "finite and >= 0");
+    }
+}
+
+}  // namespace
 
 void sampling_config::validate() const {
     if (!(rate > 0.0 && rate <= 1.0)) {
@@ -25,6 +46,7 @@ matrix sample_periodic(const matrix& bytes_per_bin, const sampling_config& cfg) 
     for (std::size_t i = 0; i < bytes_per_bin.rows(); ++i) {
         for (std::size_t j = 0; j < bytes_per_bin.cols(); ++j) {
             const double truth = bytes_per_bin(i, j);
+            check_truth_cell(truth, i, j);
             // Periodic sampling counts floor(n/N) +- 1 packets depending on
             // where the bin boundary lands in the sampling cycle.
             const double estimate = truth + phase(rng) * bytes_per_sample;
@@ -43,16 +65,18 @@ matrix sample_random(const matrix& bytes_per_bin, const sampling_config& cfg) {
     for (std::size_t i = 0; i < bytes_per_bin.rows(); ++i) {
         for (std::size_t j = 0; j < bytes_per_bin.cols(); ++j) {
             const double truth = bytes_per_bin(i, j);
+            check_truth_cell(truth, i, j);
             const double packets = truth / cfg.avg_packet_bytes;
             double sampled;
             const double expected = packets * cfg.rate;
-            if (expected > 50.0) {
-                // Normal approximation to Binomial(packets, rate).
+            if (expected > 50.0 || packets > k_max_exact_packets) {
+                // Normal approximation to Binomial(packets, rate). Also the
+                // mandatory path when the packet count cannot round-trip
+                // through the binomial distribution's integer count type.
                 const double sd = std::sqrt(packets * cfg.rate * (1.0 - cfg.rate));
                 sampled = expected + sd * gauss(rng);
             } else {
-                std::binomial_distribution<long> binom(
-                    static_cast<long>(std::llround(packets)), cfg.rate);
+                std::binomial_distribution<long long> binom(std::llround(packets), cfg.rate);
                 sampled = static_cast<double>(binom(rng));
             }
             out(i, j) = std::max(0.0, sampled / cfg.rate * cfg.avg_packet_bytes);

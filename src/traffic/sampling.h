@@ -25,13 +25,21 @@ struct sampling_config {
     void validate() const;
 };
 
+// Both simulators validate their input loudly: every bytes_per_bin cell
+// must be finite and >= 0 (a negative or NaN/Inf "true" byte count is a
+// caller bug, not a samplable quantity) and std::invalid_argument names
+// the offending cell.
+
 // Periodic 1-in-N sampling (NetFlow style). The estimate deviates from the
 // truth only through packet-boundary phase effects, modeled as a +/- one
 // sampled-packet uniform error per bin.
 matrix sample_periodic(const matrix& bytes_per_bin, const sampling_config& cfg);
 
 // Random per-packet sampling (Juniper style): binomial thinning of the
-// packet count at the configured rate, rescaled by 1/rate.
+// packet count at the configured rate, rescaled by 1/rate. Bins whose
+// expected sample count is large -- or whose packet count is past the
+// exact-integer crossover where the binomial draw could overflow its
+// count type -- use the normal approximation instead of an exact draw.
 matrix sample_random(const matrix& bytes_per_bin, const sampling_config& cfg);
 
 }  // namespace netdiag

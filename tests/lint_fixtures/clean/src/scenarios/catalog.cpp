@@ -1,0 +1,10 @@
+// Fixture: arms the R5 anchor for the clean root. Scenario code may
+// include scenario headers freely -- only kernel/engine paths are
+// forbidden from reaching up into this layer.
+#include "scenarios/catalog.h"
+
+namespace netdiag {
+int scenario_count() {
+    return 8;
+}
+}  // namespace netdiag

@@ -1,0 +1,7 @@
+// Fixture: a kernel file including a scenario header must trip R5
+// (scenario layering: evaluation-layer code stays out of the kernels).
+#include "scenarios/scenario.h"
+
+double kernel_step(double a, double b) {
+    return a * b;
+}

@@ -1,0 +1,7 @@
+// Fixture: the R5 anchor. The scenario library's presence under src/
+// arms the layering rule for this fixture root.
+#pragma once
+
+namespace netdiag {
+struct scenario_label {};
+}  // namespace netdiag

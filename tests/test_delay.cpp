@@ -1,0 +1,78 @@
+#include "eval/delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace netdiag {
+namespace {
+
+std::vector<bool> alarms_at(std::size_t n, std::initializer_list<std::size_t> bins) {
+    std::vector<bool> a(n, false);
+    for (std::size_t t : bins) a[t] = true;
+    return a;
+}
+
+TEST(DetectionDelay, OnsetBinAlarmIsZeroDelay) {
+    const auto a = alarms_at(10, {4});
+    EXPECT_EQ(detection_delay(a, {4, 3}), std::optional<std::size_t>(0));
+}
+
+TEST(DetectionDelay, LaterAlarmCountsBinsAfterOnset) {
+    const auto a = alarms_at(10, {6});
+    EXPECT_EQ(detection_delay(a, {4, 5}), std::optional<std::size_t>(2));
+}
+
+TEST(DetectionDelay, NoAlarmInWindowIsMiss) {
+    const auto a = alarms_at(10, {9});
+    EXPECT_EQ(detection_delay(a, {2, 4}), std::nullopt);
+}
+
+TEST(DetectionDelay, AlarmBeforeOnsetDoesNotCount) {
+    // The first alarmed bin precedes the labeled onset: the detector
+    // cannot have seen the episode yet, so that alarm is ignored and the
+    // delay is measured to the first alarm at or after onset.
+    const auto a = alarms_at(12, {2, 7});
+    EXPECT_EQ(detection_delay(a, {5, 5}), std::optional<std::size_t>(2));
+    // Only the pre-onset alarm exists: the label is a miss.
+    const auto early_only = alarms_at(12, {2});
+    EXPECT_EQ(detection_delay(early_only, {5, 5}), std::nullopt);
+}
+
+TEST(DetectionDelay, WindowClipsAtSeriesEnd) {
+    // Onset at the last bin with a duration running past the end: the
+    // window clips to that single bin.
+    const auto hit = alarms_at(8, {7});
+    EXPECT_EQ(detection_delay(hit, {7, 100}), std::optional<std::size_t>(0));
+    const auto miss = alarms_at(8, {6});
+    EXPECT_EQ(detection_delay(miss, {7, 100}), std::nullopt);
+}
+
+TEST(DetectionDelay, Validation) {
+    const auto a = alarms_at(5, {});
+    EXPECT_THROW(detection_delay(a, {5, 1}), std::invalid_argument);  // onset == size
+    EXPECT_THROW(detection_delay(a, {9, 1}), std::invalid_argument);
+    EXPECT_THROW(detection_delay(a, {2, 0}), std::invalid_argument);  // zero duration
+}
+
+TEST(DetectionDelay, SummaryAveragesOverDetectedLabels) {
+    const auto a = alarms_at(20, {5, 14});
+    const std::vector<delay_label> labels{{4, 4}, {13, 4}, {17, 3}};
+    const delay_summary s = score_detection_delay(a, labels);
+    EXPECT_EQ(s.labels_scored, 3u);
+    EXPECT_EQ(s.labels_detected, 2u);
+    EXPECT_DOUBLE_EQ(s.mean_delay_bins, (1.0 + 1.0) / 2.0);
+}
+
+TEST(DetectionDelay, SummaryWithNoDetectionsIsNaN) {
+    const auto a = alarms_at(10, {});
+    const std::vector<delay_label> labels{{2, 3}};
+    const delay_summary s = score_detection_delay(a, labels);
+    EXPECT_EQ(s.labels_detected, 0u);
+    EXPECT_TRUE(std::isnan(s.mean_delay_bins));
+}
+
+}  // namespace
+}  // namespace netdiag

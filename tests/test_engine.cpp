@@ -507,7 +507,7 @@ TEST_F(BatchParityFixture, ModelSpeSeriesWithPoolMatchesSerialBitForBit) {
 TEST_F(BatchParityFixture, RocMatchesSerialBitForBit) {
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds_->injected) {
-        truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+        truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
     }
     const std::vector<double> sweep{0.5, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9999};
     const auto serial = compute_roc(diagnoser_->model(), ds_->link_loads, truths, sweep);

@@ -72,7 +72,7 @@ TEST_F(Sprint1Pipeline, DiagnosesInjectedGroundTruth) {
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds_->injected) {
         if (std::abs(ev.amplitude_bytes) >= 2e7) {
-            truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
         }
     }
     ASSERT_GE(truths.size(), 3u);
@@ -126,7 +126,7 @@ TEST(AbilenePipeline, DiagnosesInjectedGroundTruth) {
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds.injected) {
         if (std::abs(ev.amplitude_bytes) >= 8e7) {  // the paper's Abilene cutoff
-            truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
         }
     }
     ASSERT_GE(truths.size(), 2u);
@@ -146,7 +146,7 @@ TEST(Sprint2Pipeline, PipelineHoldsOnSecondWeek) {
     std::vector<true_anomaly> truths;
     for (const anomaly_event& ev : ds.injected) {
         if (std::abs(ev.amplitude_bytes) >= 2e7) {
-            truths.push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+            truths.push_back({ev.flow, ev.t, ev.amplitude_bytes});
         }
     }
     ASSERT_GE(truths.size(), 2u);

@@ -26,6 +26,8 @@ TEST(Metrics, PerfectDiagnosisScoresPerfectly) {
 
     const diagnosis_scorecard card = score_diagnoses(bins, truths);
     EXPECT_EQ(card.truth_count, 2u);
+    EXPECT_EQ(card.truth_bin_count, 2u);
+    EXPECT_EQ(card.detected_bin_count, 2u);
     EXPECT_EQ(card.detected_count, 2u);
     EXPECT_EQ(card.identified_count, 2u);
     EXPECT_EQ(card.false_alarm_count, 0u);
@@ -41,7 +43,7 @@ TEST(Metrics, MissedDetectionLowersRate) {
     bins[3] = alarm(7, 1e6);
     const std::vector<true_anomaly> truths{{7, 3, 1e6}, {2, 8, 2e6}};
     const diagnosis_scorecard card = score_diagnoses(bins, truths);
-    EXPECT_EQ(card.detected_count, 1u);
+    EXPECT_EQ(card.detected_bin_count, 1u);
     EXPECT_DOUBLE_EQ(card.detection_rate(), 0.5);
 }
 
@@ -76,14 +78,39 @@ TEST(Metrics, QuantificationErrorAveragesRelativeError) {
     EXPECT_NEAR(card.quantification_error, (0.2 + 0.1) / 2.0, 1e-12);
 }
 
-TEST(Metrics, NegativeEstimatesComparedByMagnitude) {
-    // A detected traffic drop carries a negative byte estimate; the truth
-    // extraction reports absolute sizes.
+TEST(Metrics, WrongSignEstimateIsPenalized) {
+    // Regression: the scorer used to compare |estimate| against the truth,
+    // so an estimated *drop* of the right magnitude scored a perfect
+    // quantification error against a truth *spike*. Signed comparison
+    // makes it a 200% error.
     std::vector<diagnosis> bins(5, normal_bin());
     bins[2] = alarm(1, -1e6);
     const std::vector<true_anomaly> truths{{1, 2, 1e6}};
     const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_NEAR(card.quantification_error, 2.0, 1e-12);
+}
+
+TEST(Metrics, SignedDropTruthMatchesSignedEstimate) {
+    // A genuine traffic drop carries a negative truth size; a negative
+    // estimate of the same magnitude is a perfect quantification.
+    std::vector<diagnosis> bins(5, normal_bin());
+    bins[2] = alarm(1, -1e6);
+    const std::vector<true_anomaly> truths{{1, 2, -1e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
     EXPECT_NEAR(card.quantification_error, 0.0, 1e-12);
+
+    bins[2] = alarm(1, -1.2e6);  // 20% deeper than the real drop
+    const diagnosis_scorecard off = score_diagnoses(bins, truths);
+    EXPECT_NEAR(off.quantification_error, 0.2, 1e-12);
+}
+
+TEST(Metrics, ZeroSizeTruthExcludedFromQuantification) {
+    std::vector<diagnosis> bins(5, normal_bin());
+    bins[2] = alarm(1, 5e5);
+    const std::vector<true_anomaly> truths{{1, 2, 0.0}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.identified_count, 1u);
+    EXPECT_TRUE(std::isnan(card.quantification_error));
 }
 
 TEST(Metrics, TruthOutsideRangeThrows) {
@@ -101,13 +128,37 @@ TEST(Metrics, EmptyTruthGivesZeroRates) {
     EXPECT_EQ(card.normal_bin_count, 5u);
 }
 
-TEST(Metrics, TwoTruthsInOneBinBothCredited) {
+TEST(Metrics, TwoTruthsInOneBinAreOneDetectionOpportunity) {
+    // Regression: detection used to divide per-anomaly credits by the
+    // anomaly count while compute_roc divides per-bin detections by the
+    // unique truth-bin count; with two truths sharing a bin the two rates
+    // disagreed. Detection is now counted in bins on both sides, while
+    // identification stays per anomaly.
     std::vector<diagnosis> bins(5, normal_bin());
     bins[2] = alarm(4, 1e6);
     const std::vector<true_anomaly> truths{{4, 2, 1e6}, {9, 2, 5e5}};
     const diagnosis_scorecard card = score_diagnoses(bins, truths);
-    EXPECT_EQ(card.detected_count, 2u);   // one alarm covers the bin
-    EXPECT_EQ(card.identified_count, 1u); // only flow 4 named
+    EXPECT_EQ(card.truth_count, 2u);
+    EXPECT_EQ(card.truth_bin_count, 1u);
+    EXPECT_EQ(card.detected_bin_count, 1u);
+    EXPECT_DOUBLE_EQ(card.detection_rate(), 1.0);  // the bin was caught
+    EXPECT_EQ(card.detected_count, 2u);            // both naming opportunities
+    EXPECT_EQ(card.identified_count, 1u);          // only flow 4 named
+    EXPECT_DOUBLE_EQ(card.identification_rate(), 0.5);
+}
+
+TEST(Metrics, ScorecardAgreesWithRocAccounting) {
+    // Three truths on two bins, only bin 2 alarmed: detection_rate must be
+    // 1/2 (bins), exactly what a compute_roc point at the same threshold
+    // would report -- not the per-anomaly 2/3.
+    std::vector<diagnosis> bins(8, normal_bin());
+    bins[2] = alarm(4, 1e6);
+    const std::vector<true_anomaly> truths{{4, 2, 1e6}, {9, 2, 5e5}, {1, 6, 2e6}};
+    const diagnosis_scorecard card = score_diagnoses(bins, truths);
+    EXPECT_EQ(card.truth_bin_count, 2u);
+    EXPECT_EQ(card.detected_bin_count, 1u);
+    EXPECT_DOUBLE_EQ(card.detection_rate(), 0.5);
+    EXPECT_EQ(card.normal_bin_count, 6u);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ protected:
         truths_ = new std::vector<true_anomaly>();
         for (const anomaly_event& ev : ds_->injected) {
             if (std::abs(ev.amplitude_bytes) >= 2e7) {
-                truths_->push_back({ev.flow, ev.t, std::abs(ev.amplitude_bytes)});
+                truths_->push_back({ev.flow, ev.t, ev.amplitude_bytes});
             }
         }
     }
@@ -95,6 +95,39 @@ TEST_F(RocFixture, Validation) {
     EXPECT_THROW(compute_roc(*model_, ds_->link_loads, out_of_range, ok),
                  std::invalid_argument);
     EXPECT_THROW(roc_auc({}), std::invalid_argument);
+}
+
+TEST(ScoreSeriesRoc, SeparableScoresReachPerfectAuc) {
+    // Truth bins score 10, normal bins score 1: some threshold separates
+    // them exactly, so the curve contains the (0, 1) corner.
+    std::vector<double> scores(50, 1.0);
+    std::vector<bool> truth(50, false);
+    for (std::size_t t : {7u, 21u, 40u}) {
+        scores[t] = 10.0;
+        truth[t] = true;
+    }
+    const auto curve = score_series_roc(scores, truth, 11);
+    EXPECT_EQ(curve.size(), 11u);
+    EXPECT_NEAR(roc_auc(curve), 1.0, 1e-12);
+}
+
+TEST(ScoreSeriesRoc, ConstantScoresGiveChanceAuc) {
+    // A detector that never separates anything (all scores equal) must
+    // land on the diagonal: only the (0,0)/(1,1) anchors remain.
+    const std::vector<double> scores(20, 0.0);
+    std::vector<bool> truth(20, false);
+    truth[3] = true;
+    const auto curve = score_series_roc(scores, truth, 5);
+    EXPECT_NEAR(roc_auc(curve), 0.5, 1e-12);
+}
+
+TEST(ScoreSeriesRoc, Validation) {
+    const std::vector<double> scores(4, 1.0);
+    const std::vector<bool> truth(4, false);
+    EXPECT_THROW(score_series_roc({}, {}, 3), std::invalid_argument);
+    EXPECT_THROW(score_series_roc(scores, std::vector<bool>(3, false), 3),
+                 std::invalid_argument);
+    EXPECT_THROW(score_series_roc(scores, truth, 0), std::invalid_argument);
 }
 
 TEST(RocAuc, KnownGeometry) {

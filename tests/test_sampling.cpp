@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/descriptive.h"
@@ -109,6 +110,47 @@ TEST(Sampling, DeterministicForFixedSeed) {
     cfg.seed = 5;
     EXPECT_EQ(sample_random(truth, cfg), sample_random(truth, cfg));
     EXPECT_EQ(sample_periodic(truth, cfg), sample_periodic(truth, cfg));
+}
+
+TEST(Sampling, NegativeTruthThrows) {
+    // Regression: a negative byte count used to flow through
+    // llround(packets) into the binomial count parameter, which is
+    // undefined behaviour; it must be rejected loudly instead.
+    matrix truth = constant_matrix(3, 3, 1e6);
+    truth(1, 2) = -5.0;
+    sampling_config cfg;
+    EXPECT_THROW(sample_random(truth, cfg), std::invalid_argument);
+    EXPECT_THROW(sample_periodic(truth, cfg), std::invalid_argument);
+}
+
+TEST(Sampling, NonFiniteTruthThrows) {
+    sampling_config cfg;
+    for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity()}) {
+        matrix truth = constant_matrix(2, 2, 1e6);
+        truth(0, 1) = bad;
+        EXPECT_THROW(sample_random(truth, cfg), std::invalid_argument) << bad;
+        EXPECT_THROW(sample_periodic(truth, cfg), std::invalid_argument) << bad;
+    }
+}
+
+TEST(Sampling, HugePacketCountsPastCrossoverStayFinite) {
+    // A packet count past the exact-integer crossover must take the normal
+    // approximation path and still produce a finite, near-unbiased
+    // estimate (the old code cast it into the binomial count type).
+    // 1e19 bytes / 800 bytes-per-packet = 1.25e16 packets > 9e15, while a
+    // tiny rate keeps the expected sample count under the 50-sample
+    // normal-approximation gate -- exactly the cell the guard is for.
+    const matrix truth = constant_matrix(4, 4, 1e19);
+    sampling_config cfg;
+    cfg.rate = 1e-15;
+    cfg.seed = 11;
+    const matrix est = sample_random(truth, cfg);
+    for (std::size_t i = 0; i < est.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(est.data()[i]));
+        EXPECT_GE(est.data()[i], 0.0);
+    }
 }
 
 TEST(Sampling, FullRateRandomSamplingIsExact) {

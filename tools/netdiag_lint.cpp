@@ -20,12 +20,19 @@
 //      documented (backticked) in docs/TUNING.md.
 //  R4  Error-code doc parity: every ingest_error enumerator (except ok)
 //      must appear (backticked) in README.md's backpressure section.
+//  R5  Scenario layering: kernel and engine paths (the R2 kernel set plus
+//      src/engine/) must not include src/scenarios/ headers. The
+//      adversary-scenario library sits at the top of the stack (it
+//      composes traffic, eval and subspace); a kernel depending on it
+//      would invert the layering and drag evaluation-only code into the
+//      replay-critical paths.
 //
 // Scanning is token-based on comment- and string-stripped source, so a
-// comment saying "no std::thread here" does not trip R1. A rule whose
-// anchor (src/, tuning.h, the enum, ...) is absent under --root is
-// skipped: the test fixtures under tests/lint_fixtures/ rely on that to
-// exercise one rule at a time.
+// comment saying "no std::thread here" does not trip R1. R5 scans raw
+// lines instead, because include paths live inside string literals. A
+// rule whose anchor (src/, tuning.h, the enum, src/scenarios/, ...) is
+// absent under --root is skipped: the test fixtures under
+// tests/lint_fixtures/ rely on that to exercise one rule at a time.
 //
 // Exit status: 0 clean, 1 violations (one "file:line: [rule] ..." line
 // each), 2 usage or I/O error. Run via scripts/netdiag_lint.sh or the
@@ -221,6 +228,30 @@ void check_r2(const std::string& relpath, const std::vector<std::string>& lines,
     }
 }
 
+// --- R5: scenario layering --------------------------------------------------
+
+bool is_r5_guarded_file(const std::string& relpath) {
+    return is_kernel_file(relpath) || relpath.rfind("src/engine/", 0) == 0;
+}
+
+// Raw (unstripped) lines: include paths live inside string literals,
+// which stripped_lines blanks out.
+void check_r5(const std::string& relpath, const std::vector<std::string>& raw_lines,
+              std::vector<violation>& out) {
+    if (!is_r5_guarded_file(relpath)) return;
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string& line = raw_lines[i];
+        if (line.find("#include") == std::string::npos) continue;
+        if (line.find("\"scenarios/") != std::string::npos ||
+            line.find("<scenarios/") != std::string::npos) {
+            out.push_back({relpath, i + 1, "R5",
+                           "scenario header included from a kernel/engine path -- "
+                           "src/scenarios/ is evaluation-layer code and must stay out "
+                           "of the replay-critical kernels"});
+        }
+    }
+}
+
 // --- R3 / R4: doc parity ----------------------------------------------------
 
 bool doc_mentions(const std::string& doc, const std::string& name) {
@@ -303,6 +334,9 @@ int main(int argc, char** argv) {
 
     const fs::path src = root / "src";
     if (fs::exists(src)) {
+        // R5's anchor: without a scenario library under this root there is
+        // nothing to mis-include (fixtures exercise one rule at a time).
+        const bool has_scenarios = fs::exists(src / "scenarios");
         std::vector<fs::path> files;
         for (const auto& entry : fs::recursive_directory_iterator(src)) {
             if (entry.is_regular_file() && is_source_file(entry.path())) {
@@ -320,6 +354,17 @@ int main(int argc, char** argv) {
             const std::string relpath = rel(root, file);
             check_r1(root, relpath, lines, violations);
             check_r2(relpath, lines, violations);
+            if (has_scenarios) {
+                std::vector<std::string> raw_lines(1);
+                for (const char c : *text) {
+                    if (c == '\n') {
+                        raw_lines.emplace_back();
+                    } else {
+                        raw_lines.back() += c;
+                    }
+                }
+                check_r5(relpath, raw_lines, violations);
+            }
         }
     }
     check_r3(root, violations);

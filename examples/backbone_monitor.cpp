@@ -16,17 +16,32 @@
 // arithmetic. Alarms are reported with the responsible OD flow per feed
 // so fine-grained flow collection can be triggered on just the
 // implicated routers.
+//
+// With --loopback the same deployment runs split across the wire
+// protocol (docs/WIRE_FORMAT.md): the collectors become remote_collector
+// clients speaking length-prefixed frames to a netdiag_frontend over
+// loopback TCP, and mid-run the west feed is migrated -- detached from
+// the serving host, restored on a second one, collector re-pointed --
+// without losing a bin or an alarm. Same output either way: the wire
+// adds routing, never arithmetic.
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "linalg/vector_ops.h"
 #include "measurement/dataset.h"
+#include "net/frontend.h"
+#include "net/migration.h"
+#include "net/remote_collector.h"
 #include "serve/stream_server.h"
 #include "topology/builders.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace netdiag;
+
+    const bool loopback = argc > 1 && std::strcmp(argv[1], "--loopback") == 0;
 
     // Three regional feeds: same backbone, independently generated
     // traffic (different collector seeds), one week of 10-minute bins.
@@ -61,8 +76,8 @@ int main() {
     };
 
     // One alarm record per anomalous bin, assembled by the feed's ingest
-    // sink (which runs on that feed's collector thread, in sequence
-    // order) and printed after the collectors join.
+    // sink (which runs on that feed's drainer thread, in sequence order)
+    // and printed after the collectors join.
     struct alarm_record {
         std::size_t t = 0;
         double spe = 0.0, threshold = 0.0;
@@ -72,7 +87,9 @@ int main() {
     };
     std::vector<std::vector<alarm_record>> alarms(feeds.size());
 
-    stream_server server({.threads = 4});  // the shared engine
+    stream_server server({.threads = 4});  // the serving host's engine
+    // The second serving host the west feed migrates to in loopback mode.
+    stream_server standby({.threads = 2});
     std::vector<stream_id> ids(feeds.size());
 
     // The rows each collector will ingest, precomputed so the sink can
@@ -91,6 +108,29 @@ int main() {
         }
     }
 
+    // Sink factory: the sink follows its stream (a migration re-attaches
+    // it on the target server -- sinks are runtime wiring, not record
+    // state), so it takes the serving home explicitly.
+    const auto make_sink = [&alarms, &rows, bootstrap_bins](stream_server& home,
+                                                           stream_id sid, std::size_t f) {
+        return [&alarms, &rows, &home, bootstrap_bins, sid, f](
+                   std::uint64_t seq, const detection_result& r) {
+            if (!r.anomalous) return;
+            alarm_record rec;
+            rec.t = bootstrap_bins + static_cast<std::size_t>(seq);
+            rec.spe = r.spe;
+            rec.threshold = r.threshold;
+            const auto& stream = dynamic_cast<const streaming_diagnoser&>(home.stream(sid));
+            const diagnosis d = stream.current().diagnose(rows[f][seq]);
+            if (d.flow) {
+                rec.have_flow = true;
+                rec.flow = *d.flow;
+                rec.estimated_bytes = d.estimated_bytes;
+            }
+            alarms[f].push_back(rec);
+        };
+    };
+
     for (std::size_t f = 0; f < feeds.size(); ++f) {
         stream_open_config cfg;
         cfg.kind = stream_kind::diagnoser;
@@ -107,54 +147,85 @@ int main() {
         cfg.ingest.capacity = 256;               // the collector's fan-in buffer
         cfg.ingest.policy = inbox_policy::block;  // backpressure, never loss
         ids[f] = server.open_stream(std::move(cfg));
-
-        // Sink: record alarms, naming the responsible OD flow against the
-        // same model snapshot the detection tested. With one collector
-        // per feed, sequence i is bin bootstrap_bins + i.
-        server.set_ingest_sink(ids[f], [&, f](std::uint64_t seq,
-                                              const detection_result& r) {
-            if (!r.anomalous) return;
-            alarm_record rec;
-            rec.t = bootstrap_bins + static_cast<std::size_t>(seq);
-            rec.spe = r.spe;
-            rec.threshold = r.threshold;
-            const auto& stream =
-                dynamic_cast<const streaming_diagnoser&>(server.stream(ids[f]));
-            const diagnosis d = stream.current().diagnose(rows[f][seq]);
-            if (d.flow) {
-                rec.have_flow = true;
-                rec.flow = *d.flow;
-                rec.estimated_bytes = d.estimated_bytes;
-            }
-            alarms[f].push_back(rec);
-        });
+        server.set_ingest_sink(ids[f], make_sink(server, ids[f], f));
     }
 
+    // Where each feed's stream lives at the end of the run (the west
+    // feed moves in loopback mode). Written by its collector thread
+    // before the join, read after.
+    struct feed_home {
+        stream_server* host = nullptr;
+        stream_id id = 0;
+    };
+    std::vector<feed_home> homes(feeds.size());
+    for (std::size_t f = 0; f < feeds.size(); ++f) homes[f] = {&server, ids[f]};
+
+    // Loopback mode: serve both hosts over 127.0.0.1 TCP.
+    std::optional<net::netdiag_frontend> frontend, standby_frontend;
+    if (loopback) {
+        frontend.emplace(server);
+        standby_frontend.emplace(standby);
+        std::printf("loopback mode: collectors speak the wire protocol to port %u; the\n"
+                    "west feed migrates to a standby host (port %u) mid-run\n\n",
+                    frontend->port(), standby_frontend->port());
+    }
     std::printf("monitoring %zu feeds of %s: one ingest thread per feed, "
                 "one shared pool of %zu threads\n\n",
                 server.stream_count(), feeds[0].topo.name().c_str(), server.pool_size());
 
-    // One collector thread per regional feed, ingesting concurrently
-    // through the inbox API -- no shared clock, no cross-feed ordering.
+    // One collector thread per regional feed, ingesting concurrently --
+    // no shared clock, no cross-feed ordering. In loopback mode each
+    // collector is a wire client; the west feed's collector additionally
+    // drives the migration at half-run and re-points itself.
+    constexpr std::size_t k_migrate_feed = 2;
+    constexpr std::size_t k_migrate_bin = 300;
     std::vector<std::thread> collectors;
     for (std::size_t f = 0; f < feeds.size(); ++f) {
         collectors.emplace_back([&, f] {
-            for (const vec& row : rows[f]) {
-                const ingest_result r = server.ingest(ids[f], row);
+            if (!loopback) {
+                for (const vec& row : rows[f]) {
+                    const ingest_result r = server.ingest(ids[f], row);
+                    if (!r.ok()) {
+                        std::fprintf(stderr, "%s collector: ingest error %d\n",
+                                     feed_names[f], static_cast<int>(r.error));
+                        return;
+                    }
+                }
+                return;
+            }
+            net::remote_collector client(frontend->port());
+            std::uint64_t id = ids[f];
+            for (std::size_t i = 0; i < rows[f].size(); ++i) {
+                if (f == k_migrate_feed && i == k_migrate_bin) {
+                    // Quiesce + detach on the source, restore on the
+                    // standby, re-attach the sink (runtime wiring does
+                    // not travel in the record), re-point this client.
+                    net::remote_collector source(frontend->port());
+                    net::remote_collector target(standby_frontend->port());
+                    const std::uint64_t moved = net::migrate_stream(source, id, target);
+                    standby.set_ingest_sink(moved, make_sink(standby, moved, f));
+                    client = net::remote_collector(standby_frontend->port());
+                    id = moved;
+                    homes[f] = {&standby, moved};
+                }
+                const ingest_result r = client.ingest(id, rows[f][i]);
                 if (!r.ok()) {
                     std::fprintf(stderr, "%s collector: ingest error %d\n", feed_names[f],
                                  static_cast<int>(r.error));
                     return;
                 }
             }
+            client.flush(id);
         });
     }
     for (std::thread& c : collectors) c.join();
-    // Shutdown: one call applies every feed's residual bins (including
-    // anything a pooled drainer is still working through), then join the
-    // background refits so the final report reflects a settled server.
+    // Shutdown: apply every feed's residual bins (including anything a
+    // pooled drainer is still working through), then join the background
+    // refits so the final report reflects a settled pair of hosts.
     server.flush_all();
+    standby.flush_all();
     server.drain_all();
+    standby.drain_all();
 
     // Report, capped like a NOC console would be: the weekend regime
     // shift alarms too (the bootstrap saw only weekdays) until the daily
@@ -181,11 +252,12 @@ int main() {
 
     std::printf("\n");
     for (std::size_t f = 0; f < feeds.size(); ++f) {
-        const stream_server::stream_stats st = server.stats(ids[f]);
-        const ingest_stats in = server.ingest_statistics(ids[f]);
-        std::printf("%-4s feed: %llu ingested / %zu applied, %zu alarms, model epoch %llu\n",
+        const stream_server::stream_stats st = homes[f].host->stats(homes[f].id);
+        const ingest_stats in = homes[f].host->ingest_statistics(homes[f].id);
+        std::printf("%-4s feed: %llu ingested / %zu applied, %zu alarms, model epoch %llu%s\n",
                     feed_names[f], static_cast<unsigned long long>(in.accepted),
-                    st.processed, st.alarms, static_cast<unsigned long long>(st.epoch));
+                    st.processed, st.alarms, static_cast<unsigned long long>(st.epoch),
+                    homes[f].host == &standby ? "  (migrated to standby)" : "");
     }
     std::printf("\nexpected: alarms on east at day 4 04:00 (chin->losa surge, +2.5e8) and\n"
                 "day 5 18:20 (nycm->sttl drop, -2.0e8), on west at day 4 20:40 (dnvr->atla\n"

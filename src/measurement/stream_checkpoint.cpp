@@ -1,7 +1,10 @@
 #include "measurement/stream_checkpoint.h"
 
 #include <bit>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "subspace/online.h"
@@ -13,7 +16,8 @@ namespace ckpt {
 
 namespace {
 
-constexpr std::uint64_t k_magic = 0x314b434453444eull;  // "NDSDCK1" packed
+constexpr std::uint64_t k_magic = 0x314b434453444eull;             // "NDSDCK1" packed
+constexpr std::uint64_t k_interchange_magic = 0x3149434453444eull;  // "NDSDCI1" packed
 // Version 3: the stream_server's per-stream records became containers
 // that carry the ingest-inbox configuration, counters and residue around
 // the nested detector record (tag "server_stream"); detector record
@@ -21,12 +25,39 @@ constexpr std::uint64_t k_magic = 0x314b434453444eull;  // "NDSDCK1" packed
 // Version 2: streaming_diagnoser records carry the queued-refit window
 // snapshot (the freshest-trigger queue slot) after the pending-refit
 // block. Version-1 files predate that field and are rejected.
-// Byte-level spec: docs/CHECKPOINT_FORMAT.md.
+// The interchange encoding wraps the same logical layouts (same version
+// numbers) in tagged little-endian primitives; see the header comment
+// and docs/CHECKPOINT_FORMAT.md.
 constexpr std::uint64_t k_format_version = 3;
 constexpr std::uint64_t k_min_format_version = 2;
 
-// std::byteswap is C++23; the checkpoint format only needs it for the
-// magic-word endianness probe below.
+// Encoding state attached to a stream (std::ios_base::iword). The
+// swapped mode is only ever set by read_header_info, when an interchange
+// magic arrives in the opposite byte order (a writer that failed to
+// normalize): the payload words are then assembled big-endian instead of
+// rejected -- conversion at the boundary is the interchange contract.
+constexpr long k_mode_native = 0;
+constexpr long k_mode_interchange = 1;
+constexpr long k_mode_interchange_swapped = 2;
+
+int encoding_index() {
+    static const int index = std::ios_base::xalloc();
+    return index;
+}
+
+long stream_mode(std::ios_base& stream) { return stream.iword(encoding_index()); }
+
+// One tag byte per interchange primitive, so a schema-free walker (the
+// wire fuzzer, the cross-endian test swapper) can traverse any record
+// and a desynchronized reader fails on the next tag instead of
+// reinterpreting garbage.
+constexpr char k_tag_u64 = 'U';
+constexpr char k_tag_f64 = 'F';
+constexpr char k_tag_string = 'S';
+constexpr char k_tag_vec = 'V';
+constexpr char k_tag_matrix = 'M';
+
+// std::byteswap is C++23; the magic-word probes below need it.
 constexpr std::uint64_t byteswap_u64(std::uint64_t v) {
     v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
     v = ((v & 0x0000ffff0000ffffull) << 16) | ((v >> 16) & 0x0000ffff0000ffffull);
@@ -45,41 +76,183 @@ void read_raw(std::istream& in, void* data, std::size_t bytes) {
     }
 }
 
+// Shift-based little-endian byte layout: the same code path runs on a
+// host of either byte order, so the interchange encoder has no untested
+// big-endian branch.
+void put_le64(unsigned char* b, std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t get_le64(const unsigned char* b) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+void write_tag(std::ostream& out, char tag) { write_raw(out, &tag, 1); }
+
+void expect_tag(std::istream& in, char tag) {
+    char found = 0;
+    read_raw(in, &found, 1);
+    if (found != tag) {
+        throw std::runtime_error(std::string("stream_checkpoint: interchange tag mismatch "
+                                             "(expected '") +
+                                 tag + "', found byte " + std::to_string(found) + ")");
+    }
+}
+
+void write_u64_le(std::ostream& out, std::uint64_t value) {
+    unsigned char b[8];
+    put_le64(b, value);
+    write_raw(out, b, 8);
+}
+
+// Reads one 8-byte word in the stream's detected byte order (LE for
+// conforming interchange, reversed for a swapped foreign writer).
+std::uint64_t read_u64_word(std::istream& in, long mode) {
+    unsigned char b[8];
+    read_raw(in, b, 8);
+    if (mode == k_mode_interchange_swapped) return byteswap_u64(get_le64(b));
+    return get_le64(b);
+}
+
+// Validates a header-claimed payload size against the bytes actually
+// left in the stream (when it is seekable) BEFORE any allocation, so a
+// corrupt or hostile header claiming 2^60 bins fails with a clear error
+// instead of an attempted giant allocation.
+void check_payload_fits(std::istream& in, std::uint64_t claimed_bytes, const char* what) {
+    const std::optional<std::uint64_t> rem = remaining_bytes(in);
+    if (rem.has_value() && claimed_bytes > *rem) {
+        throw std::runtime_error(std::string("stream_checkpoint: ") + what +
+                                 " length exceeds remaining input (" +
+                                 std::to_string(claimed_bytes) + " bytes claimed, " +
+                                 std::to_string(*rem) +
+                                 " left): truncated or corrupt header");
+    }
+}
+
+// Bulk double payloads. Doubles travel as their IEEE bit patterns; in
+// interchange mode each 8-byte pattern is little-endian on the wire. On
+// a little-endian host the in-memory layout already matches, so the bulk
+// path is a single raw write/read.
+void write_doubles(std::ostream& out, const double* data, std::size_t count, long mode) {
+    if (count == 0) return;
+    if (mode == k_mode_native || std::endian::native == std::endian::little) {
+        write_raw(out, data, count * sizeof(double));
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        write_u64_le(out, std::bit_cast<std::uint64_t>(data[i]));
+    }
+}
+
+void read_doubles(std::istream& in, double* data, std::size_t count, long mode) {
+    if (count == 0) return;
+    read_raw(in, data, count * sizeof(double));
+    if (mode == k_mode_native) return;
+    if (mode == k_mode_interchange && std::endian::native == std::endian::little) return;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, data + i, sizeof bits);
+        if (std::endian::native == std::endian::little) bits = byteswap_u64(bits);
+        if (mode == k_mode_interchange_swapped && std::endian::native != std::endian::little) {
+            // A big-endian host reading a swapped (big-endian-on-wire)
+            // file: the raw bytes are already in host order.
+            bits = byteswap_u64(bits);
+        }
+        data[i] = std::bit_cast<double>(bits);
+    }
+}
+
 }  // namespace
 
-void write_u64(std::ostream& out, std::uint64_t value) { write_raw(out, &value, sizeof value); }
+void set_encoding(std::ios_base& stream, encoding enc) {
+    stream.iword(encoding_index()) =
+        enc == encoding::interchange ? k_mode_interchange : k_mode_native;
+}
+
+encoding stream_encoding(std::ios_base& stream) {
+    return stream_mode(stream) == k_mode_native ? encoding::native : encoding::interchange;
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+    if (stream_mode(out) == k_mode_native) {
+        write_raw(out, &value, sizeof value);
+        return;
+    }
+    write_tag(out, k_tag_u64);
+    write_u64_le(out, value);
+}
 
 void write_f64(std::ostream& out, double value) {
     // Exact bit pattern: the replay guarantee depends on it.
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
-    write_raw(out, &bits, sizeof bits);
+    if (stream_mode(out) == k_mode_native) {
+        write_raw(out, &bits, sizeof bits);
+        return;
+    }
+    write_tag(out, k_tag_f64);
+    write_u64_le(out, bits);
 }
 
 void write_flag(std::ostream& out, bool value) { write_u64(out, value ? 1 : 0); }
 
 void write_string(std::ostream& out, const std::string& value) {
-    write_u64(out, value.size());
+    const long mode = stream_mode(out);
+    if (mode == k_mode_native) {
+        write_u64(out, value.size());
+    } else {
+        write_tag(out, k_tag_string);
+        write_u64_le(out, value.size());
+    }
     if (!value.empty()) write_raw(out, value.data(), value.size());
 }
 
 void write_vec(std::ostream& out, const std::vector<double>& value) {
-    write_u64(out, value.size());
-    if (!value.empty()) write_raw(out, value.data(), value.size() * sizeof(double));
+    const long mode = stream_mode(out);
+    if (mode == k_mode_native) {
+        write_u64(out, value.size());
+    } else {
+        write_tag(out, k_tag_vec);
+        write_u64_le(out, value.size());
+    }
+    write_doubles(out, value.data(), value.size(), mode);
 }
 
 void write_matrix(std::ostream& out, const matrix& value) {
-    write_u64(out, value.rows());
-    write_u64(out, value.cols());
-    if (!value.empty()) write_raw(out, value.data(), value.size() * sizeof(double));
+    const long mode = stream_mode(out);
+    if (mode == k_mode_native) {
+        write_u64(out, value.rows());
+        write_u64(out, value.cols());
+    } else {
+        write_tag(out, k_tag_matrix);
+        write_u64_le(out, value.rows());
+        write_u64_le(out, value.cols());
+    }
+    write_doubles(out, value.data(), value.size(), mode);
 }
 
 std::uint64_t read_u64(std::istream& in) {
-    std::uint64_t value = 0;
-    read_raw(in, &value, sizeof value);
-    return value;
+    const long mode = stream_mode(in);
+    if (mode == k_mode_native) {
+        std::uint64_t value = 0;
+        read_raw(in, &value, sizeof value);
+        return value;
+    }
+    expect_tag(in, k_tag_u64);
+    return read_u64_word(in, mode);
 }
 
-double read_f64(std::istream& in) { return std::bit_cast<double>(read_u64(in)); }
+double read_f64(std::istream& in) {
+    const long mode = stream_mode(in);
+    if (mode == k_mode_native) {
+        std::uint64_t value = 0;
+        read_raw(in, &value, sizeof value);
+        return std::bit_cast<double>(value);
+    }
+    expect_tag(in, k_tag_f64);
+    return std::bit_cast<double>(read_u64_word(in, mode));
+}
 
 bool read_flag(std::istream& in) {
     const std::uint64_t value = read_u64(in);
@@ -88,54 +261,124 @@ bool read_flag(std::istream& in) {
 }
 
 std::string read_string(std::istream& in) {
-    const std::uint64_t size = read_u64(in);
+    const long mode = stream_mode(in);
+    std::uint64_t size = 0;
+    if (mode == k_mode_native) {
+        size = read_u64(in);
+    } else {
+        expect_tag(in, k_tag_string);
+        size = read_u64_word(in, mode);
+    }
     if (size > (1u << 20)) throw std::runtime_error("stream_checkpoint: string too large");
+    check_payload_fits(in, size, "string");
     std::string value(size, '\0');
     if (size > 0) read_raw(in, value.data(), size);
     return value;
 }
 
 std::vector<double> read_vec(std::istream& in) {
-    const std::uint64_t size = read_u64(in);
+    const long mode = stream_mode(in);
+    std::uint64_t size = 0;
+    if (mode == k_mode_native) {
+        size = read_u64(in);
+    } else {
+        expect_tag(in, k_tag_vec);
+        size = read_u64_word(in, mode);
+    }
     if (size > (1u << 28)) throw std::runtime_error("stream_checkpoint: vector too large");
+    check_payload_fits(in, size * sizeof(double), "vector");
     std::vector<double> value(size, 0.0);
-    if (size > 0) read_raw(in, value.data(), size * sizeof(double));
+    read_doubles(in, value.data(), size, mode);
     return value;
 }
 
 matrix read_matrix(std::istream& in) {
-    const std::uint64_t rows = read_u64(in);
-    const std::uint64_t cols = read_u64(in);
+    const long mode = stream_mode(in);
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (mode == k_mode_native) {
+        rows = read_u64(in);
+        cols = read_u64(in);
+    } else {
+        expect_tag(in, k_tag_matrix);
+        rows = read_u64_word(in, mode);
+        cols = read_u64_word(in, mode);
+    }
     if (rows > (1u << 24) || cols > (1u << 24) ||
         (rows != 0 && cols > (1u << 28) / rows)) {
         throw std::runtime_error("stream_checkpoint: matrix too large");
     }
+    check_payload_fits(in, rows * cols * sizeof(double), "matrix");
     matrix value(rows, cols, 0.0);
-    if (!value.empty()) read_raw(in, value.data(), value.size() * sizeof(double));
+    read_doubles(in, value.data(), value.size(), mode);
     return value;
 }
 
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+    if (!in) return std::nullopt;
+    const std::istream::pos_type cur = in.tellg();
+    if (cur == std::istream::pos_type(-1)) {
+        in.clear();
+        return std::nullopt;
+    }
+    in.seekg(0, std::ios::end);
+    if (!in) {
+        in.clear();
+        in.seekg(cur);
+        return std::nullopt;
+    }
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(cur);
+    if (end == std::istream::pos_type(-1) || end < cur) return std::nullopt;
+    return static_cast<std::uint64_t>(end - cur);
+}
+
 void write_header(std::ostream& out, const std::string& type_tag) {
-    write_u64(out, k_magic);
+    if (stream_mode(out) == k_mode_native) {
+        std::uint64_t magic = k_magic;
+        write_raw(out, &magic, sizeof magic);
+    } else {
+        // The interchange magic is little-endian on the wire, untagged
+        // (it is what announces the tagged encoding to the reader).
+        write_u64_le(out, k_interchange_magic);
+    }
     write_u64(out, k_format_version);
     write_string(out, type_tag);
 }
 
 header_info read_header_info(std::istream& in) {
-    const std::uint64_t magic = read_u64(in);
-    if (magic == byteswap_u64(k_magic)) {
-        // The file is a checkpoint, but from a host of the opposite byte
-        // order. The format is deliberately host-endian (exact double bit
+    unsigned char raw[8];
+    read_raw(in, raw, 8);
+    std::uint64_t host_word = 0;
+    std::memcpy(&host_word, raw, sizeof host_word);
+    const std::uint64_t le_word = get_le64(raw);
+
+    long mode = k_mode_native;
+    if (host_word == k_magic) {
+        mode = k_mode_native;
+    } else if (host_word == byteswap_u64(k_magic)) {
+        // A native checkpoint from a host of the opposite byte order. The
+        // native format is deliberately host-endian (exact double bit
         // patterns, for bit-exact replay); reject loudly rather than
-        // replay garbage. See ROADMAP.md for the portable-variant note.
+        // replay garbage.
         throw std::runtime_error(
             "stream_checkpoint: checkpoint was written on a host with different "
-            "endianness (the format is host-endian by design; re-snapshot on this "
-            "architecture or use the CSV dataset layout for interchange)");
-    }
-    if (magic != k_magic) {
+            "endianness (the native format is host-endian by design; re-snapshot on "
+            "this architecture, or convert to the portable interchange encoding on "
+            "the writing host -- see docs/CHECKPOINT_FORMAT.md)");
+    } else if (le_word == k_interchange_magic) {
+        mode = k_mode_interchange;
+    } else if (byteswap_u64(le_word) == k_interchange_magic) {
+        // An interchange record whose writer laid words out big-endian (a
+        // non-normalizing foreign writer, or the cross-endian fixtures):
+        // the encoding is self-identifying, so convert at the boundary
+        // instead of rejecting.
+        mode = k_mode_interchange_swapped;
+    } else {
         throw std::runtime_error("stream_checkpoint: bad magic (not a checkpoint file)");
     }
+    in.iword(encoding_index()) = mode;
+
     const std::uint64_t version = read_u64(in);
     if (version < k_min_format_version || version > k_format_version) {
         throw std::runtime_error(
@@ -143,7 +386,11 @@ header_info read_header_info(std::istream& in) {
             " (supported: " + std::to_string(k_min_format_version) + ".." +
             std::to_string(k_format_version) + ")");
     }
-    return {read_string(in), version};
+    header_info info;
+    info.type_tag = read_string(in);
+    info.version = version;
+    info.enc = mode == k_mode_native ? encoding::native : encoding::interchange;
+    return info;
 }
 
 std::string read_header(std::istream& in) { return read_header_info(in).type_tag; }
@@ -161,9 +408,11 @@ void expect_header(std::istream& in, const std::string& type_tag) {
 
 }  // namespace ckpt
 
-void save_stream_detector(stream_detector& detector, const std::string& path) {
+void save_stream_detector(stream_detector& detector, const std::string& path,
+                          ckpt::encoding enc) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("save_stream_detector: cannot open " + path);
+    ckpt::set_encoding(out, enc);
     detector.save(out);
     out.flush();
     if (!out) throw std::runtime_error("save_stream_detector: write failed for " + path);
@@ -193,6 +442,12 @@ std::unique_ptr<stream_detector> load_stream_detector(std::istream& in, thread_p
             incremental_pca_tracker::restore(in, pool));
     }
     throw std::runtime_error("load_stream_detector: unknown detector tag " + tag);
+}
+
+void convert_checkpoint(const std::string& src_path, const std::string& dst_path,
+                        ckpt::encoding target, thread_pool* pool) {
+    const std::unique_ptr<stream_detector> detector = load_stream_detector(src_path, pool);
+    save_stream_detector(*detector, dst_path, target);
 }
 
 }  // namespace netdiag

@@ -5,20 +5,36 @@
 // counters, epoch -- written as a flat binary image: magic + format
 // version + a type tag, then the detector's fields. Doubles are stored as
 // their exact bit patterns, so a restored stream replays the remaining
-// detection sequence bit-for-bit; the format is host-endian and intended
-// for snapshot/restore on the same architecture, not as an interchange
-// format (dataset archives stay in the CSV layout of persistence.h). A
-// checkpoint from a host of the opposite byte order is detected via the
-// byte-swapped magic word and rejected with a clear error instead of
-// silently replaying garbage.
+// detection sequence bit-for-bit.
 //
-// The ckpt primitives are exposed so the detectors' save()/restore()
-// implementations (subspace/online.cpp) and tests can share one encoding.
+// Two encodings share that logical layout (docs/CHECKPOINT_FORMAT.md):
+//
+//  - native: host-endian, untagged -- the fast snapshot/restore path for
+//    one architecture. A native checkpoint from a host of the opposite
+//    byte order is detected via the byte-swapped magic word and rejected
+//    with a clear error instead of silently replaying garbage.
+//  - interchange: the portable variant. Every primitive is normalized to
+//    little-endian on the wire and prefixed with a one-byte type tag, so
+//    checkpoints move between hosts of any byte order and a generic
+//    walker (the wire fuzzer, the cross-endian test swapper) can traverse
+//    a record without the detector schema. The reader detects a record
+//    whose writer failed to normalize (the interchange magic arrives
+//    byte-swapped) and converts at the boundary rather than rejecting.
+//    The interchange encoding doubles as the payload format of the
+//    length-prefixed wire protocol in src/net/ (docs/WIRE_FORMAT.md).
+//
+// The encoding is ambient stream state (set_encoding below): writers pick
+// it before the first byte, readers have it detected from the magic by
+// read_header_info. The primitives are exposed so the detectors'
+// save()/restore() implementations (subspace/online.cpp), the serving
+// front-end and tests can share one codec.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <ios>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +46,20 @@ class stream_detector;
 class thread_pool;
 
 namespace ckpt {
+
+// How multi-byte values are laid out on the wire. See the header comment.
+enum class encoding {
+    native,       // host-endian, untagged (default)
+    interchange,  // little-endian, one tag byte per primitive
+};
+
+// Sets/reads the encoding attached to a stream. Writers call
+// set_encoding before writing a record (native is the default); readers
+// never need to -- read_header_info detects the encoding (and, for
+// interchange, a byte-swapped foreign writer) from the magic word and
+// attaches it to the stream for the primitives that follow.
+void set_encoding(std::ios_base& stream, encoding enc);
+encoding stream_encoding(std::ios_base& stream);
 
 // All readers throw std::runtime_error on truncated or malformed input;
 // writers throw std::runtime_error when the stream enters a failed state.
@@ -47,19 +77,31 @@ std::string read_string(std::istream& in);
 std::vector<double> read_vec(std::istream& in);
 matrix read_matrix(std::istream& in);
 
-// Magic + format version + the record type tag.
+// Bytes between the stream's current position and its end, or nullopt
+// when the stream is not seekable. The readers above validate every
+// header-derived length/count against this before allocating, so a
+// corrupt header claiming 2^60 bins fails with a clear error instead of
+// attempting the allocation.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in);
+
+// Magic + format version + the record type tag, in the encoding attached
+// to the stream (set_encoding).
 void write_header(std::ostream& out, const std::string& type_tag);
 
 // Parsed header: the record type tag plus the format version the file
-// was written with (any supported version; see format_version()).
+// was written with (any supported version; see format_version()) and the
+// encoding the magic word announced.
 struct header_info {
     std::string type_tag;
     std::uint64_t version = 0;
+    encoding enc = encoding::native;
 };
 
-// Reads and validates the header -- magic (with the byte-swapped
-// foreign-endianness rejection), version in the supported range --
-// returning tag and version.
+// Reads and validates the header -- magic (native host-order, native
+// byte-swapped -> loud rejection, interchange in either byte order ->
+// accepted and converted), version in the supported range -- returning
+// tag, version and encoding, and attaching the detected encoding to the
+// stream for the reads that follow.
 header_info read_header_info(std::istream& in);
 // read_header_info, returning only the tag.
 std::string read_header(std::istream& in);
@@ -76,15 +118,17 @@ std::uint64_t min_supported_format_version() noexcept;
 }  // namespace ckpt
 
 // Saves any stream_detector to a file (draining in-flight background work
-// first, so the bytes are independent of pool size and timing). Throws
-// std::runtime_error on I/O failure.
-void save_stream_detector(stream_detector& detector, const std::string& path);
+// first, so the bytes are independent of pool size and timing) in the
+// given encoding. Throws std::runtime_error on I/O failure.
+void save_stream_detector(stream_detector& detector, const std::string& path,
+                          ckpt::encoding enc = ckpt::encoding::native);
 
-// Loads a checkpoint written by save_stream_detector, dispatching on the
-// type tag to the matching detector's restore(). The pool is runtime
-// wiring, not checkpoint state: the restored detector uses the one given
-// here. Throws std::runtime_error on I/O failure, an unknown tag, or
-// malformed content.
+// Loads a checkpoint written by save_stream_detector -- either encoding,
+// detected from the magic -- dispatching on the type tag to the matching
+// detector's restore(). The pool is runtime wiring, not checkpoint state:
+// the restored detector uses the one given here. Throws
+// std::runtime_error on I/O failure, an unknown tag, or malformed
+// content.
 std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
                                                       thread_pool* pool = nullptr);
 
@@ -94,5 +138,11 @@ std::unique_ptr<stream_detector> load_stream_detector(const std::string& path,
 // stream must be seekable across the record header.
 std::unique_ptr<stream_detector> load_stream_detector(std::istream& in,
                                                       thread_pool* pool = nullptr);
+
+// Re-encodes a checkpoint file: loads it (either encoding) and saves it
+// again in the target encoding. Native -> interchange -> native is
+// byte-identical, which the golden-fixture tests rely on.
+void convert_checkpoint(const std::string& src_path, const std::string& dst_path,
+                        ckpt::encoding target, thread_pool* pool = nullptr);
 
 }  // namespace netdiag

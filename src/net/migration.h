@@ -1,0 +1,39 @@
+// Stream migration: move one live stream -- detector state, ingest
+// inbox configuration, counters and pending (unapplied) residue bins --
+// from one stream_server to another, preserving the bit-exact replay
+// guarantee: the migrated stream's subsequent output is bit-identical
+// to an unmigrated shadow fed the same sequence-ordered bins.
+//
+// The coordinator sequence both overloads implement:
+//   1. quiesce + detach on the source (stream_server::detach_stream):
+//      the stream's inbox closes, concurrent producers get clean
+//      stream_closed results (never silent drops), and the final state
+//      -- residue included, NOT applied -- is captured as an
+//      interchange-encoded record;
+//   2. restore on the target (stream_server::restore_stream), which
+//      re-enqueues the residue under its original sequence numbers and
+//      returns the stream's new id;
+//   3. the caller re-points its collectors at the returned id (and, for
+//      a remote_collector, at the target frontend's port).
+// Conservation holds across the move: accepted == applied + dropped +
+// pending before the detach equals the same sum after the restore.
+#pragma once
+
+#include "net/remote_collector.h"
+#include "serve/stream_server.h"
+
+namespace netdiag::net {
+
+// In-process migration between two servers (also the shadow-parity test
+// harness shape). Throws std::invalid_argument on an unknown id.
+[[nodiscard]] stream_id migrate_stream(stream_server& source, stream_id id,
+                                       stream_server& target);
+
+// Cross-process migration: detach via the source frontend's connection,
+// restore via the target's, the record traveling as wire frames both
+// ways. Throws remote_error / std::runtime_error on protocol or
+// transport failure.
+[[nodiscard]] std::uint64_t migrate_stream(remote_collector& source, std::uint64_t id,
+                                           remote_collector& target);
+
+}  // namespace netdiag::net

@@ -1,0 +1,155 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace netdiag::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+}  // namespace
+
+tcp_socket::tcp_socket(tcp_socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+tcp_socket& tcp_socket::operator=(tcp_socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+tcp_socket tcp_socket::connect_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("tcp_socket: socket");
+    tcp_socket sock(fd);
+    // Frames are request/response sized; latency beats batching here.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const sockaddr_in addr = loopback_addr(port);
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+            return sock;
+        }
+        if (errno == EINTR) continue;
+        throw_errno("tcp_socket: connect to 127.0.0.1:" + std::to_string(port));
+    }
+}
+
+void tcp_socket::send_all(const void* data, std::size_t bytes) {
+    const char* p = static_cast<const char*>(data);
+    while (bytes > 0) {
+        // MSG_NOSIGNAL: a peer that vanished mid-send must surface as an
+        // exception on this thread, not a process-wide SIGPIPE.
+        const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("tcp_socket: send");
+        }
+        p += n;
+        bytes -= static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t tcp_socket::recv_some(void* data, std::size_t bytes) {
+    for (;;) {
+        const ssize_t n = ::recv(fd_, data, bytes, 0);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        throw_errno("tcp_socket: recv");
+    }
+}
+
+void tcp_socket::shutdown_both() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void tcp_socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+tcp_listener::tcp_listener(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("tcp_listener: socket");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = loopback_addr(port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno("tcp_listener: bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(fd_, SOMAXCONN) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno("tcp_listener: listen");
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno("tcp_listener: getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+tcp_socket tcp_listener::accept() {
+    for (;;) {
+        // Snapshot the fd: close() may race us (that is its job); an
+        // accept on a closed/shutdown fd returns an error and we report
+        // the invalid socket that means "listener is gone".
+        const int fd = fd_;
+        if (fd < 0) return tcp_socket{};
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn >= 0) {
+            tcp_socket sock(conn);
+            const int one = 1;
+            (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            return sock;
+        }
+        if (errno == EINTR) continue;
+        return tcp_socket{};
+    }
+}
+
+void tcp_listener::close() noexcept {
+    if (fd_ >= 0) {
+        // shutdown() wakes a thread blocked in accept() before the fd
+        // goes away; closing alone leaves it parked on Linux.
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace netdiag::net

@@ -1,0 +1,77 @@
+// Minimal POSIX TCP wrappers for the wire protocol -- the ONLY home of
+// raw socket calls in the tree (netdiag-lint rule R6 enforces that; see
+// docs/STATIC_ANALYSIS.md). Loopback-oriented: the listener binds
+// 127.0.0.1 (port 0 picks an ephemeral port, read back via
+// local_port()), and connect targets loopback too -- the frontend is a
+// building block for same-host/same-rack deployments and tests, not an
+// internet-facing server (no TLS, no auth; see docs/WIRE_FORMAT.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netdiag::net {
+
+// One connected socket, move-only, closed on destruction. I/O failures
+// throw std::runtime_error; a clean peer shutdown is a 0 return from
+// recv_some, not an error.
+class tcp_socket {
+public:
+    tcp_socket() = default;
+    explicit tcp_socket(int fd) noexcept : fd_(fd) {}
+    ~tcp_socket() { close(); }
+
+    tcp_socket(tcp_socket&& other) noexcept;
+    tcp_socket& operator=(tcp_socket&& other) noexcept;
+    tcp_socket(const tcp_socket&) = delete;
+    tcp_socket& operator=(const tcp_socket&) = delete;
+
+    // Connects to 127.0.0.1:port. Throws std::runtime_error on failure.
+    static tcp_socket connect_loopback(std::uint16_t port);
+
+    bool valid() const noexcept { return fd_ >= 0; }
+
+    // Writes the whole buffer (looping over partial sends). Throws
+    // std::runtime_error on a broken connection.
+    void send_all(const void* data, std::size_t bytes);
+
+    // Reads up to `bytes`, returning what one recv delivered -- possibly
+    // a split mid-frame, which the frame_decoder is built to absorb.
+    // Returns 0 on orderly peer shutdown; throws on errors.
+    std::size_t recv_some(void* data, std::size_t bytes);
+
+    // Half-closes both directions (wakes a peer blocked in recv).
+    void shutdown_both() noexcept;
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+// A listening socket on 127.0.0.1. close() (or destruction) from any
+// thread unblocks a pending accept(), which then returns an invalid
+// socket -- the serve loop's shutdown signal.
+class tcp_listener {
+public:
+    // port 0 binds an ephemeral port. Throws std::runtime_error when the
+    // socket cannot be created/bound.
+    explicit tcp_listener(std::uint16_t port);
+    ~tcp_listener() { close(); }
+
+    tcp_listener(const tcp_listener&) = delete;
+    tcp_listener& operator=(const tcp_listener&) = delete;
+
+    std::uint16_t local_port() const noexcept { return port_; }
+
+    // Blocks for the next connection. Returns an invalid socket once the
+    // listener is closed (and on transient accept errors after that).
+    tcp_socket accept();
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace netdiag::net

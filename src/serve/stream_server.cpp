@@ -852,36 +852,7 @@ void stream_server::snapshot_all(const std::string& directory) {
         if (!out) {
             throw std::runtime_error("stream_server::snapshot_all: cannot open " + path);
         }
-        ckpt::write_header(out, k_server_stream_tag);
-        ckpt::write_u64(out, entry->inbox->capacity());
-        ckpt::write_u64(out, static_cast<std::uint64_t>(entry->opts.policy));
-        ckpt::write_flag(out, entry->opts.auto_drain);
-        ckpt::write_u64(out, entry->accepted.load(std::memory_order_relaxed));
-        ckpt::write_u64(out, entry->applied.load(std::memory_order_relaxed));
-        ckpt::write_u64(out, entry->dropped.load(std::memory_order_relaxed));
-        ckpt::write_u64(out, entry->rejected.load(std::memory_order_relaxed));
-        ckpt::write_u64(out, entry->inbox->next_sequence());
-        // Enqueue ticks are runtime-only: residue serializes the payload
-        // and restore_all restamps, so a checkpointed bin's latency is
-        // charged from the restore, not across the downtime.
-        const auto residue = entry->inbox->snapshot_items();
-        ckpt::write_u64(out, residue.size());
-        for (const auto& [seq, bin] : residue) ckpt::write_vec(out, bin.y);
-        // Serialize the detector to memory under mu_ exclusive (this is
-        // what excludes ordered-edge pushes on this stream) and do the
-        // disk write after releasing it, so a slow disk never stalls the
-        // other streams' pushes.
-        std::ostringstream detector_bytes(std::ios::binary);
-        {
-            sync::exclusive_lock lock(mu_);
-            entry->detector->save(detector_bytes);
-        }
-        const std::string bytes = detector_bytes.str();
-        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-        out.flush();
-        if (!out) {
-            throw std::runtime_error("stream_server::snapshot_all: write failed for " + path);
-        }
+        write_stream_record(*entry, out, ckpt::encoding::native);
     }
 
     const std::string manifest_path =
@@ -931,75 +902,7 @@ void stream_server::restore_all(const std::string& directory) {
         if (!in) {
             throw std::runtime_error("stream_server::restore_all: cannot open " + path);
         }
-
-        ingest_options opts;
-        std::uint64_t accepted = 0, applied = 0, dropped = 0, rejected = 0;
-        std::uint64_t next_sequence = 0;
-        std::vector<vec> residue;
-        std::unique_ptr<stream_detector> detector;
-
-        const std::istream::pos_type start = in.tellg();
-        const ckpt::header_info hdr = ckpt::read_header_info(in);
-        if (hdr.type_tag == k_server_stream_tag) {
-            opts.capacity = ckpt::read_u64(in);
-            if (opts.capacity == 0 ||
-                opts.capacity > mpsc_inbox<stream_entry::ingest_item>::k_max_capacity) {
-                throw std::runtime_error(
-                    "stream_server::restore_all: malformed inbox capacity in " + path);
-            }
-            const std::uint64_t policy = ckpt::read_u64(in);
-            if (policy > static_cast<std::uint64_t>(inbox_policy::drop_oldest)) {
-                throw std::runtime_error(
-                    "stream_server::restore_all: malformed ingest policy in " + path);
-            }
-            opts.policy = static_cast<inbox_policy>(policy);
-            opts.auto_drain = ckpt::read_flag(in);
-            accepted = ckpt::read_u64(in);
-            applied = ckpt::read_u64(in);
-            dropped = ckpt::read_u64(in);
-            rejected = ckpt::read_u64(in);
-            next_sequence = ckpt::read_u64(in);
-            const std::uint64_t residue_count = ckpt::read_u64(in);
-            if (residue_count > opts.capacity || residue_count > next_sequence) {
-                throw std::runtime_error(
-                    "stream_server::restore_all: malformed inbox residue in " + path);
-            }
-            residue.reserve(residue_count);
-            for (std::uint64_t r = 0; r < residue_count; ++r) {
-                residue.push_back(ckpt::read_vec(in));
-            }
-            detector = load_stream_detector(in, pool_.get());
-        } else {
-            // A format-v2 (pre-inbox) directory: the per-stream file is a
-            // raw detector record. Restore with an empty default inbox.
-            in.clear();
-            in.seekg(start);
-            detector = load_stream_detector(in, pool_.get());
-        }
-
-        auto entry = make_entry(std::move(detector), std::move(opts),
-                                next_sequence - residue.size());
-        const std::uint64_t restamp_tick = monotone_now_ns();
-        for (vec& bin : residue) {
-            if (bin.size() != entry->detector->dimension()) {
-                throw std::runtime_error(
-                    "stream_server::restore_all: inbox residue width mismatch in " + path);
-            }
-            // The residue count was validated against the inbox capacity
-            // above, so a rejected push means the checkpoint lied about
-            // one of them -- losing the bin silently would desync the
-            // replay sequence from the restored counters.
-            if (entry->inbox
-                    ->push(stream_entry::ingest_item{std::move(bin), restamp_tick})
-                    .status != inbox_push_status::accepted) {
-                throw std::runtime_error(
-                    "stream_server::restore_all: inbox rejected checkpoint residue in " + path);
-            }
-        }
-        entry->accepted.store(accepted, std::memory_order_relaxed);
-        entry->applied.store(applied, std::memory_order_relaxed);
-        entry->dropped.store(dropped, std::memory_order_relaxed);
-        entry->rejected.store(rejected, std::memory_order_relaxed);
+        auto entry = read_stream_record(in, "stream_server::restore_all(" + path + ")");
 
         const auto [it, inserted] = restored.emplace(id, std::move(entry));
         if (!inserted) {
@@ -1010,6 +913,178 @@ void stream_server::restore_all(const std::string& directory) {
     }
     streams_ = std::move(restored);
     next_id_ = std::max<stream_id>(saved_next_id, max_id + 1);
+}
+
+// Writes the format-v3 "server_stream" container record for a quiesced
+// stream. Caller holds the stream's drain role and entry lock (and
+// maint_mu_); this function takes mu_ exclusive itself around the
+// detector serialization to exclude ordered-edge pushes.
+void stream_server::write_stream_record(stream_entry& entry, std::ostream& out,
+                                        ckpt::encoding enc) {
+    ckpt::set_encoding(out, enc);
+    ckpt::write_header(out, k_server_stream_tag);
+    ckpt::write_u64(out, entry.inbox->capacity());
+    ckpt::write_u64(out, static_cast<std::uint64_t>(entry.opts.policy));
+    ckpt::write_flag(out, entry.opts.auto_drain);
+    ckpt::write_u64(out, entry.accepted.load(std::memory_order_relaxed));
+    ckpt::write_u64(out, entry.applied.load(std::memory_order_relaxed));
+    ckpt::write_u64(out, entry.dropped.load(std::memory_order_relaxed));
+    ckpt::write_u64(out, entry.rejected.load(std::memory_order_relaxed));
+    ckpt::write_u64(out, entry.inbox->next_sequence());
+    // Enqueue ticks are runtime-only: residue serializes the payload and
+    // the restore restamps, so a checkpointed bin's latency is charged
+    // from the restore, not across the downtime (or the migration).
+    const auto residue = entry.inbox->snapshot_items();
+    ckpt::write_u64(out, residue.size());
+    for (const auto& [seq, bin] : residue) ckpt::write_vec(out, bin.y);
+    // Serialize the detector to memory under mu_ exclusive (this is what
+    // excludes ordered-edge pushes on this stream) and write it out after
+    // releasing it, so a slow sink never stalls the other streams'
+    // pushes. The buffer carries the same encoding as the outer record:
+    // the nested detector record must decode under one codec.
+    std::ostringstream detector_bytes(std::ios::binary);
+    ckpt::set_encoding(detector_bytes, enc);
+    {
+        sync::exclusive_lock lock(mu_);
+        entry.detector->save(detector_bytes);
+    }
+    const std::string bytes = detector_bytes.str();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("stream_server: stream record write failed");
+    }
+}
+
+// Reads one per-stream record (either encoding; "server_stream"
+// container or a format-v2 raw detector record) and builds a fresh,
+// unpublished entry with counters restored and residue re-enqueued.
+std::shared_ptr<stream_server::stream_entry> stream_server::read_stream_record(
+    std::istream& in, const std::string& context) {
+    ingest_options opts;
+    std::uint64_t accepted = 0, applied = 0, dropped = 0, rejected = 0;
+    std::uint64_t next_sequence = 0;
+    std::vector<vec> residue;
+    std::unique_ptr<stream_detector> detector;
+
+    const std::istream::pos_type start = in.tellg();
+    const ckpt::header_info hdr = ckpt::read_header_info(in);
+    if (hdr.type_tag == k_server_stream_tag) {
+        opts.capacity = ckpt::read_u64(in);
+        if (opts.capacity == 0 ||
+            opts.capacity > mpsc_inbox<stream_entry::ingest_item>::k_max_capacity) {
+            throw std::runtime_error(context + ": malformed inbox capacity");
+        }
+        const std::uint64_t policy = ckpt::read_u64(in);
+        if (policy > static_cast<std::uint64_t>(inbox_policy::drop_oldest)) {
+            throw std::runtime_error(context + ": malformed ingest policy");
+        }
+        opts.policy = static_cast<inbox_policy>(policy);
+        opts.auto_drain = ckpt::read_flag(in);
+        accepted = ckpt::read_u64(in);
+        applied = ckpt::read_u64(in);
+        dropped = ckpt::read_u64(in);
+        rejected = ckpt::read_u64(in);
+        next_sequence = ckpt::read_u64(in);
+        const std::uint64_t residue_count = ckpt::read_u64(in);
+        if (residue_count > opts.capacity || residue_count > next_sequence) {
+            throw std::runtime_error(context + ": malformed inbox residue");
+        }
+        residue.reserve(residue_count);
+        for (std::uint64_t r = 0; r < residue_count; ++r) {
+            residue.push_back(ckpt::read_vec(in));
+        }
+        detector = load_stream_detector(in, pool_.get());
+    } else {
+        // A format-v2 (pre-inbox) record: a raw detector record. Restore
+        // with an empty default inbox.
+        in.clear();
+        in.seekg(start);
+        detector = load_stream_detector(in, pool_.get());
+    }
+
+    auto entry = make_entry(std::move(detector), std::move(opts),
+                            next_sequence - residue.size());
+    const std::uint64_t restamp_tick = monotone_now_ns();
+    for (vec& bin : residue) {
+        if (bin.size() != entry->detector->dimension()) {
+            throw std::runtime_error(context + ": inbox residue width mismatch");
+        }
+        // The residue count was validated against the inbox capacity
+        // above, so a rejected push means the checkpoint lied about one
+        // of them -- losing the bin silently would desync the replay
+        // sequence from the restored counters.
+        if (entry->inbox->push(stream_entry::ingest_item{std::move(bin), restamp_tick})
+                .status != inbox_push_status::accepted) {
+            throw std::runtime_error(context + ": inbox rejected checkpoint residue");
+        }
+    }
+    entry->accepted.store(accepted, std::memory_order_relaxed);
+    entry->applied.store(applied, std::memory_order_relaxed);
+    entry->dropped.store(dropped, std::memory_order_relaxed);
+    entry->rejected.store(rejected, std::memory_order_relaxed);
+    return entry;
+}
+
+void stream_server::snapshot_stream(stream_id id, std::ostream& out, ckpt::encoding enc) {
+    // Same quiesce discipline as snapshot_all, for one stream: maint_mu_
+    // serializes against close/detach/restore (so the entry cannot die
+    // under us), the drain role waits out an active drainer while holding
+    // neither mu_ nor the entry lock, then the entry lock stops new
+    // enqueues for the duration of the record write.
+    sync::mutex_lock maintenance(maint_mu_);
+    const std::shared_ptr<stream_entry> e = entry_or_throw(id);
+    stream_entry::acquire_drain_role(*e);
+    stream_entry::drain_role role(*e);
+    sync::exclusive_lock entry_lock(e->mu);
+    e->detector->drain();
+    write_stream_record(*e, out, enc);
+}
+
+void stream_server::detach_stream(stream_id id, std::ostream& out, ckpt::encoding enc) {
+    // close_stream's teardown sequence, except the pending inbox bins are
+    // snapshotted as residue instead of applied: they belong to the
+    // record's restored inbox, not to the dying local detector.
+    sync::mutex_lock maintenance(maint_mu_);
+    std::shared_ptr<stream_entry> victim;
+    {
+        sync::exclusive_lock lock(mu_);
+        const auto it = streams_.find(id);
+        if (it == streams_.end()) {
+            throw std::invalid_argument("stream_server: unknown stream id " +
+                                        std::to_string(id));
+        }
+        victim = std::move(it->second);
+        streams_.erase(it);
+    }
+    // Stop the concurrent edge: new ingests bounce off the map lookup,
+    // producers blocked on a full inbox wake and return stream_closed,
+    // in-flight ingests either finish enqueueing (their bins travel in
+    // the residue) or observe the closing flag. Nothing is silently
+    // dropped: every accepted bin is either already applied or in the
+    // snapshot.
+    victim->closing.store(true, std::memory_order_release);
+    victim->inbox->close();
+    stream_entry::acquire_drain_role(*victim);
+    {
+        sync::exclusive_lock entry_lock(victim->mu);
+        victim->detector->drain();
+        write_stream_record(*victim, out, enc);
+    }
+    // Like close_stream: the role is adopted permanently (the draining
+    // flag stays set) so no late auto-drain touches the dying detector;
+    // balance the acquire for the analysis only.
+    victim->drain_cap.release();
+}
+
+stream_id stream_server::restore_stream(std::istream& in) {
+    sync::mutex_lock maintenance(maint_mu_);
+    std::shared_ptr<stream_entry> entry =
+        read_stream_record(in, "stream_server::restore_stream");
+    sync::exclusive_lock lock(mu_);
+    const stream_id id = next_id_++;
+    streams_.emplace(id, std::move(entry));
+    return id;
 }
 
 }  // namespace netdiag

@@ -116,6 +116,7 @@
 #include "engine/sync.h"
 #include "engine/thread_pool.h"
 #include "linalg/matrix.h"
+#include "measurement/stream_checkpoint.h"
 #include "subspace/online.h"
 #include "subspace/stream_detector.h"
 
@@ -376,6 +377,45 @@ public:
     // and std::logic_error when streams are already open.
     void restore_all(const std::string& directory);
 
+    // Checkpoints ONE stream as a self-contained per-stream record (the
+    // same format-v3 "server_stream" container snapshot_all writes) onto
+    // the given stream, in the given encoding -- interchange for records
+    // that travel between hosts (the wire protocol's snapshot payload;
+    // docs/WIRE_FORMAT.md). Quiesces the stream's ingest edge for the
+    // write (drain role + entry lock), drains detector maintenance so
+    // the bytes are timing-independent, and snapshots pending inbox bins
+    // as residue without applying them; the stream stays open and
+    // resumes afterwards. Throws std::invalid_argument on an unknown id,
+    // std::runtime_error on I/O failure.
+    void snapshot_stream(stream_id id, std::ostream& out,
+                         ckpt::encoding enc = ckpt::encoding::native);
+
+    // The migration primitive: removes the stream from the server while
+    // writing the same record snapshot_stream writes. Unpublishes the
+    // stream, closes its inbox -- concurrent ingests (including
+    // producers blocked on a full ring) return stream_closed from this
+    // point on, never silently dropping a bin -- then snapshots the
+    // residue WITHOUT applying it and destroys the local detector, so
+    // every accepted-but-unapplied bin travels in the record and
+    // restore_stream on another server resumes from exactly this state
+    // (accepted == applied + dropped + pending holds across the move,
+    // and the replay stays bit-exact). The record is written before the
+    // detector is destroyed, but a caller that cannot afford to lose the
+    // stream on a flaky sink should detach into a memory buffer and
+    // forward from there. Throws std::invalid_argument on an unknown id,
+    // std::runtime_error on I/O failure.
+    void detach_stream(stream_id id, std::ostream& out,
+                       ckpt::encoding enc = ckpt::encoding::interchange);
+
+    // Restores one stream from a record written by snapshot_stream /
+    // detach_stream (either encoding, detected from the magic; format-v2
+    // raw detector records restore with an empty default inbox too),
+    // wiring it to this server's pool and registering it under a FRESH
+    // id on this server -- the caller re-points collectors at the
+    // returned id. Inbox residue is re-enqueued under its original
+    // sequence numbers. Throws std::runtime_error on malformed input.
+    [[nodiscard]] stream_id restore_stream(std::istream& in);
+
 private:
     struct stream_entry;
 
@@ -392,6 +432,15 @@ private:
     std::unique_ptr<stream_detector> build_detector(stream_open_config&& cfg);
     stream_id register_stream(std::unique_ptr<stream_detector> detector,
                               ingest_options&& ingest);
+    // Shared per-stream record codec: writes/reads the format-v3
+    // "server_stream" container (inbox config + counters + residue +
+    // nested detector record). The writer requires the stream quiesced
+    // (drain role + entry lock held by the caller) and takes mu_
+    // exclusive itself around the detector serialization; the reader
+    // builds a fresh, unpublished entry.
+    void write_stream_record(stream_entry& entry, std::ostream& out, ckpt::encoding enc);
+    std::shared_ptr<stream_entry> read_stream_record(std::istream& in,
+                                                     const std::string& context);
 
     std::unique_ptr<thread_pool> pool_;
     mutable sync::shared_mutex mu_;

@@ -1,0 +1,9 @@
+// Fixture: the R6 anchor. A net layer under src/ arms the socket
+// containment rule for this fixture root. This file itself may (and
+// does) include raw socket headers -- that is the point of the rule.
+#pragma once
+#include <sys/socket.h>
+
+namespace netdiag::net {
+struct tcp_socket_tag {};
+}  // namespace netdiag::net

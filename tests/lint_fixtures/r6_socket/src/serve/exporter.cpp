@@ -1,0 +1,9 @@
+// Fixture: a serving-layer file reaching for raw socket headers must
+// trip R6 (socket containment: all socket I/O goes through src/net/).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+int open_export_socket() {
+    return ::socket(AF_INET, SOCK_STREAM, 0);
+}

@@ -1,0 +1,355 @@
+// Loopback integration for the wire protocol: a real netdiag_frontend
+// serving a real stream_server over 127.0.0.1 TCP, driven by
+// remote_collector clients. The standing claim is transport
+// transparency -- a remote ingest produces exactly the bytes, codes and
+// counters a local one would -- capped by the soak: four concurrent
+// collectors plus one forced mid-stream migration, digest-compared
+// against a single-process run.
+#include "net/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "net/migration.h"
+#include "net/remote_collector.h"
+#include "serve/stream_server.h"
+
+namespace netdiag {
+namespace {
+
+// Deterministic data (fixed LCG, the netdiag_frontend tool's generator):
+// every test below compares a remote run against a local shadow fed the
+// byte-identical bins.
+std::uint64_t lcg_next(std::uint64_t& state) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+}
+
+matrix synthetic_bootstrap(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+    matrix y(rows, cols, 0.0);
+    std::uint64_t state = seed;
+    lcg_next(state);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            y(r, c) = 100.0 + static_cast<double>(lcg_next(state) % 1000) / 10.0;
+        }
+    }
+    return y;
+}
+
+std::vector<double> synthetic_bin(std::size_t dim, std::uint64_t seed) {
+    std::vector<double> bin(dim);
+    std::uint64_t state = seed * 977 + 13;
+    lcg_next(state);
+    for (std::size_t i = 0; i < dim; ++i) {
+        bin[i] = 95.0 + static_cast<double>(lcg_next(state) % 2000) / 20.0;
+    }
+    return bin;
+}
+
+constexpr std::size_t k_dim = 6;
+
+stream_open_config tracking_config(std::uint64_t seed) {
+    stream_open_config cfg;
+    cfg.kind = stream_kind::tracking;
+    cfg.bootstrap_y = synthetic_bootstrap(2 * k_dim, k_dim, seed);
+    cfg.max_rank = 2;
+    return cfg;
+}
+
+// The digest both sides are compared by: the stream's interchange
+// record (detector state + inbox configuration + counters + residue),
+// byte for byte.
+std::string local_record(stream_server& server, stream_id id) {
+    std::ostringstream out(std::ios::binary);
+    server.snapshot_stream(id, out, ckpt::encoding::interchange);
+    return std::move(out).str();
+}
+
+TEST(Loopback, RemoteIngestMatchesALocalShadowBitForBit) {
+    stream_server remote_server({.threads = 0});
+    const stream_id remote_id = remote_server.open_stream(tracking_config(7));
+    net::netdiag_frontend frontend(remote_server);
+
+    stream_server shadow({.threads = 0});
+    const stream_id shadow_id = shadow.open_stream(tracking_config(7));
+
+    net::remote_collector collector(frontend.port());
+    for (std::size_t i = 0; i < 24; ++i) {
+        const std::vector<double> bin = synthetic_bin(k_dim, i);
+        const ingest_result remote = collector.ingest(remote_id, bin);
+        const ingest_result local = shadow.ingest(shadow_id, bin);
+        ASSERT_TRUE(remote.ok()) << i;
+        EXPECT_EQ(remote.sequence, local.sequence) << i;
+        EXPECT_EQ(remote.accepted, local.accepted) << i;
+    }
+    // Batch ingest through the same path.
+    std::vector<std::vector<double>> batch;
+    std::vector<std::span<const double>> batch_spans;
+    for (std::size_t i = 24; i < 40; ++i) batch.push_back(synthetic_bin(k_dim, i));
+    for (const std::vector<double>& bin : batch) batch_spans.emplace_back(bin);
+    const ingest_result remote_batch = collector.ingest_batch(remote_id, batch);
+    const ingest_result local_batch = shadow.ingest_batch(shadow_id, batch_spans);
+    ASSERT_TRUE(remote_batch.ok());
+    EXPECT_EQ(remote_batch.sequence, local_batch.sequence);
+    EXPECT_EQ(remote_batch.accepted, local_batch.accepted);
+
+    collector.flush(remote_id);
+    shadow.flush_stream(shadow_id);
+
+    // Counters agree field by field...
+    const net::stats_response remote_stats = collector.stats(remote_id);
+    const ingest_stats local_stats = shadow.ingest_statistics(shadow_id);
+    const stream_server::stream_stats local_ss = shadow.stats(shadow_id);
+    EXPECT_EQ(remote_stats.dimension, local_ss.dimension);
+    EXPECT_EQ(remote_stats.processed, local_ss.processed);
+    EXPECT_EQ(remote_stats.alarms, local_ss.alarms);
+    EXPECT_EQ(remote_stats.epoch, local_ss.epoch);
+    EXPECT_EQ(remote_stats.accepted, local_stats.accepted);
+    EXPECT_EQ(remote_stats.applied, local_stats.applied);
+    EXPECT_EQ(remote_stats.dropped, local_stats.dropped);
+    EXPECT_EQ(remote_stats.rejected, local_stats.rejected);
+    EXPECT_EQ(remote_stats.pending, 0u);
+    EXPECT_EQ(remote_stats.next_sequence, local_stats.next_sequence);
+
+    // ...and the full stream records are byte-identical: the wire added
+    // routing, never arithmetic.
+    EXPECT_EQ(collector.snapshot(remote_id), local_record(shadow, shadow_id));
+
+    frontend.stop();
+}
+
+TEST(Loopback, RemoteErrorsCarryTheSameCodesALocalIngestWould) {
+    stream_server server({.threads = 0});
+    const stream_id id = server.open_stream(tracking_config(3));
+    net::netdiag_frontend frontend(server);
+    net::remote_collector collector(frontend.port());
+
+    // Ingest-shaped failures come back as codes, not exceptions.
+    EXPECT_EQ(collector.ingest(id + 999, synthetic_bin(k_dim, 0)).error,
+              ingest_error::unknown_stream);
+    EXPECT_EQ(collector.ingest(id, synthetic_bin(k_dim + 1, 0)).error,
+              ingest_error::width_mismatch);
+
+    // Non-ingest ops throw typed remote_error.
+    try {
+        collector.flush(id + 999);
+        FAIL() << "flush of an unknown stream must throw";
+    } catch (const net::remote_error& e) {
+        EXPECT_EQ(e.code(), net::wire_errc::unknown_stream);
+    }
+    try {
+        (void)collector.restore("definitely not an interchange record");
+        FAIL() << "restore of a malformed record must throw";
+    } catch (const net::remote_error& e) {
+        EXPECT_EQ(e.code(), net::wire_errc::server_error);
+    }
+
+    // The errors above must not have perturbed the stream: it still
+    // serves, and its counters saw only the rejected-width bin.
+    ASSERT_TRUE(collector.ingest(id, synthetic_bin(k_dim, 1)).ok());
+    collector.flush(id);
+    const net::stats_response stats = collector.stats(id);
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.applied, 1u);
+    EXPECT_EQ(stats.rejected, 1u);
+
+    frontend.stop();
+}
+
+TEST(Loopback, ShutdownRequestStopsTheFrontendButNotTheServer) {
+    stream_server server({.threads = 0});
+    const stream_id id = server.open_stream(tracking_config(5));
+    net::netdiag_frontend frontend(server);
+    {
+        net::remote_collector collector(frontend.port());
+        ASSERT_TRUE(collector.ingest(id, synthetic_bin(k_dim, 0)).ok());
+        collector.shutdown_server();
+    }
+    frontend.stop();  // must not hang: req_shutdown already initiated it
+    EXPECT_TRUE(frontend.stopped());
+
+    // The embedded server survives the frontend: the stream still serves
+    // locally with its counters intact.
+    server.flush_stream(id);
+    const ingest_stats stats = server.ingest_statistics(id);
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.applied, 1u);
+}
+
+// The tentpole claim end to end, minus concurrency: migrate a stream
+// between two serving processes' servers over the wire, keep ingesting
+// on the target, and the final record is byte-identical to a shadow
+// that never migrated.
+TEST(Loopback, WireMigrationIsBitIdenticalToAnUnmigratedShadow) {
+    stream_server server_a({.threads = 0});
+    stream_server server_b({.threads = 0});
+    const stream_id id_a = server_a.open_stream(tracking_config(11));
+    net::netdiag_frontend frontend_a(server_a);
+    net::netdiag_frontend frontend_b(server_b);
+
+    stream_server shadow({.threads = 0});
+    const stream_id shadow_id = shadow.open_stream(tracking_config(11));
+
+    net::remote_collector collector_a(frontend_a.port());
+    net::remote_collector collector_b(frontend_b.port());
+
+    for (std::size_t i = 0; i < 20; ++i) {
+        const std::vector<double> bin = synthetic_bin(k_dim, 500 + i);
+        ASSERT_TRUE(collector_a.ingest(id_a, bin).ok());
+        ASSERT_TRUE(shadow.ingest(shadow_id, bin).ok());
+    }
+    // Leave pending residue in the inbox on purpose: auto_drain has
+    // applied most bins, but the record must carry whatever is pending
+    // at detach time -- migrating must not force a flush.
+
+    const std::uint64_t id_b = net::migrate_stream(collector_a, id_a, collector_b);
+
+    // The source forgot the stream.
+    EXPECT_EQ(collector_a.ingest(id_a, synthetic_bin(k_dim, 0)).error,
+              ingest_error::unknown_stream);
+
+    // Conservation across the move, before any new ingest.
+    const net::stats_response moved = collector_b.stats(id_b);
+    EXPECT_EQ(moved.accepted, 20u);
+    EXPECT_EQ(moved.accepted, moved.applied + moved.dropped + moved.pending);
+
+    for (std::size_t i = 20; i < 36; ++i) {
+        const std::vector<double> bin = synthetic_bin(k_dim, 500 + i);
+        ASSERT_TRUE(collector_b.ingest(id_b, bin).ok());
+        ASSERT_TRUE(shadow.ingest(shadow_id, bin).ok());
+    }
+    collector_b.flush(id_b);
+    shadow.flush_stream(shadow_id);
+
+    EXPECT_EQ(collector_b.snapshot(id_b), local_record(shadow, shadow_id));
+
+    frontend_a.stop();
+    frontend_b.stop();
+}
+
+// The soak the CI loopback job runs: one frontend serving four streams,
+// four concurrent collector threads, one stream forcibly migrated to a
+// second server mid-run while its producer keeps ingesting. Producers
+// treat stream_closed/unknown_stream as the migration signal, re-point
+// at the target and RETRY the failed bin (which was not enqueued), so
+// every bin lands exactly once. Digest: every final stream record must
+// be byte-identical to a single-process shadow run.
+TEST(Loopback, SoakFourCollectorsSurviveAForcedMigration) {
+    constexpr std::size_t k_streams = 4;
+    constexpr std::size_t k_bins = 120;
+    constexpr std::size_t k_migrate_at = 45;  // bins stream 0 ingests pre-migration
+
+    stream_server server_a({.threads = 2});
+    stream_server server_b({.threads = 2});
+    std::vector<stream_id> ids;
+    for (std::size_t s = 0; s < k_streams; ++s) {
+        ids.push_back(server_a.open_stream(tracking_config(100 + s)));
+    }
+    net::netdiag_frontend frontend_a(server_a);
+    net::netdiag_frontend frontend_b(server_b);
+
+    std::atomic<bool> migration_armed{false};  // producer 0 passed k_migrate_at
+    std::atomic<std::uint64_t> migrated_id{0};
+    std::atomic<bool> migration_done{false};
+
+    std::vector<std::thread> producers;
+    for (std::size_t s = 0; s < k_streams; ++s) {
+        producers.emplace_back([&, s] {
+            net::remote_collector collector(frontend_a.port());
+            bool on_target = false;
+            std::uint64_t id = ids[s];
+            for (std::size_t i = 0; i < k_bins; ++i) {
+                const std::vector<double> bin = synthetic_bin(k_dim, s * 100000 + i);
+                for (;;) {
+                    const ingest_result r = collector.ingest(id, bin);
+                    if (r.ok()) break;
+                    // Only the migrated stream's producer may ever see a
+                    // failure, and only the migration-shaped codes.
+                    ASSERT_EQ(s, 0u);
+                    ASSERT_TRUE(r.error == ingest_error::stream_closed ||
+                                r.error == ingest_error::unknown_stream)
+                        << static_cast<int>(r.error);
+                    ASSERT_FALSE(on_target);
+                    while (!migration_done.load(std::memory_order_acquire)) {
+                        std::this_thread::yield();
+                    }
+                    collector = net::remote_collector(frontend_b.port());
+                    id = migrated_id.load(std::memory_order_acquire);
+                    on_target = true;  // retry the same bin on the target
+                }
+                if (s == 0 && i + 1 == k_migrate_at) {
+                    migration_armed.store(true, std::memory_order_release);
+                }
+            }
+            try {
+                collector.flush(id);
+            } catch (const net::remote_error&) {
+                // Stream 0's flush can race the detach (a producer that
+                // never needed to re-point); the coordinator re-flushes
+                // it on the target below.
+                ASSERT_EQ(s, 0u);
+            }
+        });
+    }
+
+    {  // the migration coordinator, concurrent with the producers
+        while (!migration_armed.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+        net::remote_collector source(frontend_a.port());
+        net::remote_collector target(frontend_b.port());
+        migrated_id.store(net::migrate_stream(source, ids[0], target),
+                          std::memory_order_release);
+        migration_done.store(true, std::memory_order_release);
+    }
+    for (std::thread& t : producers) t.join();
+    // Definitive flush of the migrated stream on the target: its
+    // producer may have flushed on the source side of the race.
+    server_b.flush_stream(migrated_id.load(std::memory_order_acquire));
+
+    // Single-process shadow run: same streams, same bins, same order.
+    stream_server shadow({.threads = 0});
+    for (std::size_t s = 0; s < k_streams; ++s) {
+        const stream_id sid = shadow.open_stream(tracking_config(100 + s));
+        for (std::size_t i = 0; i < k_bins; ++i) {
+            ASSERT_TRUE(shadow.ingest(sid, synthetic_bin(k_dim, s * 100000 + i)).ok());
+        }
+        shadow.flush_stream(sid);
+
+        const std::string expected = local_record(shadow, sid);
+        std::string actual;
+        if (s == 0) {
+            net::remote_collector reader(frontend_b.port());
+            actual = reader.snapshot(migrated_id.load(std::memory_order_acquire));
+        } else {
+            net::remote_collector reader(frontend_a.port());
+            actual = reader.snapshot(ids[s]);
+        }
+        EXPECT_EQ(actual, expected) << "stream " << s << " digest mismatch";
+
+        // Conservation held across the move: every bin accepted exactly
+        // once, none rejected, none left pending after the flush.
+        const ingest_stats stats = s == 0
+            ? server_b.ingest_statistics(migrated_id.load(std::memory_order_acquire))
+            : server_a.ingest_statistics(ids[s]);
+        EXPECT_EQ(stats.accepted, k_bins) << s;
+        EXPECT_EQ(stats.applied, k_bins) << s;
+        EXPECT_EQ(stats.dropped, 0u) << s;
+        EXPECT_EQ(stats.pending, 0u) << s;
+        EXPECT_EQ(stats.accepted, stats.applied + stats.dropped + stats.pending) << s;
+    }
+
+    frontend_a.stop();
+    frontend_b.stop();
+}
+
+}  // namespace
+}  // namespace netdiag

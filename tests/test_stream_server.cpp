@@ -6,17 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/thread_pool.h"
 #include "measurement/link_loads.h"
+#include "net/migration.h"
 #include "subspace/online.h"
 #include "topology/builders.h"
 #include "topology/routing.h"
@@ -560,6 +563,196 @@ TEST_F(StreamServerFixture, StreamIdsAreNeverReused) {
     const stream_id b = server.open_stream(open_config(stream_kind::tracker, 0));
     EXPECT_NE(a, b);
     EXPECT_EQ(server.stream_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stream migration: detach_stream -> restore_stream moves one live
+// stream between servers. The bar is the same parity bar the server
+// itself is held to -- the migrated stream's output is bit-identical to
+// an unmigrated standalone shadow fed the same bins, for every refit
+// mode and pool size, including mid-refit and with unapplied residue.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamServerFixture, MigrationParityForEveryRefitModeAndPoolSize) {
+    for (const refit_mode mode :
+         {refit_mode::blocking, refit_mode::deferred, refit_mode::eager}) {
+        const bool drain_each = mode == refit_mode::eager;  // pin eager's swap bin
+        const auto reference = standalone(stream_kind::diagnoser, 0, mode);
+
+        std::vector<detection_result> expected;
+        for (std::size_t r = k_boot; r < k_boot + 40; ++r) {
+            expected.push_back(reference->push_bin(y_.row(r)));
+            if (drain_each) reference->drain();
+        }
+
+        for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+            stream_server source({.threads = threads});
+            stream_server target({.threads = threads});
+            const stream_id id =
+                source.open_stream(open_config(stream_kind::diagnoser, 0, mode));
+
+            const std::string context = "mode " + std::to_string(static_cast<int>(mode)) +
+                                        " threads " + std::to_string(threads);
+            for (std::size_t r = k_boot; r < k_boot + 20; ++r) {
+                expect_same_detection(expected[r - k_boot], source.push(id, y_.row(r)),
+                                      context + " pre-move bin " + std::to_string(r));
+                if (drain_each) source.drain_all();
+            }
+
+            const stream_id moved = net::migrate_stream(source, id, target);
+            EXPECT_THROW(source.push(id, y_.row(k_boot)), std::invalid_argument)
+                << context << ": the source must forget a detached stream";
+
+            for (std::size_t r = k_boot + 20; r < k_boot + 40; ++r) {
+                expect_same_detection(expected[r - k_boot], target.push(moved, y_.row(r)),
+                                      context + " post-move bin " + std::to_string(r));
+                if (drain_each) target.drain_all();
+            }
+            target.drain_all();
+            EXPECT_EQ(target.stats(moved).epoch, reference->model_epoch()) << context;
+            EXPECT_EQ(target.stats(moved).alarms, reference->alarm_count()) << context;
+            EXPECT_EQ(target.stats(moved).processed, reference->processed()) << context;
+        }
+    }
+}
+
+TEST_F(StreamServerFixture, MigrationMidRefitKeepsThePendingRefitPending) {
+    // 11 pushes with interval 9 / horizon 4: a refit has been triggered
+    // (bin 9) but not swapped (bin 13) -- the migration happens with the
+    // refit in flight, and pendingness must survive the move.
+    const auto reference = standalone(stream_kind::diagnoser, 0);
+    stream_server source({.threads = 2});
+    stream_server target({.threads = 1});  // pool wiring is runtime, not state
+    const stream_id id = source.open_stream(open_config(stream_kind::diagnoser, 0));
+
+    std::size_t cursor = k_boot;
+    for (std::size_t r = 0; r < 11; ++r) {
+        const std::size_t row = cursor++;
+        expect_same_detection(reference->push_bin(y_.row(row)), source.push(id, y_.row(row)),
+                              "pre-move bin " + std::to_string(r));
+    }
+    ASSERT_TRUE(
+        dynamic_cast<const streaming_diagnoser&>(source.stream(id)).refit_pending());
+
+    const stream_id moved = net::migrate_stream(source, id, target);
+    EXPECT_TRUE(
+        dynamic_cast<const streaming_diagnoser&>(target.stream(moved)).refit_pending());
+
+    // The pending refit must swap at the same bin the shadow's does, and
+    // everything after stays bit-identical.
+    for (std::size_t r = 0; r < 30; ++r) {
+        const std::size_t row = cursor++;
+        expect_same_detection(reference->push_bin(y_.row(row)),
+                              target.push(moved, y_.row(row)),
+                              "post-move bin " + std::to_string(r));
+        ASSERT_EQ(target.stats(moved).epoch, reference->model_epoch()) << "bin " << r;
+    }
+    EXPECT_GE(target.stats(moved).epoch, 1u);
+}
+
+TEST_F(StreamServerFixture, MigrationCarriesUnappliedInboxResidue) {
+    // auto_drain off: ingested bins accumulate as pending residue. The
+    // detach must snapshot them WITHOUT applying them, and the restore
+    // must re-enqueue them under their original sequence numbers.
+    stream_open_config cfg = open_config(stream_kind::tracking, 10);
+    cfg.ingest.auto_drain = false;
+    stream_server source({.threads = 0});
+    stream_server target({.threads = 0});
+    const stream_id id = source.open_stream(std::move(cfg));
+
+    constexpr std::size_t k_residue = 7;
+    for (std::size_t r = 0; r < k_residue; ++r) {
+        ASSERT_TRUE(source.ingest(id, y_.row(k_boot + 10 + r)).ok());
+    }
+    {
+        const ingest_stats before = source.ingest_statistics(id);
+        ASSERT_EQ(before.pending, k_residue);
+        ASSERT_EQ(before.applied, 0u);
+    }
+
+    const stream_id moved = net::migrate_stream(source, id, target);
+
+    // Conservation across the move, residue intact and still unapplied.
+    const ingest_stats after = target.ingest_statistics(moved);
+    EXPECT_EQ(after.accepted, k_residue);
+    EXPECT_EQ(after.applied, 0u);
+    EXPECT_EQ(after.dropped, 0u);
+    EXPECT_EQ(after.pending, k_residue);
+    EXPECT_EQ(after.accepted, after.applied + after.dropped + after.pending);
+    EXPECT_EQ(target.stats(moved).processed, 0u);
+
+    // Apply the residue on the target and compare the final record to an
+    // unmigrated shadow server fed the same bins: byte-identical.
+    target.flush_stream(moved);
+    stream_open_config shadow_cfg = open_config(stream_kind::tracking, 10);
+    shadow_cfg.ingest.auto_drain = false;
+    stream_server shadow({.threads = 0});
+    const stream_id shadow_id = shadow.open_stream(std::move(shadow_cfg));
+    for (std::size_t r = 0; r < k_residue; ++r) {
+        ASSERT_TRUE(shadow.ingest(shadow_id, y_.row(k_boot + 10 + r)).ok());
+    }
+    shadow.flush_stream(shadow_id);
+
+    std::ostringstream moved_rec(std::ios::binary), shadow_rec(std::ios::binary);
+    target.snapshot_stream(moved, moved_rec, ckpt::encoding::interchange);
+    shadow.snapshot_stream(shadow_id, shadow_rec, ckpt::encoding::interchange);
+    EXPECT_EQ(std::move(moved_rec).str(), std::move(shadow_rec).str());
+}
+
+TEST_F(StreamServerFixture, ConcurrentIngestDuringDetachSeesOnlyCleanErrors) {
+    // Producers hammering the stream while it is detached must see ok
+    // until the quiesce, then stream_closed (mid-close) or unknown_stream
+    // (post-removal) -- never an exception, never a silently lost bin:
+    // every bin a producer was told was accepted must be accounted for in
+    // the migrated record's counters.
+    constexpr std::size_t k_producers = 4;
+    constexpr std::size_t k_attempts = 400;
+    stream_server source({.threads = 2});
+    stream_server target({.threads = 0});
+    const stream_id id = source.open_stream(open_config(stream_kind::tracking, 0));
+
+    std::atomic<std::uint64_t> accepted_total{0};
+    std::atomic<bool> bad_error{false};
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < k_producers; ++t) {
+        producers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < k_attempts; ++i) {
+                const std::size_t row = k_boot + ((t * 97 + i) % 200);
+                const ingest_result r = source.ingest(id, y_.row(row));
+                if (r.ok()) {
+                    accepted_total.fetch_add(r.accepted, std::memory_order_relaxed);
+                } else if (r.error != ingest_error::stream_closed &&
+                           r.error != ingest_error::unknown_stream) {
+                    bad_error.store(true, std::memory_order_relaxed);
+                } else {
+                    return;  // the detach hit; stop producing
+                }
+            }
+        });
+    }
+    // Let the producers land some bins, then detach out from under them.
+    while (accepted_total.load(std::memory_order_relaxed) < 32) {
+        std::this_thread::yield();
+    }
+    std::ostringstream record(std::ios::binary);
+    source.detach_stream(id, record);
+    for (std::thread& t : producers) t.join();
+    EXPECT_FALSE(bad_error.load()) << "a producer saw a non-migration error";
+
+    // No silent drops: the record's accepted counter equals exactly the
+    // bins producers were told were accepted, and conservation holds on
+    // the restored stream before and after applying the residue.
+    std::istringstream in(std::move(record).str(), std::ios::binary);
+    const stream_id moved = target.restore_stream(in);
+    const ingest_stats st = target.ingest_statistics(moved);
+    EXPECT_EQ(st.accepted, accepted_total.load());
+    EXPECT_EQ(st.accepted, st.applied + st.dropped + st.pending);
+    target.flush_stream(moved);
+    const ingest_stats drained = target.ingest_statistics(moved);
+    EXPECT_EQ(drained.accepted, accepted_total.load());
+    EXPECT_EQ(drained.pending, 0u);
+    EXPECT_EQ(drained.accepted, drained.applied + drained.dropped);
+    EXPECT_EQ(target.stats(moved).processed, drained.applied);
 }
 
 TEST_F(StreamServerFixture, AdoptedDetectorServesLikeAnOpenedOne) {

@@ -676,5 +676,254 @@ TEST(GoldenCheckpoint, ByteSwappedMagicIsRejectedWithAnEndiannessError) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interchange portability: the tagged little-endian encoding loads on
+// any host, including from an opposite-endian writer, and re-encoding
+// round trips byte-identically (docs/CHECKPOINT_FORMAT.md).
+// ---------------------------------------------------------------------------
+
+// Simulates an opposite-endian interchange writer by walking the tagged
+// token stream and reversing every 8-byte word -- exactly what a
+// big-endian host that wrote words in its native order would produce.
+// The tokens are self-contained ('U'/'F' word, 'S' length + raw bytes,
+// 'V' count + doubles, 'M' rows + cols + doubles), so the walk needs no
+// schema. Lengths are read as little-endian BEFORE their field is
+// swapped; string payloads are raw bytes and stay untouched.
+std::string byte_swapped_interchange(const std::string& bytes) {
+    auto le64_at = [&](std::size_t pos) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes.at(pos + i)))
+                 << (8 * i);
+        }
+        return v;
+    };
+    std::string out = bytes;
+    auto swap_word = [&](std::size_t pos) {
+        std::reverse(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                     out.begin() + static_cast<std::ptrdiff_t>(pos + 8));
+    };
+    swap_word(0);  // untagged magic
+    std::size_t pos = 8;
+    while (pos < bytes.size()) {
+        // Container records nest detector records whole, inner header
+        // included -- an untagged magic word may appear mid-stream.
+        constexpr std::uint64_t k_interchange_magic = 0x3149434453444eull;  // "NDSDCI1"
+        if (pos + 8 <= bytes.size() && le64_at(pos) == k_interchange_magic) {
+            swap_word(pos);
+            pos += 8;
+            continue;
+        }
+        const char tag = bytes.at(pos++);
+        switch (tag) {
+            case 'U':
+            case 'F':
+                swap_word(pos);
+                pos += 8;
+                break;
+            case 'S': {
+                const std::uint64_t len = le64_at(pos);
+                swap_word(pos);
+                pos += 8 + len;
+                break;
+            }
+            case 'V': {
+                const std::uint64_t count = le64_at(pos);
+                swap_word(pos);
+                pos += 8;
+                for (std::uint64_t i = 0; i < count; ++i, pos += 8) swap_word(pos);
+                break;
+            }
+            case 'M': {
+                const std::uint64_t rows = le64_at(pos);
+                const std::uint64_t cols = le64_at(pos + 8);
+                swap_word(pos);
+                swap_word(pos + 8);
+                pos += 16;
+                for (std::uint64_t i = 0; i < rows * cols; ++i, pos += 8) swap_word(pos);
+                break;
+            }
+            default:
+                ADD_FAILURE() << "unknown interchange tag '" << tag << "' at " << pos - 1;
+                return out;
+        }
+    }
+    EXPECT_EQ(pos, bytes.size()) << "interchange walk overran the record";
+    return out;
+}
+
+TEST(GoldenCheckpoint, InterchangeFixturesLoadOnAnyHostIncludingByteSwapped) {
+    const std::string fixture =
+        golden_fixture_path("golden_tracking_detector_interchange.ckpt");
+    const std::string swapped_fixture =
+        golden_fixture_path("golden_tracking_detector_interchange_swapped.ckpt");
+    const std::string after = golden_fixture_path("golden_tracking_detector_after.ckpt");
+    const matrix bins =
+        golden_measurements(k_golden_prefix_bins + k_golden_replay_bins, k_golden_dim, 99);
+
+    if (std::getenv("NETDIAG_REGEN_GOLDEN") != nullptr) {
+        // Same detector state as the native golden fixture, saved in
+        // interchange -- plus the byte-swapped variant an opposite-endian
+        // writer would have produced.
+        tracking_detector det(golden_measurements(k_golden_boot_rows, k_golden_dim, 1234),
+                              k_golden_rank);
+        for (std::size_t r = 0; r < k_golden_prefix_bins; ++r) det.push(bins.row(r));
+        save_stream_detector(det, fixture, ckpt::encoding::interchange);
+        std::ofstream swapped_out(swapped_fixture, std::ios::binary);
+        const std::string swapped = byte_swapped_interchange(read_file_bytes(fixture));
+        swapped_out.write(swapped.data(),
+                          static_cast<std::streamsize>(swapped.size()));
+        GTEST_SKIP() << "regenerated interchange fixtures in " << NETDIAG_TEST_DATA_DIR;
+    }
+
+    // The committed swapped fixture is exactly the swapper's output --
+    // the two fixtures are the same record in opposite byte orders.
+    EXPECT_EQ(read_file_bytes(swapped_fixture),
+              byte_swapped_interchange(read_file_bytes(fixture)));
+
+    // Both byte orders load EVERYWHERE -- that is the point of the
+    // encoding; no endianness gate, unlike the native fixture above.
+    std::unique_ptr<stream_detector> restored = load_stream_detector(fixture);
+    std::unique_ptr<stream_detector> from_swapped = load_stream_detector(swapped_fixture);
+    ASSERT_EQ(restored->dimension(), k_golden_dim);
+    ASSERT_EQ(restored->processed(), k_golden_prefix_bins);
+    ASSERT_EQ(from_swapped->processed(), k_golden_prefix_bins);
+
+    // Replay both; they must land in identical states on any host.
+    for (std::size_t r = k_golden_prefix_bins; r < bins.rows(); ++r) {
+        restored->push_bin(bins.row(r));
+        from_swapped->push_bin(bins.row(r));
+    }
+    std::ostringstream replayed, replayed_swapped;
+    restored->save(replayed);
+    from_swapped->save(replayed_swapped);
+    EXPECT_EQ(replayed.str(), replayed_swapped.str());
+
+    if constexpr (std::endian::native == std::endian::little) {
+        // And on the fixtures' native-matching host, the replay state is
+        // the SAME state the native golden replay reaches.
+        EXPECT_EQ(replayed.str(), read_file_bytes(after))
+            << "interchange replay diverged from the native golden replay; regenerate "
+               "with NETDIAG_REGEN_GOLDEN=1 if the format changed intentionally";
+    }
+}
+
+TEST(GoldenCheckpoint, ConvertCheckpointRoundTripsByteIdentically) {
+    if (std::getenv("NETDIAG_REGEN_GOLDEN") != nullptr) {
+        GTEST_SKIP() << "fixtures being regenerated";
+    }
+    if constexpr (std::endian::native != std::endian::little) {
+        GTEST_SKIP() << "native fixtures are little-endian";
+    }
+    const std::string native_fixture = golden_fixture_path("golden_tracking_detector.ckpt");
+    const std::string interchange_fixture =
+        golden_fixture_path("golden_tracking_detector_interchange.ckpt");
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / "convert_roundtrip";
+    std::filesystem::create_directories(dir);
+    const std::string to_interchange = (dir / "a.ckpt").string();
+    const std::string back_to_native = (dir / "b.ckpt").string();
+
+    // native -> interchange reproduces the committed interchange fixture
+    // (same state, same deterministic encoder) ...
+    convert_checkpoint(native_fixture, to_interchange, ckpt::encoding::interchange);
+    EXPECT_EQ(read_file_bytes(to_interchange), read_file_bytes(interchange_fixture));
+
+    // ... and interchange -> native reproduces the original bytes.
+    convert_checkpoint(to_interchange, back_to_native, ckpt::encoding::native);
+    EXPECT_EQ(read_file_bytes(back_to_native), read_file_bytes(native_fixture));
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile headers: sizes are validated against the actual stream length
+// BEFORE any allocation (the 2^60-bin regression).
+// ---------------------------------------------------------------------------
+
+TEST(StreamCheckpoint, HeaderSizeLiesFailBeforeAllocation) {
+    const auto expect_throws_with = [](const std::string& bytes, bool interchange,
+                                       const char* needle, const char* what) {
+        std::istringstream in(bytes, std::ios::binary);
+        if (interchange) ckpt::set_encoding(in, ckpt::encoding::interchange);
+        try {
+            (void)ckpt::read_vec(in);
+            FAIL() << what << ": a lying header was accepted";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << what << ": got \"" << e.what() << "\"";
+        }
+    };
+    const auto le64 = [](std::uint64_t v) {
+        std::string b(8, '\0');
+        for (std::size_t i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+        return b;
+    };
+
+    // A header claiming 2^60 bins trips the absolute cap -- no allocation
+    // is ever attempted.
+    expect_throws_with(std::string("V") + le64(1ull << 60), true, "too large",
+                       "interchange 2^60-element vector");
+
+    // A claim UNDER the cap but over the bytes actually present trips the
+    // remaining-input validation -- the distinct new check.
+    expect_throws_with(std::string("V") + le64(1u << 20) + std::string(64, '\0'), true,
+                       "exceeds remaining input", "interchange over-length vector");
+
+    // Same validation on the native path.
+    std::string native_lie = le64(1u << 20);  // native u64 count on an LE host
+    if constexpr (std::endian::native != std::endian::little) {
+        std::reverse(native_lie.begin(), native_lie.end());
+    }
+    expect_throws_with(native_lie + std::string(64, '\0'), false,
+                       "exceeds remaining input", "native over-length vector");
+
+    // Matrices: absolute cap and remaining-input check both hold.
+    {
+        std::istringstream in(std::string("M") + le64(1ull << 60) + le64(4),
+                              std::ios::binary);
+        ckpt::set_encoding(in, ckpt::encoding::interchange);
+        EXPECT_THROW((void)ckpt::read_matrix(in), std::runtime_error);
+    }
+    {
+        std::istringstream in(
+            std::string("M") + le64(1000) + le64(1000) + std::string(128, '\0'),
+            std::ios::binary);
+        ckpt::set_encoding(in, ckpt::encoding::interchange);
+        try {
+            (void)ckpt::read_matrix(in);
+            FAIL() << "over-length matrix was accepted";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("exceeds remaining input"),
+                      std::string::npos)
+                << "got: " << e.what();
+        }
+    }
+
+    // Strings too: a length lie inside a record (e.g. a type tag) fails
+    // the same way through the full loader.
+    {
+        std::ostringstream rec(std::ios::binary);
+        ckpt::set_encoding(rec, ckpt::encoding::interchange);
+        ckpt::write_header(rec, "tracking_detector");
+        std::string bytes = std::move(rec).str();
+        // Header layout: 8-byte magic, 'U' + 8-byte version, then the
+        // type tag's 'S' token at 17 with its length field at 18. Lie in
+        // the length without adding bytes.
+        constexpr std::size_t len_pos = 8 + 1 + 8 + 1;
+        ASSERT_EQ(bytes.at(len_pos - 1), 'S');
+        bytes.replace(len_pos, 8, le64(1u << 19));
+        std::istringstream in(bytes, std::ios::binary);
+        try {
+            (void)ckpt::read_header_info(in);
+            FAIL() << "string length lie was accepted";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("exceeds remaining input"),
+                      std::string::npos)
+                << "got: " << e.what();
+        }
+    }
+}
+
 }  // namespace
 }  // namespace netdiag

@@ -4,12 +4,13 @@
 // docs/ARCHITECTURE.md and docs/TUNING.md but that neither the compiler
 // nor clang-tidy can enforce, because they are about *this* repo's layout:
 //
-//  R1  Determinism / layering: src/ outside src/engine/ must not reach for
-//      thread primitives (std::thread, std::async, std::this_thread),
-//      C randomness (rand/srand) or wall clocks (system_clock,
-//      steady_clock, gettimeofday, ...). Threading funnels through the
-//      engine (thread_pool, mpsc_inbox, backoff.h); anything time- or
-//      randomness-dependent would break the bit-identical replay
+//  R1  Determinism / layering: src/ outside src/engine/ and src/net/ must
+//      not reach for thread primitives (std::thread, std::async,
+//      std::this_thread), C randomness (rand/srand) or wall clocks
+//      (system_clock, steady_clock, gettimeofday, ...). Threading funnels
+//      through the engine (thread_pool, mpsc_inbox, backoff.h) -- plus
+//      the net layer's accept loop, which owns no replayed state; anything
+//      time- or randomness-dependent would break the bit-identical replay
 //      guarantee the serving stack advertises.
 //  R2  Kernel purity: the numeric kernels (src/linalg/, engine/simd.h,
 //      subspace/model.cpp, subspace/pca.cpp) must not call std::fma --
@@ -26,10 +27,15 @@
 //      composes traffic, eval and subspace); a kernel depending on it
 //      would invert the layering and drag evaluation-only code into the
 //      replay-critical paths.
+//  R6  Socket containment: raw socket headers (<sys/socket.h>,
+//      <netinet/...>, <arpa/inet.h>, <netdb.h>, <sys/un.h>) are allowed
+//      only under src/net/. Everything else speaks the wire protocol
+//      through net::tcp_socket and friends, so portability shims and
+//      SO_* option handling stay in one reviewed place.
 //
 // Scanning is token-based on comment- and string-stripped source, so a
-// comment saying "no std::thread here" does not trip R1. R5 scans raw
-// lines instead, because include paths live inside string literals. A
+// comment saying "no std::thread here" does not trip R1. R5 and R6 scan
+// raw lines instead, because include paths live inside string literals. A
 // rule whose anchor (src/, tuning.h, the enum, src/scenarios/, ...) is
 // absent under --root is skipped: the test fixtures under
 // tests/lint_fixtures/ rely on that to exercise one rule at a time.
@@ -191,14 +197,19 @@ const char* const k_r1_tokens[] = {
 void check_r1(const fs::path& root, const std::string& relpath,
               const std::vector<std::string>& lines, std::vector<violation>& out) {
     (void)root;
-    if (relpath.rfind("src/engine/", 0) == 0) return;  // the one allowed home
+    // The engine owns the pooled workers; the net layer owns the accept
+    // loop and per-connection reader threads (none of which touch
+    // replayed state). Nobody else spawns.
+    if (relpath.rfind("src/engine/", 0) == 0) return;
+    if (relpath.rfind("src/net/", 0) == 0) return;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         for (const char* token : k_r1_tokens) {
             if (has_token(lines[i], token)) {
                 out.push_back({relpath, i + 1, "R1",
                                std::string("'") + token +
-                                   "' outside src/engine/ -- thread primitives, randomness "
-                                   "and wall clocks must funnel through the engine layer"});
+                                   "' outside src/engine/ and src/net/ -- thread primitives, "
+                                   "randomness and wall clocks must funnel through the "
+                                   "engine layer"});
             }
         }
     }
@@ -248,6 +259,32 @@ void check_r5(const std::string& relpath, const std::vector<std::string>& raw_li
                            "scenario header included from a kernel/engine path -- "
                            "src/scenarios/ is evaluation-layer code and must stay out "
                            "of the replay-critical kernels"});
+        }
+    }
+}
+
+// --- R6: socket containment -------------------------------------------------
+
+const char* const k_r6_headers[] = {
+    "sys/socket.h", "netinet/", "arpa/inet.h", "netdb.h", "sys/un.h",
+};
+
+// Raw (unstripped) lines, like R5: include paths live inside the
+// <...> / "..." part that stripped_lines blanks out.
+void check_r6(const std::string& relpath, const std::vector<std::string>& raw_lines,
+              std::vector<violation>& out) {
+    if (relpath.rfind("src/net/", 0) == 0) return;  // the one allowed home
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string& line = raw_lines[i];
+        if (line.find("#include") == std::string::npos) continue;
+        for (const char* header : k_r6_headers) {
+            if (line.find(std::string("<") + header) != std::string::npos ||
+                line.find(std::string("\"") + header) != std::string::npos) {
+                out.push_back({relpath, i + 1, "R6",
+                               std::string("raw socket header '") + header +
+                                   "' outside src/net/ -- all socket I/O goes through "
+                                   "the net layer's tcp wrappers"});
+            }
         }
     }
 }
@@ -334,9 +371,11 @@ int main(int argc, char** argv) {
 
     const fs::path src = root / "src";
     if (fs::exists(src)) {
-        // R5's anchor: without a scenario library under this root there is
-        // nothing to mis-include (fixtures exercise one rule at a time).
+        // R5's / R6's anchors: without a scenario library (or net layer)
+        // under this root there is nothing to mis-include (fixtures
+        // exercise one rule at a time).
         const bool has_scenarios = fs::exists(src / "scenarios");
+        const bool has_net = fs::exists(src / "net");
         std::vector<fs::path> files;
         for (const auto& entry : fs::recursive_directory_iterator(src)) {
             if (entry.is_regular_file() && is_source_file(entry.path())) {
@@ -354,7 +393,7 @@ int main(int argc, char** argv) {
             const std::string relpath = rel(root, file);
             check_r1(root, relpath, lines, violations);
             check_r2(relpath, lines, violations);
-            if (has_scenarios) {
+            if (has_scenarios || has_net) {
                 std::vector<std::string> raw_lines(1);
                 for (const char c : *text) {
                     if (c == '\n') {
@@ -363,7 +402,8 @@ int main(int argc, char** argv) {
                         raw_lines.back() += c;
                     }
                 }
-                check_r5(relpath, raw_lines, violations);
+                if (has_scenarios) check_r5(relpath, raw_lines, violations);
+                if (has_net) check_r6(relpath, raw_lines, violations);
             }
         }
     }

@@ -47,6 +47,16 @@ int encoding_index() {
 
 long stream_mode(std::ios_base& stream) { return stream.iword(encoding_index()); }
 
+// Cached end-of-stream offset for remaining_bytes (value is offset + 1;
+// 0 = not yet probed, -1 = stream is not seekable). Probing the end is
+// a three-seek round trip, so it happens once per stream and every
+// subsequent length check costs a single tellg -- this keeps the
+// per-primitive validation cheap on the native restore path too.
+int end_cache_index() {
+    static const int index = std::ios_base::xalloc();
+    return index;
+}
+
 // One tag byte per interchange primitive, so a schema-free walker (the
 // wire fuzzer, the cross-endian test swapper) can traverse any record
 // and a desynchronized reader fails on the next tag instead of
@@ -146,20 +156,32 @@ void write_doubles(std::ostream& out, const double* data, std::size_t count, lon
     }
 }
 
+// A bulk payload needs byteswapping exactly when the wire byte order
+// differs from the host's: a conforming interchange record is
+// little-endian on the wire, a swapped foreign record is big-endian.
+// CI only runs the little-endian host rows, so the static_asserts below
+// pin all four host x wire combinations at compile time.
+constexpr bool needs_byteswap(long mode, bool host_little) {
+    if (mode == k_mode_native) return false;
+    const bool wire_little = (mode == k_mode_interchange);
+    return wire_little != host_little;
+}
+
+static_assert(!needs_byteswap(k_mode_interchange, /*host_little=*/true));
+static_assert(needs_byteswap(k_mode_interchange_swapped, /*host_little=*/true));
+static_assert(needs_byteswap(k_mode_interchange, /*host_little=*/false));
+static_assert(!needs_byteswap(k_mode_interchange_swapped, /*host_little=*/false));
+static_assert(!needs_byteswap(k_mode_native, /*host_little=*/true));
+static_assert(!needs_byteswap(k_mode_native, /*host_little=*/false));
+
 void read_doubles(std::istream& in, double* data, std::size_t count, long mode) {
     if (count == 0) return;
     read_raw(in, data, count * sizeof(double));
-    if (mode == k_mode_native) return;
-    if (mode == k_mode_interchange && std::endian::native == std::endian::little) return;
+    if (!needs_byteswap(mode, std::endian::native == std::endian::little)) return;
     for (std::size_t i = 0; i < count; ++i) {
         std::uint64_t bits = 0;
         std::memcpy(&bits, data + i, sizeof bits);
-        if (std::endian::native == std::endian::little) bits = byteswap_u64(bits);
-        if (mode == k_mode_interchange_swapped && std::endian::native != std::endian::little) {
-            // A big-endian host reading a swapped (big-endian-on-wire)
-            // file: the raw bytes are already in host order.
-            bits = byteswap_u64(bits);
-        }
+        bits = byteswap_u64(bits);
         data[i] = std::bit_cast<double>(bits);
     }
 }
@@ -321,16 +343,28 @@ std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
         in.clear();
         return std::nullopt;
     }
-    in.seekg(0, std::ios::end);
-    if (!in) {
-        in.clear();
+    long& cached = in.iword(end_cache_index());
+    if (cached == -1) return std::nullopt;
+    if (cached == 0) {
+        in.seekg(0, std::ios::end);
+        if (!in) {
+            in.clear();
+            in.seekg(cur);
+            cached = -1;
+            return std::nullopt;
+        }
+        const std::istream::pos_type probed = in.tellg();
         in.seekg(cur);
-        return std::nullopt;
+        if (probed == std::istream::pos_type(-1)) {
+            cached = -1;
+            return std::nullopt;
+        }
+        cached = static_cast<long>(probed) + 1;
     }
-    const std::istream::pos_type end = in.tellg();
-    in.seekg(cur);
-    if (end == std::istream::pos_type(-1) || end < cur) return std::nullopt;
-    return static_cast<std::uint64_t>(end - cur);
+    const std::uint64_t end = static_cast<std::uint64_t>(cached - 1);
+    const std::uint64_t pos = static_cast<std::uint64_t>(cur);
+    if (end < pos) return std::nullopt;
+    return end - pos;
 }
 
 void write_header(std::ostream& out, const std::string& type_tag) {

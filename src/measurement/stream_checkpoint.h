@@ -81,7 +81,10 @@ matrix read_matrix(std::istream& in);
 // when the stream is not seekable. The readers above validate every
 // header-derived length/count against this before allocating, so a
 // corrupt header claiming 2^60 bins fails with a clear error instead of
-// attempting the allocation.
+// attempting the allocation. The end offset is probed once and cached
+// on the stream (iword), so per-primitive validation costs one tellg,
+// not a seek-to-end round trip -- a stream that grows after its first
+// record read is therefore measured against the cached end.
 std::optional<std::uint64_t> remaining_bytes(std::istream& in);
 
 // Magic + format version + the record type tag, in the encoding attached

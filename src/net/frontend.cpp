@@ -71,9 +71,16 @@ frame dispatch(stream_server& server, const frame& request) {
         case msg_type::req_restore: {
             const restore_request req = decode_restore_request(request.payload);
             std::istringstream in(req.record, std::ios::binary);
-            const stream_id id = server.restore_stream(in);
-            return frame{static_cast<std::uint8_t>(msg_type::resp_restore),
-                         encode(restore_response{id})};
+            try {
+                const stream_id id = server.restore_stream(in);
+                return frame{static_cast<std::uint8_t>(msg_type::resp_restore),
+                             encode(restore_response{id})};
+            } catch (const std::runtime_error& e) {
+                // The ckpt codec signals a malformed record as
+                // std::runtime_error; keep the strict-decode contract the
+                // other ops follow instead of a generic server_error.
+                return error_frame(wire_errc::malformed_payload, e.what());
+            }
         }
         case msg_type::req_stats: {
             const stats_request req = decode_stats_request(request.payload);
@@ -125,9 +132,12 @@ frame handle_request(stream_server& server, const frame& request) {
 
 // Shared between the accept loop (which registers it) and the
 // connection thread (which reads it) -- and shutdown_both from stop()
-// is what unblocks a thread parked in recv_some.
+// is what unblocks a thread parked in recv_some. `done` flips once the
+// connection thread has closed the socket and is about to exit, making
+// the worker safe for the reaper to join-and-erase.
 struct netdiag_frontend::connection {
     tcp_socket sock;
+    std::atomic<bool> done{false};
 };
 
 netdiag_frontend::netdiag_frontend(stream_server& server, std::uint16_t port)
@@ -141,53 +151,87 @@ void netdiag_frontend::accept_loop() {
     for (;;) {
         tcp_socket sock = listener_.accept();
         if (!sock.valid()) return;  // listener closed: shutting down
+        reap_finished();
         auto conn = std::make_shared<connection>();
         conn->sock = std::move(sock);
         sync::mutex_lock lock(mu_);
         // Checked under mu_: request_stop sets the flag before sweeping
-        // connections_ under this lock, so either we register in time
-        // for the sweep or we observe the flag and drop the socket -- a
+        // workers_ under this lock, so either we register in time for
+        // the sweep or we observe the flag and drop the socket -- a
         // connection can never slip in unswept and park in recv forever.
         if (stopping_.load(std::memory_order_acquire)) return;
-        connections_.push_back(conn);
-        threads_.emplace_back([this, conn] { serve_connection(conn); });
+        workers_.push_back(worker{conn, std::thread([this, conn] { serve_connection(conn); })});
+    }
+}
+
+void netdiag_frontend::reap_finished() {
+    std::vector<std::thread> finished;
+    {
+        sync::mutex_lock lock(mu_);
+        auto it = workers_.begin();
+        while (it != workers_.end()) {
+            if (it->conn->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(it->thread));
+                it = workers_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // `done` is the last thing a connection thread sets, so these joins
+    // complete immediately; they happen outside mu_ regardless.
+    for (std::thread& t : finished) {
+        if (t.joinable()) t.join();
     }
 }
 
 void netdiag_frontend::serve_connection(const std::shared_ptr<connection>& conn) {
-    frame_decoder decoder;
-    frame request;
-    char buf[1 << 14];
     try {
-        for (;;) {
-            const frame_decoder::progress p = decoder.next(request);
-            if (p == frame_decoder::progress::frame_ready) {
-                frame response = handle_request(server_, request);
-                const std::string bytes = encode_frame(response);
-                conn->sock.send_all(bytes.data(), bytes.size());
-                if (static_cast<msg_type>(request.type) == msg_type::req_shutdown &&
-                    static_cast<msg_type>(response.type) == msg_type::resp_shutdown) {
-                    request_stop();
-                    return;
-                }
-                continue;
-            }
-            if (p == frame_decoder::progress::error) {
-                // Best-effort typed report, then drop the connection --
-                // framing has no resynchronization point.
-                const std::string bytes = encode_frame(error_frame(
-                    wire_errc::malformed_payload,
-                    std::string("frame error: ") + frame_error_name(decoder.error())));
-                conn->sock.send_all(bytes.data(), bytes.size());
-                return;
-            }
-            const std::size_t n = conn->sock.recv_some(buf, sizeof buf);
-            if (n == 0) return;  // peer closed cleanly
-            decoder.feed(std::string_view(buf, n));
-        }
+        serve_frames(*conn);
     } catch (...) {
         // A dead connection (send/recv failure) retires its thread; the
         // embedded server is unaffected.
+    }
+    // Every exit releases the fd right away -- the reaper only collects
+    // the thread handle later. Closing under mu_ keeps it ordered with
+    // request_stop's shutdown sweep, so the sweep never touches a
+    // recycled fd.
+    {
+        sync::mutex_lock lock(mu_);
+        conn->sock.close();
+    }
+    conn->done.store(true, std::memory_order_release);
+}
+
+void netdiag_frontend::serve_frames(connection& conn) {
+    frame_decoder decoder;
+    frame request;
+    char buf[1 << 14];
+    for (;;) {
+        const frame_decoder::progress p = decoder.next(request);
+        if (p == frame_decoder::progress::frame_ready) {
+            frame response = handle_request(server_, request);
+            const std::string bytes = encode_frame(response);
+            conn.sock.send_all(bytes.data(), bytes.size());
+            if (static_cast<msg_type>(request.type) == msg_type::req_shutdown &&
+                static_cast<msg_type>(response.type) == msg_type::resp_shutdown) {
+                request_stop();
+                return;
+            }
+            continue;
+        }
+        if (p == frame_decoder::progress::error) {
+            // Best-effort typed report, then drop the connection --
+            // framing has no resynchronization point.
+            const std::string bytes = encode_frame(error_frame(
+                wire_errc::malformed_payload,
+                std::string("frame error: ") + frame_error_name(decoder.error())));
+            conn.sock.send_all(bytes.data(), bytes.size());
+            return;
+        }
+        const std::size_t n = conn.sock.recv_some(buf, sizeof buf);
+        if (n == 0) return;  // peer closed cleanly
+        decoder.feed(std::string_view(buf, n));
     }
 }
 
@@ -195,23 +239,23 @@ void netdiag_frontend::request_stop() {
     if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
     listener_.close();  // unblocks accept()
     sync::mutex_lock lock(mu_);
-    for (const std::shared_ptr<connection>& conn : connections_) {
-        conn->sock.shutdown_both();  // unblocks recv_some()
+    for (const worker& w : workers_) {
+        w.conn->sock.shutdown_both();  // unblocks recv_some()
     }
 }
 
 void netdiag_frontend::stop() {
     request_stop();
     if (accept_thread_.joinable()) accept_thread_.join();
-    // With the accept loop joined, no new threads can appear; swap the
+    // With the accept loop joined, no new workers can appear; swap the
     // list out so joining happens outside the lock.
-    std::vector<std::thread> threads;
+    std::vector<worker> workers;
     {
         sync::mutex_lock lock(mu_);
-        threads.swap(threads_);
+        workers.swap(workers_);
     }
-    for (std::thread& t : threads) {
-        if (t.joinable()) t.join();
+    for (worker& w : workers) {
+        if (w.thread.joinable()) w.thread.join();
     }
 }
 

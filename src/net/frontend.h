@@ -70,8 +70,23 @@ public:
 private:
     struct connection;
 
+    // One served connection: the shared state plus the thread driving
+    // it. Lives in workers_ from accept until the reaper (accept loop or
+    // stop()) joins the finished thread and erases the entry -- a
+    // long-running frontend holds resources only for live connections.
+    struct worker {
+        std::shared_ptr<connection> conn;
+        std::thread thread;
+    };
+
     void accept_loop();
     void serve_connection(const std::shared_ptr<connection>& conn);
+    void serve_frames(connection& conn);
+    // Joins and erases workers whose connection threads have finished.
+    // Called from the accept loop on every new connection, so a daemon
+    // serving many short-lived clients does not accumulate fds or
+    // thread handles; stop() sweeps whatever is left.
+    void reap_finished();
     // stop() minus the joins: safe to call from a connection thread
     // (req_shutdown) -- the joins happen later, in stop()/~.
     void request_stop();
@@ -80,8 +95,7 @@ private:
     tcp_listener listener_;
     std::atomic<bool> stopping_{false};
     sync::mutex mu_;
-    std::vector<std::shared_ptr<connection>> connections_ NETDIAG_GUARDED_BY(mu_);
-    std::vector<std::thread> threads_ NETDIAG_GUARDED_BY(mu_);
+    std::vector<worker> workers_ NETDIAG_GUARDED_BY(mu_);
     std::thread accept_thread_;
 };
 

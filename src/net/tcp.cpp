@@ -93,34 +93,34 @@ void tcp_socket::close() noexcept {
 }
 
 tcp_listener::tcp_listener(std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) throw_errno("tcp_listener: socket");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("tcp_listener: socket");
     const int one = 1;
-    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     sockaddr_in addr = loopback_addr(port);
-    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
         const int saved = errno;
-        ::close(fd_);
-        fd_ = -1;
+        ::close(fd);
         errno = saved;
         throw_errno("tcp_listener: bind 127.0.0.1:" + std::to_string(port));
     }
-    if (::listen(fd_, SOMAXCONN) != 0) {
+    if (::listen(fd, SOMAXCONN) != 0) {
         const int saved = errno;
-        ::close(fd_);
-        fd_ = -1;
+        ::close(fd);
         errno = saved;
         throw_errno("tcp_listener: listen");
     }
     socklen_t len = sizeof addr;
-    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
         const int saved = errno;
-        ::close(fd_);
-        fd_ = -1;
+        ::close(fd);
         errno = saved;
         throw_errno("tcp_listener: getsockname");
     }
     port_ = ntohs(addr.sin_port);
+    // Published only once fully set up: accept() and close() load it
+    // from other threads.
+    fd_.store(fd, std::memory_order_release);
 }
 
 tcp_socket tcp_listener::accept() {
@@ -128,7 +128,7 @@ tcp_socket tcp_listener::accept() {
         // Snapshot the fd: close() may race us (that is its job); an
         // accept on a closed/shutdown fd returns an error and we report
         // the invalid socket that means "listener is gone".
-        const int fd = fd_;
+        const int fd = fd_.load(std::memory_order_acquire);
         if (fd < 0) return tcp_socket{};
         const int conn = ::accept(fd, nullptr, nullptr);
         if (conn >= 0) {
@@ -143,12 +143,14 @@ tcp_socket tcp_listener::accept() {
 }
 
 void tcp_listener::close() noexcept {
-    if (fd_ >= 0) {
+    // exchange: exactly one closer wins even when ~tcp_listener races a
+    // concurrent explicit close().
+    const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
         // shutdown() wakes a thread blocked in accept() before the fd
         // goes away; closing alone leaves it parked on Linux.
-        ::shutdown(fd_, SHUT_RDWR);
-        ::close(fd_);
-        fd_ = -1;
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
 }
 

@@ -7,6 +7,7 @@
 // internet-facing server (no TLS, no auth; see docs/WIRE_FORMAT.md).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -70,7 +71,9 @@ public:
     void close() noexcept;
 
 private:
-    int fd_ = -1;
+    // Atomic because close() (from any thread; that is the accept-loop
+    // shutdown signal) races accept()'s snapshot of the fd by design.
+    std::atomic<int> fd_{-1};
     std::uint16_t port_ = 0;
 };
 

@@ -10,7 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -149,7 +152,9 @@ TEST(Loopback, RemoteErrorsCarryTheSameCodesALocalIngestWould) {
         (void)collector.restore("definitely not an interchange record");
         FAIL() << "restore of a malformed record must throw";
     } catch (const net::remote_error& e) {
-        EXPECT_EQ(e.code(), net::wire_errc::server_error);
+        // A record the checkpoint codec rejects is a malformed payload
+        // under the strict-decode contract, not a server-side fault.
+        EXPECT_EQ(e.code(), net::wire_errc::malformed_payload);
     }
 
     // The errors above must not have perturbed the stream: it still
@@ -161,6 +166,51 @@ TEST(Loopback, RemoteErrorsCarryTheSameCodesALocalIngestWould) {
     EXPECT_EQ(stats.applied, 1u);
     EXPECT_EQ(stats.rejected, 1u);
 
+    frontend.stop();
+}
+
+// One open descriptor per entry in /proc/self/fd (Linux, which is what
+// CI runs). Counting our own fds is how the reaping claim below becomes
+// observable without poking at frontend internals.
+std::size_t open_fd_count() {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/fd")) {
+        ++n;
+    }
+    return n;
+}
+
+// A long-running frontend must not hold resources per connection it has
+// EVER served, only per connection currently alive: each serve thread
+// closes its socket on exit and the accept loop join-and-erases
+// finished workers. Without reaping, this test's fd count grows by one
+// per collector and the assertion fails.
+TEST(Loopback, FinishedConnectionsReleaseTheirFileDescriptors) {
+    stream_server server({.threads = 0});
+    const stream_id id = server.open_stream(tracking_config(9));
+    net::netdiag_frontend frontend(server);
+
+    const std::size_t baseline = open_fd_count();
+    constexpr std::size_t k_connections = 32;
+    for (std::size_t i = 0; i < k_connections; ++i) {
+        net::remote_collector collector(frontend.port());
+        ASSERT_TRUE(collector.ingest(id, synthetic_bin(k_dim, i)).ok());
+    }
+
+    // The server side closes each fd when it observes the peer's
+    // disconnect; poll briefly for the last ones to be noticed.
+    std::size_t now = open_fd_count();
+    for (int spins = 0; now > baseline + 4 && spins < 5000; ++spins) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        now = open_fd_count();
+    }
+    EXPECT_LE(now, baseline + 4) << "served " << k_connections
+                                 << " connections, baseline " << baseline;
+
+    // Still serving after the churn.
+    net::remote_collector collector(frontend.port());
+    ASSERT_TRUE(collector.ingest(id, synthetic_bin(k_dim, 999)).ok());
     frontend.stop();
 }
 
